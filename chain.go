@@ -1,0 +1,64 @@
+package pufferfish
+
+import (
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+)
+
+// Chain is a finite-state time-homogeneous Markov chain: initial
+// distribution plus row-stochastic transition matrix.
+type Chain = markov.Chain
+
+// Class is a distribution class Θ of Markov chains (the third
+// component of a Pufferfish instantiation in the Section 4.4 setting).
+type Class = markov.Class
+
+// SingletonClass is Θ = {θ}.
+type SingletonClass = markov.Singleton
+
+// FiniteClass is an explicit finite Θ.
+type FiniteClass = markov.Finite
+
+// BinaryIntervalClass is the synthetic-experiment class Θ = [α, β]
+// of Section 5.2.
+type BinaryIntervalClass = markov.BinaryInterval
+
+// NewChain validates and builds a chain from an initial distribution
+// and transition rows.
+func NewChain(init []float64, rows [][]float64) (Chain, error) {
+	return markov.NewFromRows(init, rows)
+}
+
+// NewChainMatrix builds a chain from an existing matrix.
+func NewChainMatrix(init []float64, p *matrix.Dense) (Chain, error) {
+	return markov.New(init, p)
+}
+
+// BinaryChain returns a two-state chain with stay probabilities
+// (p0, p1) and initial P(X₁ = 0) = q0.
+func BinaryChain(q0, p0, p1 float64) Chain { return markov.BinaryChain(q0, p0, p1) }
+
+// NewSingleton wraps one chain of length T as a class.
+func NewSingleton(c Chain, T int) (*SingletonClass, error) { return markov.NewSingleton(c, T) }
+
+// NewFinite wraps an explicit chain set of length T as a class.
+func NewFinite(cs []Chain, T int) (*FiniteClass, error) { return markov.NewFinite(cs, T) }
+
+// NewBinaryInterval builds the Section 5.2 class of binary chains with
+// transition parameters in [alpha, beta] and all initial
+// distributions.
+func NewBinaryInterval(alpha, beta float64, T int) (*BinaryIntervalClass, error) {
+	return markov.NewBinaryInterval(alpha, beta, T)
+}
+
+// EstimateChain fits a chain to observed sequences by smoothed maximum
+// likelihood.
+func EstimateChain(seqs [][]int, k int, smoothing float64) (Chain, error) {
+	return markov.Estimate(seqs, k, smoothing)
+}
+
+// EstimateStationaryChain fits a chain and starts it from its
+// stationary distribution — the paper's choice for real data.
+func EstimateStationaryChain(seqs [][]int, k int, smoothing float64) (Chain, error) {
+	return markov.EstimateStationary(seqs, k, smoothing)
+}

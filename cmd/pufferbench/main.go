@@ -1,0 +1,196 @@
+// Command pufferbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pufferbench examples                  # worked examples vs paper
+//	pufferbench fig4top  [flags]          # Figure 4 upper row
+//	pufferbench fig4bottom [flags]        # Figure 4 lower row
+//	pufferbench table1   [flags]          # Table 1
+//	pufferbench table2   [flags]          # Table 2
+//	pufferbench table3   [flags]          # Table 3
+//	pufferbench all      [flags]          # everything above
+//
+// Every command accepts -quick for a reduced-size run (minutes →
+// seconds) that exercises identical code paths, and -seed for
+// reproducibility.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pufferfish/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced-size run (same code paths, much faster)")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	trials := fs.Int("trials", 0, "override trial count (0 = default)")
+	csv := fs.Bool("csv", false, "plot-ready CSV output (fig4top only)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	var err error
+	switch cmd {
+	case "examples":
+		err = runExamples()
+	case "fig4top":
+		err = runFig4Top(*quick, *seed, *trials, *csv)
+	case "fig4bottom":
+		err = runActivity(*quick, *seed, *trials, true, false)
+	case "table1":
+		err = runActivity(*quick, *seed, *trials, false, true)
+	case "table2":
+		err = runTable2(*quick, *seed)
+	case "table3":
+		err = runTable3(*quick, *seed, *trials)
+	case "all":
+		err = runAll(*quick, *seed, *trials)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pufferbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pufferbench <examples|fig4top|fig4bottom|table1|table2|table3|all> [-quick] [-seed N] [-trials N]`)
+}
+
+func runExamples() error {
+	examples, err := experiments.RunWorkedExamples()
+	if err != nil {
+		return err
+	}
+	experiments.RenderWorkedExamples(examples).Render(os.Stdout)
+	if ok, bad := experiments.AllMatch(examples); !ok {
+		return fmt.Errorf("worked examples diverge from the paper: %s", bad)
+	}
+	return nil
+}
+
+func runFig4Top(quick bool, seed uint64, trials int, csv bool) error {
+	cfg := experiments.DefaultFig4TopConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Trials = 50
+		cfg.GridN = 5
+	}
+	if trials > 0 {
+		cfg.Trials = trials
+	}
+	results, err := experiments.Fig4Top(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if csv {
+			fmt.Print(r.CSV())
+		} else {
+			r.Render().Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runActivity(quick bool, seed uint64, trials int, fig, table bool) error {
+	cfg := experiments.DefaultActivityConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.PopulationScale = 0.2
+		cfg.Trials = 5
+	}
+	if trials > 0 {
+		cfg.Trials = trials
+	}
+	results, err := experiments.ActivityExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	if fig {
+		for _, r := range results {
+			experiments.RenderFig4Bottom(r, cfg.Eps).Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if table {
+		experiments.RenderTable1(results, cfg.Eps).Render(os.Stdout)
+		fmt.Println()
+		for _, r := range results {
+			fmt.Printf("%s: people=%d observations=%d σ_approx=%.1f σ_exact=%.1f\n",
+				r.Group, r.People, r.Observations,
+				r.Sigmas[experiments.MechApprox], r.Sigmas[experiments.MechExact])
+		}
+	}
+	return nil
+}
+
+func runTable2(quick bool, seed uint64) error {
+	cfg := experiments.DefaultTimingConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.SyntheticGridStep = 0.2
+		cfg.PowerT = 100_000
+		cfg.PopulationScale = 0.2
+		cfg.Repeats = 2
+	}
+	res, err := experiments.TimingExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	res.Render().Render(os.Stdout)
+	return nil
+}
+
+func runTable3(quick bool, seed uint64, trials int) error {
+	cfg := experiments.DefaultPowerConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.T = 100_000
+		cfg.Trials = 5
+	}
+	if trials > 0 {
+		cfg.Trials = trials
+	}
+	res, err := experiments.PowerExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	res.Render().Render(os.Stdout)
+	fmt.Println()
+	for _, c := range res.Cells {
+		fmt.Printf("ε=%g: σ_approx=%.1f σ_exact=%.1f\n", c.Eps, c.SigmaApprox, c.SigmaExact)
+	}
+	return nil
+}
+
+func runAll(quick bool, seed uint64, trials int) error {
+	if err := runExamples(); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runFig4Top(quick, seed, trials, false); err != nil {
+		return err
+	}
+	if err := runActivity(quick, seed, trials, true, true); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runTable3(quick, seed, trials); err != nil {
+		return err
+	}
+	fmt.Println()
+	return runTable2(quick, seed)
+}

@@ -1,0 +1,77 @@
+package pufferfish
+
+import (
+	"math/rand/v2"
+
+	"pufferfish/internal/activity"
+	"pufferfish/internal/flu"
+	"pufferfish/internal/power"
+)
+
+// Flu substrate (Example 2): flu status over a union of cliques.
+
+// FluClique is one fully-connected component with a distribution over
+// its infected count.
+type FluClique = flu.Clique
+
+// FluModel is one generating distribution θ for the flu example.
+type FluModel = flu.Model
+
+// FluInstance adapts a class of flu models to the Wasserstein
+// Mechanism.
+type FluInstance = flu.Instance
+
+// NewFluClique builds a clique from the probabilities of 0..size
+// infected members.
+func NewFluClique(probs []float64) (FluClique, error) { return flu.FromProbs(probs) }
+
+// NewFluCliqueExponential builds the P(N=j) ∝ e^{λj} clique of
+// Section 2.2.
+func NewFluCliqueExponential(size int, lambda float64) (FluClique, error) {
+	return flu.Exponential(size, lambda)
+}
+
+// NewFluModel assembles cliques into a model.
+func NewFluModel(cliques []FluClique) (*FluModel, error) { return flu.NewModel(cliques) }
+
+// Physical-activity substrate (Section 5.3.1).
+
+// ActivityGroup identifies a cohort (cyclists, older women, overweight
+// women).
+type ActivityGroup = activity.Group
+
+// ActivityGroups lists the cohorts in table order.
+var ActivityGroups = activity.Groups
+
+// ActivityProfile is a cohort's ground-truth and wear parameters.
+type ActivityProfile = activity.Profile
+
+// ActivityDataset is a simulated cohort.
+type ActivityDataset = activity.Dataset
+
+// DefaultActivityProfile returns the calibrated parameters for a
+// cohort.
+func DefaultActivityProfile(g ActivityGroup) ActivityProfile { return activity.DefaultProfile(g) }
+
+// GenerateActivity simulates a cohort.
+func GenerateActivity(p ActivityProfile, rng *rand.Rand) (*ActivityDataset, error) {
+	return activity.Generate(p, rng)
+}
+
+// Electricity substrate (Section 5.3.2).
+
+// PowerHouse is a household load model.
+type PowerHouse = power.House
+
+// PowerNumBins and PowerBinWatts are the paper's discretization: 51
+// intervals of 200 W.
+const (
+	PowerNumBins  = power.NumBins
+	PowerBinWatts = power.BinWatts
+)
+
+// DefaultPowerHouse returns the calibrated household model.
+func DefaultPowerHouse() PowerHouse { return power.DefaultHouse() }
+
+// SimulatePower produces T per-minute binned readings.
+func SimulatePower(h PowerHouse, T int, rng *rand.Rand) ([]int, error) { return h.Simulate(T, rng) }

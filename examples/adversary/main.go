@@ -1,0 +1,53 @@
+// Adversary demo (the Section 1 motivation, made executable): on
+// correlated data, an entry-DP release leaks — there is an output at
+// which the likelihood ratio between "X_t = a" and "X_t = b" exceeds
+// e^ε — while the Markov Quilt Mechanism's release does not. The check
+// is analytic (exact conditional distributions and Laplace densities),
+// not a simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pufferfish"
+)
+
+func main() {
+	// A strongly correlated binary chain: knowing the neighborhood
+	// almost determines each record.
+	const T = 6
+	theta := pufferfish.BinaryChain(0.5, 0.95, 0.95)
+	class, err := pufferfish.NewFinite([]pufferfish.Chain{theta}, T)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eps := 1.0
+	w := []int{0, 1} // release the count of ones
+
+	grid := make([]float64, 0, 120)
+	for v := -6.0; v <= float64(T)+6; v += 0.1 {
+		grid = append(grid, v)
+	}
+
+	// Entry-DP noise: scale 1/ε — calibrated to one record's
+	// *participation*, blind to correlation.
+	dpScale := 1.0 / eps
+	if err := pufferfish.VerifyChainPufferfish(class, w, dpScale, eps, 1e-6, grid); err != nil {
+		fmt.Printf("entry-DP  (scale %.2f): LEAKS — %v\n\n", dpScale, err)
+	} else {
+		fmt.Printf("entry-DP  (scale %.2f): unexpectedly private on this chain\n\n", dpScale)
+	}
+
+	// MQMExact's scale: calibrated to the correlation structure.
+	score, err := pufferfish.ExactScore(class, eps, pufferfish.ExactOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pufferfish.VerifyChainPufferfish(class, w, score.Sigma, eps, 1e-6, grid); err != nil {
+		fmt.Printf("MQMExact (scale %.2f): VIOLATION (bug!) — %v\n", score.Sigma, err)
+	} else {
+		fmt.Printf("MQMExact (scale %.2f): every output keeps the adversary's\n", score.Sigma)
+		fmt.Printf("posterior-odds shift within e^±%g for every record — ε-Pufferfish holds.\n", eps)
+	}
+}

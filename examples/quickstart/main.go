@@ -1,0 +1,74 @@
+// Quickstart: release the fraction of time a correlated binary
+// time-series spends in state 1 with ε-Pufferfish privacy, and compare
+// what differential privacy and group differential privacy would do
+// (the Section 1 motivation).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"pufferfish"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(1, 2))
+
+	// A slowly-changing binary activity series (e.g. resting/active
+	// every 12 seconds): strongly correlated adjacent records.
+	const T = 2000
+	truth := pufferfish.BinaryChain(0.5, 0.95, 0.9)
+	data := truth.Sample(T, rng)
+
+	// The adversary's plausible models Θ: a small set around the
+	// truth (the data curator rarely knows θ exactly).
+	class, err := pufferfish.NewFinite([]pufferfish.Chain{
+		pufferfish.BinaryChain(0.5, 0.95, 0.90),
+		pufferfish.BinaryChain(0.5, 0.93, 0.92),
+		pufferfish.BinaryChain(0.5, 0.96, 0.88),
+	}, T)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := pufferfish.StateFrequency{State: 1, N: T}
+	exact, err := q.Evaluate(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eps := 1.0
+
+	fmt.Printf("exact frequency of state 1: %.4f\n\n", exact[0])
+
+	rel, score, err := pufferfish.MQMExact(data, q, class, eps, pufferfish.ExactOptions{}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MQMExact:   released %.4f (σ = %.1f, active quilt %v at node %d)\n",
+		rel.Values[0], score.Sigma, score.Quilt, score.Node)
+
+	relA, scoreA, err := pufferfish.MQMApprox(data, q, class, eps, pufferfish.ApproxOptions{}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MQMApprox:  released %.4f (σ = %.1f)\n", relA.Values[0], scoreA.Sigma)
+
+	// Baselines: entry-DP under-protects (it ignores correlation);
+	// GroupDP treats the whole series as one record and over-noises.
+	dp, err := pufferfish.LaplaceDP(data, q, eps, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("entry-DP:   released %.4f (scale %.5f — NOT Pufferfish-private here)\n",
+		dp.Values[0], dp.NoiseScale)
+	gdp, err := pufferfish.GroupDP(data, q, T, eps, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GroupDP:    released %.4f (scale %.2f — destroys utility)\n",
+		gdp.Values[0], gdp.NoiseScale)
+
+	fmt.Printf("\nMQM noise scale %.5f sits between them: correlation-aware privacy with utility.\n",
+		rel.NoiseScale)
+}

@@ -1,0 +1,258 @@
+// Package activity simulates the physical-activity-monitoring
+// substrate of Section 5.3.1.
+//
+// The paper's dataset (Ellis et al.) — 40 cyclists, 16 older women,
+// 36 overweight women; four activities recorded every 12 seconds over
+// a week; gaps above 10 minutes treated as the start of a new
+// independent Markov chain — is not redistributable, so this package
+// generates groups with the same shape: each participant wears the
+// sensor in sessions, each session is a fresh draw from the group's
+// ground-truth four-state chain started at stationarity, and session
+// boundaries are exactly the paper's gap-split chains. The mechanisms
+// never see the ground truth; as in the paper, they work from the
+// empirical transition matrix estimated from the (simulated) data.
+// See DESIGN.md §2.1 for why this preserves what Table 1 and
+// Figure 4(d–f) measure.
+package activity
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+)
+
+// The four recorded activities (cycling is merged into Active for the
+// cyclist group, as in the paper).
+const (
+	Active = iota
+	StandStill
+	StandMoving
+	Sedentary
+	NumActivities
+)
+
+// ActivityName returns a printable label for a state.
+func ActivityName(s int) string {
+	switch s {
+	case Active:
+		return "Active"
+	case StandStill:
+		return "Stand Still"
+	case StandMoving:
+		return "Stand Moving"
+	case Sedentary:
+		return "Sedentary"
+	default:
+		return fmt.Sprintf("state%d", s)
+	}
+}
+
+// Group identifies a participant cohort.
+type Group int
+
+// The three cohorts of the study.
+const (
+	Cyclists Group = iota
+	OlderWomen
+	OverweightWomen
+)
+
+// GroupName returns the cohort label used in the tables.
+func (g Group) String() string {
+	switch g {
+	case Cyclists:
+		return "cyclist"
+	case OlderWomen:
+		return "older woman"
+	case OverweightWomen:
+		return "overweight woman"
+	default:
+		return fmt.Sprintf("group%d", int(g))
+	}
+}
+
+// Groups lists all cohorts in table order.
+var Groups = []Group{Cyclists, OlderWomen, OverweightWomen}
+
+// Profile is a cohort's ground truth: the stationary activity mix, the
+// switching rate of the chain, and the population/wear parameters.
+type Profile struct {
+	Group Group
+	// Participants is the cohort size (40/16/36 in the paper).
+	Participants int
+	// Stationary is the ground-truth activity mix; cyclists are most
+	// active, overweight women most sedentary (Figure 4 lower row).
+	Stationary []float64
+	// SwitchRate c sets the ground-truth transition matrix
+	// P = (1−c)·I + c·1πᵀ: activities persist for ~1/c epochs
+	// (12-second epochs, so c ≈ 0.06 means ~3-minute bouts).
+	SwitchRate float64
+	// ShortSessions is the [min,max] length (in epochs) of ordinary
+	// wear sessions; LongSessions of the occasional long ones;
+	// LongSessionProb mixes them. Sessions are the paper's gap-split
+	// chains.
+	ShortSessions   [2]int
+	LongSessions    [2]int
+	LongSessionProb float64
+	// SessionsPerPerson controls total observations (the paper
+	// averages >9,000 per person).
+	SessionsPerPerson int
+}
+
+// DefaultProfile returns the calibrated cohort parameters.
+func DefaultProfile(g Group) Profile {
+	p := Profile{
+		Group:             g,
+		ShortSessions:     [2]int{100, 400},
+		LongSessions:      [2]int{1500, 3000},
+		LongSessionProb:   0.2,
+		SessionsPerPerson: 15,
+	}
+	switch g {
+	case Cyclists:
+		p.Participants = 40
+		p.Stationary = []float64{0.35, 0.15, 0.20, 0.30}
+		p.SwitchRate = 0.07
+	case OlderWomen:
+		p.Participants = 16
+		p.Stationary = []float64{0.10, 0.20, 0.25, 0.45}
+		p.SwitchRate = 0.06
+	default: // OverweightWomen
+		p.Participants = 36
+		p.Stationary = []float64{0.06, 0.14, 0.20, 0.60}
+		p.SwitchRate = 0.05
+	}
+	return p
+}
+
+// TrueChain returns the ground-truth chain P = (1−c)·I + c·1πᵀ
+// started from its stationary distribution π.
+func (p Profile) TrueChain() (markov.Chain, error) {
+	k := len(p.Stationary)
+	if k != NumActivities {
+		return markov.Chain{}, fmt.Errorf("activity: profile has %d states, want %d", k, NumActivities)
+	}
+	if !(p.SwitchRate > 0 && p.SwitchRate < 1) {
+		return markov.Chain{}, fmt.Errorf("activity: invalid switch rate %v", p.SwitchRate)
+	}
+	rows := make([][]float64, k)
+	for x := 0; x < k; x++ {
+		rows[x] = make([]float64, k)
+		for y := 0; y < k; y++ {
+			rows[x][y] = p.SwitchRate * p.Stationary[y]
+			if x == y {
+				rows[x][y] += 1 - p.SwitchRate
+			}
+		}
+	}
+	return markov.New(append([]float64{}, p.Stationary...), matrix.FromRows(rows))
+}
+
+// Person is one participant's data: wear sessions, each an independent
+// chain (the paper's gap-split preprocessing output).
+type Person struct {
+	Sessions [][]int
+}
+
+// Observations returns the participant's total epoch count.
+func (p Person) Observations() int {
+	var n int
+	for _, s := range p.Sessions {
+		n += len(s)
+	}
+	return n
+}
+
+// LongestSession returns the length of the participant's longest
+// chain (the M of the paper's GroupDP analysis).
+func (p Person) LongestSession() int {
+	var m int
+	for _, s := range p.Sessions {
+		if len(s) > m {
+			m = len(s)
+		}
+	}
+	return m
+}
+
+// Flatten concatenates all sessions (for whole-person queries).
+func (p Person) Flatten() []int {
+	out := make([]int, 0, p.Observations())
+	for _, s := range p.Sessions {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Dataset is one simulated cohort.
+type Dataset struct {
+	Profile Profile
+	People  []Person
+}
+
+// Generate simulates a cohort from its profile.
+func Generate(p Profile, rng *rand.Rand) (*Dataset, error) {
+	truth, err := p.TrueChain()
+	if err != nil {
+		return nil, err
+	}
+	if p.Participants < 1 || p.SessionsPerPerson < 1 {
+		return nil, fmt.Errorf("activity: invalid population parameters %+v", p)
+	}
+	ds := &Dataset{Profile: p}
+	for i := 0; i < p.Participants; i++ {
+		var person Person
+		for s := 0; s < p.SessionsPerPerson; s++ {
+			var lo, hi int
+			if rng.Float64() < p.LongSessionProb {
+				lo, hi = p.LongSessions[0], p.LongSessions[1]
+			} else {
+				lo, hi = p.ShortSessions[0], p.ShortSessions[1]
+			}
+			T := lo + rng.IntN(hi-lo+1)
+			person.Sessions = append(person.Sessions, truth.Sample(T, rng))
+		}
+		ds.People = append(ds.People, person)
+	}
+	return ds, nil
+}
+
+// AllSessions returns every chain in the cohort.
+func (d *Dataset) AllSessions() [][]int {
+	var out [][]int
+	for _, p := range d.People {
+		out = append(out, p.Sessions...)
+	}
+	return out
+}
+
+// LongestSession returns the longest chain in the cohort.
+func (d *Dataset) LongestSession() int {
+	var m int
+	for _, p := range d.People {
+		if l := p.LongestSession(); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// TotalObservations returns the cohort's total epoch count.
+func (d *Dataset) TotalObservations() int {
+	var n int
+	for _, p := range d.People {
+		n += p.Observations()
+	}
+	return n
+}
+
+// EmpiricalChain estimates the cohort transition matrix from all
+// sessions, started from its stationary distribution — the paper's
+// singleton class Θ = {(q_θ, P_θ)} for the real-data experiments.
+// Light additive smoothing keeps the estimate irreducible when a rare
+// transition goes unobserved.
+func (d *Dataset) EmpiricalChain(smoothing float64) (markov.Chain, error) {
+	return markov.EstimateStationary(d.AllSessions(), NumActivities, smoothing)
+}

@@ -1,0 +1,148 @@
+package activity
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/floats"
+)
+
+func TestDefaultProfiles(t *testing.T) {
+	for _, g := range Groups {
+		p := DefaultProfile(g)
+		if !floats.IsProbVector(p.Stationary, 1e-9) {
+			t.Errorf("%v: stationary %v not a distribution", g, p.Stationary)
+		}
+		chain, err := p.TrueChain()
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		pi, err := chain.Stationary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floats.EqSlices(pi, p.Stationary, 1e-9) {
+			t.Errorf("%v: chain stationary %v != profile %v", g, pi, p.Stationary)
+		}
+		if ok, _ := chain.Reversible(1e-9); !ok {
+			t.Errorf("%v: P=(1−c)I+c·1πᵀ should be reversible", g)
+		}
+	}
+	// Cohort sizes from the paper.
+	if DefaultProfile(Cyclists).Participants != 40 ||
+		DefaultProfile(OlderWomen).Participants != 16 ||
+		DefaultProfile(OverweightWomen).Participants != 36 {
+		t.Error("cohort sizes drifted from the paper's 40/16/36")
+	}
+	// Qualitative ordering: cyclists most active, overweight women
+	// most sedentary.
+	cy := DefaultProfile(Cyclists).Stationary
+	ow := DefaultProfile(OverweightWomen).Stationary
+	olw := DefaultProfile(OlderWomen).Stationary
+	if !(cy[Active] > olw[Active] && olw[Active] > ow[Active]) {
+		t.Error("active ordering wrong")
+	}
+	if !(ow[Sedentary] > olw[Sedentary] && olw[Sedentary] > cy[Sedentary]) {
+		t.Error("sedentary ordering wrong")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := DefaultProfile(OlderWomen)
+	rng := rand.New(rand.NewPCG(31, 32))
+	ds, err := Generate(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.People) != 16 {
+		t.Fatalf("%d people", len(ds.People))
+	}
+	for _, person := range ds.People {
+		if len(person.Sessions) != p.SessionsPerPerson {
+			t.Fatalf("%d sessions", len(person.Sessions))
+		}
+		for _, s := range person.Sessions {
+			if len(s) < p.ShortSessions[0] || len(s) > p.LongSessions[1] {
+				t.Fatalf("session length %d outside bounds", len(s))
+			}
+		}
+		// The paper reports >9,000 observations per person on average;
+		// our calibration should land in the same regime.
+		if person.Observations() < 3000 {
+			t.Errorf("person has only %d observations", person.Observations())
+		}
+	}
+	avg := float64(ds.TotalObservations()) / float64(len(ds.People))
+	if avg < 6000 || avg > 20000 {
+		t.Errorf("average observations per person = %v, want ≈9000", avg)
+	}
+	if ds.LongestSession() < 1000 {
+		t.Errorf("longest session %d; calibration expects some long chains", ds.LongestSession())
+	}
+}
+
+func TestEmpiricalChainRecoversTruth(t *testing.T) {
+	p := DefaultProfile(Cyclists)
+	rng := rand.New(rand.NewPCG(33, 34))
+	ds, err := Generate(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ds.EmpiricalChain(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := p.TrueChain()
+	for x := 0; x < NumActivities; x++ {
+		for y := 0; y < NumActivities; y++ {
+			if math.Abs(est.P.At(x, y)-truth.P.At(x, y)) > 0.02 {
+				t.Errorf("P(%d,%d): est %v vs truth %v", x, y, est.P.At(x, y), truth.P.At(x, y))
+			}
+		}
+	}
+	if !est.Irreducible() {
+		t.Error("empirical chain not irreducible")
+	}
+	pi, err := est.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(est.Init, pi, 1e-9) {
+		t.Error("empirical chain not started at stationarity")
+	}
+}
+
+func TestPersonHelpers(t *testing.T) {
+	person := Person{Sessions: [][]int{{0, 1, 2}, {3, 3, 3, 3, 3}}}
+	if person.Observations() != 8 || person.LongestSession() != 5 {
+		t.Error("Observations/LongestSession wrong")
+	}
+	flat := person.Flatten()
+	if len(flat) != 8 || flat[3] != 3 {
+		t.Errorf("Flatten = %v", flat)
+	}
+}
+
+func TestActivityNames(t *testing.T) {
+	if ActivityName(Active) != "Active" || ActivityName(Sedentary) != "Sedentary" {
+		t.Error("names wrong")
+	}
+	if Cyclists.String() != "cyclist" || OverweightWomen.String() != "overweight woman" {
+		t.Error("group names wrong")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	p := DefaultProfile(Cyclists)
+	p.Participants = 0
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := Generate(p, rng); err == nil {
+		t.Error("zero participants accepted")
+	}
+	p = DefaultProfile(Cyclists)
+	p.SwitchRate = 0
+	if _, err := Generate(p, rng); err == nil {
+		t.Error("zero switch rate accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package bayes
+
+import (
+	"fmt"
+
+	"pufferfish/internal/markov"
+)
+
+// FromChain converts a Markov chain of length T into the equivalent
+// Bayesian network X_1 → X_2 → … → X_T, which is how the Section 4.1
+// framework subsumes Example 1. It lets the generic Algorithm 2 and
+// the chain-specialized Algorithms 3–4 be cross-checked on the same
+// model.
+func FromChain(c markov.Chain, T int) (*Network, error) {
+	if T < 1 {
+		return nil, fmt.Errorf("bayes: chain length %d < 1", T)
+	}
+	k := c.K()
+	nodes := make([]Node, T)
+	nodes[0] = Node{
+		Name: "X1",
+		Card: k,
+		CPT:  append([]float64{}, c.Init...),
+	}
+	// Shared CPT content for the homogeneous transitions.
+	trans := make([]float64, k*k)
+	for x := 0; x < k; x++ {
+		copy(trans[x*k:(x+1)*k], c.P.RawRow(x))
+	}
+	for t := 1; t < T; t++ {
+		nodes[t] = Node{
+			Name:    fmt.Sprintf("X%d", t+1),
+			Card:    k,
+			Parents: []int{t - 1},
+			CPT:     trans,
+		}
+	}
+	return New(nodes)
+}

@@ -1,0 +1,216 @@
+package bayes
+
+import "fmt"
+
+// DSeparated reports whether every node in ys is d-separated from x
+// given the evidence set z, using the reachable-by-active-trail
+// procedure (Koller & Friedman, Algorithm 3.1).
+func (nw *Network) DSeparated(x int, ys, z []int) bool {
+	reach := nw.reachable(x, z)
+	inZ := toSet(z, nw.N())
+	for _, y := range ys {
+		if y == x {
+			return false
+		}
+		if inZ[y] {
+			continue // observed nodes are vacuously separated
+		}
+		if reach[y] {
+			return false
+		}
+	}
+	return true
+}
+
+// reachable returns the set of nodes connected to x by an active trail
+// given evidence z.
+func (nw *Network) reachable(x int, z []int) []bool {
+	n := nw.N()
+	inZ := toSet(z, n)
+
+	// Ancestors of Z (including Z).
+	anc := make([]bool, n)
+	stack := append([]int{}, z...)
+	for _, v := range z {
+		anc[v] = true
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range nw.nodes[v].Parents {
+			if !anc[p] {
+				anc[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+
+	children := make([][]int, n)
+	for i := range nw.nodes {
+		for _, p := range nw.nodes[i].Parents {
+			children[p] = append(children[p], i)
+		}
+	}
+
+	const (
+		up   = 0 // trail arrived from a child (moving toward parents)
+		down = 1 // trail arrived from a parent (moving toward children)
+	)
+	type state struct{ node, dir int }
+	visited := make([][2]bool, n)
+	reach := make([]bool, n)
+	queue := []state{{x, up}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if visited[s.node][s.dir] {
+			continue
+		}
+		visited[s.node][s.dir] = true
+		if !inZ[s.node] {
+			reach[s.node] = true
+		}
+		if s.dir == up && !inZ[s.node] {
+			for _, p := range nw.nodes[s.node].Parents {
+				queue = append(queue, state{p, up})
+			}
+			for _, c := range children[s.node] {
+				queue = append(queue, state{c, down})
+			}
+		} else if s.dir == down {
+			if !inZ[s.node] {
+				for _, c := range children[s.node] {
+					queue = append(queue, state{c, down})
+				}
+			}
+			if anc[s.node] {
+				for _, p := range nw.nodes[s.node].Parents {
+					queue = append(queue, state{p, up})
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// MarkovBlanket returns the Markov blanket of node i: its parents,
+// children, and the children's other parents, sorted ascending.
+func (nw *Network) MarkovBlanket(i int) []int {
+	n := nw.N()
+	in := make([]bool, n)
+	for _, p := range nw.nodes[i].Parents {
+		in[p] = true
+	}
+	for _, c := range nw.Children(i) {
+		in[c] = true
+		for _, p := range nw.nodes[c].Parents {
+			if p != i {
+				in[p] = true
+			}
+		}
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Quilt is a Markov quilt (Definition 4.2) for a protected node:
+// deleting Q partitions the nodes into the "nearby" set N (containing
+// the protected node) and the "remote" set R, with R independent of
+// the protected node given Q.
+type Quilt struct {
+	// Node is the protected node index.
+	Node int
+	// Q is the quilt (separating) set, sorted ascending. Empty means
+	// the trivial quilt with N = all nodes, R = ∅.
+	Q []int
+	// N is the nearby set, including Node.
+	N []int
+	// R is the remote set.
+	R []int
+}
+
+// CardN returns card(X_N), the quantity the quilt score multiplies.
+func (q Quilt) CardN() int { return len(q.N) }
+
+// QuiltFor builds the Markov quilt for node i induced by the
+// separating set q: R is everything d-separated from i given q, N is
+// the rest. It errors if q contains i.
+func (nw *Network) QuiltFor(i int, q []int) (Quilt, error) {
+	for _, v := range q {
+		if v == i {
+			return Quilt{}, fmt.Errorf("bayes: quilt set contains protected node %d", i)
+		}
+		if v < 0 || v >= nw.N() {
+			return Quilt{}, fmt.Errorf("bayes: quilt node %d out of range", v)
+		}
+	}
+	reach := nw.reachable(i, q)
+	inQ := toSet(q, nw.N())
+	quilt := Quilt{Node: i, Q: append([]int{}, q...)}
+	for v := 0; v < nw.N(); v++ {
+		switch {
+		case inQ[v]:
+			// quilt member
+		case v == i || reach[v]:
+			quilt.N = append(quilt.N, v)
+		default:
+			quilt.R = append(quilt.R, v)
+		}
+	}
+	return quilt, nil
+}
+
+// TrivialQuilt returns the quilt with Q = ∅, N = all nodes, R = ∅,
+// which every quilt set must contain for Theorem 4.3 to apply.
+func (nw *Network) TrivialQuilt(i int) Quilt {
+	q := Quilt{Node: i}
+	for v := 0; v < nw.N(); v++ {
+		q.N = append(q.N, v)
+	}
+	return q
+}
+
+// AllQuilts enumerates the quilts induced by every subset of
+// V \ {i} of size at most maxSize, plus the trivial quilt. Exponential
+// in maxSize; intended for the small networks Algorithm 2 targets.
+func (nw *Network) AllQuilts(i, maxSize int) []Quilt {
+	n := nw.N()
+	var others []int
+	for v := 0; v < n; v++ {
+		if v != i {
+			others = append(others, v)
+		}
+	}
+	quilts := []Quilt{nw.TrivialQuilt(i)}
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) > 0 {
+			if q, err := nw.QuiltFor(i, cur); err == nil {
+				quilts = append(quilts, q)
+			}
+		}
+		if len(cur) == maxSize {
+			return
+		}
+		for j := start; j < len(others); j++ {
+			rec(j+1, append(cur, others[j]))
+		}
+	}
+	rec(0, nil)
+	return quilts
+}
+
+func toSet(xs []int, n int) []bool {
+	s := make([]bool, n)
+	for _, x := range xs {
+		if x >= 0 && x < n {
+			s[x] = true
+		}
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package bayes
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random binary-CPT network on n nodes with edges
+// only from lower to higher indices.
+func randomDAG(r *rand.Rand, n int) *Network {
+	nodes := make([]Node, n)
+	for i := 0; i < n; i++ {
+		var parents []int
+		for j := 0; j < i; j++ {
+			if r.Float64() < 0.4 {
+				parents = append(parents, j)
+			}
+		}
+		rows := 1 << len(parents)
+		cpt := make([]float64, 2*rows)
+		for rIdx := 0; rIdx < rows; rIdx++ {
+			p := 0.05 + 0.9*r.Float64()
+			cpt[rIdx*2] = p
+			cpt[rIdx*2+1] = 1 - p
+		}
+		nodes[i] = Node{Name: "n", Card: 2, Parents: parents, CPT: cpt}
+	}
+	return MustNew(nodes)
+}
+
+// conditionallyIndependent checks X ⊥ Y | Z numerically:
+// P(x, y | z) = P(x | z) · P(y | z) for every assignment with
+// P(z) > 0.
+func conditionallyIndependent(nw *Network, x, y int, z []int, tol float64) (bool, error) {
+	vars := append([]int{x, y}, z...)
+	joint, err := nw.Marginal(vars)
+	if err != nil {
+		return false, err
+	}
+	// joint is indexed row-major over (x, y, z...); fold out the z
+	// block index.
+	zSize := 1
+	for range z {
+		zSize *= 2
+	}
+	for zi := 0; zi < zSize; zi++ {
+		var pz, px1z, py1z, pxy11 float64
+		for xi := 0; xi < 2; xi++ {
+			for yi := 0; yi < 2; yi++ {
+				v := joint[(xi*2+yi)*zSize+zi]
+				pz += v
+				if xi == 1 {
+					px1z += v
+				}
+				if yi == 1 {
+					py1z += v
+				}
+				if xi == 1 && yi == 1 {
+					pxy11 += v
+				}
+			}
+		}
+		if pz <= 1e-12 {
+			continue
+		}
+		if math.Abs(pxy11/pz-(px1z/pz)*(py1z/pz)) > tol {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// TestDSeparationSoundness: whenever the graph algorithm declares
+// d-separation, the distribution must factorize — for every random
+// parameterization. (The converse can fail only on measure-zero
+// parameterizations, so it is not asserted.)
+func TestDSeparationSoundness(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 151))
+		n := 4 + r.IntN(2)
+		nw := randomDAG(r, n)
+		x := r.IntN(n)
+		y := r.IntN(n)
+		if x == y {
+			return true
+		}
+		var z []int
+		for v := 0; v < n; v++ {
+			if v != x && v != y && r.Float64() < 0.4 {
+				z = append(z, v)
+			}
+		}
+		if !nw.DSeparated(x, []int{y}, z) {
+			return true // nothing to check
+		}
+		ok, err := conditionallyIndependent(nw, x, y, z, 1e-9)
+		if err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDSeparationDetectsDependence: in the common-cause network
+// X1 ← X0 → X2, d-connection (no conditioning) coincides with real
+// numerical dependence, and conditioning on the cause removes it.
+func TestDSeparationDetectsDependence(t *testing.T) {
+	nw := MustNew([]Node{
+		{Name: "cause", Card: 2, CPT: []float64{0.5, 0.5}},
+		{Name: "a", Card: 2, Parents: []int{0}, CPT: []float64{0.9, 0.1, 0.2, 0.8}},
+		{Name: "b", Card: 2, Parents: []int{0}, CPT: []float64{0.8, 0.2, 0.3, 0.7}},
+	})
+	if nw.DSeparated(1, []int{2}, nil) {
+		t.Error("children of a common cause are dependent")
+	}
+	ind, err := conditionallyIndependent(nw, 1, 2, nil, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ind {
+		t.Error("numerical check should detect marginal dependence")
+	}
+	if !nw.DSeparated(1, []int{2}, []int{0}) {
+		t.Error("conditioning on the cause should separate")
+	}
+	ind, err = conditionallyIndependent(nw, 1, 2, []int{0}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ind {
+		t.Error("numerical check should confirm conditional independence")
+	}
+}

@@ -1,0 +1,307 @@
+// Package bayes implements discrete Bayesian networks: directed
+// acyclic graphs of finite-domain variables with conditional
+// probability tables, exact inference by enumeration, d-separation,
+// Markov blankets, and the Markov-quilt machinery of Definition 4.2.
+//
+// The networks in this reproduction are small (the generic Markov
+// Quilt Mechanism of Algorithm 2 targets them; the chain-specialized
+// MQMExact/MQMApprox handle the large instances), so inference by
+// enumeration over the joint is the honest, easily-audited choice.
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pufferfish/internal/floats"
+)
+
+// maxJointSize bounds enumeration: networks whose joint assignment
+// space exceeds this return ErrTooLarge rather than silently burning
+// CPU. Large correlated-data instances should use the Markov chain
+// specializations.
+const maxJointSize = 1 << 22
+
+// ErrTooLarge is returned when exact enumeration would be intractable.
+var ErrTooLarge = errors.New("bayes: joint space too large for enumeration")
+
+// Node is one variable of the network.
+type Node struct {
+	// Name is a human-readable label.
+	Name string
+	// Card is the domain size; values are {0, …, Card−1}.
+	Card int
+	// Parents lists the indices of the parent nodes.
+	Parents []int
+	// CPT holds P(node = v | parents = u) at index
+	// rowIndex(u)*Card + v, where rowIndex enumerates parent
+	// assignments in row-major order (first parent most significant).
+	CPT []float64
+}
+
+// Network is a validated Bayesian network.
+type Network struct {
+	nodes []Node
+	topo  []int // topological order of node indices
+}
+
+// New validates nodes (acyclic graph, well-formed CPTs) and returns a
+// network.
+func New(nodes []Node) (*Network, error) {
+	n := len(nodes)
+	if n == 0 {
+		return nil, errors.New("bayes: empty network")
+	}
+	for i, nd := range nodes {
+		if nd.Card < 1 {
+			return nil, fmt.Errorf("bayes: node %d (%s) has cardinality %d", i, nd.Name, nd.Card)
+		}
+		rows := 1
+		for _, p := range nd.Parents {
+			if p < 0 || p >= n {
+				return nil, fmt.Errorf("bayes: node %d (%s) has out-of-range parent %d", i, nd.Name, p)
+			}
+			if p == i {
+				return nil, fmt.Errorf("bayes: node %d (%s) is its own parent", i, nd.Name)
+			}
+			rows *= nodes[p].Card
+		}
+		if len(nd.CPT) != rows*nd.Card {
+			return nil, fmt.Errorf("bayes: node %d (%s) CPT has %d entries, want %d", i, nd.Name, len(nd.CPT), rows*nd.Card)
+		}
+		for r := 0; r < rows; r++ {
+			row := nd.CPT[r*nd.Card : (r+1)*nd.Card]
+			if !floats.IsProbVector(row, 1e-8) {
+				return nil, fmt.Errorf("bayes: node %d (%s) CPT row %d is not a probability vector: %v", i, nd.Name, r, row)
+			}
+		}
+	}
+	topo, err := topoSort(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{nodes: nodes, topo: topo}, nil
+}
+
+// MustNew is New that panics on error, for fixtures.
+func MustNew(nodes []Node) *Network {
+	nw, err := New(nodes)
+	if err != nil {
+		panic(err)
+	}
+	return nw
+}
+
+func topoSort(nodes []Node) ([]int, error) {
+	n := len(nodes)
+	indeg := make([]int, n)
+	children := make([][]int, n)
+	for i, nd := range nodes {
+		indeg[i] = len(nd.Parents)
+		for _, p := range nd.Parents {
+			children[p] = append(children[p], i)
+		}
+	}
+	var queue, order []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, c := range children[u] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("bayes: graph has a cycle")
+	}
+	return order, nil
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.nodes) }
+
+// Card returns the domain size of node i.
+func (nw *Network) Card(i int) int { return nw.nodes[i].Card }
+
+// Parents returns the parent indices of node i (not a copy; treat as
+// read-only).
+func (nw *Network) Parents(i int) []int { return nw.nodes[i].Parents }
+
+// Name returns the label of node i.
+func (nw *Network) Name(i int) string { return nw.nodes[i].Name }
+
+// Children returns the child indices of node i.
+func (nw *Network) Children(i int) []int {
+	var out []int
+	for j, nd := range nw.nodes {
+		for _, p := range nd.Parents {
+			if p == i {
+				out = append(out, j)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CondProb returns P(node i = v | parents as in assign). assign must
+// cover at least node i's parents.
+func (nw *Network) CondProb(i, v int, assign []int) float64 {
+	nd := nw.nodes[i]
+	row := 0
+	for _, p := range nd.Parents {
+		row = row*nw.nodes[p].Card + assign[p]
+	}
+	return nd.CPT[row*nd.Card+v]
+}
+
+// JointProb returns P(X = assign) = Π_i P(x_i | parents).
+func (nw *Network) JointProb(assign []int) float64 {
+	p := 1.0
+	for i := range nw.nodes {
+		p *= nw.CondProb(i, assign[i], assign)
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// jointSize returns the number of joint assignments, or an error when
+// enumeration would exceed maxJointSize.
+func (nw *Network) jointSize() (int, error) {
+	size := 1
+	for _, nd := range nw.nodes {
+		size *= nd.Card
+		if size > maxJointSize {
+			return 0, ErrTooLarge
+		}
+	}
+	return size, nil
+}
+
+// Enumerate calls f with every full assignment and its joint
+// probability. Iteration stops early if f returns false.
+func (nw *Network) Enumerate(f func(assign []int, p float64) bool) error {
+	if _, err := nw.jointSize(); err != nil {
+		return err
+	}
+	n := len(nw.nodes)
+	assign := make([]int, n)
+	for {
+		if !f(assign, nw.JointProb(assign)) {
+			return nil
+		}
+		// Mixed-radix increment.
+		i := n - 1
+		for ; i >= 0; i-- {
+			assign[i]++
+			if assign[i] < nw.nodes[i].Card {
+				break
+			}
+			assign[i] = 0
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// Marginal returns the joint distribution of the listed variables as a
+// dense table in row-major order over vars (first var most
+// significant).
+func (nw *Network) Marginal(vars []int) ([]float64, error) {
+	size := 1
+	for _, v := range vars {
+		if v < 0 || v >= len(nw.nodes) {
+			return nil, fmt.Errorf("bayes: variable %d out of range", v)
+		}
+		size *= nw.nodes[v].Card
+	}
+	out := make([]float64, size)
+	err := nw.Enumerate(func(assign []int, p float64) bool {
+		idx := 0
+		for _, v := range vars {
+			idx = idx*nw.nodes[v].Card + assign[v]
+		}
+		out[idx] += p
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NodeMarginal returns P(X_i = ·).
+func (nw *Network) NodeMarginal(i int) ([]float64, error) {
+	return nw.Marginal([]int{i})
+}
+
+// MaxInfluence returns the max-influence e_{θ}(X_A | X_i) of node i on
+// the node set A under this network (Definition 4.1 for a singleton
+// class):
+//
+//	max_{a,b,x_A} log P(X_A = x_A | X_i = a) / P(X_A = x_A | X_i = b)
+//
+// Pairs (a, b) where either conditioning value has zero probability
+// are skipped per Definition 2.1; outcomes x_A with zero mass under
+// one conditional but not the other yield +Inf.
+func (nw *Network) MaxInfluence(A []int, i int) (float64, error) {
+	if len(A) == 0 {
+		return 0, nil
+	}
+	for _, v := range A {
+		if v == i {
+			return 0, fmt.Errorf("bayes: quilt contains the protected node %d", i)
+		}
+	}
+	joint, err := nw.Marginal(append(append([]int{}, A...), i))
+	if err != nil {
+		return 0, err
+	}
+	ci := nw.nodes[i].Card
+	rows := len(joint) / ci
+	// Marginal of X_i.
+	pi := make([]float64, ci)
+	for r := 0; r < rows; r++ {
+		for a := 0; a < ci; a++ {
+			pi[a] += joint[r*ci+a]
+		}
+	}
+	worst := 0.0
+	for a := 0; a < ci; a++ {
+		if pi[a] <= 0 {
+			continue
+		}
+		for b := 0; b < ci; b++ {
+			if b == a || pi[b] <= 0 {
+				continue
+			}
+			for r := 0; r < rows; r++ {
+				pa := joint[r*ci+a] / pi[a]
+				pb := joint[r*ci+b] / pi[b]
+				switch {
+				case pa == 0:
+					// log 0/x = −Inf; the (b, a) direction covers it.
+				case pb == 0:
+					return math.Inf(1), nil
+				default:
+					if v := math.Log(pa / pb); v > worst {
+						worst = v
+					}
+				}
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,373 @@
+package bayes
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+)
+
+// figure2Network builds the paper's Figure 2 network
+// X1 → {X2, X3} → X4 with the given binary CPTs.
+func figure2Network() *Network {
+	return MustNew([]Node{
+		{Name: "X1", Card: 2, CPT: []float64{0.6, 0.4}},
+		{Name: "X2", Card: 2, Parents: []int{0}, CPT: []float64{
+			0.7, 0.3, // X1=0
+			0.2, 0.8, // X1=1
+		}},
+		{Name: "X3", Card: 2, Parents: []int{0}, CPT: []float64{
+			0.5, 0.5,
+			0.9, 0.1,
+		}},
+		{Name: "X4", Card: 2, Parents: []int{1, 2}, CPT: []float64{
+			0.99, 0.01, // X2=0, X3=0
+			0.4, 0.6, // X2=0, X3=1
+			0.3, 0.7, // X2=1, X3=0
+			0.05, 0.95, // X2=1, X3=1
+		}},
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := New([]Node{{Name: "A", Card: 2, CPT: []float64{0.5, 0.4}}}); err == nil {
+		t.Error("non-stochastic CPT accepted")
+	}
+	if _, err := New([]Node{{Name: "A", Card: 2, CPT: []float64{0.5}}}); err == nil {
+		t.Error("short CPT accepted")
+	}
+	if _, err := New([]Node{{Name: "A", Card: 2, Parents: []int{0}, CPT: []float64{1, 0, 0, 1}}}); err == nil {
+		t.Error("self-parent accepted")
+	}
+	// Cycle: A→B→A.
+	_, err := New([]Node{
+		{Name: "A", Card: 2, Parents: []int{1}, CPT: []float64{1, 0, 0, 1}},
+		{Name: "B", Card: 2, Parents: []int{0}, CPT: []float64{1, 0, 0, 1}},
+	})
+	if err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestJointFactorization(t *testing.T) {
+	nw := figure2Network()
+	// P(0,1,0,1) = P(X1=0)·P(X2=1|0)·P(X3=0|0)·P(X4=1|X2=1,X3=0)
+	want := 0.6 * 0.3 * 0.5 * 0.7
+	if got := nw.JointProb([]int{0, 1, 0, 1}); !floats.Eq(got, want, 1e-12) {
+		t.Errorf("JointProb = %v, want %v", got, want)
+	}
+}
+
+func TestEnumerateSumsToOne(t *testing.T) {
+	nw := figure2Network()
+	var total float64
+	count := 0
+	err := nw.Enumerate(func(assign []int, p float64) bool {
+		total += p
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 16 {
+		t.Errorf("enumerated %d assignments, want 16", count)
+	}
+	if !floats.Eq(total, 1, 1e-12) {
+		t.Errorf("total mass = %v", total)
+	}
+}
+
+func TestMarginalConsistency(t *testing.T) {
+	nw := figure2Network()
+	m1, err := nw.NodeMarginal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(m1, []float64{0.6, 0.4}, 1e-12) {
+		t.Errorf("P(X1) = %v", m1)
+	}
+	// P(X2): 0.6·0.7 + 0.4·0.2 = 0.5.
+	m2, _ := nw.NodeMarginal(1)
+	if !floats.EqSlices(m2, []float64{0.5, 0.5}, 1e-12) {
+		t.Errorf("P(X2) = %v", m2)
+	}
+	// Joint marginal over (X2,X3) must renormalize to the product of
+	// sums across X4.
+	m23, _ := nw.Marginal([]int{1, 2})
+	if !floats.Eq(floats.Sum(m23), 1, 1e-12) {
+		t.Errorf("joint marginal sums to %v", floats.Sum(m23))
+	}
+}
+
+func TestDSeparationFigure2(t *testing.T) {
+	nw := figure2Network()
+	// X2 ⊥ X3 | X1 (common cause blocked, collider X4 unobserved).
+	if !nw.DSeparated(1, []int{2}, []int{0}) {
+		t.Error("X2 should be d-separated from X3 given X1")
+	}
+	// Conditioning on the collider X4 opens the path.
+	if nw.DSeparated(1, []int{2}, []int{0, 3}) {
+		t.Error("X2 should NOT be d-separated from X3 given {X1, X4}")
+	}
+	// X1 ⊥ X4 | {X2, X3}.
+	if !nw.DSeparated(0, []int{3}, []int{1, 2}) {
+		t.Error("X1 should be d-separated from X4 given {X2,X3}")
+	}
+	// Unconditionally, X1 and X4 are dependent.
+	if nw.DSeparated(0, []int{3}, nil) {
+		t.Error("X1 and X4 should be connected unconditionally")
+	}
+}
+
+func TestDSeparationChain(t *testing.T) {
+	c := markov.MustNew([]float64{0.5, 0.5}, matrix.FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}}))
+	nw, err := FromChain(c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X1 ⊥ X6 | X3.
+	if !nw.DSeparated(0, []int{5}, []int{2}) {
+		t.Error("chain: X1 ⊥ X6 | X3 should hold")
+	}
+	if nw.DSeparated(0, []int{5}, nil) {
+		t.Error("chain: X1 and X6 dependent unconditionally")
+	}
+	// Two-sided separation around X3: {X2, X4} separates it from the rest.
+	if !nw.DSeparated(2, []int{0, 5}, []int{1, 3}) {
+		t.Error("chain: {X2,X4} should separate X3 from {X1,X6}")
+	}
+}
+
+func TestMarkovBlanket(t *testing.T) {
+	nw := figure2Network()
+	if got := nw.MarkovBlanket(0); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("MB(X1) = %v, want [1 2]", got)
+	}
+	if got := nw.MarkovBlanket(1); !reflect.DeepEqual(got, []int{0, 2, 3}) {
+		t.Errorf("MB(X2) = %v, want [0 2 3]", got)
+	}
+	// Blanket property: node ⊥ rest | blanket.
+	for i := 0; i < nw.N(); i++ {
+		mb := nw.MarkovBlanket(i)
+		inMB := map[int]bool{i: true}
+		for _, v := range mb {
+			inMB[v] = true
+		}
+		var rest []int
+		for v := 0; v < nw.N(); v++ {
+			if !inMB[v] {
+				rest = append(rest, v)
+			}
+		}
+		if len(rest) > 0 && !nw.DSeparated(i, rest, mb) {
+			t.Errorf("node %d not separated from %v by blanket %v", i, rest, mb)
+		}
+	}
+}
+
+func TestQuiltFor(t *testing.T) {
+	c := markov.MustNew([]float64{0.5, 0.5}, matrix.FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}}))
+	nw, err := FromChain(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quilt {X3, X7} for X5 (0-based: {2, 6} for 4):
+	q, err := nw.QuiltFor(4, []int{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.N, []int{3, 4, 5}) {
+		t.Errorf("N = %v, want [3 4 5]", q.N)
+	}
+	if !reflect.DeepEqual(q.R, []int{0, 1, 7}) {
+		t.Errorf("R = %v, want [0 1 7]", q.R)
+	}
+	if q.CardN() != 3 {
+		t.Errorf("CardN = %d", q.CardN())
+	}
+	// Remote set must be d-separated given the quilt.
+	if !nw.DSeparated(4, q.R, q.Q) {
+		t.Error("R not d-separated from node given Q")
+	}
+	// Quilt containing the node itself errors.
+	if _, err := nw.QuiltFor(4, []int{4}); err == nil {
+		t.Error("quilt containing protected node accepted")
+	}
+}
+
+func TestTrivialQuilt(t *testing.T) {
+	nw := figure2Network()
+	q := nw.TrivialQuilt(2)
+	if len(q.Q) != 0 || len(q.R) != 0 || q.CardN() != 4 {
+		t.Errorf("trivial quilt wrong: %+v", q)
+	}
+}
+
+func TestAllQuiltsContainsBlanketAndTrivial(t *testing.T) {
+	nw := figure2Network()
+	quilts := nw.AllQuilts(0, 2)
+	foundTrivial, foundBlanket := false, false
+	for _, q := range quilts {
+		if len(q.Q) == 0 && len(q.R) == 0 {
+			foundTrivial = true
+		}
+		if reflect.DeepEqual(q.Q, []int{1, 2}) && reflect.DeepEqual(q.R, []int{3}) {
+			foundBlanket = true
+		}
+	}
+	if !foundTrivial || !foundBlanket {
+		t.Errorf("quilts missing trivial (%v) or blanket (%v)", foundTrivial, foundBlanket)
+	}
+}
+
+// TestMaxInfluenceSection43 reproduces the Section 4.3 worked example:
+// chain T=3, q=[0.8, 0.2], P=[[0.9,0.1],[0.4,0.6]]. The quilts
+// ∅, {X1}, {X3}, {X1,X3} for X2 have max-influence 0, log 6, log 6,
+// log 36.
+func TestMaxInfluenceSection43(t *testing.T) {
+	c := markov.MustNew([]float64{0.8, 0.2}, matrix.FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}}))
+	nw, err := FromChain(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		A    []int
+		want float64
+	}{
+		{nil, 0},
+		{[]int{0}, math.Log(6)},
+		{[]int{2}, math.Log(6)},
+		{[]int{0, 2}, math.Log(36)},
+	}
+	for _, cse := range cases {
+		got, err := nw.MaxInfluence(cse.A, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floats.Eq(got, cse.want, 1e-9) {
+			t.Errorf("MaxInfluence(%v | X2) = %v, want %v", cse.A, got, cse.want)
+		}
+	}
+}
+
+func TestMaxInfluenceIndependent(t *testing.T) {
+	// Two independent coins: influence must be zero.
+	nw := MustNew([]Node{
+		{Name: "A", Card: 2, CPT: []float64{0.3, 0.7}},
+		{Name: "B", Card: 2, CPT: []float64{0.6, 0.4}},
+	})
+	got, err := nw.MaxInfluence([]int{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-12 {
+		t.Errorf("influence between independent nodes = %v", got)
+	}
+}
+
+func TestMaxInfluenceDeterministicIsInf(t *testing.T) {
+	// B copies A: conditionals have disjoint support → +Inf.
+	nw := MustNew([]Node{
+		{Name: "A", Card: 2, CPT: []float64{0.5, 0.5}},
+		{Name: "B", Card: 2, Parents: []int{0}, CPT: []float64{1, 0, 0, 1}},
+	})
+	got, err := nw.MaxInfluence([]int{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("influence of deterministic copy = %v, want +Inf", got)
+	}
+}
+
+// Property: max-influence from the network enumeration equals the
+// value computed from the chain's own conditional marginals for
+// single-node quilts on random chains.
+func TestMaxInfluenceMatchesChainConditionals(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 83))
+		p0 := 0.15 + 0.7*r.Float64()
+		p1 := 0.15 + 0.7*r.Float64()
+		q0 := 0.1 + 0.8*r.Float64()
+		c := markov.BinaryChain(q0, p0, p1)
+		T := 4
+		nw, err := FromChain(c, T)
+		if err != nil {
+			return false
+		}
+		i := 1 + r.IntN(T) // protected node, 1-based
+		j := 1 + r.IntN(T) // quilt node, 1-based
+		if i == j {
+			return true
+		}
+		got, err := nw.MaxInfluence([]int{j - 1}, i-1)
+		if err != nil {
+			return false
+		}
+		// Direct computation from conditionals.
+		want := 0.0
+		for a := 0; a < 2; a++ {
+			pa, errA := c.NodeMarginalGiven(T, j, i, a)
+			if errA != nil {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				pb, errB := c.NodeMarginalGiven(T, j, i, b)
+				if errB != nil {
+					continue
+				}
+				for y := 0; y < 2; y++ {
+					if pa[y] > 0 && pb[y] > 0 {
+						if v := math.Log(pa[y] / pb[y]); v > want {
+							want = v
+						}
+					}
+				}
+			}
+		}
+		return floats.Eq(got, want, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromChainMatchesMarginals(t *testing.T) {
+	c := markov.MustNew([]float64{0.8, 0.2}, matrix.FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}}))
+	T := 5
+	nw, err := FromChain(c, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg := c.Marginals(T)
+	for i := 0; i < T; i++ {
+		m, err := nw.NodeMarginal(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floats.EqSlices(m, marg[i], 1e-10) {
+			t.Errorf("node %d marginal %v vs chain %v", i, m, marg[i])
+		}
+	}
+}
+
+func TestEnumerateTooLarge(t *testing.T) {
+	// 23 binary nodes exceed the enumeration cap.
+	nodes := make([]Node, 23)
+	for i := range nodes {
+		nodes[i] = Node{Name: "n", Card: 2, CPT: []float64{0.5, 0.5}}
+	}
+	nw := MustNew(nodes)
+	if err := nw.Enumerate(func([]int, float64) bool { return true }); err == nil {
+		t.Error("expected ErrTooLarge")
+	}
+}

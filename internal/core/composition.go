@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pufferfish/internal/markov"
+	"pufferfish/internal/query"
+)
+
+// Composition tracks repeated Markov Quilt releases over the same
+// database and accounts for the cumulative privacy loss per
+// Theorem 4.4 (sequential composition): K releases at parameters
+// ε_1 … ε_K, made with the same quilt sets S_{Q,i}, satisfy
+// K·max_k ε_k Pufferfish privacy.
+//
+// Pufferfish in general does not compose (Section 4.3) — the theorem
+// hinges on every release using the same active quilts, which holds
+// when ε and the quilt sets are shared. Composition enforces the
+// shared-quilt-set discipline by pinning the class, options, and the
+// score computed on first use.
+type Composition struct {
+	class    markov.Class
+	exactOpt ExactOptions
+	useExact bool
+	score    *ChainScore
+	epsilons []float64
+}
+
+// NewExactComposition returns a composition manager whose releases use
+// MQMExact with the given options.
+func NewExactComposition(class markov.Class, opt ExactOptions) *Composition {
+	return &Composition{class: class, exactOpt: opt, useExact: true}
+}
+
+// NewApproxComposition returns a composition manager whose releases
+// use MQMApprox with automatic options.
+func NewApproxComposition(class markov.Class) *Composition {
+	return &Composition{class: class}
+}
+
+// Release publishes one more query at privacy parameter eps. All
+// releases share the Markov quilt sets (same ℓ, same class), so
+// Theorem 4.4 applies. The first call fixes the score; subsequent
+// calls at different ε rescale the same active quilt's score rather
+// than re-searching, preserving the shared-active-quilt condition of
+// Definition 4.5.
+func (c *Composition) Release(data []int, q query.Query, eps float64, rng *rand.Rand) (Release, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return Release{}, err
+	}
+	if c.class == nil {
+		return Release{}, errors.New("core: composition has no class")
+	}
+	if c.score == nil {
+		var score ChainScore
+		var err error
+		if c.useExact {
+			score, err = ExactScore(c.class, eps, c.exactOpt)
+		} else {
+			score, err = ApproxScore(c.class, eps, ApproxOptions{})
+		}
+		if err != nil {
+			return Release{}, err
+		}
+		if math.IsInf(score.Sigma, 1) {
+			return Release{}, fmt.Errorf("core: composition inapplicable: σ = ∞")
+		}
+		c.score = &score
+	}
+	score := *c.score
+	if len(c.epsilons) > 0 && eps != c.epsilons[0] {
+		// Re-score the pinned active quilt at the new ε (Theorem 4.4's
+		// K·max ε_k accounting permits varying ε with fixed quilts).
+		sigma := quiltScore(score.Quilt.CardN(score.Node, c.class.T()), score.Influence, eps)
+		if math.IsInf(sigma, 1) {
+			return Release{}, fmt.Errorf("core: pinned quilt has influence %.4f ≥ ε = %v", score.Influence, eps)
+		}
+		score.Sigma = sigma
+	}
+	rel, err := releaseWithScore(data, q, score, eps, "MQM(composed)", rng)
+	if err != nil {
+		return Release{}, err
+	}
+	c.epsilons = append(c.epsilons, eps)
+	return rel, nil
+}
+
+// Count returns the number of releases made so far.
+func (c *Composition) Count() int { return len(c.epsilons) }
+
+// TotalEpsilon returns the Theorem 4.4 cumulative privacy parameter
+// K·max_k ε_k for the releases made so far (0 before any release).
+func (c *Composition) TotalEpsilon() float64 {
+	if len(c.epsilons) == 0 {
+		return 0
+	}
+	return float64(len(c.epsilons)) * floatsMax(c.epsilons)
+}
+
+func floatsMax(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

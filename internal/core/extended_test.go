@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pufferfish/internal/bayes"
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+)
+
+// randomChain3 builds a random irreducible 3-state chain.
+func randomChain3(r *rand.Rand) markov.Chain {
+	rows := make([][]float64, 3)
+	for i := range rows {
+		rows[i] = make([]float64, 3)
+		var tot float64
+		for j := range rows[i] {
+			rows[i][j] = r.Float64() + 0.1
+			tot += rows[i][j]
+		}
+		for j := range rows[i] {
+			rows[i][j] /= tot
+		}
+	}
+	init := []float64{0.4, 0.35, 0.25}
+	return markov.MustNew(init, matrix.FromRows(rows))
+}
+
+// TestExactMatchesGenericBayes3State extends the Algorithm 3 vs
+// Algorithm 2 cross-validation to three-state chains.
+func TestExactMatchesGenericBayes3State(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 137))
+		chain := randomChain3(r)
+		T := 3 + r.IntN(2)
+		eps := 3 + 6*r.Float64()
+		class, err := markov.NewFinite([]markov.Chain{chain}, T)
+		if err != nil {
+			return false
+		}
+		exact, err := ExactScore(class, eps, ExactOptions{MaxWidth: T, ForceFullSweep: true})
+		if err != nil {
+			return false
+		}
+		nw, err := bayes.FromChain(chain, T)
+		if err != nil {
+			return false
+		}
+		generic, err := QuiltScoreBayes(&BayesInstantiation{Networks: []*bayes.Network{nw}}, eps)
+		if err != nil {
+			return false
+		}
+		return floats.Eq(exact.Sigma, generic.Sigma, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMQMExactPrivacy3State runs the analytic privacy verifier on a
+// three-state chain (the activity setting in miniature).
+func TestMQMExactPrivacy3State(t *testing.T) {
+	chain := markov.MustNew(
+		[]float64{0.5, 0.3, 0.2},
+		matrix.FromRows([][]float64{
+			{0.8, 0.15, 0.05},
+			{0.2, 0.7, 0.1},
+			{0.1, 0.2, 0.7},
+		}),
+	)
+	T := 5
+	eps := 1.0
+	class, err := markov.NewFinite([]markov.Chain{chain}, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := ExactScore(class, eps, ExactOptions{MaxWidth: T})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count of state 2: weights are the indicator, 1-Lipschitz.
+	w := []int{0, 0, 1}
+	grid := floats.Linspace(-6, float64(T)+6, 90)
+	if err := VerifyChainPufferfish(class, w, score.Sigma, eps, 1e-6, grid); err != nil {
+		t.Errorf("3-state MQMExact scale violates privacy: %v", err)
+	}
+}
+
+// TestGenericQuiltOnTree runs Algorithm 2 on a star/tree network (the
+// Bayesian-network generality the paper claims beyond chains): a root
+// cause with four conditionally-independent children.
+func TestGenericQuiltOnTree(t *testing.T) {
+	leafCPT := []float64{0.85, 0.15, 0.3, 0.7}
+	nodes := []bayes.Node{{Name: "root", Card: 2, CPT: []float64{0.6, 0.4}}}
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, bayes.Node{Name: "leaf", Card: 2, Parents: []int{0}, CPT: leafCPT})
+	}
+	nw := bayes.MustNew(nodes)
+	inst := &BayesInstantiation{Networks: []*bayes.Network{nw}}
+	eps := 4.0
+	detail, err := QuiltScoreBayes(inst, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(detail.Sigma, 1) {
+		t.Fatal("tree instantiation should be feasible")
+	}
+	// For a leaf, the quilt {root} cuts it from the other leaves, so
+	// its per-node score must beat the trivial n/ε = 5/4. The root
+	// influences everything, so it anchors σ_max.
+	if detail.Sigma > float64(nw.N())/eps+1e-9 {
+		t.Errorf("σ = %v exceeds the trivial bound", detail.Sigma)
+	}
+	// Per Definition 4.2 the root's blanket is all leaves, so the root
+	// has only the trivial-ish quilts; the worst node should be the
+	// root with a higher score than any leaf's.
+	leafInst := &BayesInstantiation{Networks: []*bayes.Network{nw}}
+	leafQuilt, err := nw.QuiltFor(1, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leafQuilt.CardN() != 1 {
+		t.Errorf("leaf quilt {root} should isolate the leaf, card = %d", leafQuilt.CardN())
+	}
+	_ = leafInst
+}
+
+// TestLemmaC1ReversibleTighter: for reversible chains the eq 14
+// overload (g = 2(1−|λ2|)) is at least the multiplicative gap, so the
+// Lemma C.1 bound is tighter (never more noise).
+func TestLemmaC1ReversibleTighter(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 139))
+		chain, err := markov.BinaryChain(0.5, 0.2+0.6*r.Float64(), 0.2+0.6*r.Float64()).StationaryChain()
+		if err != nil {
+			return false
+		}
+		gRev, err := chain.EigengapReversible()
+		if err != nil {
+			return false
+		}
+		gMult, err := chain.EigengapMultiplicative()
+		if err != nil {
+			return false
+		}
+		// g_rev = 2(1−|λ|) ≥ 1−λ² = g_mult, with equality only at |λ|=1.
+		return gRev >= gMult-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApproxSigmaDecreasesWithEps: more privacy budget, less noise.
+func TestApproxSigmaDecreasesWithEps(t *testing.T) {
+	chain, err := markov.BinaryChain(0.5, 0.85, 0.8).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := markov.NewFinite([]markov.Chain{chain}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, eps := range []float64{0.2, 0.5, 1, 2, 5} {
+		sc, err := ApproxScore(class, eps, ApproxOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Sigma > prev+1e-9 {
+			t.Errorf("σ increased with ε at %v: %v > %v", eps, sc.Sigma, prev)
+		}
+		prev = sc.Sigma
+		ex, err := ExactScore(class, eps, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Sigma > sc.Sigma+1e-9 {
+			t.Errorf("exact σ above approx σ at ε=%v", eps)
+		}
+	}
+}
+
+// TestNoiseScalesAsMixingTime connects Theorem 4.10's discussion to
+// code: the MQMApprox noise is governed by (log(1/π^min))/g — slower
+// mixing (smaller g) means proportionally more noise.
+func TestNoiseScalesAsMixingTime(t *testing.T) {
+	eps := 1.0
+	var sigmas []float64
+	for _, c := range []float64{0.4, 0.2, 0.1, 0.05} { // switch rates
+		chain, err := markov.BinaryChain(0.5, 1-c/2, 1-c/2).StationaryChain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		class, err := markov.NewFinite([]markov.Chain{chain}, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := ApproxScore(class, eps, ApproxOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigmas = append(sigmas, sc.Sigma)
+	}
+	for i := 1; i < len(sigmas); i++ {
+		if sigmas[i] <= sigmas[i-1] {
+			t.Errorf("σ should grow as mixing slows: %v", sigmas)
+		}
+	}
+	// Halving the eigengap should roughly double σ (a* ∝ 1/g).
+	ratio := sigmas[3] / sigmas[2]
+	if ratio < 1.5 || ratio > 3 {
+		t.Errorf("σ ratio at half the gap = %v, want ≈2", ratio)
+	}
+}
+
+// TestExactScoreHandlesTinyChains exercises T = 1 and T = 2.
+func TestExactScoreHandlesTinyChains(t *testing.T) {
+	chain := markov.BinaryChain(0.5, 0.8, 0.7)
+	for _, T := range []int{1, 2} {
+		class, err := markov.NewFinite([]markov.Chain{chain}, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := ExactScore(class, 1, ExactOptions{MaxWidth: T})
+		if err != nil {
+			t.Fatalf("T=%d: %v", T, err)
+		}
+		if !(sc.Sigma > 0) || sc.Sigma > float64(T)+1e-9 {
+			t.Errorf("T=%d: σ = %v", T, sc.Sigma)
+		}
+	}
+}
+
+// TestVerifierRejectsBadInputs covers verify.go's validation.
+func TestVerifierRejectsBadInputs(t *testing.T) {
+	chain := markov.BinaryChain(0.5, 0.8, 0.7)
+	class, _ := markov.NewFinite([]markov.Chain{chain}, 4)
+	grid := []float64{0, 1}
+	if err := VerifyChainPufferfish(class, []int{0, 1}, 0, 1, 0, grid); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if err := VerifyChainPufferfish(class, []int{0, 1}, 1, -1, 0, grid); err == nil {
+		t.Error("negative ε accepted")
+	}
+	if err := VerifyChainPufferfish(class, []int{0}, 1, 1, 0, grid); err == nil {
+		t.Error("short weight vector accepted")
+	}
+}

@@ -1,0 +1,74 @@
+// Package core implements the paper's contribution: the Pufferfish
+// privacy framework (Definition 2.1), the Wasserstein Mechanism
+// (Algorithm 1), the Markov Quilt Mechanism for Bayesian networks
+// (Algorithm 2) and its Markov-chain instantiations MQMExact
+// (Algorithm 3) and MQMApprox (Algorithm 4), sequential composition
+// (Theorem 4.4), the robustness guarantee against close adversaries
+// (Theorem 2.4), and the baselines the paper evaluates against
+// (Laplace/group differential privacy and a reconstruction of GK16).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pufferfish/internal/laplace"
+)
+
+// Secret identifies the event "record Index has value Value" — the
+// s_i^a of Section 4.1. Index is 1-based, matching the paper's
+// X_1 … X_T notation.
+type Secret struct {
+	Index int
+	Value int
+}
+
+// SecretPair is one element of the indistinguishability set Q.
+type SecretPair struct {
+	A, B Secret
+}
+
+// AllValuePairs returns the Section 4.1 secret-pair set
+// Q = {(s_i^a, s_i^b) : a ≠ b, i = 1..n} for n records over k values.
+func AllValuePairs(n, k int) []SecretPair {
+	var out []SecretPair
+	for i := 1; i <= n; i++ {
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				out = append(out, SecretPair{Secret{i, a}, Secret{i, b}})
+			}
+		}
+	}
+	return out
+}
+
+// Release is the output of a privacy mechanism: the noisy values plus
+// the noise parameters, so experiments can report both utility and the
+// privacy accounting.
+type Release struct {
+	// Values are the released (noisy) query values.
+	Values []float64
+	// NoiseScale is the per-coordinate Laplace scale actually used.
+	NoiseScale float64
+	// Sigma is the mechanism's computed score σ (NoiseScale = L·σ for
+	// the quilt mechanisms, W/ε for the Wasserstein Mechanism).
+	Sigma float64
+	// Epsilon is the privacy parameter the release satisfies.
+	Epsilon float64
+	// Mechanism names the algorithm for reports.
+	Mechanism string
+}
+
+// addLaplace returns exact + Lap(scale) per coordinate.
+func addLaplace(exact []float64, scale float64, rng *rand.Rand) []float64 {
+	return laplace.AddNoise(exact, scale, rng)
+}
+
+// checkEpsilon validates a privacy parameter.
+func checkEpsilon(eps float64) error {
+	if !(eps > 0) || math.IsInf(eps, 1) || math.IsNaN(eps) {
+		return fmt.Errorf("core: invalid privacy parameter ε = %v", eps)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+	"pufferfish/internal/query"
+)
+
+func TestGK16IndependentChainIsEntryDP(t *testing.T) {
+	// Identical rows ⇒ X_{t+1} independent of X_t ⇒ zero influence ⇒
+	// the mechanism reduces to entry-DP: σ = 1/ε.
+	c := markov.BinaryChain(0.3, 0.7, 0.3) // both rows [0.7, 0.3]
+	class, err := markov.NewFinite([]markov.Chain{c}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := GK16SigmaClass(class, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(score.Sigma, 0.5, 1e-9) {
+		t.Errorf("σ = %v, want 1/ε = 0.5", score.Sigma)
+	}
+	if score.ForwardInfluence > 1e-12 || score.SpectralNorm > 1e-9 {
+		t.Errorf("influences should vanish: %+v", score)
+	}
+}
+
+func TestGK16InapplicableWhenStronglyCorrelated(t *testing.T) {
+	// γ_f = ½·log(0.95/0.05) ≈ 1.47 > 1 ⇒ ‖Γ‖₂ > 1 ⇒ N/A.
+	c := markov.BinaryChain(0.5, 0.95, 0.95)
+	class, _ := markov.NewFinite([]markov.Chain{c}, 100)
+	_, err := GK16SigmaClass(class, 1)
+	if err == nil {
+		t.Fatal("strongly correlated chain accepted")
+	}
+	if !errors.Is(err, ErrGK16Inapplicable) {
+		t.Errorf("error not wrapped as inapplicable: %v", err)
+	}
+}
+
+func TestGK16InapplicableOnZeroTransitions(t *testing.T) {
+	// Zero transition probability ⇒ unbounded local influence ⇒ N/A.
+	// This is exactly why GK16 fails on the empirical real-data chains
+	// (Tables 1 and 3).
+	c := markov.MustNew([]float64{0.5, 0.5}, matrix.FromRows([][]float64{{1, 0}, {0.5, 0.5}}))
+	class, _ := markov.NewFinite([]markov.Chain{c}, 100)
+	if _, err := GK16SigmaClass(class, 1); !errors.Is(err, ErrGK16Inapplicable) {
+		t.Errorf("want ErrGK16Inapplicable, got %v", err)
+	}
+}
+
+// TestGK16ThresholdInAlpha locates the applicability threshold for the
+// synthetic class Θ = [α, 1−α] (the dashed vertical line of Figure 4):
+// the worst chain has γ_f = γ_b = ½·log((1−α)/α), so the Toeplitz
+// spectral norm crosses 1 near α = 1/(1+e) ≈ 0.269, independently of ε.
+func TestGK16ThresholdInAlpha(t *testing.T) {
+	applies := func(alpha, eps float64) bool {
+		b, err := markov.NewBinaryInterval(alpha, 1-alpha, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.GridN = 9
+		_, err = GK16SigmaClass(b, eps)
+		return err == nil
+	}
+	for _, eps := range []float64{0.2, 1, 5} {
+		if applies(0.2, eps) {
+			t.Errorf("ε=%v: α=0.2 should be inapplicable", eps)
+		}
+		if !applies(0.35, eps) {
+			t.Errorf("ε=%v: α=0.35 should be applicable", eps)
+		}
+	}
+}
+
+func TestGK16SigmaDecreasesWithAlpha(t *testing.T) {
+	// Weaker correlation (α → 0.5) needs less noise.
+	var prev float64 = math.Inf(1)
+	for _, alpha := range []float64{0.3, 0.35, 0.4, 0.45} {
+		b, err := markov.NewBinaryInterval(alpha, 1-alpha, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.GridN = 9
+		score, err := GK16SigmaClass(b, 1)
+		if err != nil {
+			t.Fatalf("α=%v: %v", alpha, err)
+		}
+		if score.Sigma > prev+1e-9 {
+			t.Errorf("σ increased from %v to %v at α=%v", prev, score.Sigma, alpha)
+		}
+		prev = score.Sigma
+	}
+}
+
+func TestGK16LargeTUsesToeplitzLimit(t *testing.T) {
+	c := markov.BinaryChain(0.5, 0.6, 0.6)
+	small, _ := markov.NewFinite([]markov.Chain{c}, 2000)
+	big, _ := markov.NewFinite([]markov.Chain{c}, 100000)
+	s1, err := GK16SigmaClass(small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := GK16SigmaClass(big, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spectral norms agree to the window accuracy, and the noise
+	// multiplier stabilizes with T.
+	if !floats.Eq(s1.SpectralNorm, s2.SpectralNorm, 1e-4) {
+		t.Errorf("spectral norms diverge: %v vs %v", s1.SpectralNorm, s2.SpectralNorm)
+	}
+	if !floats.Eq(s1.Sigma, s2.Sigma, 1e-3) {
+		t.Errorf("σ diverges with T: %v vs %v", s1.Sigma, s2.Sigma)
+	}
+}
+
+func TestGK16Release(t *testing.T) {
+	c := markov.BinaryChain(0.5, 0.6, 0.55)
+	T := 200
+	class, _ := markov.NewFinite([]markov.Chain{c}, T)
+	rng := rand.New(rand.NewPCG(11, 12))
+	data := c.Sample(T, rng)
+	rel, score, err := GK16Release(data, query.StateFrequency{State: 1, N: T}, class, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Mechanism != "GK16" || !floats.Eq(rel.NoiseScale, score.Sigma/float64(T), 1e-12) {
+		t.Errorf("release = %+v score = %+v", rel, score)
+	}
+}
+
+func TestGroupDPAndLaplaceDP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	data := []int{0, 1, 1, 0}
+	q := query.Histogram{K: 2}
+	rel, err := LaplaceDP(data, q, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NoiseScale != 2 { // L/ε = 2/1
+		t.Errorf("DP scale = %v, want 2", rel.NoiseScale)
+	}
+	grel, err := GroupDP(data, q, 4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grel.NoiseScale != 8 { // M·L/ε
+		t.Errorf("GroupDP scale = %v, want 8", grel.NoiseScale)
+	}
+	if _, err := GroupDP(data, q, 0, 1, rng); err == nil {
+		t.Error("group size 0 accepted")
+	}
+	sigma, err := GroupDPSigma(10, 2)
+	if err != nil || sigma != 5 {
+		t.Errorf("GroupDPSigma = %v, %v", sigma, err)
+	}
+	// Expected-error closed form: k·scale.
+	if MeanLaplaceAbsError(51, 2) != 102 {
+		t.Error("MeanLaplaceAbsError wrong")
+	}
+}

@@ -1,0 +1,9 @@
+package core
+
+import "pufferfish/internal/query"
+
+// stateFreqQuery returns the F(X) = (1/T)·Σ X_i query of the
+// synthetic experiments for binary data of length T.
+func stateFreqQuery(T int) query.Query {
+	return query.StateFrequency{State: 1, N: T}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pufferfish/internal/markov"
+	"pufferfish/internal/query"
+)
+
+// ChainQuilt identifies a Markov quilt from the Lemma 4.6 family for a
+// protected node X_i in a chain of length T:
+//
+//	A > 0, B > 0: X_Q = {X_{i−A}, X_{i+B}}, X_N = {X_{i−A+1} … X_{i+B−1}}
+//	A > 0, B = 0: X_Q = {X_{i−A}},          X_N = {X_{i−A+1} … X_T}
+//	A = 0, B > 0: X_Q = {X_{i+B}},          X_N = {X_1 … X_{i+B−1}}
+//	A = B = 0:    the trivial quilt,         X_N = all of X
+//
+// Lemma 4.6 proves searching this family loses nothing.
+type ChainQuilt struct {
+	A, B int
+}
+
+// Trivial reports whether this is the empty quilt.
+func (q ChainQuilt) Trivial() bool { return q.A == 0 && q.B == 0 }
+
+// CardN returns card(X_N) for the quilt protecting node i (1-based)
+// in a chain of length T.
+func (q ChainQuilt) CardN(i, T int) int {
+	switch {
+	case q.Trivial():
+		return T
+	case q.A > 0 && q.B > 0:
+		return q.A + q.B - 1
+	case q.A > 0:
+		return T - i + q.A
+	default:
+		return i + q.B - 1
+	}
+}
+
+// String renders the quilt in the paper's notation.
+func (q ChainQuilt) String() string {
+	switch {
+	case q.Trivial():
+		return "∅"
+	case q.A > 0 && q.B > 0:
+		return fmt.Sprintf("{X_{i-%d}, X_{i+%d}}", q.A, q.B)
+	case q.A > 0:
+		return fmt.Sprintf("{X_{i-%d}}", q.A)
+	default:
+		return fmt.Sprintf("{X_{i+%d}}", q.B)
+	}
+}
+
+// ChainScore is the outcome of a noise-scale computation for a chain
+// class: the Laplace scale of the release is Lipschitz·Sigma.
+type ChainScore struct {
+	// Sigma is σ_max.
+	Sigma float64
+	// Node is the 1-based node achieving σ_max.
+	Node int
+	// Quilt is the active quilt (Definition 4.5) at that node.
+	Quilt ChainQuilt
+	// Influence is the max-influence (or its upper bound, for
+	// MQMApprox) of the active quilt.
+	Influence float64
+	// Ell is the quilt-width limit ℓ actually used.
+	Ell int
+}
+
+// quiltScore turns an influence into the Algorithm 2–4 score
+// card(X_N)/(ε − e), or +Inf when e ≥ ε.
+func quiltScore(cardN int, influence, eps float64) float64 {
+	if influence >= eps || math.IsInf(influence, 1) || math.IsNaN(influence) {
+		return math.Inf(1)
+	}
+	return float64(cardN) / (eps - influence)
+}
+
+// releaseWithScore evaluates q on data and adds L·σ·Lap(1) noise per
+// coordinate — the shared release step of Algorithms 2–4 with the
+// Section 4.2 vector-valued extension.
+func releaseWithScore(data []int, q query.Query, score ChainScore, eps float64, mech string, rng *rand.Rand) (Release, error) {
+	exact, err := q.Evaluate(data)
+	if err != nil {
+		return Release{}, err
+	}
+	scale := q.Lipschitz() * score.Sigma
+	return Release{
+		Values:     addLaplace(exact, scale, rng),
+		NoiseScale: scale,
+		Sigma:      score.Sigma,
+		Epsilon:    eps,
+		Mechanism:  mech,
+	}, nil
+}
+
+// validateChainClass performs the shared sanity checks of the chain
+// mechanisms.
+func validateChainClass(class markov.Class, eps float64) error {
+	if err := checkEpsilon(eps); err != nil {
+		return err
+	}
+	if class == nil {
+		return fmt.Errorf("core: nil distribution class")
+	}
+	if class.T() < 1 {
+		return fmt.Errorf("core: chain length %d < 1", class.T())
+	}
+	return nil
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pufferfish/internal/bayes"
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+)
+
+func theta1Chain() markov.Chain {
+	return markov.MustNew([]float64{1, 0}, matrix.FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}}))
+}
+
+func theta2Chain() markov.Chain {
+	return markov.MustNew([]float64{0.9, 0.1}, matrix.FromRows([][]float64{{0.8, 0.2}, {0.3, 0.7}}))
+}
+
+// TestSection43QuiltScores reproduces the Section 4.3 worked example:
+// T = 3, q = [0.8, 0.2], P = [[0.9,0.1],[0.4,0.6]], ε = 10. The quilts
+// of X2 have scores 0.3, 0.2437, 0.2437, 0.1558, the active quilt is
+// {X1, X3}, and (checking X1 and X3 too) σ_max = 0.1558… at X2.
+func TestSection43QuiltScores(t *testing.T) {
+	chain := markov.MustNew([]float64{0.8, 0.2}, matrix.FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}}))
+	class, err := markov.NewFinite([]markov.Chain{chain}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 10.0
+	for _, force := range []bool{false, true} {
+		score, err := ExactScore(class, eps, ExactOptions{MaxWidth: 3, ForceFullSweep: force})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSigma := 1 / (eps - math.Log(36))
+		if !floats.Eq(score.Sigma, wantSigma, 1e-9) {
+			t.Errorf("force=%v: σ_max = %v, want %v", force, score.Sigma, wantSigma)
+		}
+		if score.Node != 2 || score.Quilt.A != 1 || score.Quilt.B != 1 {
+			t.Errorf("force=%v: active = node %d quilt %v, want node 2 {X1,X3}", force, score.Node, score.Quilt)
+		}
+		if !floats.Eq(score.Influence, math.Log(36), 1e-9) {
+			t.Errorf("force=%v: influence = %v, want log 36", force, score.Influence)
+		}
+		// The paper's printed per-quilt scores for X2.
+		if !floats.Eq(1/(eps-math.Log(36)), 0.1558, 1e-3) ||
+			!floats.Eq(2/(eps-math.Log(6)), 0.2437, 1e-3) ||
+			!floats.Eq(3/eps, 0.3, 1e-12) {
+			t.Error("printed score values drifted")
+		}
+	}
+}
+
+// TestRunningExampleMQMExact reproduces the Section 4.4.1 running
+// example: T = 100, ε = 1, ℓ = T. For θ1 the worst node is X8 with
+// quilt {X3, X13} and score 13.0219; for θ2 it is X6 with quilt {X10}
+// and score 10.6402. The class score is the maximum, 13.0219.
+func TestRunningExampleMQMExact(t *testing.T) {
+	eps := 1.0
+	class1, _ := markov.NewFinite([]markov.Chain{theta1Chain()}, 100)
+	s1, err := ExactScore(class1, eps, ExactOptions{MaxWidth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(s1.Sigma, 13.0219, 1e-3) {
+		t.Errorf("θ1 σ = %v, want 13.0219", s1.Sigma)
+	}
+	if s1.Node != 8 || s1.Quilt.A != 5 || s1.Quilt.B != 5 {
+		t.Errorf("θ1 active = node %d quilt %+v, want node 8 {X3,X13}", s1.Node, s1.Quilt)
+	}
+
+	class2, _ := markov.NewFinite([]markov.Chain{theta2Chain()}, 100)
+	s2, err := ExactScore(class2, eps, ExactOptions{MaxWidth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(s2.Sigma, 10.6402, 1e-3) {
+		t.Errorf("θ2 σ = %v, want 10.6402", s2.Sigma)
+	}
+	if s2.Node != 6 || s2.Quilt.A != 0 || s2.Quilt.B != 4 {
+		t.Errorf("θ2 active = node %d quilt %+v, want node 6 {X10}", s2.Node, s2.Quilt)
+	}
+
+	both, _ := markov.NewFinite([]markov.Chain{theta1Chain(), theta2Chain()}, 100)
+	sb, err := ExactScore(both, eps, ExactOptions{MaxWidth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(sb.Sigma, 13.0219, 1e-3) {
+		t.Errorf("class σ = %v, want 13.0219", sb.Sigma)
+	}
+}
+
+// TestExactMatchesGenericBayes cross-validates Algorithm 3 against the
+// generic Algorithm 2 run on the chain-as-Bayesian-network with
+// exhaustive quilt sets, on random small chains (Lemma 4.6 says the
+// contiguous family is sufficient, so the σ_max must agree).
+func TestExactMatchesGenericBayes(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 101))
+		T := 3 + r.IntN(3) // 3..5
+		p0 := 0.15 + 0.7*r.Float64()
+		p1 := 0.15 + 0.7*r.Float64()
+		q0 := 0.1 + 0.8*r.Float64()
+		chain := markov.BinaryChain(q0, p0, p1)
+		eps := 2 + 8*r.Float64()
+
+		class, err := markov.NewFinite([]markov.Chain{chain}, T)
+		if err != nil {
+			return false
+		}
+		exact, err := ExactScore(class, eps, ExactOptions{MaxWidth: T, ForceFullSweep: true})
+		if err != nil {
+			return false
+		}
+		nw, err := bayes.FromChain(chain, T)
+		if err != nil {
+			return false
+		}
+		inst := &BayesInstantiation{Networks: []*bayes.Network{nw}}
+		generic, err := QuiltScoreBayes(inst, eps)
+		if err != nil {
+			return false
+		}
+		return floats.Eq(exact.Sigma, generic.Sigma, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStationaryShortcutMatchesFullSweep verifies the Section 4.4.1
+// observation used for the large-data experiments: with a stationary
+// initial distribution, scoring only the middle node equals the full
+// sweep.
+func TestStationaryShortcutMatchesFullSweep(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 103))
+		p0 := 0.2 + 0.6*r.Float64()
+		p1 := 0.2 + 0.6*r.Float64()
+		base := markov.BinaryChain(0.5, p0, p1)
+		chain, err := base.StationaryChain()
+		if err != nil {
+			return false
+		}
+		T := 20 + r.IntN(40)
+		eps := 0.5 + 2*r.Float64()
+		class, err := markov.NewFinite([]markov.Chain{chain}, T)
+		if err != nil {
+			return false
+		}
+		fast, err := ExactScore(class, eps, ExactOptions{MaxWidth: T})
+		if err != nil {
+			return false
+		}
+		slow, err := ExactScore(class, eps, ExactOptions{MaxWidth: T, ForceFullSweep: true})
+		if err != nil {
+			return false
+		}
+		return floats.Eq(fast.Sigma, slow.Sigma, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApproxUpperBoundsExact: MQMApprox uses upper bounds on the
+// max-influence, so for the same ℓ its σ must never be smaller than
+// MQMExact's on singleton stationary classes.
+func TestApproxUpperBoundsExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 107))
+		p0 := 0.25 + 0.5*r.Float64()
+		p1 := 0.25 + 0.5*r.Float64()
+		chain, err := markov.BinaryChain(0.5, p0, p1).StationaryChain()
+		if err != nil {
+			return false
+		}
+		T := 200
+		eps := 1.0
+		class, err := markov.NewFinite([]markov.Chain{chain}, T)
+		if err != nil {
+			return false
+		}
+		approx, err := ApproxScore(class, eps, ApproxOptions{})
+		if err != nil {
+			return false
+		}
+		exact, err := ExactScore(class, eps, ExactOptions{MaxWidth: approx.Ell})
+		if err != nil {
+			return false
+		}
+		return exact.Sigma <= approx.Sigma+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApproxFastPathMatchesFullSweep checks Lemma 4.9/C.4: when
+// T ≥ 8a*, the middle-node-only computation equals the full sweep.
+func TestApproxFastPathMatchesFullSweep(t *testing.T) {
+	chain, err := markov.BinaryChain(0.5, 0.7, 0.6).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.5, 1, 5} {
+		class, _ := markov.NewFinite([]markov.Chain{chain}, 2000)
+		fast, err := ApproxScore(class, eps, ApproxOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := ApproxScore(class, eps, ApproxOptions{MaxWidth: fast.Ell, ForceFullSweep: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floats.Eq(fast.Sigma, slow.Sigma, 1e-9) {
+			t.Errorf("ε=%v: fast %v vs sweep %v", eps, fast.Sigma, slow.Sigma)
+		}
+		if fast.Quilt.A == 0 || fast.Quilt.B == 0 {
+			t.Errorf("ε=%v: fast-path active quilt %+v not two-sided", eps, fast.Quilt)
+		}
+	}
+}
+
+// TestApproxNoiseIndependentOfT checks Theorem 4.10: beyond the
+// sufficient length, σ stops growing with T.
+func TestApproxNoiseIndependentOfT(t *testing.T) {
+	chain, err := markov.BinaryChain(0.5, 0.8, 0.75).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1.0
+	classA, _ := markov.NewFinite([]markov.Chain{chain}, 5000)
+	minT, err := UtilityBound(classA, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 5000 < minT {
+		t.Skipf("test chain mixes too slowly: need T ≥ %d", minT)
+	}
+	a, err := ApproxScore(classA, eps, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classB, _ := markov.NewFinite([]markov.Chain{chain}, 50000)
+	b, err := ApproxScore(classB, eps, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(a.Sigma, b.Sigma, 1e-9) {
+		t.Errorf("σ grew with T: %v vs %v", a.Sigma, b.Sigma)
+	}
+}
+
+// TestApproxRequiresMixing: a periodic (non-mixing) chain must be
+// rejected, per the Lemma 4.8 hypotheses.
+func TestApproxRequiresMixing(t *testing.T) {
+	per := markov.MustNew([]float64{0.5, 0.5}, matrix.FromRows([][]float64{{0, 1}, {1, 0}}))
+	class, err := markov.NewFinite([]markov.Chain{per}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApproxScore(class, 1, ApproxOptions{}); err == nil {
+		t.Error("periodic chain accepted by MQMApprox")
+	}
+}
+
+// TestExactSkipsZeroProbabilitySecrets: θ1 starts at state 0 surely,
+// so node 1 has no admissible secret pair and must not dominate the
+// score even for tiny ε where every non-trivial quilt is ruled out.
+func TestExactSkipsZeroProbabilitySecrets(t *testing.T) {
+	class, _ := markov.NewFinite([]markov.Chain{theta1Chain()}, 5)
+	score, err := ExactScore(class, 1, ExactOptions{MaxWidth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(score.Sigma, 1) || score.Sigma <= 0 {
+		t.Errorf("σ = %v", score.Sigma)
+	}
+}
+
+func TestChainQuiltCardN(t *testing.T) {
+	T := 10
+	cases := []struct {
+		q    ChainQuilt
+		i    int
+		want int
+	}{
+		{ChainQuilt{}, 5, 10},          // trivial
+		{ChainQuilt{A: 2, B: 3}, 5, 4}, // {X3, X8}: N = {X4..X7}
+		{ChainQuilt{A: 2}, 8, 4},       // {X6}: N = {X7..X10}
+		{ChainQuilt{B: 3}, 2, 4},       // {X5}: N = {X1..X4}
+	}
+	for _, c := range cases {
+		if got := c.q.CardN(c.i, T); got != c.want {
+			t.Errorf("CardN(%+v, i=%d) = %d, want %d", c.q, c.i, got, c.want)
+		}
+	}
+}
+
+func TestMQMExactRelease(t *testing.T) {
+	chain := theta2Chain()
+	T := 50
+	class, _ := markov.NewFinite([]markov.Chain{chain}, T)
+	rng := rand.New(rand.NewPCG(1, 2))
+	data := chain.Sample(T, rng)
+	rel, score, err := MQMExact(data, stateFreqQuery(T), class, 1, ExactOptions{MaxWidth: T}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Values) != 1 || rel.Mechanism != "MQMExact" {
+		t.Errorf("release = %+v", rel)
+	}
+	if !floats.Eq(rel.NoiseScale, score.Sigma/float64(T), 1e-12) {
+		t.Errorf("scale = %v, want σ/T = %v", rel.NoiseScale, score.Sigma/float64(T))
+	}
+}
+
+func TestInvalidEpsilonRejected(t *testing.T) {
+	class, _ := markov.NewFinite([]markov.Chain{theta1Chain()}, 10)
+	for _, eps := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := ExactScore(class, eps, ExactOptions{}); err == nil {
+			t.Errorf("ε=%v accepted by ExactScore", eps)
+		}
+		if _, err := ApproxScore(class, eps, ApproxOptions{}); err == nil {
+			t.Errorf("ε=%v accepted by ApproxScore", eps)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pufferfish/internal/markov"
+	"pufferfish/internal/query"
+)
+
+// ApproxOptions tunes Algorithm 4 (MQMApprox).
+type ApproxOptions struct {
+	// MaxWidth is the quilt-size limit ℓ. Zero picks ℓ = 4a* from
+	// Lemma 4.9.
+	MaxWidth int
+	// ForceFullSweep disables the Lemma 4.9 fast path (middle node
+	// only) even when T ≥ 8a*. Used by ablation benchmarks and tests.
+	ForceFullSweep bool
+}
+
+// influenceBound holds the Lemma 4.8 / Lemma C.1 closed-form upper
+// bounds on max-influence, parameterized by π^min_Θ and g_Θ.
+type influenceBound struct {
+	piMin, gap float64
+}
+
+// sideTerm returns log((π^min + e^{−g·t/2})/(π^min − e^{−g·t/2})),
+// the per-side ingredient of Lemma 4.8, or +Inf when t is below the
+// validity threshold 2·log(1/π^min)/g (equivalently when the
+// denominator is non-positive).
+func (ib influenceBound) sideTerm(t int) float64 {
+	e := math.Exp(-ib.gap * float64(t) / 2)
+	if e >= ib.piMin {
+		return math.Inf(1)
+	}
+	return math.Log((ib.piMin + e) / (ib.piMin - e))
+}
+
+// bound returns the closed-form upper bound on e_Θ(X_Q | X_i) for the
+// quilt: twoSided(a,b) = side(b) + 2·side(a); left-only {X_{i−a}} =
+// 2·side(a); right-only {X_{i+b}} = side(b); trivial = 0.
+func (ib influenceBound) bound(q ChainQuilt) float64 {
+	switch {
+	case q.Trivial():
+		return 0
+	case q.A > 0 && q.B > 0:
+		return ib.sideTerm(q.B) + 2*ib.sideTerm(q.A)
+	case q.A > 0:
+		return 2 * ib.sideTerm(q.A)
+	default:
+		return ib.sideTerm(q.B)
+	}
+}
+
+// aStar returns a* = 2·⌈log((e^{ε/6}+1)/(e^{ε/6}−1)·(1/π^min))/g⌉
+// from Lemma 4.9.
+func (ib influenceBound) aStar(eps float64) int {
+	r := (math.Exp(eps/6) + 1) / (math.Exp(eps/6) - 1)
+	return 2 * int(math.Ceil(math.Log(r/ib.piMin)/ib.gap))
+}
+
+// classBound extracts and validates (π^min_Θ, g_Θ) from the class,
+// surfacing the Lemma 4.8 irreducibility/aperiodicity hypotheses as
+// errors.
+func classBound(class markov.Class) (influenceBound, error) {
+	piMin, err := class.PiMin()
+	if err != nil {
+		return influenceBound{}, fmt.Errorf("core: MQMApprox needs π^min_Θ: %w", err)
+	}
+	gap, err := class.Gap()
+	if err != nil {
+		return influenceBound{}, fmt.Errorf("core: MQMApprox needs g_Θ: %w", err)
+	}
+	if !(piMin > 0) {
+		return influenceBound{}, fmt.Errorf("core: π^min_Θ = %v; Lemma 4.8 requires it positive", piMin)
+	}
+	if !(gap > 0) {
+		return influenceBound{}, fmt.Errorf("core: g_Θ = %v; Lemma 4.8 requires a positive eigengap", gap)
+	}
+	return influenceBound{piMin: piMin, gap: gap}, nil
+}
+
+// ApproxScore computes σ_max for Algorithm 4 using the closed-form
+// influence bounds. When T ≥ 8a* (Lemma 4.9) it scores only the middle
+// node over quilts of width at most 4a*, which is exact for the
+// approximate scores by Lemma C.4; otherwise it sweeps every node.
+func ApproxScore(class markov.Class, eps float64, opt ApproxOptions) (ChainScore, error) {
+	if err := validateChainClass(class, eps); err != nil {
+		return ChainScore{}, err
+	}
+	ib, err := classBound(class)
+	if err != nil {
+		return ChainScore{}, err
+	}
+	T := class.T()
+	aStar := ib.aStar(eps)
+
+	ell := opt.MaxWidth
+	if ell <= 0 {
+		ell = 4 * aStar
+	}
+	if ell > T {
+		ell = T
+	}
+
+	if !opt.ForceFullSweep {
+		// Lemma 4.9 / Lemma C.4 fast path: whenever the middle node's
+		// optimal quilt is an interior two-sided quilt, σ_max equals
+		// σ_{⌈T/2⌉} (the closed-form bounds depend only on (a, b), so
+		// Lemma C.4's replacement argument applies for any T, and
+		// Lemma 4.9 guarantees the condition holds once T ≥ 8a*).
+		mid := (T + 1) / 2
+		sigma, quilt, infl := approxNodeScore(ib, mid, T, ell, eps)
+		if quilt.A > 0 && quilt.B > 0 {
+			return ChainScore{Sigma: sigma, Node: mid, Quilt: quilt, Influence: infl, Ell: ell}, nil
+		}
+	}
+
+	best := ChainScore{Sigma: math.Inf(-1), Ell: ell}
+	for i := 1; i <= T; i++ {
+		sigma, quilt, infl := approxNodeScore(ib, i, T, ell, eps)
+		if sigma > best.Sigma {
+			best = ChainScore{Sigma: sigma, Node: i, Quilt: quilt, Influence: infl, Ell: ell}
+		}
+	}
+	return best, nil
+}
+
+// approxNodeScore returns σ_i = min over Lemma 4.6 quilts with
+// card(X_N) ≤ ℓ (plus trivial) of the bound-based score.
+func approxNodeScore(ib influenceBound, i, T, ell int, eps float64) (float64, ChainQuilt, float64) {
+	bestSigma := math.Inf(1)
+	var bestQuilt ChainQuilt
+	var bestInfl float64
+	consider := func(q ChainQuilt) {
+		card := q.CardN(i, T)
+		if !q.Trivial() && card > ell {
+			return
+		}
+		infl := ib.bound(q)
+		if s := quiltScore(card, infl, eps); s < bestSigma {
+			bestSigma = s
+			bestQuilt = q
+			bestInfl = infl
+		}
+	}
+	consider(ChainQuilt{})
+	for a := 1; a <= i-1 && a <= ell; a++ {
+		consider(ChainQuilt{A: a})
+		for b := 1; b <= T-i && a+b-1 <= ell; b++ {
+			consider(ChainQuilt{A: a, B: b})
+		}
+	}
+	for b := 1; b <= T-i && i+b-1 <= ell; b++ {
+		consider(ChainQuilt{B: b})
+	}
+	return bestSigma, bestQuilt, bestInfl
+}
+
+// MQMApprox runs Algorithm 4 end to end.
+func MQMApprox(data []int, q query.Query, class markov.Class, eps float64, opt ApproxOptions, rng *rand.Rand) (Release, ChainScore, error) {
+	score, err := ApproxScore(class, eps, opt)
+	if err != nil {
+		return Release{}, ChainScore{}, err
+	}
+	if math.IsInf(score.Sigma, 1) {
+		return Release{}, score, fmt.Errorf("core: MQMApprox inapplicable: every quilt bound is ≥ ε")
+	}
+	rel, err := releaseWithScore(data, q, score, eps, "MQMApprox", rng)
+	if err != nil {
+		return Release{}, ChainScore{}, err
+	}
+	return rel, score, nil
+}
+
+// UtilityBound returns the Theorem 4.10 sufficient chain length and
+// the guarantee that, beyond it, the MQMApprox noise scale for a
+// 1-Lipschitz query is at most C/ε with C depending only on Θ:
+// T ≥ 8·⌈log((e^{ε/6}+1)/(e^{ε/6}−1)·(1/π^min))/g⌉ + 3.
+func UtilityBound(class markov.Class, eps float64) (minT int, err error) {
+	if err := validateChainClass(class, eps); err != nil {
+		return 0, err
+	}
+	ib, err := classBound(class)
+	if err != nil {
+		return 0, err
+	}
+	return 4*ib.aStar(eps) + 3, nil
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/query"
+)
+
+// ExactOptions tunes Algorithm 3 (MQMExact).
+type ExactOptions struct {
+	// MaxWidth is the quilt-size limit ℓ: only quilts with
+	// card(X_N) ≤ ℓ are searched (plus the trivial quilt). Zero picks
+	// ℓ automatically — the full chain when T is small, otherwise the
+	// optimal MQMApprox quilt width, which is the paper's choice for
+	// the real-data experiments (Section 5.3).
+	MaxWidth int
+	// ForceFullSweep disables the stationary-initial-distribution
+	// shortcut (Section 4.4.1's observation that the max-influence is
+	// then independent of i) even when it applies. Used by the
+	// ablation benchmarks and correctness tests.
+	ForceFullSweep bool
+}
+
+// fullSweepLimit is the largest T for which the automatic ℓ falls back
+// to a full-width search when the approximate width is unavailable.
+const fullSweepLimit = 4096
+
+// ExactScore computes σ_max for Algorithm 3: the exact max-influence
+// of every Lemma 4.6 quilt with card(X_N) ≤ ℓ is evaluated through the
+// decomposition (5), using dynamic programming over matrix powers (the
+// Section 4.4.1 speed-ups), the Appendix C.4 closed form when the
+// class pairs transition matrices with every initial distribution, and
+// the stationary-initial shortcut when the class is started from
+// stationarity.
+func ExactScore(class markov.Class, eps float64, opt ExactOptions) (ChainScore, error) {
+	if err := validateChainClass(class, eps); err != nil {
+		return ChainScore{}, err
+	}
+	T := class.T()
+	ell := opt.MaxWidth
+	if ell <= 0 {
+		ell = autoWidth(class, eps, T)
+	}
+	if ell > T {
+		ell = T
+	}
+	best := ChainScore{Sigma: math.Inf(-1), Ell: ell}
+	for _, theta := range class.Chains() {
+		sc, err := exactScoreTheta(theta, T, ell, eps, class.AllInitialDistributions(), opt.ForceFullSweep)
+		if err != nil {
+			return ChainScore{}, err
+		}
+		if sc.Sigma > best.Sigma {
+			sc.Ell = ell
+			best = sc
+		}
+	}
+	return best, nil
+}
+
+// autoWidth picks ℓ: the active MQMApprox quilt width when the class
+// supports the closed-form bounds, otherwise the full chain (bounded
+// by fullSweepLimit to keep the search honest about its cost).
+func autoWidth(class markov.Class, eps float64, T int) int {
+	if approx, err := ApproxScore(class, eps, ApproxOptions{}); err == nil && approx.Quilt.A > 0 && approx.Quilt.B > 0 {
+		return approx.Quilt.A + approx.Quilt.B
+	}
+	if T <= fullSweepLimit {
+		return T
+	}
+	return fullSweepLimit
+}
+
+// exactScoreTheta computes max_i min_quilt σ for a single θ.
+func exactScoreTheta(theta markov.Chain, T, ell int, eps float64, allInits, forceFull bool) (ChainScore, error) {
+	if err := theta.Validate(); err != nil {
+		return ChainScore{}, err
+	}
+	k := theta.K()
+
+	// Stationary shortcut applies when every node has the same
+	// marginal (init = stationary) and we are not forced to sweep.
+	stationary := false
+	if !allInits && !forceFull {
+		if pi, err := theta.Stationary(); err == nil && floats.EqSlices(pi, theta.Init, 1e-9) {
+			stationary = true
+		}
+	}
+
+	// Backward tables are needed up to i−1 for the Appendix C.4 closed
+	// form; forward/backward up to ℓ otherwise.
+	maxPow := ell
+	if allInits {
+		maxPow = T - 1
+		if maxPow < ell {
+			maxPow = ell
+		}
+	}
+	if maxPow > T-1 {
+		maxPow = T - 1
+	}
+	sc := newExactScorer(theta, T, k, maxPow, allInits)
+
+	if stationary {
+		score, ok := sc.stationaryShortcut(ell, eps)
+		if ok {
+			return score, nil
+		}
+		// Fall through to the full sweep when the middle node's active
+		// quilt is not an interior two-sided quilt.
+	}
+
+	best := ChainScore{Sigma: math.Inf(-1)}
+	for i := 1; i <= T; i++ {
+		sigma, quilt, infl := sc.nodeScore(i, ell, eps)
+		if sigma > best.Sigma {
+			best = ChainScore{Sigma: sigma, Node: i, Quilt: quilt, Influence: infl}
+		}
+	}
+	return best, nil
+}
+
+// exactScorer holds the per-θ dynamic-programming tables of
+// Section 4.4.1: fwd[j][x*k+x'] = max_y log P^j(x,y)/P^j(x',y) and
+// bwd[j][x*k+x'] = max_y log P^j(y,x)/P^j(y,x'), plus node marginals.
+type exactScorer struct {
+	T, k     int
+	allInits bool
+	fwd, bwd [][]float64 // index j−1
+	marg     [][]float64 // node marginals (1-based node i → marg[i−1])
+}
+
+func newExactScorer(theta markov.Chain, T, k, maxPow int, allInits bool) *exactScorer {
+	sc := &exactScorer{T: T, k: k, allInits: allInits}
+	pc := markov.NewPowerCache(theta.P)
+	sc.fwd = make([][]float64, maxPow)
+	sc.bwd = make([][]float64, maxPow)
+	for j := 1; j <= maxPow; j++ {
+		pj := pc.Pow(j)
+		f := make([]float64, k*k)
+		b := make([]float64, k*k)
+		for x := 0; x < k; x++ {
+			for xp := 0; xp < k; xp++ {
+				fbest, bbest := math.Inf(-1), math.Inf(-1)
+				for y := 0; y < k; y++ {
+					fbest = math.Max(fbest, logRatio(pj.At(x, y), pj.At(xp, y)))
+					bbest = math.Max(bbest, logRatio(pj.At(y, x), pj.At(y, xp)))
+				}
+				f[x*k+xp] = fbest
+				b[x*k+xp] = bbest
+			}
+		}
+		sc.fwd[j-1] = f
+		sc.bwd[j-1] = b
+	}
+	if !allInits {
+		sc.marg = theta.Marginals(T)
+	}
+	return sc
+}
+
+// logRatio returns log(p/q) with the conventions of max-influence
+// computation: +Inf when p > 0 = q, −Inf when p = 0 (so it never wins
+// a max unless everything is −Inf, which cannot happen for stochastic
+// rows).
+func logRatio(p, q float64) float64 {
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case q <= 0:
+		return math.Inf(1)
+	default:
+		return math.Log(p / q)
+	}
+}
+
+// term1 returns t1(x, x') = log P(X_i = x')/P(X_i = x) for node i, or
+// the Appendix C.4 supremum over initial distributions
+// max_y log P^{i−1}(y,x')/P^{i−1}(y,x). The boolean reports whether
+// the (x, x') secret pair is admissible (both secrets have positive
+// probability; Definition 2.1 skips the rest).
+func (sc *exactScorer) term1(i, x, xp int) (float64, bool) {
+	if sc.allInits {
+		if i == 1 {
+			// The initial distribution itself is the marginal; the
+			// supremum of log q(x')/q(x) over the open simplex is +Inf.
+			return math.Inf(1), true
+		}
+		return sc.bwd[i-2][xp*sc.k+x], true
+	}
+	m := sc.marg[i-1]
+	if m[x] <= 0 || m[xp] <= 0 {
+		return 0, false
+	}
+	return math.Log(m[xp] / m[x]), true
+}
+
+// influence returns the exact max-influence e_{θ}(X_Q | X_i) of quilt
+// (a, b) on node i via decomposition (5). ok=false means node i has at
+// most one admissible value, hence nothing to protect.
+func (sc *exactScorer) influence(i int, q ChainQuilt, eps float64) (infl float64, ok bool) {
+	if q.Trivial() {
+		// Still require at least two admissible secrets at node i.
+		if !sc.hasPair(i) {
+			return 0, false
+		}
+		return 0, true
+	}
+	k := sc.k
+	worst := math.Inf(-1)
+	any := false
+	for x := 0; x < k; x++ {
+		for xp := 0; xp < k; xp++ {
+			if x == xp {
+				continue
+			}
+			t1, admissible := sc.term1(i, x, xp)
+			if !admissible {
+				continue
+			}
+			any = true
+			// Decomposition (5): the marginal ratio t1 enters through
+			// the Bayes reversal of the left arm, so it appears only
+			// when the quilt has a left endpoint. A right-only quilt
+			// {X_{i+b}} is a pure forward kernel ratio.
+			var v float64
+			if q.A > 0 {
+				v += t1 + sc.bwd[q.A-1][x*k+xp]
+			}
+			if q.B > 0 {
+				v += sc.fwd[q.B-1][x*k+xp]
+			}
+			if v > worst {
+				worst = v
+			}
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	if worst < 0 {
+		// Influence is a sup of log-ratios over pairs in both orders;
+		// it cannot be negative. Numerical noise only.
+		worst = 0
+	}
+	return worst, true
+}
+
+// hasPair reports whether node i has two values of positive
+// probability (i.e. at least one admissible secret pair).
+func (sc *exactScorer) hasPair(i int) bool {
+	if sc.allInits {
+		return true
+	}
+	count := 0
+	for _, p := range sc.marg[i-1] {
+		if p > 0 {
+			count++
+		}
+	}
+	return count >= 2
+}
+
+// nodeScore returns σ_i = min over the Lemma 4.6 quilts with
+// card(X_N) ≤ ℓ (plus trivial) of the quilt score, with the active
+// quilt and its influence.
+func (sc *exactScorer) nodeScore(i, ell int, eps float64) (float64, ChainQuilt, float64) {
+	T := sc.T
+	if !sc.hasPair(i) {
+		return 0, ChainQuilt{}, 0
+	}
+	bestSigma := math.Inf(1)
+	var bestQuilt ChainQuilt
+	var bestInfl float64
+	consider := func(q ChainQuilt) {
+		card := q.CardN(i, T)
+		if !q.Trivial() && card > ell {
+			return
+		}
+		infl, ok := sc.influence(i, q, eps)
+		if !ok {
+			return
+		}
+		if s := quiltScore(card, infl, eps); s < bestSigma {
+			bestSigma = s
+			bestQuilt = q
+			bestInfl = infl
+		}
+	}
+	consider(ChainQuilt{}) // trivial: score T/ε
+	for a := 1; a <= i-1; a++ {
+		consider(ChainQuilt{A: a}) // card T−i+a
+		for b := 1; b <= T-i && a+b-1 <= ell; b++ {
+			consider(ChainQuilt{A: a, B: b})
+		}
+		if T-i+a > ell && a+1-1 > ell {
+			break // neither one-sided nor two-sided can fit anymore
+		}
+	}
+	for b := 1; b <= T-i && i+b-1 <= ell; b++ {
+		consider(ChainQuilt{B: b})
+	}
+	return bestSigma, bestQuilt, bestInfl
+}
+
+// stationaryShortcut exploits the Section 4.4.1 observation: with the
+// initial distribution stationary, the max-influence of a two-sided
+// quilt depends only on (a, b), so the Lemma C.4 argument gives
+// σ_max = σ_{⌈T/2⌉} whenever the middle node's active quilt is an
+// interior two-sided quilt. Returns ok=false when that condition
+// fails and a full sweep is required.
+func (sc *exactScorer) stationaryShortcut(ell int, eps float64) (ChainScore, bool) {
+	mid := (sc.T + 1) / 2
+	sigma, quilt, infl := sc.nodeScore(mid, ell, eps)
+	if quilt.A > 0 && quilt.B > 0 && mid-quilt.A >= 1 && mid+quilt.B <= sc.T {
+		return ChainScore{Sigma: sigma, Node: mid, Quilt: quilt, Influence: infl}, true
+	}
+	return ChainScore{}, false
+}
+
+// MQMExact runs Algorithm 3 end to end: computes σ_max with ExactScore
+// and releases the query with Laplace noise of scale Lipschitz·σ_max.
+func MQMExact(data []int, q query.Query, class markov.Class, eps float64, opt ExactOptions, rng *rand.Rand) (Release, ChainScore, error) {
+	score, err := ExactScore(class, eps, opt)
+	if err != nil {
+		return Release{}, ChainScore{}, err
+	}
+	if math.IsInf(score.Sigma, 1) {
+		return Release{}, score, fmt.Errorf("core: MQMExact inapplicable: every quilt has influence ≥ ε")
+	}
+	rel, err := releaseWithScore(data, q, score, eps, "MQMExact", rng)
+	if err != nil {
+		return Release{}, ChainScore{}, err
+	}
+	return rel, score, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pufferfish/internal/markov"
+)
+
+// The activity datasets are collections of independent chains (one per
+// wear session) of different lengths. The Section 4.1 instantiation
+// protects every node of every chain, so the database's noise score is
+//
+//	σ_max = max over distinct session lengths T of σ_max(T).
+//
+// σ(T) is not monotone in T in general — small T is capped by the
+// trivial quilt's T/ε, while large T unlocks wider (better) quilts —
+// so scoring only the longest chain is not sound in corner cases.
+// ExactScoreMulti and ApproxScoreMulti evaluate every distinct length
+// below the quilt-width plateau and one representative above it: once
+// T ≥ 2ℓ+1, the middle node's quilt family no longer depends on T and
+// one-sided/trivial scores only grow, so σ(T) is constant beyond the
+// plateau whenever the active quilt there is an interior two-sided
+// quilt (the Lemma C.4 situation); if it is not, lengths are evaluated
+// individually.
+
+// lengthClass reuses a class's chains with a different chain length.
+type lengthClass struct {
+	markov.Class
+	t int
+}
+
+func (lc lengthClass) T() int { return lc.t }
+
+// distinctScoringLengths reduces a length multiset to the lengths that
+// can yield distinct scores: everything below the plateau, plus the
+// maximum.
+func distinctScoringLengths(lengths []int, plateau int) ([]int, error) {
+	if len(lengths) == 0 {
+		return nil, fmt.Errorf("core: no chain lengths")
+	}
+	seen := map[int]bool{}
+	maxLen := 0
+	var out []int
+	for _, l := range lengths {
+		if l < 1 {
+			return nil, fmt.Errorf("core: invalid chain length %d", l)
+		}
+		if l > maxLen {
+			maxLen = l
+		}
+		if l < plateau && !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	if maxLen >= plateau {
+		out = append(out, maxLen)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// ExactScoreMulti computes Algorithm 3's σ_max for a database of
+// independent chains with the given lengths, all governed by the same
+// class (whose own T is ignored).
+func ExactScoreMulti(class markov.Class, eps float64, opt ExactOptions, lengths []int) (ChainScore, error) {
+	return multiScore(class, lengths, func(lc markov.Class) (ChainScore, error) {
+		return ExactScore(lc, eps, opt)
+	})
+}
+
+// ApproxScoreMulti is ExactScoreMulti for Algorithm 4.
+func ApproxScoreMulti(class markov.Class, eps float64, opt ApproxOptions, lengths []int) (ChainScore, error) {
+	return multiScore(class, lengths, func(lc markov.Class) (ChainScore, error) {
+		return ApproxScore(lc, eps, opt)
+	})
+}
+
+func multiScore(class markov.Class, lengths []int, score func(markov.Class) (ChainScore, error)) (ChainScore, error) {
+	if len(lengths) == 0 {
+		return ChainScore{}, fmt.Errorf("core: no chain lengths")
+	}
+	// First pass on the maximum length fixes ℓ and hence the plateau.
+	maxLen := lengths[0]
+	for _, l := range lengths[1:] {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	top, err := score(lengthClass{Class: class, t: maxLen})
+	if err != nil {
+		return ChainScore{}, err
+	}
+	plateau := 2*top.Ell + 1
+	if !(top.Quilt.A > 0 && top.Quilt.B > 0) {
+		// The max-length active quilt is not interior two-sided, so
+		// the constant-beyond-plateau argument does not apply; score
+		// every distinct length.
+		plateau = maxLen + 1
+	}
+	distinct, err := distinctScoringLengths(lengths, plateau)
+	if err != nil {
+		return ChainScore{}, err
+	}
+	best := top
+	for _, l := range distinct {
+		if l == maxLen {
+			continue // already scored
+		}
+		sc, err := score(lengthClass{Class: class, t: l})
+		if err != nil {
+			return ChainScore{}, err
+		}
+		if sc.Sigma > best.Sigma {
+			best = sc
+		}
+	}
+	return best, nil
+}

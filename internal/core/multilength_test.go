@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+)
+
+// TestMultiEqualsMaxOverSingletons: the multi-length score must equal
+// the brute-force max of per-length scores.
+func TestMultiEqualsMaxOverSingletons(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 131))
+		chain, err := markov.BinaryChain(0.5, 0.3+0.5*r.Float64(), 0.3+0.5*r.Float64()).StationaryChain()
+		if err != nil {
+			return false
+		}
+		nLens := 2 + r.IntN(4)
+		lengths := make([]int, nLens)
+		for i := range lengths {
+			lengths[i] = 3 + r.IntN(60)
+		}
+		eps := 0.5 + 2*r.Float64()
+		class, err := markov.NewFinite([]markov.Chain{chain}, lengths[0])
+		if err != nil {
+			return false
+		}
+		multi, err := ExactScoreMulti(class, eps, ExactOptions{}, lengths)
+		if err != nil {
+			return false
+		}
+		brute := 0.0
+		for _, l := range lengths {
+			lc, err := markov.NewFinite([]markov.Chain{chain}, l)
+			if err != nil {
+				return false
+			}
+			sc, err := ExactScore(lc, eps, ExactOptions{})
+			if err != nil {
+				return false
+			}
+			if sc.Sigma > brute {
+				brute = sc.Sigma
+			}
+		}
+		return floats.Eq(multi.Sigma, brute, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSigmaLengthHump documents why multi-length scoring exists: σ(T)
+// need not peak at the longest chain. We assert only the safe
+// direction — the multi score is at least the longest-chain score.
+func TestSigmaLengthHump(t *testing.T) {
+	chain, err := markov.BinaryChain(0.5, 0.9, 0.85).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := []int{5, 10, 20, 40, 80, 160, 320, 640}
+	class, err := markov.NewFinite([]markov.Chain{chain}, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1.0
+	multi, err := ExactScoreMulti(class, eps, ExactOptions{}, lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longest, err := ExactScore(class, eps, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Sigma < longest.Sigma-1e-9 {
+		t.Errorf("multi σ %v below longest-chain σ %v", multi.Sigma, longest.Sigma)
+	}
+}
+
+// TestApproxMultiEqualsMaxOverSingletons mirrors the exact test for
+// Algorithm 4.
+func TestApproxMultiEqualsMaxOverSingletons(t *testing.T) {
+	chain, err := markov.BinaryChain(0.5, 0.8, 0.7).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := []int{12, 25, 60, 200, 900}
+	class, err := markov.NewFinite([]markov.Chain{chain}, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1.0
+	multi, err := ApproxScoreMulti(class, eps, ApproxOptions{}, lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := 0.0
+	for _, l := range lengths {
+		lc, _ := markov.NewFinite([]markov.Chain{chain}, l)
+		sc, err := ApproxScore(lc, eps, ApproxOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Sigma > brute {
+			brute = sc.Sigma
+		}
+	}
+	if !floats.Eq(multi.Sigma, brute, 1e-9) {
+		t.Errorf("multi %v vs brute %v", multi.Sigma, brute)
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	chain := markov.BinaryChain(0.5, 0.8, 0.7)
+	class, _ := markov.NewFinite([]markov.Chain{chain}, 10)
+	if _, err := ExactScoreMulti(class, 1, ExactOptions{}, nil); err == nil {
+		t.Error("empty lengths accepted")
+	}
+	if _, err := ExactScoreMulti(class, 1, ExactOptions{}, []int{5, 0}); err == nil {
+		t.Error("zero length accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"pufferfish/internal/markov"
+)
+
+// ChainCountInstance is a ready-made WassersteinInstance for the
+// Section 4.1 chain instantiation with the scalar query
+// F(X) = Σ_t W[X_t] (integer per-state weights): the secrets are all
+// node values, the pairs all same-node value pairs, and the
+// conditional distributions of F are computed exactly by dynamic
+// programming.
+//
+// It makes Algorithm 1 runnable on any (small) chain class and powers
+// the Theorem 3.3 comparison against group differential privacy.
+type ChainCountInstance struct {
+	Class markov.Class
+	// W are per-state integer weights; the indicator of a state makes
+	// F that state's occupancy count.
+	W []int
+}
+
+// ConditionalPairs implements WassersteinInstance. Secret values with
+// zero probability under a θ are skipped per Definition 2.1.
+func (c ChainCountInstance) ConditionalPairs() ([]DistributionPair, error) {
+	T := c.Class.T()
+	k := c.Class.K()
+	if len(c.W) != k {
+		return nil, fmt.Errorf("core: weight vector has length %d, want %d", len(c.W), k)
+	}
+	var pairs []DistributionPair
+	for ti, theta := range c.Class.Chains() {
+		marg := theta.Marginals(T)
+		for i := 1; i <= T; i++ {
+			for a := 0; a < k; a++ {
+				if marg[i-1][a] <= 0 {
+					continue
+				}
+				for b := a + 1; b < k; b++ {
+					if marg[i-1][b] <= 0 {
+						continue
+					}
+					mu, err := theta.CountDistGiven(T, c.W, i, a)
+					if err != nil {
+						return nil, err
+					}
+					nu, err := theta.CountDistGiven(T, c.W, i, b)
+					if err != nil {
+						return nil, err
+					}
+					pairs = append(pairs, DistributionPair{
+						Mu:    mu,
+						Nu:    nu,
+						Label: fmt.Sprintf("X%d: %d vs %d @ θ%d", i, a, b, ti+1),
+					})
+				}
+			}
+		}
+	}
+	return pairs, nil
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pufferfish/internal/dist"
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/query"
+)
+
+// TestMQMExactPrivacyEndToEnd: the σ chosen by Algorithm 3 passes the
+// analytic Definition 2.1 check on small chains (Theorem 4.3), for
+// several chains and ε values.
+func TestMQMExactPrivacyEndToEnd(t *testing.T) {
+	cases := []struct {
+		chain markov.Chain
+		T     int
+		eps   float64
+	}{
+		{markov.BinaryChain(0.5, 0.9, 0.9), 6, 1},
+		{markov.BinaryChain(0.7, 0.8, 0.6), 5, 0.5},
+		{markov.BinaryChain(0.3, 0.6, 0.7), 7, 2},
+	}
+	w := []int{0, 1}
+	for _, c := range cases {
+		class, err := markov.NewFinite([]markov.Chain{c.chain}, c.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, err := ExactScore(class, c.eps, ExactOptions{MaxWidth: c.T})
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid := floats.Linspace(-8, float64(c.T)+8, 150)
+		// The count query is 1-Lipschitz per record, so the release
+		// scale is σ itself.
+		if err := VerifyChainPufferfish(class, w, score.Sigma, c.eps, 1e-6, grid); err != nil {
+			t.Errorf("T=%d ε=%v: MQMExact scale σ=%v violates privacy: %v", c.T, c.eps, score.Sigma, err)
+		}
+	}
+}
+
+// TestMQMApproxPrivacyEndToEnd: MQMApprox's (larger) σ also passes.
+func TestMQMApproxPrivacyEndToEnd(t *testing.T) {
+	chain, err := markov.BinaryChain(0.5, 0.8, 0.7).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 8
+	eps := 1.0
+	class, err := markov.NewFinite([]markov.Chain{chain}, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := ApproxScore(class, eps, ApproxOptions{ForceFullSweep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(score.Sigma, 1) {
+		t.Skip("approx bound vacuous at this size; exact covers the case")
+	}
+	grid := floats.Linspace(-8, float64(T)+8, 150)
+	if err := VerifyChainPufferfish(class, []int{0, 1}, score.Sigma, eps, 1e-6, grid); err != nil {
+		t.Errorf("MQMApprox scale violates privacy: %v", err)
+	}
+}
+
+// TestUnderNoisingDetected: scales well below the minimal private
+// scale must be rejected by the verifier.
+func TestUnderNoisingDetected(t *testing.T) {
+	chain := markov.BinaryChain(0.5, 0.95, 0.95)
+	T := 6
+	class, err := markov.NewFinite([]markov.Chain{chain}, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := floats.Linspace(-6, float64(T)+6, 120)
+	// Entry-DP noise (scale 1/ε) ignores correlation; on this strongly
+	// correlated chain it must fail the Pufferfish check.
+	if err := VerifyChainPufferfish(class, []int{0, 1}, 1.0, 1.0, 1e-6, grid); err == nil {
+		t.Error("entry-DP scale passed a correlated-chain Pufferfish check")
+	}
+}
+
+// TestMinimalPrivateScaleBrackets: σ_exact is an upper bound on the
+// minimal private scale, and within a modest factor of it on small
+// chains (sanity that the mechanism is not absurdly conservative).
+func TestMinimalPrivateScaleBrackets(t *testing.T) {
+	chain := markov.BinaryChain(0.5, 0.85, 0.8)
+	T := 6
+	eps := 1.0
+	class, err := markov.NewFinite([]markov.Chain{chain}, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := floats.Linspace(-8, float64(T)+8, 100)
+	minScale, err := MinimalPrivateScale(class, []int{0, 1}, eps, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := ExactScore(class, eps, ExactOptions{MaxWidth: T})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Sigma < minScale-1e-6 {
+		t.Errorf("σ_exact %v below minimal private scale %v", score.Sigma, minScale)
+	}
+	if score.Sigma > 60*minScale {
+		t.Errorf("σ_exact %v more than 60× the minimal scale %v", score.Sigma, minScale)
+	}
+}
+
+// TestCompositionAccounting checks Theorem 4.4's K·max ε accounting
+// and the pinned-active-quilt behaviour.
+func TestCompositionAccounting(t *testing.T) {
+	chain := theta2Chain()
+	T := 40
+	class, err := markov.NewFinite([]markov.Chain{chain}, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	data := chain.Sample(T, rng)
+	comp := NewExactComposition(class, ExactOptions{MaxWidth: T})
+	q := query.StateFrequency{State: 1, N: T}
+
+	var scales []float64
+	for k := 0; k < 3; k++ {
+		rel, err := comp.Release(data, q, 1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scales = append(scales, rel.NoiseScale)
+	}
+	if comp.Count() != 3 {
+		t.Errorf("Count = %d", comp.Count())
+	}
+	if !floats.Eq(comp.TotalEpsilon(), 3.0, 1e-12) {
+		t.Errorf("TotalEpsilon = %v, want 3", comp.TotalEpsilon())
+	}
+	// Same ε → identical scales (same active quilt, Definition 4.5).
+	if !floats.Eq(scales[0], scales[1], 1e-12) || !floats.Eq(scales[1], scales[2], 1e-12) {
+		t.Errorf("scales differ across releases: %v", scales)
+	}
+	// Varying ε: K·max ε accounting.
+	if _, err := comp.Release(data, q, 2.0, rng); err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(comp.TotalEpsilon(), 8.0, 1e-12) {
+		t.Errorf("TotalEpsilon = %v, want 4·2 = 8", comp.TotalEpsilon())
+	}
+}
+
+func TestCompositionRejectsInfeasibleEps(t *testing.T) {
+	chain := theta2Chain()
+	class, _ := markov.NewFinite([]markov.Chain{chain}, 40)
+	rng := rand.New(rand.NewPCG(7, 8))
+	data := chain.Sample(40, rng)
+	comp := NewExactComposition(class, ExactOptions{MaxWidth: 40})
+	q := query.StateFrequency{State: 1, N: 40}
+	if _, err := comp.Release(data, q, 1.0, rng); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned quilt's influence exceeds a tiny ε: must refuse rather
+	// than silently re-search (which would break Theorem 4.4).
+	if _, err := comp.Release(data, q, 1e-6, rng); err == nil {
+		t.Error("composition accepted an ε below the pinned quilt's influence")
+	}
+}
+
+// TestRobustnessDelta reproduces the Theorem 2.4 numerology: when the
+// belief is in the class Δ = 0; for the worked conditional
+// distributions Δ = log(90.947…).
+func TestRobustnessDelta(t *testing.T) {
+	condTheta := dist.MustNew([]float64{1, 2}, []float64{0.9 / 0.95, 0.05 / 0.95})
+	condTilde := dist.MustNew([]float64{1, 2}, []float64{0.01 / 0.96, 0.95 / 0.96})
+	inst := BeliefInstance{
+		Secrets:            []Secret{{Index: 1, Value: 0}},
+		ClassConditionals:  [][]dist.Discrete{{condTheta}},
+		BeliefConditionals: []dist.Discrete{condTilde},
+	}
+	delta, err := RobustnessDelta(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.9 / 0.95 * 0.96 / 0.01)
+	if !floats.Eq(delta, want, 1e-9) {
+		t.Errorf("Δ = %v, want %v", delta, want)
+	}
+	if !floats.Eq(EffectiveEpsilon(1, delta), 1+2*want, 1e-9) {
+		t.Error("EffectiveEpsilon wrong")
+	}
+
+	// Belief inside the class: Δ = 0.
+	inst.ClassConditionals = append(inst.ClassConditionals, []dist.Discrete{condTilde})
+	delta, err = RobustnessDelta(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != 0 {
+		t.Errorf("in-class Δ = %v, want 0", delta)
+	}
+}
+
+func TestRobustnessDeltaValidation(t *testing.T) {
+	if _, err := RobustnessDelta(BeliefInstance{}); err == nil {
+		t.Error("empty instance accepted")
+	}
+	d := dist.PointMass(0)
+	if _, err := RobustnessDelta(BeliefInstance{
+		Secrets:            []Secret{{1, 0}},
+		ClassConditionals:  [][]dist.Discrete{{d, d}},
+		BeliefConditionals: []dist.Discrete{d},
+	}); err == nil {
+		t.Error("ragged conditionals accepted")
+	}
+}
+
+// TestRobustnessDeltaIsMonotone: adding a distribution to Θ can only
+// shrink Δ (it is an infimum over the class).
+func TestRobustnessDeltaIsMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 127))
+		mk := func() dist.Discrete {
+			a := 0.05 + 0.9*r.Float64()
+			return dist.MustNew([]float64{0, 1}, []float64{a, 1 - a})
+		}
+		belief := mk()
+		inst := BeliefInstance{
+			Secrets:            []Secret{{1, 0}},
+			ClassConditionals:  [][]dist.Discrete{{mk()}},
+			BeliefConditionals: []dist.Discrete{belief},
+		}
+		d1, err := RobustnessDelta(inst)
+		if err != nil {
+			return false
+		}
+		inst.ClassConditionals = append(inst.ClassConditionals, []dist.Discrete{mk()})
+		d2, err := RobustnessDelta(inst)
+		if err != nil {
+			return false
+		}
+		return d2 <= d1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

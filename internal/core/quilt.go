@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pufferfish/internal/bayes"
+)
+
+// defaultQuiltSetSize bounds the subsets enumerated when no explicit
+// quilt sets are supplied to the generic mechanism.
+const defaultQuiltSetSize = 3
+
+// BayesInstantiation is the Section 4.1 Pufferfish instantiation for
+// the generic Markov Quilt Mechanism (Algorithm 2): the database is
+// X = (X_1, …, X_n), correlations are described by a known Bayesian
+// network structure, Θ is a finite set of networks over that
+// structure, S contains every node-value event and Q every same-node
+// value pair.
+type BayesInstantiation struct {
+	// Networks is the class Θ: networks sharing node count,
+	// cardinalities and edges but with possibly different CPTs.
+	Networks []*bayes.Network
+	// QuiltSets[i] is the Markov-quilt candidate set S_{Q,i} for node
+	// i (0-based). A nil entry enumerates all separating sets of size
+	// at most defaultQuiltSetSize. The trivial quilt is always added
+	// if missing — Theorem 4.3 requires it.
+	QuiltSets [][]bayes.Quilt
+}
+
+// Validate checks the class is non-empty and structurally consistent.
+func (b *BayesInstantiation) Validate() error {
+	if len(b.Networks) == 0 {
+		return errors.New("core: empty network class")
+	}
+	n := b.Networks[0].N()
+	for t, nw := range b.Networks {
+		if nw.N() != n {
+			return fmt.Errorf("core: network %d has %d nodes, want %d", t, nw.N(), n)
+		}
+		for i := 0; i < n; i++ {
+			if nw.Card(i) != b.Networks[0].Card(i) {
+				return fmt.Errorf("core: network %d node %d cardinality mismatch", t, i)
+			}
+		}
+	}
+	if b.QuiltSets != nil && len(b.QuiltSets) != n {
+		return fmt.Errorf("core: %d quilt sets for %d nodes", len(b.QuiltSets), n)
+	}
+	return nil
+}
+
+// QuiltScoreDetail reports which quilt was active (Definition 4.5)
+// for the protected node achieving σ_max.
+type QuiltScoreDetail struct {
+	// Sigma is σ_max = max_i min_{X_Q ∈ S_{Q,i}} σ(X_Q). The Laplace
+	// scale is L·σ_max.
+	Sigma float64
+	// Node is the 0-based protected node with the largest score.
+	Node int
+	// Active is that node's score-minimizing quilt.
+	Active bayes.Quilt
+	// Influence is the class max-influence e_Θ(X_Q | X_i) of the
+	// active quilt.
+	Influence float64
+}
+
+// QuiltScoreBayes runs the scoring loops of Algorithm 2: for every
+// node, the score of every candidate quilt is card(X_N)/(ε −
+// e_Θ(X_Q|X_i)) when the max-influence is below ε (∞ otherwise), and
+// σ_max is the maximum over nodes of the per-node minimum.
+func QuiltScoreBayes(inst *BayesInstantiation, eps float64) (QuiltScoreDetail, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return QuiltScoreDetail{}, err
+	}
+	if err := inst.Validate(); err != nil {
+		return QuiltScoreDetail{}, err
+	}
+	n := inst.Networks[0].N()
+	best := QuiltScoreDetail{Sigma: math.Inf(-1)}
+	for i := 0; i < n; i++ {
+		quilts, err := inst.quiltSet(i)
+		if err != nil {
+			return QuiltScoreDetail{}, err
+		}
+		nodeSigma := math.Inf(1)
+		var nodeActive bayes.Quilt
+		var nodeInfluence float64
+		for _, q := range quilts {
+			infl, err := inst.classInfluence(q)
+			if err != nil {
+				return QuiltScoreDetail{}, err
+			}
+			score := math.Inf(1)
+			if infl < eps {
+				score = float64(q.CardN()) / (eps - infl)
+			}
+			if score < nodeSigma {
+				nodeSigma = score
+				nodeActive = q
+				nodeInfluence = infl
+			}
+		}
+		if nodeSigma > best.Sigma {
+			best = QuiltScoreDetail{Sigma: nodeSigma, Node: i, Active: nodeActive, Influence: nodeInfluence}
+		}
+	}
+	if math.IsInf(best.Sigma, 1) {
+		return QuiltScoreDetail{}, errors.New("core: every quilt has max-influence ≥ ε; mechanism inapplicable (quilt sets must include the trivial quilt)")
+	}
+	return best, nil
+}
+
+// quiltSet returns S_{Q,i}, guaranteeing it contains the trivial quilt.
+func (b *BayesInstantiation) quiltSet(i int) ([]bayes.Quilt, error) {
+	nw := b.Networks[0]
+	var quilts []bayes.Quilt
+	if b.QuiltSets == nil || b.QuiltSets[i] == nil {
+		quilts = nw.AllQuilts(i, defaultQuiltSetSize)
+	} else {
+		quilts = b.QuiltSets[i]
+		hasTrivial := false
+		for _, q := range quilts {
+			if q.Node != i {
+				return nil, fmt.Errorf("core: quilt set for node %d contains quilt for node %d", i, q.Node)
+			}
+			if len(q.Q) == 0 {
+				hasTrivial = true
+			}
+		}
+		if !hasTrivial {
+			quilts = append(append([]bayes.Quilt{}, quilts...), nw.TrivialQuilt(i))
+		}
+	}
+	return quilts, nil
+}
+
+// classInfluence returns e_Θ(X_Q | X_i) = sup over networks of the
+// per-network max-influence (Definition 4.1).
+func (b *BayesInstantiation) classInfluence(q bayes.Quilt) (float64, error) {
+	var worst float64
+	for _, nw := range b.Networks {
+		v, err := nw.MaxInfluence(q.Q, q.Node)
+		if err != nil {
+			return 0, err
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst, nil
+}
+
+// MarkovQuiltMechanism releases an L-Lipschitz (in L1) query evaluated
+// to exact, adding L·σ_max·Lap(1) per coordinate (Algorithm 2 with the
+// Section 4.2 vector-valued extension). Theorem 4.3 gives ε-Pufferfish
+// privacy for the Section 4.1 instantiation.
+func MarkovQuiltMechanism(exact []float64, lipschitz float64, inst *BayesInstantiation, eps float64, rng *rand.Rand) (Release, QuiltScoreDetail, error) {
+	if lipschitz <= 0 {
+		return Release{}, QuiltScoreDetail{}, fmt.Errorf("core: invalid Lipschitz constant %v", lipschitz)
+	}
+	detail, err := QuiltScoreBayes(inst, eps)
+	if err != nil {
+		return Release{}, QuiltScoreDetail{}, err
+	}
+	scale := lipschitz * detail.Sigma
+	return Release{
+		Values:     addLaplace(exact, scale, rng),
+		NoiseScale: scale,
+		Sigma:      detail.Sigma,
+		Epsilon:    eps,
+		Mechanism:  "MarkovQuilt",
+	}, detail, nil
+}

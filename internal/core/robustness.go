@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pufferfish/internal/dist"
+)
+
+// BeliefInstance exposes what Theorem 2.4 needs: for each secret
+// s ∈ S and each distribution (the adversary's belief θ~ or a member
+// of Θ), the conditional distribution of the database given the
+// secret.
+//
+// Databases are identified abstractly by their position in a common
+// finite support; the conditional distributions must share that
+// support convention.
+type BeliefInstance struct {
+	// Secrets lists the secret set S.
+	Secrets []Secret
+	// ClassConditionals[t][s] is θ_t conditioned on Secrets[s], for
+	// each θ_t ∈ Θ.
+	ClassConditionals [][]dist.Discrete
+	// BeliefConditionals[s] is the adversary's belief θ~ conditioned
+	// on Secrets[s].
+	BeliefConditionals []dist.Discrete
+}
+
+// RobustnessDelta computes
+//
+//	Δ = inf_{θ∈Θ} max_{s_i∈S} max( D∞(θ~|s_i ‖ θ|s_i), D∞(θ|s_i ‖ θ~|s_i) )
+//
+// from Theorem 2.4: an ε-Pufferfish mechanism for (S, Q, Θ) gives an
+// adversary with belief θ~ ∉ Θ a guarantee of ε + 2Δ.
+func RobustnessDelta(inst BeliefInstance) (float64, error) {
+	if len(inst.Secrets) == 0 {
+		return 0, errors.New("core: no secrets")
+	}
+	if len(inst.BeliefConditionals) != len(inst.Secrets) {
+		return 0, fmt.Errorf("core: %d belief conditionals for %d secrets",
+			len(inst.BeliefConditionals), len(inst.Secrets))
+	}
+	if len(inst.ClassConditionals) == 0 {
+		return 0, errors.New("core: empty distribution class")
+	}
+	delta := math.Inf(1)
+	for t, theta := range inst.ClassConditionals {
+		if len(theta) != len(inst.Secrets) {
+			return 0, fmt.Errorf("core: θ_%d has %d conditionals for %d secrets", t, len(theta), len(inst.Secrets))
+		}
+		worst := 0.0
+		for s := range inst.Secrets {
+			d := dist.SymMaxDivergence(inst.BeliefConditionals[s], theta[s])
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst < delta {
+			delta = worst
+		}
+	}
+	return delta, nil
+}
+
+// EffectiveEpsilon returns the privacy parameter ε + 2Δ that an
+// ε-Pufferfish mechanism provides against an out-of-class adversary
+// at distance Δ (Theorem 2.4).
+func EffectiveEpsilon(eps, delta float64) float64 {
+	return eps + 2*delta
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pufferfish/internal/dist"
+)
+
+// DistributionPair is one (µ_{i,θ}, µ_{j,θ}) pair from Algorithm 1:
+// the conditional distributions of the scalar query F(X) given the
+// two secrets of a pair under one θ ∈ Θ.
+type DistributionPair struct {
+	Mu, Nu dist.Discrete
+	// Label identifies the pair in diagnostics (e.g. "X3: 0 vs 1 @ θ2").
+	Label string
+}
+
+// WassersteinInstance exposes a Pufferfish instantiation (S, Q, Θ)
+// together with a scalar query F to the Wasserstein Mechanism. The
+// implementation enumerates, for every secret pair (s_i, s_j) ∈ Q and
+// every θ ∈ Θ with P(s_i|θ), P(s_j|θ) > 0, the pair of conditional
+// distributions of F(X). Pairs with a zero-probability secret must be
+// skipped, per Definition 2.1.
+type WassersteinInstance interface {
+	ConditionalPairs() ([]DistributionPair, error)
+}
+
+// WassersteinScale computes the noise parameter
+// W = sup_{(s_i,s_j)∈Q, θ∈Θ} W∞(µ_{i,θ}, µ_{j,θ}) of Algorithm 1,
+// returning the worst pair for diagnostics.
+func WassersteinScale(inst WassersteinInstance) (w float64, worst DistributionPair, err error) {
+	pairs, err := inst.ConditionalPairs()
+	if err != nil {
+		return 0, DistributionPair{}, err
+	}
+	if len(pairs) == 0 {
+		return 0, DistributionPair{}, errors.New("core: instantiation produced no secret pairs")
+	}
+	for _, p := range pairs {
+		if d := dist.WassersteinInf(p.Mu, p.Nu); d > w {
+			w = d
+			worst = p
+		}
+	}
+	return w, worst, nil
+}
+
+// Wasserstein runs Algorithm 1: it releases value + Lap(W/ε) where
+// value = F(D) is the exact scalar query value on the realized
+// database. By Theorem 3.2 the release is ε-Pufferfish private in the
+// instantiation; when the instantiation encodes differential privacy,
+// W equals the global sensitivity and the mechanism reduces to the
+// Laplace mechanism.
+func Wasserstein(value float64, inst WassersteinInstance, eps float64, rng *rand.Rand) (Release, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return Release{}, err
+	}
+	w, worst, err := WassersteinScale(inst)
+	if err != nil {
+		return Release{}, err
+	}
+	if w == 0 {
+		// F(X) carries no information about any secret; release exactly.
+		return Release{
+			Values:    []float64{value},
+			Sigma:     0,
+			Epsilon:   eps,
+			Mechanism: "Wasserstein",
+		}, nil
+	}
+	if math.IsInf(w, 1) {
+		return Release{}, fmt.Errorf("core: infinite ∞-Wasserstein distance (pair %q); no finite noise suffices", worst.Label)
+	}
+	scale := w / eps
+	return Release{
+		Values:     addLaplace([]float64{value}, scale, rng),
+		NoiseScale: scale,
+		Sigma:      w,
+		Epsilon:    eps,
+		Mechanism:  "Wasserstein",
+	}, nil
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pufferfish/internal/dist"
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+)
+
+// pairsInstance is a literal WassersteinInstance for tests.
+type pairsInstance struct {
+	pairs []DistributionPair
+	err   error
+}
+
+func (p pairsInstance) ConditionalPairs() ([]DistributionPair, error) { return p.pairs, p.err }
+
+func TestWassersteinScaleFluExample(t *testing.T) {
+	// The Section 3.1 flu worked example: W = 2.
+	mu := dist.MustNew([]float64{0, 1, 2, 3}, []float64{0.2, 0.225, 0.5, 0.075})
+	nu := dist.MustNew([]float64{1, 2, 3, 4}, []float64{0.075, 0.5, 0.225, 0.2})
+	w, worst, err := WassersteinScale(pairsInstance{pairs: []DistributionPair{{Mu: mu, Nu: nu, Label: "flu"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(w, 2, 1e-9) {
+		t.Errorf("W = %v, want 2", w)
+	}
+	if worst.Label != "flu" {
+		t.Errorf("worst pair label = %q", worst.Label)
+	}
+}
+
+func TestWassersteinRelease(t *testing.T) {
+	mu := dist.MustNew([]float64{0, 1}, []float64{0.5, 0.5})
+	nu := dist.MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	inst := pairsInstance{pairs: []DistributionPair{{Mu: mu, Nu: nu}}}
+	rng := rand.New(rand.NewPCG(3, 4))
+	rel, err := Wasserstein(7.5, inst, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Sigma != 1 || rel.NoiseScale != 0.5 {
+		t.Errorf("Sigma=%v NoiseScale=%v", rel.Sigma, rel.NoiseScale)
+	}
+	if len(rel.Values) != 1 {
+		t.Fatal("bad release")
+	}
+	// Degenerate: identical conditionals → W = 0 → exact release.
+	same := pairsInstance{pairs: []DistributionPair{{Mu: mu, Nu: mu}}}
+	rel, err = Wasserstein(7.5, same, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Values[0] != 7.5 {
+		t.Errorf("W=0 should release exactly, got %v", rel.Values[0])
+	}
+	// No pairs → error.
+	if _, err := Wasserstein(0, pairsInstance{}, 1, rng); err == nil {
+		t.Error("empty instantiation accepted")
+	}
+	// Invalid ε.
+	if _, err := Wasserstein(0, inst, 0, rng); err == nil {
+		t.Error("ε=0 accepted")
+	}
+}
+
+// TestWassersteinUtilityTheorem33 checks Theorem 3.3 as a property:
+// for chain instantiations, the Wasserstein noise parameter W never
+// exceeds the group-DP global sensitivity (all records correlated →
+// the whole chain is one group, sensitivity T·range(w)).
+func TestWassersteinUtilityTheorem33(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 113))
+		T := 3 + r.IntN(5)
+		p0 := 0.1 + 0.8*r.Float64()
+		p1 := 0.1 + 0.8*r.Float64()
+		q0 := 0.1 + 0.8*r.Float64()
+		class, err := markov.NewFinite([]markov.Chain{markov.BinaryChain(q0, p0, p1)}, T)
+		if err != nil {
+			return false
+		}
+		w, _, err := WassersteinScale(ChainCountInstance{Class: class, W: []int{0, 1}})
+		if err != nil {
+			return false
+		}
+		groupSensitivity := float64(T) // range(w)=1 × T records
+		return w <= groupSensitivity+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWassersteinReducesToLaplace: with independent records (Pufferfish
+// reduces to DP), W equals the per-record sensitivity of the count
+// query (1), so Algorithm 1 reduces to the Laplace mechanism.
+func TestWassersteinReducesToLaplace(t *testing.T) {
+	// Independent Bernoulli records: a chain with identical rows.
+	c := markov.BinaryChain(0.3, 0.7, 0.3) // P(next=0)=0.7 regardless of state
+	class, err := markov.NewFinite([]markov.Chain{c}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := WassersteinScale(ChainCountInstance{Class: class, W: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(w, 1, 1e-9) {
+		t.Errorf("independent-records W = %v, want 1 (Laplace sensitivity)", w)
+	}
+}
+
+// TestWassersteinPrivacyVerified: the Wasserstein Mechanism's scale
+// passes the analytic end-to-end privacy check (Theorem 3.2), and a
+// quarter of it fails on a strongly correlated chain (the verifier has
+// teeth).
+func TestWassersteinPrivacyVerified(t *testing.T) {
+	chain := markov.BinaryChain(0.5, 0.9, 0.9)
+	T := 5
+	class, err := markov.NewFinite([]markov.Chain{chain}, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1.0
+	w, _, err := WassersteinScale(ChainCountInstance{Class: class, W: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := floats.Linspace(-6, float64(T)+6, 120)
+	if err := VerifyChainPufferfish(class, []int{0, 1}, w/eps, eps, 1e-6, grid); err != nil {
+		t.Errorf("Wasserstein scale fails privacy check: %v", err)
+	}
+	if err := VerifyChainPufferfish(class, []int{0, 1}, w/eps/4, eps, 1e-6, grid); err == nil {
+		t.Error("quarter scale should violate ε-Pufferfish on a correlated chain")
+	}
+}
+
+// TestWassersteinScaleMonotoneInCorrelation: more correlation moves
+// more conditional mass, so W grows from ~1 (independent) toward T.
+func TestWassersteinScaleMonotoneInCorrelation(t *testing.T) {
+	T := 8
+	var prev float64
+	for i, stay := range []float64{0.5, 0.7, 0.9, 0.99} {
+		class, err := markov.NewFinite([]markov.Chain{markov.BinaryChain(0.5, stay, stay)}, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _, err := WassersteinScale(ChainCountInstance{Class: class, W: []int{0, 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && w < prev-1e-9 {
+			t.Errorf("W decreased with correlation: %v after %v", w, prev)
+		}
+		prev = w
+	}
+	if prev < float64(T)/2 {
+		t.Errorf("near-deterministic chain W = %v, expected a large fraction of T=%d", prev, T)
+	}
+}
+
+func TestWassersteinInfiniteDistance(t *testing.T) {
+	// Disjoint supports at unbounded distance still give finite W∞ for
+	// finite supports; construct an explicitly infinite W via a pair
+	// whose distributions are point masses far apart is finite, so use
+	// an instance error instead.
+	inst := pairsInstance{err: errFake}
+	if _, _, err := WassersteinScale(inst); err == nil {
+		t.Error("oracle error not propagated")
+	}
+}
+
+var errFake = errorString("fake")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestChainCountInstanceSkipsZeroProbSecrets(t *testing.T) {
+	// θ1 starts surely at 0: node 1 contributes no pairs.
+	class, err := markov.NewFinite([]markov.Chain{theta1Chain()}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ChainCountInstance{Class: class, W: []int{0, 1}}.ConditionalPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 2 and 3 each contribute one (a,b) pair; node 1 none.
+	if len(pairs) != 2 {
+		t.Errorf("got %d pairs, want 2", len(pairs))
+	}
+	for _, p := range pairs {
+		if math.IsNaN(p.Mu.Mean()) || math.IsNaN(p.Nu.Mean()) {
+			t.Error("invalid conditional distribution")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFig4TopDeterministic: the parallel sweep must be bit-for-bit
+// reproducible for a fixed seed, regardless of goroutine scheduling.
+func TestFig4TopDeterministic(t *testing.T) {
+	cfg := Fig4TopConfig{
+		Epsilons: []float64{0.5, 2},
+		Alphas:   []float64{0.2, 0.3, 0.4},
+		T:        40,
+		Trials:   20,
+		GridN:    3,
+		Seed:     77,
+	}
+	a, err := Fig4Top(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig4Top(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Cells {
+			ca, cb := a[i].Cells[j], b[i].Cells[j]
+			if ca != cb && !(math.IsNaN(ca.GK16) && math.IsNaN(cb.GK16) &&
+				ca.Approx == cb.Approx && ca.Exact == cb.Exact && ca.GroupDP == cb.GroupDP) {
+				t.Errorf("cell (%d,%d) differs: %+v vs %+v", i, j, ca, cb)
+			}
+		}
+	}
+}
+
+func TestFig4TopCSV(t *testing.T) {
+	r := Fig4TopResult{
+		Eps: 1,
+		Cells: []Fig4TopCell{
+			{Alpha: 0.1, GK16: math.NaN(), Approx: 0.5, Exact: 0.25, GroupDP: 1},
+			{Alpha: 0.3, GK16: 0.02, Approx: 0.1, Exact: 0.05, GroupDP: 1},
+		},
+	}
+	csv := r.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "alpha,gk16,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// N/A renders as an empty field.
+	if !strings.HasPrefix(lines[1], "0.100,,0.500000,") {
+		t.Errorf("NaN row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "0.300,0.020000,") {
+		t.Errorf("value row = %q", lines[2])
+	}
+}

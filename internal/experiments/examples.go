@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+
+	"pufferfish/internal/core"
+	"pufferfish/internal/dist"
+	"pufferfish/internal/flu"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+)
+
+// WorkedExamples recomputes every numeric example printed in the
+// paper's prose (Sections 2.3, 3.1, 4.3, 4.4) and reports each
+// computed value next to the paper's. It doubles as an executable
+// cross-check of the library against the paper.
+type WorkedExample struct {
+	Name     string
+	Computed float64
+	Paper    float64
+}
+
+// RunWorkedExamples computes all of them.
+func RunWorkedExamples() ([]WorkedExample, error) {
+	var out []WorkedExample
+
+	// Definition 2.3 example: D∞(p‖q) = log 2.
+	p := dist.MustNew([]float64{1, 2, 3}, []float64{1.0 / 3, 0.5, 1.0 / 6})
+	q := dist.MustNew([]float64{1, 2, 3}, []float64{0.5, 0.25, 0.25})
+	out = append(out, WorkedExample{"D∞(p‖q) (Def 2.3 example)", dist.MaxDivergence(p, q), math.Log(2)})
+
+	// Section 3.1 flu example: W = 2 vs GroupDP sensitivity 4.
+	clique, err := flu.FromProbs([]float64{0.1, 0.15, 0.5, 0.15, 0.1})
+	if err != nil {
+		return nil, err
+	}
+	model, err := flu.NewModel([]flu.Clique{clique})
+	if err != nil {
+		return nil, err
+	}
+	w, _, err := core.WassersteinScale(flu.Instance{Models: []*flu.Model{model}})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, WorkedExample{"flu clique W (Sec 3.1)", w, 2})
+	out = append(out, WorkedExample{"flu clique GroupDP sensitivity", float64(model.LargestClique()), 4})
+
+	// Section 4.3 example: quilt scores for X2 on the T = 3 chain.
+	chain43 := markov.MustNew([]float64{0.8, 0.2}, matrix.FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}}))
+	class43, err := markov.NewFinite([]markov.Chain{chain43}, 3)
+	if err != nil {
+		return nil, err
+	}
+	s43, err := core.ExactScore(class43, 10, core.ExactOptions{MaxWidth: 3})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, WorkedExample{"active quilt score, T=3 chain (Sec 4.3)", s43.Sigma, 0.1558})
+	out = append(out, WorkedExample{"active quilt influence (log 36)", s43.Influence, math.Log(36)})
+
+	// Section 4.4 running example.
+	theta1 := markov.MustNew([]float64{1, 0}, matrix.FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}}))
+	theta2 := markov.MustNew([]float64{0.9, 0.1}, matrix.FromRows([][]float64{{0.8, 0.2}, {0.3, 0.7}}))
+	c1, err := markov.NewFinite([]markov.Chain{theta1}, 100)
+	if err != nil {
+		return nil, err
+	}
+	s1, err := core.ExactScore(c1, 1, core.ExactOptions{MaxWidth: 100})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, WorkedExample{"MQMExact σ for θ1 (Sec 4.4)", s1.Sigma, 13.0219})
+	c2, err := markov.NewFinite([]markov.Chain{theta2}, 100)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := core.ExactScore(c2, 1, core.ExactOptions{MaxWidth: 100})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, WorkedExample{"MQMExact σ for θ2 (Sec 4.4)", s2.Sigma, 10.6402})
+
+	// Section 4.4.2 chain-theory quantities.
+	pm1, err := theta1.PiMin()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, WorkedExample{"π^min(θ1)", pm1, 0.2})
+	pm2, err := theta2.PiMin()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, WorkedExample{"π^min(θ2)", pm2, 0.4})
+	g1, err := theta1.EigengapMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, WorkedExample{"eigengap of P·P* (θ1)", g1, 0.75})
+	g2, err := theta2.EigengapMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, WorkedExample{"eigengap of P·P* (θ2)", g2, 0.75})
+
+	return out, nil
+}
+
+// RenderWorkedExamples formats the cross-check table.
+func RenderWorkedExamples(examples []WorkedExample) *Table {
+	t := &Table{
+		Title:  "Worked examples: computed vs paper",
+		Header: []string{"Quantity", "Computed", "Paper", "Match"},
+	}
+	for _, e := range examples {
+		match := "yes"
+		if relDiff(e.Computed, e.Paper) > 1e-3 {
+			match = "NO"
+		}
+		t.Rows = append(t.Rows, []string{e.Name, FmtG(e.Computed), FmtG(e.Paper), match})
+	}
+	return t
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// AllMatch reports whether every worked example reproduces the paper
+// value within 0.1% (used by tests and the CLI exit code).
+func AllMatch(examples []WorkedExample) (bool, string) {
+	var bad []string
+	for _, e := range examples {
+		if relDiff(e.Computed, e.Paper) > 1e-3 {
+			bad = append(bad, e.Name)
+		}
+	}
+	return len(bad) == 0, strings.Join(bad, "; ")
+}

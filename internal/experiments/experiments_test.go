@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pufferfish/internal/floats"
+)
+
+// quickFig4Config is a reduced sweep that exercises every code path in
+// seconds.
+func quickFig4Config() Fig4TopConfig {
+	return Fig4TopConfig{
+		Epsilons: []float64{1},
+		Alphas:   []float64{0.15, 0.35},
+		T:        60,
+		Trials:   40,
+		GridN:    4,
+		Seed:     11,
+	}
+}
+
+func TestFig4TopShape(t *testing.T) {
+	results, err := Fig4Top(quickFig4Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || len(results[0].Cells) != 2 {
+		t.Fatalf("unexpected result shape %+v", results)
+	}
+	strong := results[0].Cells[0] // α = 0.15: strong correlation allowed
+	weak := results[0].Cells[1]   // α = 0.35: weak correlation
+
+	// GK16 is inapplicable at α=0.15 and applicable at α=0.35 (the
+	// dashed line of Figure 4).
+	if !math.IsNaN(strong.GK16) {
+		t.Errorf("GK16 should be N/A at α=0.15, got %v", strong.GK16)
+	}
+	if math.IsNaN(weak.GK16) {
+		t.Error("GK16 should apply at α=0.35")
+	}
+	// Errors shrink as the class narrows (α grows).
+	if !(weak.Approx < strong.Approx) || !(weak.Exact < strong.Exact) {
+		t.Errorf("errors should shrink with α: %+v vs %+v", strong, weak)
+	}
+	// Exact dominates approx (smaller σ), both beat GroupDP's 1/ε at
+	// the weak-correlation end.
+	if weak.SigmaExact > weak.SigmaApprox+1e-9 {
+		t.Errorf("σ_exact %v > σ_approx %v", weak.SigmaExact, weak.SigmaApprox)
+	}
+	if !(weak.Exact < weak.GroupDP) {
+		t.Errorf("MQMExact %v should beat GroupDP %v at α=0.35", weak.Exact, weak.GroupDP)
+	}
+	// Render smoke test.
+	table := results[0].Render().String()
+	if !strings.Contains(table, "alpha") || !strings.Contains(table, "N/A") {
+		t.Errorf("table rendering wrong:\n%s", table)
+	}
+}
+
+func quickActivityConfig() ActivityConfig {
+	return ActivityConfig{Eps: 1, Trials: 5, Smoothing: 0.5, PopulationScale: 0.15, Seed: 12}
+}
+
+func TestActivityExperimentShape(t *testing.T) {
+	results, err := ActivityExperiment(quickActivityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 cohorts, got %d", len(results))
+	}
+	for _, r := range results {
+		if !floats.Eq(floats.Sum(r.ExactAggHist), 1, 1e-9) {
+			t.Errorf("%v: aggregate histogram sums to %v", r.Group, floats.Sum(r.ExactAggHist))
+		}
+		// GK16 must be N/A on the empirical activity chains.
+		if !math.IsNaN(r.AggErrors[MechGK16]) {
+			t.Errorf("%v: GK16 should be N/A", r.Group)
+		}
+		// Table 1 orderings: aggregate ≪ individual for each quilt
+		// mechanism; MQMExact ≤ MQMApprox; MQM beats GroupDP on the
+		// individual task.
+		for _, mech := range []string{MechGroupDP, MechApprox, MechExact} {
+			if !(r.AggErrors[mech] < r.IndiErrors[mech]) {
+				t.Errorf("%v %s: agg %v not below indi %v", r.Group, mech, r.AggErrors[mech], r.IndiErrors[mech])
+			}
+		}
+		if r.Sigmas[MechExact] > r.Sigmas[MechApprox]+1e-9 {
+			t.Errorf("%v: σ_exact %v > σ_approx %v", r.Group, r.Sigmas[MechExact], r.Sigmas[MechApprox])
+		}
+		if !(r.IndiErrors[MechExact] < r.IndiErrors[MechGroupDP]) {
+			t.Errorf("%v: MQMExact indi %v not below GroupDP %v", r.Group, r.IndiErrors[MechExact], r.IndiErrors[MechGroupDP])
+		}
+	}
+	// Figure 4 lower row qualitative shape: cyclists most active,
+	// overweight women most sedentary, visible in the exact aggregate.
+	if !(results[0].ExactAggHist[0] > results[2].ExactAggHist[0]) {
+		t.Error("cyclists should be more active than overweight women")
+	}
+	if !(results[2].ExactAggHist[3] > results[0].ExactAggHist[3]) {
+		t.Error("overweight women should be more sedentary than cyclists")
+	}
+	// Renderers.
+	t1 := RenderTable1(results, 1).String()
+	if !strings.Contains(t1, "cyclist Agg") {
+		t.Errorf("Table 1 rendering wrong:\n%s", t1)
+	}
+	fb := RenderFig4Bottom(results[0], 1).String()
+	if !strings.Contains(fb, "Sedentary") {
+		t.Errorf("Fig 4 bottom rendering wrong:\n%s", fb)
+	}
+}
+
+func quickPowerConfig() PowerConfig {
+	return PowerConfig{T: 30000, Epsilons: []float64{0.2, 1}, Trials: 4, Smoothing: 0.5, Seed: 13}
+}
+
+func TestPowerExperimentShape(t *testing.T) {
+	res, err := PowerExperiment(quickPowerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("want 2 cells, got %d", len(res.Cells))
+	}
+	if !floats.Eq(floats.Sum(res.ExactHist), 1, 1e-9) {
+		t.Error("exact histogram not normalized")
+	}
+	for i, c := range res.Cells {
+		// GK16 N/A on the empirical 51-state chain.
+		if !math.IsNaN(c.GK16) {
+			t.Errorf("GK16 should be N/A, got %v", c.GK16)
+		}
+		// GroupDP expected error ≈ 2·51/ε (the paper's 516/103/20
+		// pattern); allow sampling slack.
+		want := 102.0 / c.Eps
+		if math.Abs(c.GroupDP-want) > want/2 {
+			t.Errorf("GroupDP error %v, expected ≈ %v", c.GroupDP, want)
+		}
+		// MQM must beat GroupDP by orders of magnitude.
+		if !(c.Exact < c.GroupDP/50) || !(c.Approx < c.GroupDP/10) {
+			t.Errorf("MQM errors not far below GroupDP: %+v", c)
+		}
+		if c.SigmaExact > c.SigmaApprox+1e-9 {
+			t.Errorf("σ_exact %v > σ_approx %v", c.SigmaExact, c.SigmaApprox)
+		}
+		// Errors decrease with ε.
+		if i > 0 && !(c.Exact < res.Cells[i-1].Exact) {
+			t.Error("errors should decrease with ε")
+		}
+	}
+	table := res.Render().String()
+	if !strings.Contains(table, "Table 3") || !strings.Contains(table, "N/A") {
+		t.Errorf("Table 3 rendering wrong:\n%s", table)
+	}
+}
+
+func TestTimingExperimentShape(t *testing.T) {
+	cfg := TimingConfig{
+		Eps:               1,
+		Repeats:           1,
+		SyntheticT:        40,
+		SyntheticGridStep: 0.4,
+		PowerT:            20000,
+		PopulationScale:   0.1,
+		Smoothing:         0.5,
+		Seed:              14,
+	}
+	res, err := TimingExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Datasets) != 5 { // synthetic + 3 cohorts + electricity
+		t.Fatalf("datasets = %v", res.Datasets)
+	}
+	for i, name := range res.Datasets {
+		ap := res.Seconds[MechApprox][i]
+		ex := res.Seconds[MechExact][i]
+		if math.IsNaN(ap) || math.IsNaN(ex) || ap < 0 || ex < 0 {
+			t.Errorf("%s: invalid timings approx=%v exact=%v", name, ap, ex)
+		}
+	}
+	// GK16 is N/A on the real-data columns (empirical chains).
+	for i := 1; i < 5; i++ {
+		if !math.IsNaN(res.Seconds[MechGK16][i]) {
+			t.Errorf("%s: GK16 timing should be N/A", res.Datasets[i])
+		}
+	}
+	table := res.Render().String()
+	if !strings.Contains(table, "electricity") {
+		t.Errorf("Table 2 rendering wrong:\n%s", table)
+	}
+}
+
+func TestWorkedExamplesAllMatch(t *testing.T) {
+	examples, err := RunWorkedExamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) < 10 {
+		t.Fatalf("only %d worked examples", len(examples))
+	}
+	ok, bad := AllMatch(examples)
+	if !ok {
+		t.Errorf("worked examples diverge from the paper: %s", bad)
+	}
+	table := RenderWorkedExamples(examples).String()
+	if strings.Contains(table, "NO") {
+		t.Errorf("rendered mismatches:\n%s", table)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"x", "1"}, {"longer-cell", "2"}},
+	}
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "longer-cell") {
+		t.Errorf("render:\n%s", s)
+	}
+	if Fmt(math.NaN(), 3) != "N/A" || FmtG(math.NaN()) != "N/A" {
+		t.Error("NaN formatting wrong")
+	}
+	if Fmt(1.23456, 2) != "1.23" {
+		t.Error("Fmt precision wrong")
+	}
+}

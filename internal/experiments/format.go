@@ -1,0 +1,89 @@
+// Package experiments reproduces the paper's evaluation (Section 5):
+// the synthetic sweep of Figure 4's upper row, the physical-activity
+// histograms and error tables of Figure 4's lower row and Table 1, the
+// timing comparison of Table 2, the electricity errors of Table 3, and
+// the worked examples scattered through Sections 2–4. Each runner is
+// deterministic given its seed and returns a structured result that
+// the CLI renders and the benchmarks/tests assert on.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table in the style of the paper's
+// result tables.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if n := w - len([]rune(s)); n > 0 {
+		return s + strings.Repeat(" ", n)
+	}
+	return s
+}
+
+// Fmt formats a value for a table cell, rendering NaN as the paper's
+// "N/A".
+func Fmt(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "N/A"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// FmtG is Fmt with %g formatting for quantities spanning magnitudes
+// (timings, large errors).
+func FmtG(v float64) string {
+	if math.IsNaN(v) {
+		return "N/A"
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"pufferfish/internal/activity"
+	"pufferfish/internal/core"
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/power"
+)
+
+// TimingConfig parameterizes the Table 2 reproduction: wall-clock time
+// of the procedure that computes each mechanism's noise scale.
+type TimingConfig struct {
+	Eps float64
+	// Repeats is how many times each computation is averaged
+	// (paper: 5).
+	Repeats int
+	// SyntheticT and SyntheticGridStep control the synthetic column:
+	// the per-θ scale computation averaged over singleton classes with
+	// p0, p1 on a grid (the paper uses {0.1, 0.11, …, 0.9}; coarser
+	// grids give the same averages faster).
+	SyntheticT        int
+	SyntheticGridStep float64
+	// PowerT is the electricity series length.
+	PowerT int
+	// PopulationScale shrinks the activity cohorts for quick runs.
+	PopulationScale float64
+	Smoothing       float64
+	Seed            uint64
+}
+
+// DefaultTimingConfig returns paper-scale parameters (with a coarser
+// synthetic grid; see SyntheticGridStep).
+func DefaultTimingConfig() TimingConfig {
+	return TimingConfig{
+		Eps:               1,
+		Repeats:           5,
+		SyntheticT:        100,
+		SyntheticGridStep: 0.1,
+		PowerT:            1_000_000,
+		PopulationScale:   1,
+		Smoothing:         0.5,
+		Seed:              4,
+	}
+}
+
+// TimingResult is Table 2: seconds to compute the Laplace scale
+// parameter, per mechanism per dataset. NaN = N/A.
+type TimingResult struct {
+	Datasets []string
+	Seconds  map[string][]float64 // mechanism → per-dataset seconds
+}
+
+// TimingExperiment measures the scale-parameter computations.
+func TimingExperiment(cfg TimingConfig) (TimingResult, error) {
+	if cfg.Repeats < 1 {
+		return TimingResult{}, fmt.Errorf("experiments: invalid repeats %d", cfg.Repeats)
+	}
+	res := TimingResult{Seconds: map[string][]float64{
+		MechGK16: {}, MechApprox: {}, MechExact: {},
+	}}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xb5297a4d))
+
+	appendCol := func(name string, gk, ap, ex float64) {
+		res.Datasets = append(res.Datasets, name)
+		res.Seconds[MechGK16] = append(res.Seconds[MechGK16], gk)
+		res.Seconds[MechApprox] = append(res.Seconds[MechApprox], ap)
+		res.Seconds[MechExact] = append(res.Seconds[MechExact], ex)
+	}
+
+	// Synthetic column: average per-θ time over the grid.
+	gk, ap, ex, err := syntheticTimings(cfg)
+	if err != nil {
+		return TimingResult{}, err
+	}
+	appendCol("synthetic", gk, ap, ex)
+
+	// Activity cohorts.
+	for _, g := range activity.Groups {
+		profile := activity.DefaultProfile(g)
+		if cfg.PopulationScale < 1 && cfg.PopulationScale > 0 {
+			profile.Participants = maxInt(2, int(float64(profile.Participants)*cfg.PopulationScale))
+			profile.SessionsPerPerson = maxInt(3, int(float64(profile.SessionsPerPerson)*cfg.PopulationScale*2))
+		}
+		ds, err := activity.Generate(profile, rng)
+		if err != nil {
+			return TimingResult{}, err
+		}
+		chain, err := ds.EmpiricalChain(cfg.Smoothing)
+		if err != nil {
+			return TimingResult{}, err
+		}
+		class, err := markov.NewSingleton(chain, ds.LongestSession())
+		if err != nil {
+			return TimingResult{}, err
+		}
+		gk, ap, ex := classTimings(class, cfg.Eps, cfg.Repeats)
+		appendCol(g.String(), gk, ap, ex)
+	}
+
+	// Electricity.
+	series, err := power.DefaultHouse().Simulate(cfg.PowerT, rng)
+	if err != nil {
+		return TimingResult{}, err
+	}
+	chain, err := power.EmpiricalChain(series, cfg.Smoothing)
+	if err != nil {
+		return TimingResult{}, err
+	}
+	class, err := markov.NewSingleton(chain, cfg.PowerT)
+	if err != nil {
+		return TimingResult{}, err
+	}
+	gk, ap, ex = classTimings(class, cfg.Eps, cfg.Repeats)
+	appendCol("electricity", gk, ap, ex)
+
+	return res, nil
+}
+
+func syntheticTimings(cfg TimingConfig) (gk, ap, ex float64, err error) {
+	var ps []float64
+	for p := 0.1; p <= 0.9+1e-9; p += cfg.SyntheticGridStep {
+		ps = append(ps, p)
+	}
+	var nGK, nAll int
+	for _, p0 := range ps {
+		for _, p1 := range ps {
+			theta, errS := markov.BinaryChain(0.5, p0, p1).StationaryChain()
+			if errS != nil {
+				return 0, 0, 0, errS
+			}
+			class, errC := markov.NewFinite([]markov.Chain{theta}, cfg.SyntheticT)
+			if errC != nil {
+				return 0, 0, 0, errC
+			}
+			g, a, e := classTimings(class, cfg.Eps, cfg.Repeats)
+			if !math.IsNaN(g) {
+				gk += g
+				nGK++
+			}
+			ap += a
+			ex += e
+			nAll++
+		}
+	}
+	if nGK > 0 {
+		gk /= float64(nGK)
+	} else {
+		gk = math.NaN()
+	}
+	return gk, ap / float64(nAll), ex / float64(nAll), nil
+}
+
+// classTimings times the three scale computations on one class,
+// averaged over cfg repeats. GK16 returns NaN when inapplicable.
+func classTimings(class markov.Class, eps float64, repeats int) (gk, ap, ex float64) {
+	var gkTimes, apTimes, exTimes []float64
+	gkOK := true
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		_, err := core.GK16SigmaClass(class, eps)
+		gkTimes = append(gkTimes, time.Since(start).Seconds())
+		if err != nil {
+			gkOK = false
+		}
+
+		start = time.Now()
+		if _, err := core.ApproxScore(class, eps, core.ApproxOptions{}); err != nil {
+			return math.NaN(), math.NaN(), math.NaN()
+		}
+		apTimes = append(apTimes, time.Since(start).Seconds())
+
+		start = time.Now()
+		if _, err := core.ExactScore(class, eps, core.ExactOptions{}); err != nil {
+			return math.NaN(), math.NaN(), math.NaN()
+		}
+		exTimes = append(exTimes, time.Since(start).Seconds())
+	}
+	gk = floats.Mean(gkTimes)
+	if !gkOK {
+		gk = math.NaN()
+	}
+	return gk, floats.Mean(apTimes), floats.Mean(exTimes)
+}
+
+// Render formats Table 2.
+func (r TimingResult) Render() *Table {
+	t := &Table{
+		Title:  "Table 2: seconds to compute the Laplace scale parameter (ε = 1)",
+		Header: append([]string{"Algorithm"}, r.Datasets...),
+	}
+	for _, mech := range []string{MechGK16, MechApprox, MechExact} {
+		row := []string{mech}
+		for _, s := range r.Seconds[mech] {
+			row = append(row, FmtG(s))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

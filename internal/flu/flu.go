@@ -1,0 +1,230 @@
+// Package flu implements the paper's Example 2 substrate: flu status
+// over a social network whose interaction graph G_θ is a union of
+// cliques, with a per-clique distribution p_θ over the number of
+// infected members (Section 2.2). Within a clique the infected set is
+// exchangeable, which yields closed-form conditional distributions of
+// the infected count given one person's status — the ingredients the
+// Wasserstein Mechanism needs (Section 3.1's worked example).
+package flu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pufferfish/internal/core"
+	"pufferfish/internal/dist"
+)
+
+// Clique is one fully-connected component: Size people and a
+// distribution over how many of them are infected.
+type Clique struct {
+	Size int
+	// Count is the distribution of N ∈ {0, …, Size}, the number of
+	// infected members.
+	Count dist.Discrete
+}
+
+// FromProbs builds a clique from the probabilities of N = 0..len−1
+// infected (so Size = len(probs)−1), e.g. the Section 3.1 example
+// [0.1, 0.15, 0.5, 0.15, 0.1] for a 4-clique.
+func FromProbs(probs []float64) (Clique, error) {
+	if len(probs) < 2 {
+		return Clique{}, errors.New("flu: need at least probabilities for N=0 and N=1")
+	}
+	xs := make([]float64, len(probs))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	d, err := dist.New(xs, probs)
+	if err != nil {
+		return Clique{}, err
+	}
+	return Clique{Size: len(probs) - 1, Count: d}, nil
+}
+
+// Exponential builds the Section 2.2 example clique distribution
+// P(N = j) ∝ e^{λ·j} for j = 0..size.
+func Exponential(size int, lambda float64) (Clique, error) {
+	if size < 1 {
+		return Clique{}, fmt.Errorf("flu: invalid clique size %d", size)
+	}
+	probs := make([]float64, size+1)
+	var tot float64
+	for j := range probs {
+		probs[j] = math.Exp(lambda * float64(j))
+		tot += probs[j]
+	}
+	for j := range probs {
+		probs[j] /= tot
+	}
+	return FromProbs(probs)
+}
+
+// Model is one θ: a union of cliques.
+type Model struct {
+	Cliques []Clique
+}
+
+// NewModel validates the cliques.
+func NewModel(cliques []Clique) (*Model, error) {
+	if len(cliques) == 0 {
+		return nil, errors.New("flu: no cliques")
+	}
+	for i, c := range cliques {
+		if c.Size < 1 {
+			return nil, fmt.Errorf("flu: clique %d has size %d", i, c.Size)
+		}
+		if c.Count.Len() == 0 || c.Count.Support()[c.Count.Len()-1] > float64(c.Size) {
+			return nil, fmt.Errorf("flu: clique %d count distribution exceeds its size", i)
+		}
+	}
+	return &Model{Cliques: cliques}, nil
+}
+
+// N returns the total number of people.
+func (m *Model) N() int {
+	var n int
+	for _, c := range m.Cliques {
+		n += c.Size
+	}
+	return n
+}
+
+// LargestClique returns the size of the largest clique — the group-DP
+// sensitivity scale for the infected-count query.
+func (m *Model) LargestClique() int {
+	var mx int
+	for _, c := range m.Cliques {
+		if c.Size > mx {
+			mx = c.Size
+		}
+	}
+	return mx
+}
+
+// TotalInfectedDist returns the exact distribution of F = Σ_i X_i,
+// the convolution of the per-clique counts.
+func (m *Model) TotalInfectedDist() dist.Discrete {
+	ds := make([]dist.Discrete, len(m.Cliques))
+	for i, c := range m.Cliques {
+		ds[i] = c.Count
+	}
+	return dist.ConvolveAll(ds)
+}
+
+// memberProb returns P(X = 1) for a member of clique c: E[N]/size, by
+// exchangeability.
+func memberProb(c Clique) float64 {
+	return c.Count.Mean() / float64(c.Size)
+}
+
+// ConditionalCountDist returns the distribution of a clique's infected
+// count N given that one fixed member has status value ∈ {0, 1}:
+// P(N = j | X = 1) ∝ P(N = j)·j/size and
+// P(N = j | X = 0) ∝ P(N = j)·(1 − j/size), again by exchangeability.
+// It errors when the conditioning status has probability zero.
+func ConditionalCountDist(c Clique, value int) (dist.Discrete, error) {
+	p1 := memberProb(c)
+	var denom float64
+	if value == 1 {
+		denom = p1
+	} else {
+		denom = 1 - p1
+	}
+	if denom <= 0 {
+		return dist.Discrete{}, fmt.Errorf("flu: status %d has probability zero in this clique", value)
+	}
+	size := float64(c.Size)
+	xs := make([]float64, 0, c.Count.Len())
+	ps := make([]float64, 0, c.Count.Len())
+	for i := 0; i < c.Count.Len(); i++ {
+		j, pj := c.Count.Atom(i)
+		var w float64
+		if value == 1 {
+			w = j / size
+		} else {
+			w = 1 - j/size
+		}
+		if pj*w <= 0 {
+			continue
+		}
+		xs = append(xs, j)
+		ps = append(ps, pj*w/denom)
+	}
+	return dist.New(xs, ps)
+}
+
+// ConditionalTotalDist returns the distribution of the total infected
+// count F given that one member of clique idx has status value.
+func (m *Model) ConditionalTotalDist(idx, value int) (dist.Discrete, error) {
+	if idx < 0 || idx >= len(m.Cliques) {
+		return dist.Discrete{}, fmt.Errorf("flu: clique index %d out of range", idx)
+	}
+	cond, err := ConditionalCountDist(m.Cliques[idx], value)
+	if err != nil {
+		return dist.Discrete{}, err
+	}
+	others := make([]dist.Discrete, 0, len(m.Cliques))
+	others = append(others, cond)
+	for i, c := range m.Cliques {
+		if i != idx {
+			others = append(others, c.Count)
+		}
+	}
+	return dist.ConvolveAll(others), nil
+}
+
+// Sample draws one database: per clique, a count N from its
+// distribution, then a uniformly random infected subset of that size.
+// Records are concatenated clique by clique.
+func (m *Model) Sample(rng *rand.Rand) []int {
+	out := make([]int, 0, m.N())
+	for _, c := range m.Cliques {
+		n := int(c.Count.Sample(rng))
+		status := make([]int, c.Size)
+		for i := 0; i < n; i++ {
+			status[i] = 1
+		}
+		rng.Shuffle(len(status), func(i, j int) { status[i], status[j] = status[j], status[i] })
+		out = append(out, status...)
+	}
+	return out
+}
+
+// Instance adapts a class Θ of flu models to the Wasserstein
+// Mechanism: the secrets are each person's status, the query is the
+// total infected count. By exchangeability only one secret pair per
+// clique per model is needed.
+type Instance struct {
+	Models []*Model
+}
+
+// ConditionalPairs implements core.WassersteinInstance.
+func (in Instance) ConditionalPairs() ([]core.DistributionPair, error) {
+	if len(in.Models) == 0 {
+		return nil, errors.New("flu: empty model class")
+	}
+	var pairs []core.DistributionPair
+	for t, m := range in.Models {
+		for idx := range m.Cliques {
+			mu, err0 := m.ConditionalTotalDist(idx, 0)
+			nu, err1 := m.ConditionalTotalDist(idx, 1)
+			if err0 != nil || err1 != nil {
+				// A status with probability zero has no secret pair
+				// (Definition 2.1).
+				continue
+			}
+			pairs = append(pairs, core.DistributionPair{
+				Mu:    mu,
+				Nu:    nu,
+				Label: fmt.Sprintf("clique %d @ θ%d", idx, t+1),
+			})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, errors.New("flu: no admissible secret pairs")
+	}
+	return pairs, nil
+}

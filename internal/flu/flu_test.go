@@ -1,0 +1,188 @@
+package flu
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/core"
+	"pufferfish/internal/floats"
+)
+
+// section31Clique is the paper's Section 3.1 worked example: a
+// 4-clique with P(N = j) = [0.1, 0.15, 0.5, 0.15, 0.1].
+func section31Clique(t *testing.T) Clique {
+	t.Helper()
+	c, err := FromProbs([]float64{0.1, 0.15, 0.5, 0.15, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSection31Conditionals reproduces the paper's printed conditional
+// distributions: P(N|X_i=0) = [0.2, 0.225, 0.5, 0.075, 0] and
+// P(N|X_i=1) = [0, 0.075, 0.5, 0.225, 0.2].
+func TestSection31Conditionals(t *testing.T) {
+	c := section31Clique(t)
+	d0, err := ConditionalCountDist(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := map[float64]float64{0: 0.2, 1: 0.225, 2: 0.5, 3: 0.075}
+	for j, p := range want0 {
+		if !floats.Eq(d0.Prob(j), p, 1e-9) {
+			t.Errorf("P(N=%v|X=0) = %v, want %v", j, d0.Prob(j), p)
+		}
+	}
+	if d0.Prob(4) != 0 {
+		t.Error("P(N=4|X=0) should be 0")
+	}
+	d1, err := ConditionalCountDist(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := map[float64]float64{1: 0.075, 2: 0.5, 3: 0.225, 4: 0.2}
+	for j, p := range want1 {
+		if !floats.Eq(d1.Prob(j), p, 1e-9) {
+			t.Errorf("P(N=%v|X=1) = %v, want %v", j, d1.Prob(j), p)
+		}
+	}
+	if d1.Prob(0) != 0 {
+		t.Error("P(N=0|X=1) should be 0")
+	}
+}
+
+// TestSection31WassersteinScale reproduces the headline of the worked
+// example: W = 2, so the Wasserstein Mechanism adds Lap(2/ε) while
+// GroupDP adds Lap(4/ε).
+func TestSection31WassersteinScale(t *testing.T) {
+	m, err := NewModel([]Clique{section31Clique(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := core.WassersteinScale(Instance{Models: []*Model{m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(w, 2, 1e-9) {
+		t.Errorf("W = %v, want 2", w)
+	}
+	if m.LargestClique() != 4 {
+		t.Errorf("group sensitivity = %d, want 4", m.LargestClique())
+	}
+}
+
+func TestExponentialClique(t *testing.T) {
+	// The Section 2.2 example: P(N=j) ∝ e^{2j} on a clique.
+	c, err := Exponential(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio of consecutive masses must be e².
+	for j := 0; j < 3; j++ {
+		r := c.Count.Prob(float64(j+1)) / c.Count.Prob(float64(j))
+		if !floats.Eq(r, math.Exp(2), 1e-9) {
+			t.Errorf("mass ratio at %d = %v, want e²", j, r)
+		}
+	}
+	if _, err := Exponential(0, 1); err == nil {
+		t.Error("size-0 clique accepted")
+	}
+}
+
+func TestTotalInfectedDist(t *testing.T) {
+	c := section31Clique(t)
+	m, err := NewModel([]Clique{c, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := m.TotalInfectedDist()
+	if !floats.Eq(total.Mean(), 4, 1e-9) { // 2 cliques × mean 2
+		t.Errorf("mean total = %v, want 4", total.Mean())
+	}
+	if total.Support()[0] != 0 || total.Support()[total.Len()-1] != 8 {
+		t.Errorf("support = %v", total.Support())
+	}
+	if m.N() != 8 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+// TestConditionalMixture: mixing the conditionals with the member
+// marginal recovers the unconditional count (Bayes consistency).
+func TestConditionalMixture(t *testing.T) {
+	c := section31Clique(t)
+	p1 := c.Count.Mean() / 4
+	d0, _ := ConditionalCountDist(c, 0)
+	d1, _ := ConditionalCountDist(c, 1)
+	for j := 0.0; j <= 4; j++ {
+		mix := (1-p1)*d0.Prob(j) + p1*d1.Prob(j)
+		if !floats.Eq(mix, c.Count.Prob(j), 1e-9) {
+			t.Errorf("mixture at %v = %v, want %v", j, mix, c.Count.Prob(j))
+		}
+	}
+}
+
+func TestSampleMatchesModel(t *testing.T) {
+	c := section31Clique(t)
+	m, _ := NewModel([]Clique{c, c, c})
+	rng := rand.New(rand.NewPCG(21, 22))
+	trials := 60000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		data := m.Sample(rng)
+		if len(data) != 12 {
+			t.Fatalf("sample length %d", len(data))
+		}
+		for _, x := range data {
+			sum += float64(x)
+		}
+	}
+	mean := sum / float64(trials)
+	if math.Abs(mean-6) > 0.05 { // 3 cliques × mean 2
+		t.Errorf("empirical mean infected = %v, want 6", mean)
+	}
+}
+
+func TestDeterministicStatusSkipped(t *testing.T) {
+	// Everyone always infected: X=0 has probability zero, so there is
+	// no admissible secret pair and the instance must say so.
+	all, err := FromProbs([]float64{0, 0, 1}) // N=2 surely on a 2-clique
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel([]Clique{all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Instance{Models: []*Model{m}}).ConditionalPairs(); err == nil {
+		t.Error("expected no-admissible-pairs error")
+	}
+}
+
+func TestWassersteinBeatsGroupDPOnFluExample(t *testing.T) {
+	// Theorem 3.3 instantiated: W ≤ largest-clique sensitivity, with
+	// strict advantage in the worked example (2 < 4).
+	m, _ := NewModel([]Clique{section31Clique(t)})
+	w, _, err := core.WassersteinScale(Instance{Models: []*Model{m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w >= float64(m.LargestClique()) {
+		t.Errorf("W = %v not better than group sensitivity %d", w, m.LargestClique())
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(nil); err == nil {
+		t.Error("empty model accepted")
+	}
+	bad := Clique{Size: 1, Count: section31Clique(t).Count} // support up to 4 > size 1
+	if _, err := NewModel([]Clique{bad}); err == nil {
+		t.Error("count distribution exceeding clique size accepted")
+	}
+	if _, err := FromProbs([]float64{1}); err == nil {
+		t.Error("single-probability clique accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package laplace
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/floats"
+)
+
+func TestNewPanicsOnBadScale(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	d := New(1.5)
+	// Trapezoid over [-30, 30].
+	var sum float64
+	h := 0.001
+	for x := -30.0; x <= 30; x += h {
+		sum += d.PDF(x) * h
+	}
+	if !floats.Eq(sum, 1, 1e-3) {
+		t.Errorf("PDF integral = %v", sum)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	d := New(2)
+	if !floats.Eq(d.CDF(0), 0.5, 1e-12) {
+		t.Errorf("CDF(0) = %v", d.CDF(0))
+	}
+	if !floats.Eq(d.CDF(2)+d.CDF(-2), 1, 1e-12) {
+		t.Error("CDF not symmetric")
+	}
+	if d.CDF(50) < 0.999999 || d.CDF(-50) > 1e-6 {
+		t.Error("CDF tails wrong")
+	}
+}
+
+func TestLogPDFMatchesPDF(t *testing.T) {
+	d := New(0.7)
+	for _, x := range []float64{-3, -0.5, 0, 1, 10} {
+		if !floats.Eq(math.Exp(d.LogPDF(x)), d.PDF(x), 1e-12) {
+			t.Errorf("LogPDF mismatch at %v", x)
+		}
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	d := New(3)
+	rng := rand.New(rand.NewPCG(7, 8))
+	n := 400000
+	var sum, sumAbs, sumSq float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(rng)
+		sum += x
+		sumAbs += math.Abs(x)
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	meanAbs := sumAbs / float64(n)
+	variance := sumSq / float64(n)
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("sample mean = %v, want ≈0", mean)
+	}
+	if !floats.Eq(meanAbs, d.MeanAbs(), 0.02) {
+		t.Errorf("sample E|X| = %v, want %v", meanAbs, d.MeanAbs())
+	}
+	if math.Abs(variance-d.Variance()) > 0.3 {
+		t.Errorf("sample variance = %v, want %v", variance, d.Variance())
+	}
+}
+
+// TestSampleLikelihoodRatio checks the core DP property of the noise
+// source directly: for outputs w, the density ratio
+// PDF(w−f1)/PDF(w−f2) is within exp(|f1−f2|/σ).
+func TestSampleLikelihoodRatio(t *testing.T) {
+	d := New(2)
+	f1, f2 := 1.0, 2.5
+	bound := math.Exp(math.Abs(f1-f2) / d.Scale)
+	for _, w := range floats.Linspace(-10, 10, 101) {
+		ratio := d.PDF(w-f1) / d.PDF(w-f2)
+		if ratio > bound+1e-9 || 1/ratio > bound+1e-9 {
+			t.Fatalf("likelihood ratio %v at w=%v exceeds bound %v", ratio, w, bound)
+		}
+	}
+}
+
+func TestAddNoise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	in := []float64{1, 2, 3}
+	out := AddNoise(in, 0.5, rng)
+	if len(out) != 3 {
+		t.Fatal("wrong length")
+	}
+	if !floats.EqSlices(in, []float64{1, 2, 3}, 0) {
+		t.Error("input mutated")
+	}
+	same := true
+	for i := range in {
+		if in[i] != out[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("no noise added")
+	}
+}
+
+func TestSampleDeterministicWithSeed(t *testing.T) {
+	a := New(1).SampleVec(5, rand.New(rand.NewPCG(1, 2)))
+	b := New(1).SampleVec(5, rand.New(rand.NewPCG(1, 2)))
+	if !floats.EqSlices(a, b, 0) {
+		t.Error("same seed should give identical samples")
+	}
+}

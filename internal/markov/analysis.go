@@ -1,0 +1,319 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pufferfish/internal/eigen"
+	"pufferfish/internal/matrix"
+)
+
+// ErrReducible is returned by analyses that require an irreducible
+// chain (Lemma 4.8 hypotheses).
+var ErrReducible = errors.New("markov: chain is not irreducible")
+
+// Irreducible reports whether the support graph of P is strongly
+// connected (single communicating class).
+func (c Chain) Irreducible() bool {
+	k := c.K()
+	return reachesAll(c.P, k, false) && reachesAll(c.P, k, true)
+}
+
+// reachesAll runs a BFS from state 0 over the support graph (or its
+// transpose) and reports whether every state is reached. Strong
+// connectivity ⇔ both directions reach all states from any one state.
+func reachesAll(p *matrix.Dense, k int, transpose bool) bool {
+	seen := make([]bool, k)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < k; v++ {
+			var edge float64
+			if transpose {
+				edge = p.At(v, u)
+			} else {
+				edge = p.At(u, v)
+			}
+			if edge > 0 && !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == k
+}
+
+// Period returns the period of an irreducible chain: the gcd of all
+// cycle lengths through state 0, computed from BFS levels (for edge
+// u→v in the support graph, gcd accumulates level(u)+1−level(v)).
+func (c Chain) Period() (int, error) {
+	if !c.Irreducible() {
+		return 0, ErrReducible
+	}
+	k := c.K()
+	level := make([]int, k)
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	queue := []int{0}
+	g := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < k; v++ {
+			if c.P.At(u, v) <= 0 {
+				continue
+			}
+			if level[v] == -1 {
+				level[v] = level[u] + 1
+				queue = append(queue, v)
+			} else {
+				g = gcd(g, abs(level[u]+1-level[v]))
+			}
+		}
+	}
+	if g == 0 {
+		// A single cycle with no chords: its length is the period.
+		// This happens for permutation matrices; recover the cycle
+		// length through state 0.
+		g = cycleLenThrough0(c.P, k)
+	}
+	return g, nil
+}
+
+func cycleLenThrough0(p *matrix.Dense, k int) int {
+	cur, steps := 0, 0
+	for {
+		next := -1
+		for v := 0; v < k; v++ {
+			if p.At(cur, v) > 0 {
+				next = v
+				break
+			}
+		}
+		cur = next
+		steps++
+		if cur == 0 || steps > k+1 {
+			return steps
+		}
+	}
+}
+
+// Aperiodic reports whether an irreducible chain has period one.
+func (c Chain) Aperiodic() (bool, error) {
+	p, err := c.Period()
+	if err != nil {
+		return false, err
+	}
+	return p == 1, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Stationary returns the stationary distribution π with πP = π,
+// computed by a direct linear solve (replace one balance equation with
+// the normalization Σπ = 1). Requires irreducibility for uniqueness.
+func (c Chain) Stationary() ([]float64, error) {
+	if !c.Irreducible() {
+		return nil, ErrReducible
+	}
+	k := c.K()
+	// Build A = Pᵀ − I with the last row replaced by ones; solve
+	// A·π = e_k.
+	a := c.P.T()
+	for i := 0; i < k; i++ {
+		a.Set(i, i, a.At(i, i)-1)
+	}
+	for j := 0; j < k; j++ {
+		a.Set(k-1, j, 1)
+	}
+	b := make([]float64, k)
+	b[k-1] = 1
+	pi, err := matrix.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: stationary solve failed: %w", err)
+	}
+	// Clean tiny negatives from roundoff.
+	var sum float64
+	for i := range pi {
+		if pi[i] < 0 && pi[i] > -1e-12 {
+			pi[i] = 0
+		}
+		if pi[i] < 0 {
+			return nil, fmt.Errorf("markov: stationary solve produced negative mass %v", pi[i])
+		}
+		sum += pi[i]
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi, nil
+}
+
+// StationaryChain returns a copy of the chain started from its
+// stationary distribution, the setting in which MQMExact's score is
+// independent of the node index (Section 4.4.1).
+func (c Chain) StationaryChain() (Chain, error) {
+	pi, err := c.Stationary()
+	if err != nil {
+		return Chain{}, err
+	}
+	return c.WithInit(pi)
+}
+
+// TimeReversal returns the transition matrix P* of the time-reversal
+// chain (Definition 4.7): P*(x,y)·π(x) = P(y,x)·π(y).
+func (c Chain) TimeReversal() (*matrix.Dense, error) {
+	pi, err := c.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	k := c.K()
+	rev := matrix.NewDense(k, k)
+	for x := 0; x < k; x++ {
+		if pi[x] == 0 {
+			return nil, fmt.Errorf("markov: state %d has zero stationary mass; time reversal undefined", x)
+		}
+		for y := 0; y < k; y++ {
+			rev.Set(x, y, c.P.At(y, x)*pi[y]/pi[x])
+		}
+	}
+	return rev, nil
+}
+
+// Reversible reports whether the chain satisfies detailed balance
+// π(x)P(x,y) = π(y)P(y,x) within tol.
+func (c Chain) Reversible(tol float64) (bool, error) {
+	pi, err := c.Stationary()
+	if err != nil {
+		return false, err
+	}
+	k := c.K()
+	for x := 0; x < k; x++ {
+		for y := x + 1; y < k; y++ {
+			if math.Abs(pi[x]*c.P.At(x, y)-pi[y]*c.P.At(y, x)) > tol {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// PiMin returns min_x π(x), the chain's contribution to π^min_Θ
+// (eq 6).
+func (c Chain) PiMin() (float64, error) {
+	pi, err := c.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	m := pi[0]
+	for _, v := range pi[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m, nil
+}
+
+// EigengapMultiplicative returns g = min{1 − |λ| : PP*x = λx, |λ|<1},
+// the eigengap of the multiplicative reversibilization P·P* used in
+// eq 7 and Lemma C.2's non-reversible branch.
+func (c Chain) EigengapMultiplicative() (float64, error) {
+	rev, err := c.TimeReversal()
+	if err != nil {
+		return 0, err
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	return eigengapOf(c.P.Mul(rev), pi)
+}
+
+// EigengapReversible returns g = 2·min{1 − |λ| : Px = λx, |λ|<1} for a
+// reversible chain — the overloaded definition in eq 14 that yields
+// the tighter Lemma C.1 bounds. It returns an error if the chain is
+// not reversible.
+func (c Chain) EigengapReversible() (float64, error) {
+	ok, err := c.Reversible(1e-9)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, errors.New("markov: chain is not reversible")
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	g, err := eigengapOf(c.P, pi)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * g, nil
+}
+
+// Eigengap returns the gap per the overloaded eq 14: the reversible
+// definition when the chain is reversible, otherwise the
+// multiplicative-reversibilization definition.
+func (c Chain) Eigengap() (float64, error) {
+	ok, err := c.Reversible(1e-9)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return c.EigengapReversible()
+	}
+	return c.EigengapMultiplicative()
+}
+
+// eigengapOf computes min{1−|λ| : Mx = λx, |λ| < 1} for a kernel M
+// that is reversible with respect to pi, by the similarity transform
+// S = D^{1/2}·M·D^{−1/2} (D = diag π), which is symmetric with the
+// same spectrum, then cyclic Jacobi.
+func eigengapOf(m *matrix.Dense, pi []float64) (float64, error) {
+	k, _ := m.Dims()
+	s := matrix.NewDense(k, k)
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			if pi[x] <= 0 || pi[y] <= 0 {
+				return 0, fmt.Errorf("markov: zero stationary mass prevents symmetrization")
+			}
+			s.Set(x, y, math.Sqrt(pi[x]/pi[y])*m.At(x, y))
+		}
+	}
+	// Roundoff can leave S slightly asymmetric; symmetrize explicitly.
+	for x := 0; x < k; x++ {
+		for y := x + 1; y < k; y++ {
+			avg := (s.At(x, y) + s.At(y, x)) / 2
+			s.Set(x, y, avg)
+			s.Set(y, x, avg)
+		}
+	}
+	lambda, ok, err := eigen.SecondLargestAbs(s, 1e-9)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, errors.New("markov: no spectral gap (all eigenvalues on the unit circle)")
+	}
+	return 1 - lambda, nil
+}

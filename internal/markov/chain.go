@@ -1,0 +1,174 @@
+// Package markov implements discrete-time, finite-state,
+// time-homogeneous Markov chains and the chain-theoretic quantities
+// Section 4.4 of the paper builds MQMExact and MQMApprox from:
+// stationary distributions, the time-reversal chain (Definition 4.7),
+// the eigengap g_Θ (eq 7, and the reversible overload of eq 14), the
+// minimum stationary mass π^min_Θ (eq 6), irreducibility and
+// aperiodicity checks, empirical estimation, and the distribution
+// classes Θ used in the experiments.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/matrix"
+)
+
+// probTol is the tolerance for validating stochastic vectors/matrices.
+const probTol = 1e-8
+
+// Chain is a time-homogeneous Markov chain over states {0, …, k−1}
+// with initial distribution Init and row-stochastic transition matrix
+// P: P.At(x, y) = P(X_{t+1} = y | X_t = x).
+type Chain struct {
+	Init []float64
+	P    *matrix.Dense
+}
+
+// New validates and returns a chain. The initial distribution must be
+// a probability vector of length k and P a k×k row-stochastic matrix.
+func New(init []float64, p *matrix.Dense) (Chain, error) {
+	c := Chain{Init: init, P: p}
+	if err := c.Validate(); err != nil {
+		return Chain{}, err
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error, for tests and fixtures.
+func MustNew(init []float64, p *matrix.Dense) Chain {
+	c, err := New(init, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewFromRows builds a chain from slice literals.
+func NewFromRows(init []float64, rows [][]float64) (Chain, error) {
+	return New(init, matrix.FromRows(rows))
+}
+
+// Validate checks the stochasticity constraints.
+func (c Chain) Validate() error {
+	if c.P == nil {
+		return errors.New("markov: nil transition matrix")
+	}
+	r, cl := c.P.Dims()
+	if r != cl {
+		return fmt.Errorf("markov: transition matrix is %d×%d, not square", r, cl)
+	}
+	if len(c.Init) != r {
+		return fmt.Errorf("markov: initial distribution has length %d, want %d", len(c.Init), r)
+	}
+	if !floats.IsProbVector(c.Init, probTol) {
+		return fmt.Errorf("markov: initial distribution %v is not a probability vector", c.Init)
+	}
+	for i := 0; i < r; i++ {
+		if !floats.IsProbVector(c.P.RawRow(i), probTol) {
+			return fmt.Errorf("markov: transition row %d is not a probability vector: %v", i, c.P.Row(i))
+		}
+	}
+	return nil
+}
+
+// K returns the number of states.
+func (c Chain) K() int {
+	r, _ := c.P.Dims()
+	return r
+}
+
+// Clone returns a deep copy.
+func (c Chain) Clone() Chain {
+	init := make([]float64, len(c.Init))
+	copy(init, c.Init)
+	return Chain{Init: init, P: c.P.Clone()}
+}
+
+// WithInit returns a copy of the chain with a different initial
+// distribution (the transition matrix is shared).
+func (c Chain) WithInit(init []float64) (Chain, error) {
+	nc := Chain{Init: init, P: c.P}
+	if err := nc.Validate(); err != nil {
+		return Chain{}, err
+	}
+	return nc, nil
+}
+
+// Sample draws a trajectory X_1, …, X_T.
+func (c Chain) Sample(T int, rng *rand.Rand) []int {
+	if T <= 0 {
+		return nil
+	}
+	out := make([]int, T)
+	out[0] = sampleIndex(c.Init, rng)
+	for t := 1; t < T; t++ {
+		out[t] = sampleIndex(c.P.RawRow(out[t-1]), rng)
+	}
+	return out
+}
+
+func sampleIndex(probs []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += p
+		if u < cum {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// Marginals returns the marginal distributions m_i = P(X_i = ·) for
+// i = 1..T as rows of a T×k slice (index 0 is X_1 = Init).
+func (c Chain) Marginals(T int) [][]float64 {
+	out := make([][]float64, T)
+	cur := make([]float64, len(c.Init))
+	copy(cur, c.Init)
+	for t := 0; t < T; t++ {
+		row := make([]float64, len(cur))
+		copy(row, cur)
+		out[t] = row
+		if t < T-1 {
+			cur = c.P.VecMul(cur)
+		}
+	}
+	return out
+}
+
+// PowerCache memoizes consecutive powers P, P², …, Pⁿ of a transition
+// matrix. MQMExact evaluates transition kernels at every quilt
+// distance up to ℓ; sharing one cache makes that O(ℓk³) total.
+type PowerCache struct {
+	p      *matrix.Dense
+	powers []*matrix.Dense // powers[i] = P^(i+1)
+}
+
+// NewPowerCache returns an empty cache for p.
+func NewPowerCache(p *matrix.Dense) *PowerCache {
+	return &PowerCache{p: p}
+}
+
+// Pow returns P^n for n ≥ 0, extending the cache as needed.
+func (pc *PowerCache) Pow(n int) *matrix.Dense {
+	if n < 0 {
+		panic("markov: negative power")
+	}
+	if n == 0 {
+		r, _ := pc.p.Dims()
+		return matrix.Identity(r)
+	}
+	for len(pc.powers) < n {
+		if len(pc.powers) == 0 {
+			pc.powers = append(pc.powers, pc.p.Clone())
+			continue
+		}
+		last := pc.powers[len(pc.powers)-1]
+		pc.powers = append(pc.powers, last.Mul(pc.p))
+	}
+	return pc.powers[n-1]
+}

@@ -1,0 +1,327 @@
+package markov
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/matrix"
+)
+
+// theta1 and theta2 are the Section 4.4 running example chains.
+func theta1() Chain {
+	return MustNew([]float64{1, 0}, matrix.FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}}))
+}
+
+func theta2() Chain {
+	return MustNew([]float64{0.9, 0.1}, matrix.FromRows([][]float64{{0.8, 0.2}, {0.3, 0.7}}))
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := NewFromRows([]float64{0.5, 0.5}, [][]float64{{0.9, 0.1}, {0.4, 0.6}}); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+	if _, err := NewFromRows([]float64{0.7, 0.5}, [][]float64{{0.9, 0.1}, {0.4, 0.6}}); err == nil {
+		t.Error("bad init accepted")
+	}
+	if _, err := NewFromRows([]float64{0.5, 0.5}, [][]float64{{0.9, 0.2}, {0.4, 0.6}}); err == nil {
+		t.Error("non-stochastic row accepted")
+	}
+	if _, err := NewFromRows([]float64{1}, [][]float64{{0.9, 0.1}, {0.4, 0.6}}); err == nil {
+		t.Error("wrong init length accepted")
+	}
+}
+
+// TestStationaryRunningExample checks the paper's stationary values:
+// θ1 has π = [0.8, 0.2] and θ2 has π = [0.6, 0.4] (Section 4.4.2).
+func TestStationaryRunningExample(t *testing.T) {
+	pi1, err := theta1().Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(pi1, []float64{0.8, 0.2}, 1e-9) {
+		t.Errorf("π(θ1) = %v, want [0.8 0.2]", pi1)
+	}
+	pi2, err := theta2().Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(pi2, []float64{0.6, 0.4}, 1e-9) {
+		t.Errorf("π(θ2) = %v, want [0.6 0.4]", pi2)
+	}
+	// π^min values quoted in the paper: 0.2 and 0.4.
+	if v, _ := theta1().PiMin(); !floats.Eq(v, 0.2, 1e-9) {
+		t.Errorf("PiMin(θ1) = %v", v)
+	}
+	if v, _ := theta2().PiMin(); !floats.Eq(v, 0.4, 1e-9) {
+		t.Errorf("PiMin(θ2) = %v", v)
+	}
+}
+
+// TestTimeReversalRunningExample: the paper notes both running-example
+// chains equal their own time reversal (two-state chains are
+// reversible).
+func TestTimeReversalRunningExample(t *testing.T) {
+	for _, c := range []Chain{theta1(), theta2()} {
+		rev, err := c.TimeReversal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < 2; x++ {
+			for y := 0; y < 2; y++ {
+				if !floats.Eq(rev.At(x, y), c.P.At(x, y), 1e-9) {
+					t.Errorf("P* != P at (%d,%d): %v vs %v", x, y, rev.At(x, y), c.P.At(x, y))
+				}
+			}
+		}
+		ok, err := c.Reversible(1e-9)
+		if err != nil || !ok {
+			t.Errorf("chain should be reversible (ok=%v err=%v)", ok, err)
+		}
+	}
+}
+
+// TestEigengapRunningExample: the paper computes the eigengap of
+// P·P* as 0.75 for both θ1 and θ2 (Section 4.4.2).
+func TestEigengapRunningExample(t *testing.T) {
+	for i, c := range []Chain{theta1(), theta2()} {
+		g, err := c.EigengapMultiplicative()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floats.Eq(g, 0.75, 1e-9) {
+			t.Errorf("θ%d: multiplicative eigengap = %v, want 0.75", i+1, g)
+		}
+	}
+	// Reversible overload: λ2(θ1) = 0.5 → g = 2·(1−0.5) = 1.
+	g, err := theta1().EigengapReversible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(g, 1.0, 1e-9) {
+		t.Errorf("reversible eigengap(θ1) = %v, want 1", g)
+	}
+}
+
+func TestStationaryIsInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 29))
+		c := randomIrreducibleChain(r, 2+r.IntN(5))
+		pi, err := c.Stationary()
+		if err != nil {
+			return false
+		}
+		return floats.EqSlices(c.P.VecMul(pi), pi, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeReversalProperties(t *testing.T) {
+	// P* is stochastic, has the same stationary distribution, and
+	// (P*)* = P.
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 31))
+		c := randomIrreducibleChain(r, 2+r.IntN(4))
+		rev, err := c.TimeReversal()
+		if err != nil {
+			return false
+		}
+		k := c.K()
+		for i := 0; i < k; i++ {
+			if !floats.IsProbVector(rev.RawRow(i), 1e-8) {
+				return false
+			}
+		}
+		pi, _ := c.Stationary()
+		revChain := MustNew(pi, rev)
+		pi2, err := revChain.Stationary()
+		if err != nil || !floats.EqSlices(pi, pi2, 1e-7) {
+			return false
+		}
+		back, err := revChain.TimeReversal()
+		if err != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if !floats.EqSlices(back.RawRow(i), c.P.RawRow(i), 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIrreducibleAndPeriod(t *testing.T) {
+	// Reducible: absorbing state.
+	red := MustNew([]float64{0.5, 0.5}, matrix.FromRows([][]float64{{1, 0}, {0.5, 0.5}}))
+	if red.Irreducible() {
+		t.Error("absorbing chain reported irreducible")
+	}
+	if _, err := red.Stationary(); err == nil {
+		t.Error("Stationary should fail on reducible chain")
+	}
+	// Periodic: two-cycle.
+	per := MustNew([]float64{1, 0}, matrix.FromRows([][]float64{{0, 1}, {1, 0}}))
+	if !per.Irreducible() {
+		t.Error("two-cycle should be irreducible")
+	}
+	if p, err := per.Period(); err != nil || p != 2 {
+		t.Errorf("period = %v err=%v, want 2", p, err)
+	}
+	if ok, _ := per.Aperiodic(); ok {
+		t.Error("two-cycle reported aperiodic")
+	}
+	// Aperiodic.
+	if p, err := theta1().Period(); err != nil || p != 1 {
+		t.Errorf("θ1 period = %v err=%v, want 1", p, err)
+	}
+	// Three-cycle period.
+	cyc3 := MustNew([]float64{1, 0, 0}, matrix.FromRows([][]float64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}}))
+	if p, err := cyc3.Period(); err != nil || p != 3 {
+		t.Errorf("3-cycle period = %v err=%v, want 3", p, err)
+	}
+}
+
+func TestMarginals(t *testing.T) {
+	c := theta1()
+	m := c.Marginals(3)
+	if !floats.EqSlices(m[0], []float64{1, 0}, 0) {
+		t.Errorf("m1 = %v", m[0])
+	}
+	if !floats.EqSlices(m[1], []float64{0.9, 0.1}, 1e-12) {
+		t.Errorf("m2 = %v", m[1])
+	}
+	// m3 = m2·P = [0.9·0.9+0.1·0.4, 0.9·0.1+0.1·0.6] = [0.85, 0.15]
+	if !floats.EqSlices(m[2], []float64{0.85, 0.15}, 1e-12) {
+		t.Errorf("m3 = %v", m[2])
+	}
+}
+
+func TestPowerCache(t *testing.T) {
+	c := theta1()
+	pc := NewPowerCache(c.P)
+	for _, n := range []int{3, 1, 5, 0, 2} {
+		want := c.P.Pow(n)
+		got := pc.Pow(n)
+		r, cols := want.Dims()
+		for i := 0; i < r; i++ {
+			for j := 0; j < cols; j++ {
+				if !floats.Eq(got.At(i, j), want.At(i, j), 1e-12) {
+					t.Fatalf("Pow(%d) mismatch at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleMatchesMarginals(t *testing.T) {
+	c := theta2()
+	rng := rand.New(rand.NewPCG(41, 42))
+	T := 5
+	n := 100000
+	counts := make([][]float64, T)
+	for i := range counts {
+		counts[i] = make([]float64, 2)
+	}
+	for i := 0; i < n; i++ {
+		seq := c.Sample(T, rng)
+		for t2, x := range seq {
+			counts[t2][x]++
+		}
+	}
+	marg := c.Marginals(T)
+	for t2 := 0; t2 < T; t2++ {
+		for x := 0; x < 2; x++ {
+			got := counts[t2][x] / float64(n)
+			if math.Abs(got-marg[t2][x]) > 0.01 {
+				t.Errorf("empirical P(X_%d=%d) = %v, want %v", t2+1, x, got, marg[t2][x])
+			}
+		}
+	}
+}
+
+func TestEstimateRecoversChain(t *testing.T) {
+	truth := BinaryChain(0.6, 0.85, 0.7)
+	rng := rand.New(rand.NewPCG(51, 52))
+	var seqs [][]int
+	for i := 0; i < 200; i++ {
+		seqs = append(seqs, truth.Sample(500, rng))
+	}
+	est, err := Estimate(seqs, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.P.At(0, 0)-0.85) > 0.01 || math.Abs(est.P.At(1, 1)-0.7) > 0.01 {
+		t.Errorf("estimated P = %v", est.P)
+	}
+	if math.Abs(est.Init[0]-0.6) > 0.05 {
+		t.Errorf("estimated init = %v", est.Init)
+	}
+}
+
+func TestEstimateSmoothingKeepsIrreducible(t *testing.T) {
+	// A sequence that never visits state 2 as a source.
+	seqs := [][]int{{0, 1, 0, 1, 0}}
+	c, err := Estimate(seqs, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Irreducible() {
+		t.Error("smoothed estimate should be irreducible")
+	}
+	if _, err := Estimate(nil, 3, 0); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Estimate([][]int{{5}}, 3, 0); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+}
+
+func TestEstimateStationary(t *testing.T) {
+	truth := BinaryChain(0.1, 0.9, 0.6)
+	rng := rand.New(rand.NewPCG(61, 62))
+	seqs := [][]int{truth.Sample(20000, rng)}
+	c, err := EstimateStationary(seqs, 2, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(c.Init, pi, 1e-9) {
+		t.Errorf("init %v != stationary %v", c.Init, pi)
+	}
+}
+
+func randomIrreducibleChain(r *rand.Rand, k int) Chain {
+	rows := make([][]float64, k)
+	for i := range rows {
+		rows[i] = make([]float64, k)
+		var tot float64
+		for j := range rows[i] {
+			rows[i][j] = r.Float64() + 0.02 // strictly positive → irreducible
+			tot += rows[i][j]
+		}
+		for j := range rows[i] {
+			rows[i][j] /= tot
+		}
+	}
+	init := make([]float64, k)
+	var tot float64
+	for i := range init {
+		init[i] = r.Float64() + 0.01
+		tot += init[i]
+	}
+	for i := range init {
+		init[i] /= tot
+	}
+	return MustNew(init, matrix.FromRows(rows))
+}

@@ -1,0 +1,277 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/matrix"
+)
+
+// Class is a distribution class Θ of Markov chains over a common
+// state space and chain length — the third component of a Pufferfish
+// instantiation (S, Q, Θ) in the Section 4.4 setting.
+//
+// Exact mechanisms iterate Chains(); the approximate mechanism only
+// needs the two scalars π^min_Θ (eq 6) and g_Θ (eq 14).
+type Class interface {
+	// K is the number of states.
+	K() int
+	// T is the chain length (number of nodes X_1 … X_T).
+	T() int
+	// Chains enumerates representative chains. For classes over a
+	// continuum of parameters this is a documented finite grid.
+	Chains() []Chain
+	// PiMin returns π^min_Θ = min_{x,θ} π_θ(x).
+	PiMin() (float64, error)
+	// Gap returns g_Θ per the overloaded eq 14 (the reversible
+	// definition when every chain in the class is reversible).
+	Gap() (float64, error)
+	// Reversible reports whether every chain in the class is
+	// reversible, enabling the tighter Lemma C.1 bounds.
+	Reversible() (bool, error)
+	// AllInitialDistributions reports whether Θ pairs every
+	// transition matrix with the full probability simplex of initial
+	// distributions, enabling the Appendix C.4 closed-form
+	// optimization in MQMExact.
+	AllInitialDistributions() bool
+}
+
+// Singleton is the class Θ = {θ}, the setting of the paper's
+// real-data experiments (Section 5.3).
+type Singleton struct {
+	Chain Chain
+	Len   int
+}
+
+// NewSingleton validates and wraps a single chain of length T.
+func NewSingleton(c Chain, T int) (*Singleton, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if T < 1 {
+		return nil, fmt.Errorf("markov: chain length %d < 1", T)
+	}
+	return &Singleton{Chain: c, Len: T}, nil
+}
+
+// K implements Class.
+func (s *Singleton) K() int { return s.Chain.K() }
+
+// T implements Class.
+func (s *Singleton) T() int { return s.Len }
+
+// Chains implements Class.
+func (s *Singleton) Chains() []Chain { return []Chain{s.Chain} }
+
+// PiMin implements Class.
+func (s *Singleton) PiMin() (float64, error) { return s.Chain.PiMin() }
+
+// Gap implements Class.
+func (s *Singleton) Gap() (float64, error) { return s.Chain.Eigengap() }
+
+// Reversible implements Class.
+func (s *Singleton) Reversible() (bool, error) { return s.Chain.Reversible(1e-9) }
+
+// AllInitialDistributions implements Class.
+func (s *Singleton) AllInitialDistributions() bool { return false }
+
+// Finite is an explicit finite class Θ = {θ_1, …, θ_m}, as in the
+// paper's Section 2.2 and Section 4.4 running examples.
+type Finite struct {
+	Cs      []Chain
+	Len     int
+	AllQ    bool // class contains all initial distributions per matrix
+	revMemo *bool
+}
+
+// NewFinite validates and wraps an explicit set of chains.
+func NewFinite(cs []Chain, T int) (*Finite, error) {
+	if len(cs) == 0 {
+		return nil, errors.New("markov: empty class")
+	}
+	k := cs[0].K()
+	for i, c := range cs {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("markov: chain %d: %w", i, err)
+		}
+		if c.K() != k {
+			return nil, fmt.Errorf("markov: chain %d has %d states, want %d", i, c.K(), k)
+		}
+	}
+	if T < 1 {
+		return nil, fmt.Errorf("markov: chain length %d < 1", T)
+	}
+	return &Finite{Cs: cs, Len: T}, nil
+}
+
+// K implements Class.
+func (f *Finite) K() int { return f.Cs[0].K() }
+
+// T implements Class.
+func (f *Finite) T() int { return f.Len }
+
+// Chains implements Class.
+func (f *Finite) Chains() []Chain { return f.Cs }
+
+// PiMin implements Class.
+func (f *Finite) PiMin() (float64, error) {
+	best := math.Inf(1)
+	for _, c := range f.Cs {
+		v, err := c.PiMin()
+		if err != nil {
+			return 0, err
+		}
+		if v < best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// Reversible implements Class.
+func (f *Finite) Reversible() (bool, error) {
+	if f.revMemo != nil {
+		return *f.revMemo, nil
+	}
+	all := true
+	for _, c := range f.Cs {
+		ok, err := c.Reversible(1e-9)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			all = false
+			break
+		}
+	}
+	f.revMemo = &all
+	return all, nil
+}
+
+// Gap implements Class: the minimum per-chain gap, using the
+// reversible definition when the whole class is reversible (eq 14).
+func (f *Finite) Gap() (float64, error) {
+	rev, err := f.Reversible()
+	if err != nil {
+		return 0, err
+	}
+	best := math.Inf(1)
+	for _, c := range f.Cs {
+		var g float64
+		if rev {
+			g, err = c.EigengapReversible()
+		} else {
+			g, err = c.EigengapMultiplicative()
+		}
+		if err != nil {
+			return 0, err
+		}
+		if g < best {
+			best = g
+		}
+	}
+	return best, nil
+}
+
+// AllInitialDistributions implements Class.
+func (f *Finite) AllInitialDistributions() bool { return f.AllQ }
+
+// BinaryInterval is the synthetic-experiment class of Section 5.2:
+// binary chains of length T whose transition matrix is parameterized
+// by p0 = P(X_{t+1}=0 | X_t=0) and p1 = P(X_{t+1}=1 | X_t=1) with
+// p0, p1 ∈ [Alpha, Beta], paired with every initial distribution on
+// the 2-simplex.
+//
+// Closed forms (verified against grid search in the tests):
+//
+//	π^min_Θ = (1−Beta) / (2−Alpha−Beta)
+//	g_Θ     = 2·(1 − max(|2Alpha−1|, |2Beta−1|))   (reversible, eq 14)
+//
+// Two-state chains are always reversible, so the Lemma C.1 bounds
+// apply throughout.
+type BinaryInterval struct {
+	Alpha, Beta float64
+	Len         int
+	// GridN is the number of grid points per transition parameter
+	// used by Chains(); exact mechanisms take the worst case over
+	// this grid. Zero means a default of 16.
+	GridN int
+}
+
+// NewBinaryInterval validates parameters. Interior intervals
+// (0 < Alpha ≤ Beta < 1) keep every chain irreducible and aperiodic.
+func NewBinaryInterval(alpha, beta float64, T int) (*BinaryInterval, error) {
+	if !(alpha > 0 && beta < 1 && alpha <= beta) {
+		return nil, fmt.Errorf("markov: invalid interval [%v, %v]", alpha, beta)
+	}
+	if T < 1 {
+		return nil, fmt.Errorf("markov: chain length %d < 1", T)
+	}
+	return &BinaryInterval{Alpha: alpha, Beta: beta, Len: T}, nil
+}
+
+// BinaryChain returns the two-state chain with stay-probabilities
+// (p0, p1) and the given initial probability of state 0.
+func BinaryChain(q0, p0, p1 float64) Chain {
+	return MustNew(
+		[]float64{q0, 1 - q0},
+		matrix.FromRows([][]float64{{p0, 1 - p0}, {1 - p1, p1}}),
+	)
+}
+
+// K implements Class.
+func (b *BinaryInterval) K() int { return 2 }
+
+// T implements Class.
+func (b *BinaryInterval) T() int { return b.Len }
+
+// Chains implements Class: a GridN×GridN grid over (p0, p1) in
+// [Alpha, Beta]², each started from its stationary distribution (the
+// initial distribution itself is optimized in closed form via
+// Appendix C.4, see AllInitialDistributions).
+func (b *BinaryInterval) Chains() []Chain {
+	n := b.GridN
+	if n <= 0 {
+		n = 16
+	}
+	var ps []float64
+	if b.Alpha == b.Beta || n == 1 {
+		ps = []float64{b.Alpha}
+	} else {
+		ps = floats.Linspace(b.Alpha, b.Beta, n)
+	}
+	out := make([]Chain, 0, len(ps)*len(ps))
+	for _, p0 := range ps {
+		for _, p1 := range ps {
+			c := BinaryChain(0.5, p0, p1)
+			if sc, err := c.StationaryChain(); err == nil {
+				c = sc
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// PiMin implements Class via the closed form (1−Beta)/(2−Alpha−Beta):
+// π = ((1−p1)/(2−p0−p1), (1−p0)/(2−p0−p1)) and each coordinate is
+// monotone in (p0, p1), so the minimum sits at a corner of the box.
+func (b *BinaryInterval) PiMin() (float64, error) {
+	return (1 - b.Beta) / (2 - b.Alpha - b.Beta), nil
+}
+
+// Gap implements Class: the second eigenvalue of the two-state chain
+// is λ₂ = p0+p1−1, so with the reversible definition of eq 14,
+// g_Θ = 2·(1 − max |λ₂|) over the box.
+func (b *BinaryInterval) Gap() (float64, error) {
+	maxAbs := math.Max(math.Abs(2*b.Alpha-1), math.Abs(2*b.Beta-1))
+	return 2 * (1 - maxAbs), nil
+}
+
+// Reversible implements Class: every two-state chain is reversible.
+func (b *BinaryInterval) Reversible() (bool, error) { return true, nil }
+
+// AllInitialDistributions implements Class.
+func (b *BinaryInterval) AllInitialDistributions() bool { return true }

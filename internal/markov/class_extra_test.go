@@ -1,0 +1,159 @@
+package markov
+
+import (
+	"testing"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/matrix"
+)
+
+func TestSingletonClass(t *testing.T) {
+	c := theta1()
+	s, err := NewSingleton(c, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 2 || s.T() != 50 || len(s.Chains()) != 1 {
+		t.Error("singleton accessors wrong")
+	}
+	pm, err := s.PiMin()
+	if err != nil || !floats.Eq(pm, 0.2, 1e-9) {
+		t.Errorf("PiMin = %v err=%v", pm, err)
+	}
+	// θ1 is reversible, so Gap uses the eq 14 reversible overload: 1.
+	g, err := s.Gap()
+	if err != nil || !floats.Eq(g, 1, 1e-9) {
+		t.Errorf("Gap = %v err=%v", g, err)
+	}
+	rev, err := s.Reversible()
+	if err != nil || !rev {
+		t.Error("θ1 should be reversible")
+	}
+	if s.AllInitialDistributions() {
+		t.Error("singleton should not claim all initial distributions")
+	}
+	if _, err := NewSingleton(c, 0); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := NewSingleton(Chain{}, 5); err == nil {
+		t.Error("invalid chain accepted")
+	}
+}
+
+func TestBinaryIntervalAccessors(t *testing.T) {
+	b, err := NewBinaryInterval(0.2, 0.8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.K() != 2 || b.T() != 30 {
+		t.Error("accessors wrong")
+	}
+	b.GridN = 1
+	if got := len(b.Chains()); got != 1 {
+		t.Errorf("GridN=1 gave %d chains", got)
+	}
+	point, err := NewBinaryInterval(0.4, 0.4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(point.Chains()); got != 1 {
+		t.Errorf("degenerate interval gave %d chains", got)
+	}
+}
+
+func TestFiniteAccessors(t *testing.T) {
+	f, err := NewFinite([]Chain{theta1()}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.K() != 2 || f.T() != 10 || len(f.Chains()) != 1 {
+		t.Error("accessors wrong")
+	}
+	if f.AllInitialDistributions() {
+		t.Error("AllQ should default false")
+	}
+	f.AllQ = true
+	if !f.AllInitialDistributions() {
+		t.Error("AllQ flag not honored")
+	}
+	// Memoized reversibility check returns the same answer twice.
+	r1, err := f.Reversible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f.Reversible()
+	if err != nil || r1 != r2 {
+		t.Error("memoized Reversible inconsistent")
+	}
+	// Mixed-cardinality class rejected.
+	c3 := MustNew([]float64{1, 0, 0}, matrix.FromRows([][]float64{
+		{0.5, 0.25, 0.25}, {0.2, 0.6, 0.2}, {0.3, 0.3, 0.4},
+	}))
+	if _, err := NewFinite([]Chain{theta1(), c3}, 10); err == nil {
+		t.Error("mixed state counts accepted")
+	}
+}
+
+func TestEigengapDispatch(t *testing.T) {
+	// Reversible chain: Eigengap picks the reversible overload.
+	rev := theta1()
+	g, err := rev.Eigengap()
+	if err != nil || !floats.Eq(g, 1, 1e-9) {
+		t.Errorf("reversible dispatch: %v err=%v", g, err)
+	}
+	// Non-reversible 3-state chain: falls to the multiplicative gap.
+	nonrev := MustNew([]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, matrix.FromRows([][]float64{
+		{0.1, 0.8, 0.1},
+		{0.1, 0.1, 0.8},
+		{0.8, 0.1, 0.1},
+	}))
+	ok, err := nonrev.Reversible(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("rotation chain should not be reversible")
+	}
+	g, err = nonrev.Eigengap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := nonrev.EigengapMultiplicative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(g, gm, 1e-12) {
+		t.Errorf("non-reversible dispatch wrong: %v vs %v", g, gm)
+	}
+	if _, err := nonrev.EigengapReversible(); err == nil {
+		t.Error("EigengapReversible should reject non-reversible chains")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := theta1()
+	cl := c.Clone()
+	cl.Init[0] = 0.1
+	cl.P.Set(0, 0, 0.5)
+	if c.Init[0] != 1 || c.P.At(0, 0) != 0.9 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestPeriodPureCycle(t *testing.T) {
+	// Pure 4-cycle: BFS finds no chord, falling back to the cycle
+	// length through state 0.
+	cyc := MustNew([]float64{1, 0, 0, 0}, matrix.FromRows([][]float64{
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+		{1, 0, 0, 0},
+	}))
+	p, err := cyc.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 4 {
+		t.Errorf("period = %d, want 4", p)
+	}
+}

@@ -1,0 +1,146 @@
+package markov
+
+import (
+	"fmt"
+
+	"pufferfish/internal/dist"
+	"pufferfish/internal/floats"
+)
+
+// CountDist returns the exact distribution of the additive functional
+// N = Σ_{t=1..T} w[X_t] with integer per-state weights w, computed by
+// forward dynamic programming over (state, partial sum) in
+// O(T·k²·range) time.
+//
+// This is the distribution oracle the Wasserstein Mechanism needs for
+// chain instantiations: with w the indicator of a state, N is that
+// state's occupancy count, so F = N/T is the released relative
+// frequency.
+func (c Chain) CountDist(T int, w []int) (dist.Discrete, error) {
+	return c.CountDistGiven(T, w, 0, 0)
+}
+
+// CountDistGiven returns the distribution of N = Σ_t w[X_t]
+// conditioned on X_cond = condState, where cond is a 1-based node
+// index; cond == 0 means no conditioning. It returns an error when
+// the conditioning event has probability zero.
+func (c Chain) CountDistGiven(T int, w []int, cond, condState int) (dist.Discrete, error) {
+	k := c.K()
+	if T < 1 {
+		return dist.Discrete{}, fmt.Errorf("markov: chain length %d < 1", T)
+	}
+	if len(w) != k {
+		return dist.Discrete{}, fmt.Errorf("markov: weight vector has length %d, want %d", len(w), k)
+	}
+	if cond < 0 || cond > T {
+		return dist.Discrete{}, fmt.Errorf("markov: conditioning index %d outside [0,%d]", cond, T)
+	}
+	if cond > 0 && (condState < 0 || condState >= k) {
+		return dist.Discrete{}, fmt.Errorf("markov: conditioning state %d outside [0,%d)", condState, k)
+	}
+	wMin, wMax := w[0], w[0]
+	for _, v := range w[1:] {
+		if v < wMin {
+			wMin = v
+		}
+		if v > wMax {
+			wMax = v
+		}
+	}
+	offset := -T * wMin
+	size := T*(wMax-wMin) + 1
+
+	// cur[x][n] = P(X_1..X_t consistent with conditioning so far,
+	// X_t = x, Σ_{s≤t} w[X_s] = n−offset).
+	cur := make([][]float64, k)
+	for x := range cur {
+		cur[x] = make([]float64, size)
+	}
+	for x := 0; x < k; x++ {
+		if cond == 1 && x != condState {
+			continue
+		}
+		cur[x][w[x]+offset] += c.Init[x]
+	}
+	// Note: index for partial sum n is n+offset.
+	for t := 2; t <= T; t++ {
+		next := make([][]float64, k)
+		for x := range next {
+			next[x] = make([]float64, size)
+		}
+		for x := 0; x < k; x++ {
+			row := c.P.RawRow(x)
+			for n, mass := range cur[x] {
+				if mass == 0 {
+					continue
+				}
+				for y := 0; y < k; y++ {
+					if row[y] == 0 {
+						continue
+					}
+					if cond == t && y != condState {
+						continue
+					}
+					next[y][n+w[y]] += mass * row[y]
+				}
+			}
+		}
+		cur = next
+	}
+
+	// Collapse over the final state.
+	mass := make([]float64, size)
+	for x := 0; x < k; x++ {
+		for n, p := range cur[x] {
+			mass[n] += p
+		}
+	}
+	total := floats.Sum(mass)
+	if total <= 1e-300 {
+		return dist.Discrete{}, fmt.Errorf("markov: conditioning event X_%d=%d has probability zero", cond, condState)
+	}
+	var xs, ps []float64
+	for n, p := range mass {
+		if p <= 0 {
+			continue
+		}
+		xs = append(xs, float64(n-offset))
+		ps = append(ps, p/total)
+	}
+	return dist.New(xs, ps)
+}
+
+// NodeMarginalGiven returns P(X_j = · | X_i = a) for 1-based node
+// indices, computed exactly from the chain (forwards via the power
+// cache for j > i, backwards via Bayes for j < i). Used by the tests
+// to validate max-influence formulas.
+func (c Chain) NodeMarginalGiven(T, j, i, a int) ([]float64, error) {
+	if j < 1 || j > T || i < 1 || i > T {
+		return nil, fmt.Errorf("markov: node index out of range")
+	}
+	k := c.K()
+	pc := NewPowerCache(c.P)
+	marg := c.Marginals(T)
+	if marg[i-1][a] <= 0 {
+		return nil, fmt.Errorf("markov: conditioning event X_%d=%d has probability zero", i, a)
+	}
+	out := make([]float64, k)
+	switch {
+	case j == i:
+		out[a] = 1
+	case j > i:
+		p := pc.Pow(j - i)
+		copy(out, p.RawRow(a))
+	default: // j < i: P(X_j=y | X_i=a) ∝ P(X_j=y)·P^{i−j}(y,a)
+		p := pc.Pow(i - j)
+		var tot float64
+		for y := 0; y < k; y++ {
+			out[y] = marg[j-1][y] * p.At(y, a)
+			tot += out[y]
+		}
+		for y := range out {
+			out[y] /= tot
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Estimate fits a time-homogeneous chain to one or more observed state
+// sequences over states {0,…,k−1} by maximum likelihood with additive
+// (Laplace) smoothing: transition counts get +smoothing in every cell
+// before normalization, and the initial distribution is the smoothed
+// empirical distribution of sequence starts.
+//
+// The experiments follow the paper (Section 5.3): the empirical matrix
+// from the data is the model class, so a little smoothing keeps the
+// chain irreducible when rare transitions are unobserved. smoothing=0
+// reproduces the raw MLE.
+func Estimate(seqs [][]int, k int, smoothing float64) (Chain, error) {
+	if k <= 0 {
+		return Chain{}, fmt.Errorf("markov: invalid state count %d", k)
+	}
+	if smoothing < 0 {
+		return Chain{}, fmt.Errorf("markov: negative smoothing %v", smoothing)
+	}
+	counts := make([][]float64, k)
+	for i := range counts {
+		counts[i] = make([]float64, k)
+		for j := range counts[i] {
+			counts[i][j] = smoothing
+		}
+	}
+	initCounts := make([]float64, k)
+	for i := range initCounts {
+		initCounts[i] = smoothing
+	}
+	seen := false
+	for _, s := range seqs {
+		if len(s) == 0 {
+			continue
+		}
+		for _, x := range s {
+			if x < 0 || x >= k {
+				return Chain{}, fmt.Errorf("markov: state %d out of range [0,%d)", x, k)
+			}
+		}
+		seen = true
+		initCounts[s[0]]++
+		for t := 1; t < len(s); t++ {
+			counts[s[t-1]][s[t]]++
+		}
+	}
+	if !seen {
+		return Chain{}, errors.New("markov: no observations")
+	}
+
+	rows := make([][]float64, k)
+	for i := range rows {
+		rows[i] = make([]float64, k)
+		var tot float64
+		for j := range counts[i] {
+			tot += counts[i][j]
+		}
+		if tot == 0 {
+			// State never observed as a source: uniform row keeps the
+			// matrix stochastic (and irreducible when smoothing > 0).
+			for j := range rows[i] {
+				rows[i][j] = 1 / float64(k)
+			}
+			continue
+		}
+		for j := range counts[i] {
+			rows[i][j] = counts[i][j] / tot
+		}
+	}
+	var initTot float64
+	for _, v := range initCounts {
+		initTot += v
+	}
+	init := make([]float64, k)
+	for i := range init {
+		init[i] = initCounts[i] / initTot
+	}
+	return NewFromRows(init, rows)
+}
+
+// EstimateStationary fits the chain as Estimate does and then replaces
+// the initial distribution with the fitted chain's stationary
+// distribution — the paper's choice for the real-data experiments
+// ("qθ is its stationary distribution", Section 5.3).
+func EstimateStationary(seqs [][]int, k int, smoothing float64) (Chain, error) {
+	c, err := Estimate(seqs, k, smoothing)
+	if err != nil {
+		return Chain{}, err
+	}
+	return c.StationaryChain()
+}

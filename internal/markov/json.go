@@ -1,0 +1,49 @@
+package markov
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pufferfish/internal/matrix"
+)
+
+// chainJSON is the wire form of a Chain: the initial distribution and
+// the transition matrix as rows.
+type chainJSON struct {
+	Init []float64   `json:"init"`
+	P    [][]float64 `json:"transition"`
+}
+
+// MarshalJSON implements json.Marshaler, so fitted models can be
+// persisted alongside releases.
+func (c Chain) MarshalJSON() ([]byte, error) {
+	k := c.K()
+	rows := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		rows[i] = c.P.Row(i)
+	}
+	return json.Marshal(chainJSON{Init: c.Init, P: rows})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the decoded
+// chain.
+func (c *Chain) UnmarshalJSON(data []byte) error {
+	var w chainJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.P) == 0 {
+		return fmt.Errorf("markov: empty transition matrix")
+	}
+	for i, row := range w.P {
+		if len(row) != len(w.P) {
+			return fmt.Errorf("markov: transition row %d has %d entries, want %d", i, len(row), len(w.P))
+		}
+	}
+	nc, err := New(w.Init, matrix.FromRows(w.P))
+	if err != nil {
+		return err
+	}
+	*c = nc
+	return nil
+}

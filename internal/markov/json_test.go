@@ -1,0 +1,44 @@
+package markov
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pufferfish/internal/floats"
+)
+
+func TestChainJSONRoundTrip(t *testing.T) {
+	c := theta2()
+	blob, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Chain
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(back.Init, c.Init, 0) {
+		t.Errorf("init lost: %v", back.Init)
+	}
+	for x := 0; x < 2; x++ {
+		if !floats.EqSlices(back.P.Row(x), c.P.Row(x), 0) {
+			t.Errorf("row %d lost", x)
+		}
+	}
+}
+
+func TestChainJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"init":[0.5,0.6],"transition":[[0.9,0.1],[0.4,0.6]]}`, // bad init
+		`{"init":[0.5,0.5],"transition":[[0.9,0.2],[0.4,0.6]]}`, // bad row
+		`{"init":[0.5,0.5],"transition":[[1.0],[0.4,0.6]]}`,     // ragged
+		`{"init":[1.0],"transition":[]}`,                        // empty
+		`not json`,
+	}
+	for i, in := range cases {
+		var c Chain
+		if err := json.Unmarshal([]byte(in), &c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

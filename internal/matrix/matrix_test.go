@@ -1,0 +1,225 @@
+package matrix
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pufferfish/internal/floats"
+)
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if r, c := m.Dims(); r != 2 || c != 2 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Error("At wrong")
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !floats.EqSlices(got.data, want.data, 1e-12) {
+		t.Errorf("Mul = %v", got)
+	}
+}
+
+func TestMulVecAndVecMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := a.MulVec([]float64{1, 1}); !floats.EqSlices(got, []float64{3, 7}, 1e-12) {
+		t.Errorf("MulVec = %v", got)
+	}
+	if got := a.VecMul([]float64{1, 1}); !floats.EqSlices(got, []float64{4, 6}, 1e-12) {
+		t.Errorf("VecMul = %v", got)
+	}
+}
+
+func TestPow(t *testing.T) {
+	p := FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}})
+	got := p.Pow(3)
+	want := p.Mul(p).Mul(p)
+	if !floats.EqSlices(got.data, want.data, 1e-12) {
+		t.Errorf("Pow(3) mismatch")
+	}
+	if !floats.EqSlices(p.Pow(0).data, Identity(2).data, 0) {
+		t.Error("Pow(0) != I")
+	}
+	if !floats.EqSlices(p.Pow(1).data, p.data, 0) {
+		t.Error("Pow(1) != P")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if r, c := at.Dims(); r != 3 || c != 2 {
+		t.Fatalf("T dims = %d,%d", r, c)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Error("T values wrong")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {-3, 4}})
+	if a.Norm1() != 6 { // col sums 4, 6
+		t.Errorf("Norm1 = %v", a.Norm1())
+	}
+	if a.NormInf() != 7 { // row sums 3, 7
+		t.Errorf("NormInf = %v", a.NormInf())
+	}
+	if !floats.Eq(a.NormFrob(), math.Sqrt(30), 1e-12) {
+		t.Errorf("NormFrob = %v", a.NormFrob())
+	}
+	if a.MaxAbs() != 4 {
+		t.Errorf("MaxAbs = %v", a.MaxAbs())
+	}
+}
+
+func TestSolveAndInverse(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(x, []float64{2, 3, -1}, 1e-9) {
+		t.Errorf("Solve = %v, want [2 3 -1]", x)
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	if !floats.EqSlices(prod.data, Identity(3).data, 1e-9) {
+		t.Errorf("A·A⁻¹ != I:\n%v", prod)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected ErrSingular")
+	}
+	if _, err := Inverse(a); err == nil {
+		t.Error("expected ErrSingular for Inverse")
+	}
+}
+
+// Property: Solve recovers a random x from b = A·x for well-conditioned
+// random A.
+func TestSolveRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + r.IntN(6)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.Float64()-0.5)
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()*4 - 2
+		}
+		b := a.MulVec(x)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return floats.EqSlices(got, x, 1e-7)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveTridiagonal(t *testing.T) {
+	// Compare against the dense solver on a random tridiagonal system.
+	rng := rand.New(rand.NewPCG(3, 4))
+	n := 12
+	tri := Tridiagonal{
+		Sub:   make([]float64, n),
+		Diag:  make([]float64, n),
+		Super: make([]float64, n),
+	}
+	dense := NewDense(n, n)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tri.Diag[i] = 2 + rng.Float64()
+		dense.Set(i, i, tri.Diag[i])
+		if i > 0 {
+			tri.Sub[i] = rng.Float64() - 0.5
+			dense.Set(i, i-1, tri.Sub[i])
+		}
+		if i < n-1 {
+			tri.Super[i] = rng.Float64() - 0.5
+			dense.Set(i, i+1, tri.Super[i])
+		}
+		d[i] = rng.Float64() * 3
+	}
+	want, err := Solve(dense, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveTridiagonal(tri, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(got, want, 1e-8) {
+		t.Errorf("tridiagonal solve mismatch\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestSolveTridiagonalErrors(t *testing.T) {
+	_, err := SolveTridiagonal(Tridiagonal{Sub: []float64{0}, Diag: []float64{0}, Super: []float64{0}}, []float64{1})
+	if err == nil {
+		t.Error("expected singular error for zero diagonal")
+	}
+	_, err = SolveTridiagonal(Tridiagonal{Sub: nil, Diag: []float64{1}, Super: nil}, []float64{1})
+	if err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !FromRows([][]float64{{1, 2}, {2, 3}}).IsSymmetric(0) {
+		t.Error("symmetric matrix rejected")
+	}
+	if FromRows([][]float64{{1, 2}, {2.1, 3}}).IsSymmetric(1e-3) {
+		t.Error("asymmetric matrix accepted")
+	}
+	if FromRows([][]float64{{1, 2, 3}, {4, 5, 6}}).IsSymmetric(1) {
+		t.Error("non-square matrix accepted as symmetric")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if !floats.EqSlices(a.Add(b).data, []float64{5, 5, 5, 5}, 0) {
+		t.Error("Add wrong")
+	}
+	if !floats.EqSlices(a.Sub(a).data, []float64{0, 0, 0, 0}, 0) {
+		t.Error("Sub wrong")
+	}
+	if !floats.EqSlices(a.Scale(2).data, []float64{2, 4, 6, 8}, 0) {
+		t.Error("Scale wrong")
+	}
+}

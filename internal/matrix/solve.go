@@ -1,0 +1,160 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution
+// at the working precision.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Solve returns x with a·x = b, using Gauss–Jordan elimination with
+// partial pivoting. a is not modified.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: Solve needs square matrix, got %d×%d", a.rows, a.cols)
+	}
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("matrix: Solve dimension mismatch %d×%d vs %d", a.rows, a.cols, len(b))
+	}
+	n := a.rows
+	// Augmented working copy.
+	w := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(w, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		// Normalize pivot row.
+		pv := w.At(col, col)
+		for j := col; j < n; j++ {
+			w.Set(col, j, w.At(col, j)/pv)
+		}
+		x[col] /= pv
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := w.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				w.Set(r, j, w.At(r, j)-f*w.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	return x, nil
+}
+
+// Inverse returns the inverse of a square matrix, or ErrSingular.
+func Inverse(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: Inverse needs square matrix, got %d×%d", a.rows, a.cols)
+	}
+	n := a.rows
+	w := a.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(w, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		pv := w.At(col, col)
+		for j := 0; j < n; j++ {
+			w.Set(col, j, w.At(col, j)/pv)
+			inv.Set(col, j, inv.At(col, j)/pv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := w.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				w.Set(r, j, w.At(r, j)-f*w.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Dense, a, b int) {
+	ra := m.data[a*m.cols : (a+1)*m.cols]
+	rb := m.data[b*m.cols : (b+1)*m.cols]
+	for j := range ra {
+		ra[j], rb[j] = rb[j], ra[j]
+	}
+}
+
+// Tridiagonal describes a tridiagonal system with sub-diagonal a
+// (a[0] unused), diagonal b, and super-diagonal c (c[n-1] unused).
+// The GK16 baseline solves (I−Γ)x = 1 on systems as long as the chain
+// (up to 10^6), where dense elimination is out of the question.
+type Tridiagonal struct {
+	Sub, Diag, Super []float64
+}
+
+// SolveTridiagonal solves t·x = d with the Thomas algorithm in O(n).
+// It returns ErrSingular when a pivot vanishes. The Thomas algorithm
+// is not pivoted; the diagonally-dominant systems produced by GK16
+// (diag 1, off-diagonals summing below 1) are well within its domain.
+func SolveTridiagonal(t Tridiagonal, d []float64) ([]float64, error) {
+	n := len(t.Diag)
+	if n == 0 || len(t.Sub) != n || len(t.Super) != n || len(d) != n {
+		return nil, fmt.Errorf("matrix: tridiagonal dimension mismatch (n=%d sub=%d super=%d d=%d)",
+			n, len(t.Sub), len(t.Super), len(d))
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if math.Abs(t.Diag[0]) < 1e-14 {
+		return nil, ErrSingular
+	}
+	cp[0] = t.Super[0] / t.Diag[0]
+	dp[0] = d[0] / t.Diag[0]
+	for i := 1; i < n; i++ {
+		den := t.Diag[i] - t.Sub[i]*cp[i-1]
+		if math.Abs(den) < 1e-14 {
+			return nil, ErrSingular
+		}
+		cp[i] = t.Super[i] / den
+		dp[i] = (d[i] - t.Sub[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}

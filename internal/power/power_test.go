@@ -1,0 +1,152 @@
+package power
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/floats"
+)
+
+func TestBin(t *testing.T) {
+	cases := []struct {
+		watts float64
+		want  int
+	}{
+		{0, 0}, {199, 0}, {200, 1}, {1234, 6}, {10199, 50}, {99999, 50}, {-5, 0},
+	}
+	for _, c := range cases {
+		if got := Bin(c.watts); got != c.want {
+			t.Errorf("Bin(%v) = %d, want %d", c.watts, got, c.want)
+		}
+	}
+}
+
+func TestDefaultHouseValid(t *testing.T) {
+	if err := DefaultHouse().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	h := DefaultHouse()
+	h.Appliances[0].OnToOff = 0
+	if h.Validate() == nil {
+		t.Error("zero switching probability accepted")
+	}
+	h = DefaultHouse()
+	h.Appliances = append(h.Appliances, Appliance{Name: "smelter", Watts: 50000, OnToOff: 0.5, OffToOn: 0.5})
+	if h.Validate() == nil {
+		t.Error("peak load beyond bin range accepted")
+	}
+	h = DefaultHouse()
+	h.JitterWatts = h.BaseWatts + 1
+	if h.Validate() == nil {
+		t.Error("jitter exceeding base load accepted")
+	}
+	h = DefaultHouse()
+	h.Appliances[0].Watts = -1
+	if h.Validate() == nil {
+		t.Error("negative wattage accepted")
+	}
+}
+
+func TestSimulateShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	series, err := DefaultHouse().Simulate(50000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 50000 {
+		t.Fatalf("length %d", len(series))
+	}
+	seen := map[int]bool{}
+	for _, s := range series {
+		if s < 0 || s >= NumBins {
+			t.Fatalf("state %d out of range", s)
+		}
+		seen[s] = true
+	}
+	// A realistic household hits many distinct power levels.
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct bins; model too static", len(seen))
+	}
+	// Consecutive readings are strongly correlated: the chain must be
+	// sticky (this is what makes GroupDP hopeless and MQM useful).
+	same := 0
+	for i := 1; i < len(series); i++ {
+		if series[i] == series[i-1] {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(len(series)-1); frac < 0.5 {
+		t.Errorf("self-transition fraction %v; expected sticky dynamics", frac)
+	}
+	if _, err := DefaultHouse().Simulate(0, rng); err == nil {
+		t.Error("T=0 accepted")
+	}
+}
+
+func TestEmpiricalChainPipeline(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 44))
+	series, err := DefaultHouse().Simulate(200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := EmpiricalChain(series, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.K() != NumBins {
+		t.Fatalf("k = %d", chain.K())
+	}
+	if !chain.Irreducible() {
+		t.Error("smoothed empirical chain must be irreducible")
+	}
+	pi, err := chain.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(chain.Init, pi, 1e-9) {
+		t.Error("chain not started at stationarity")
+	}
+	piMin, err := chain.PiMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(piMin > 0) {
+		t.Errorf("π^min = %v", piMin)
+	}
+	gap, err := chain.Eigengap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(gap > 0 && gap < 1) {
+		t.Errorf("eigengap = %v; expected a slow-but-mixing chain", gap)
+	}
+	// Empirical mean power should sit in a plausible household range
+	// (a few hundred watts to ~2 kW on average).
+	var mean float64
+	for _, s := range series {
+		mean += float64(s) * BinWatts
+	}
+	mean /= float64(len(series))
+	if mean < 200 || mean > 4000 {
+		t.Errorf("mean simulated power %v W implausible", mean)
+	}
+}
+
+func TestSimulateDeterministicWithSeed(t *testing.T) {
+	a, err := DefaultHouse().Simulate(1000, rand.New(rand.NewPCG(7, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultHouse().Simulate(1000, rand.New(rand.NewPCG(7, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should reproduce the series")
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package query defines the L1-Lipschitz queries (Definition 2.5) the
+// mechanisms release: histograms, relative-frequency histograms,
+// single-state frequencies, weighted sums and means over a sequence of
+// discrete records.
+//
+// A query's Lipschitz constant bounds how much the L1 norm of the
+// output can change when a single record changes; every mechanism
+// multiplies its computed noise scale by this constant (Algorithms
+// 1–4 and the vector-valued extension of Section 4.2).
+package query
+
+import (
+	"fmt"
+
+	"pufferfish/internal/floats"
+)
+
+// Query is a vector-valued function of a record sequence with a known
+// L1-Lipschitz constant.
+type Query interface {
+	// Evaluate computes the query on a sequence of records in
+	// {0, …, K−1}.
+	Evaluate(data []int) ([]float64, error)
+	// Lipschitz returns the L1-Lipschitz constant with respect to a
+	// change in one record.
+	Lipschitz() float64
+	// Dim returns the output dimension.
+	Dim() int
+	// String names the query for reports.
+	String() string
+}
+
+// Histogram counts occurrences of each state: 2-Lipschitz in L1
+// (one record change moves one count down and another up).
+type Histogram struct {
+	K int
+}
+
+// Evaluate implements Query.
+func (h Histogram) Evaluate(data []int) ([]float64, error) {
+	out := make([]float64, h.K)
+	for _, x := range data {
+		if x < 0 || x >= h.K {
+			return nil, fmt.Errorf("query: state %d out of range [0,%d)", x, h.K)
+		}
+		out[x]++
+	}
+	return out, nil
+}
+
+// Lipschitz implements Query.
+func (h Histogram) Lipschitz() float64 { return 2 }
+
+// Dim implements Query.
+func (h Histogram) Dim() int { return h.K }
+
+func (h Histogram) String() string { return fmt.Sprintf("histogram(k=%d)", h.K) }
+
+// RelFreqHistogram reports the fraction of records in each state,
+// the query released throughout Section 5: (2/N)-Lipschitz.
+type RelFreqHistogram struct {
+	K int
+	// N is the number of records the query will be evaluated on;
+	// the Lipschitz constant depends on it.
+	N int
+}
+
+// Evaluate implements Query. The data length must equal N.
+func (h RelFreqHistogram) Evaluate(data []int) ([]float64, error) {
+	if len(data) != h.N {
+		return nil, fmt.Errorf("query: got %d records, query constructed for %d", len(data), h.N)
+	}
+	counts, err := Histogram{K: h.K}.Evaluate(data)
+	if err != nil {
+		return nil, err
+	}
+	for i := range counts {
+		counts[i] /= float64(h.N)
+	}
+	return counts, nil
+}
+
+// Lipschitz implements Query.
+func (h RelFreqHistogram) Lipschitz() float64 { return 2 / float64(h.N) }
+
+// Dim implements Query.
+func (h RelFreqHistogram) Dim() int { return h.K }
+
+func (h RelFreqHistogram) String() string {
+	return fmt.Sprintf("relfreq-histogram(k=%d,n=%d)", h.K, h.N)
+}
+
+// StateFrequency is the scalar fraction of records equal to State —
+// the F(X) = (1/T)·ΣX_i query of the synthetic experiments
+// (Section 5.2) when State = 1 on binary data: (1/N)-Lipschitz.
+type StateFrequency struct {
+	State int
+	N     int
+}
+
+// Evaluate implements Query.
+func (s StateFrequency) Evaluate(data []int) ([]float64, error) {
+	if len(data) != s.N {
+		return nil, fmt.Errorf("query: got %d records, query constructed for %d", len(data), s.N)
+	}
+	var count float64
+	for _, x := range data {
+		if x == s.State {
+			count++
+		}
+	}
+	return []float64{count / float64(s.N)}, nil
+}
+
+// Lipschitz implements Query.
+func (s StateFrequency) Lipschitz() float64 { return 1 / float64(s.N) }
+
+// Dim implements Query.
+func (s StateFrequency) Dim() int { return 1 }
+
+func (s StateFrequency) String() string {
+	return fmt.Sprintf("freq(state=%d,n=%d)", s.State, s.N)
+}
+
+// Sum releases Σ Values[x_i], e.g. the number of infected people in
+// the flu example with Values = {0, 1}. Its Lipschitz constant is the
+// range of Values.
+type Sum struct {
+	Values []float64
+}
+
+// Evaluate implements Query.
+func (s Sum) Evaluate(data []int) ([]float64, error) {
+	var total float64
+	for _, x := range data {
+		if x < 0 || x >= len(s.Values) {
+			return nil, fmt.Errorf("query: state %d out of range [0,%d)", x, len(s.Values))
+		}
+		total += s.Values[x]
+	}
+	return []float64{total}, nil
+}
+
+// Lipschitz implements Query.
+func (s Sum) Lipschitz() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return floats.Max(s.Values) - floats.Min(s.Values)
+}
+
+// Dim implements Query.
+func (s Sum) Dim() int { return 1 }
+
+func (s Sum) String() string { return fmt.Sprintf("sum(k=%d)", len(s.Values)) }
+
+// Mean releases the average of Values[x_i]: (range/N)-Lipschitz.
+type Mean struct {
+	Values []float64
+	N      int
+}
+
+// Evaluate implements Query.
+func (m Mean) Evaluate(data []int) ([]float64, error) {
+	if len(data) != m.N {
+		return nil, fmt.Errorf("query: got %d records, query constructed for %d", len(data), m.N)
+	}
+	s, err := Sum{Values: m.Values}.Evaluate(data)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{s[0] / float64(m.N)}, nil
+}
+
+// Lipschitz implements Query.
+func (m Mean) Lipschitz() float64 { return Sum{Values: m.Values}.Lipschitz() / float64(m.N) }
+
+// Dim implements Query.
+func (m Mean) Dim() int { return 1 }
+
+func (m Mean) String() string { return fmt.Sprintf("mean(k=%d,n=%d)", len(m.Values), m.N) }

@@ -1,0 +1,135 @@
+package query
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pufferfish/internal/floats"
+)
+
+func TestHistogram(t *testing.T) {
+	h := Histogram{K: 3}
+	got, err := h.Evaluate([]int{0, 1, 1, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(got, []float64{1, 2, 3}, 0) {
+		t.Errorf("Evaluate = %v", got)
+	}
+	if h.Lipschitz() != 2 || h.Dim() != 3 {
+		t.Error("Lipschitz/Dim wrong")
+	}
+	if _, err := h.Evaluate([]int{5}); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+}
+
+func TestRelFreqHistogram(t *testing.T) {
+	h := RelFreqHistogram{K: 2, N: 4}
+	got, err := h.Evaluate([]int{0, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(got, []float64{0.75, 0.25}, 1e-12) {
+		t.Errorf("Evaluate = %v", got)
+	}
+	if !floats.Eq(h.Lipschitz(), 0.5, 1e-12) {
+		t.Errorf("Lipschitz = %v", h.Lipschitz())
+	}
+	if _, err := h.Evaluate([]int{0}); err == nil {
+		t.Error("wrong-length data accepted")
+	}
+}
+
+func TestStateFrequency(t *testing.T) {
+	s := StateFrequency{State: 1, N: 5}
+	got, err := s.Evaluate([]int{1, 0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(got, []float64{0.6}, 1e-12) {
+		t.Errorf("Evaluate = %v", got)
+	}
+	if !floats.Eq(s.Lipschitz(), 0.2, 1e-12) || s.Dim() != 1 {
+		t.Error("Lipschitz/Dim wrong")
+	}
+}
+
+func TestSumAndMean(t *testing.T) {
+	s := Sum{Values: []float64{0, 1, 5}}
+	got, err := s.Evaluate([]int{0, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 11 {
+		t.Errorf("Sum = %v", got)
+	}
+	if s.Lipschitz() != 5 {
+		t.Errorf("Sum Lipschitz = %v", s.Lipschitz())
+	}
+	m := Mean{Values: []float64{0, 1, 5}, N: 4}
+	gm, err := m.Evaluate([]int{0, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(gm[0], 2.75, 1e-12) {
+		t.Errorf("Mean = %v", gm)
+	}
+	if !floats.Eq(m.Lipschitz(), 1.25, 1e-12) {
+		t.Errorf("Mean Lipschitz = %v", m.Lipschitz())
+	}
+	if _, err := (Sum{Values: []float64{1}}).Evaluate([]int{3}); err == nil {
+		t.Error("out-of-range state accepted by Sum")
+	}
+}
+
+// Property: the declared Lipschitz constants actually bound the L1
+// change when one record is modified, for random data and queries.
+func TestLipschitzBoundsHold(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 91))
+		k := 2 + r.IntN(4)
+		n := 2 + r.IntN(30)
+		data := make([]int, n)
+		for i := range data {
+			data[i] = r.IntN(k)
+		}
+		// Perturb one record.
+		perturbed := append([]int{}, data...)
+		idx := r.IntN(n)
+		perturbed[idx] = (perturbed[idx] + 1 + r.IntN(k-1)) % k
+
+		vals := make([]float64, k)
+		for i := range vals {
+			vals[i] = r.Float64()*10 - 5
+		}
+		queries := []Query{
+			Histogram{K: k},
+			RelFreqHistogram{K: k, N: n},
+			StateFrequency{State: r.IntN(k), N: n},
+			Sum{Values: vals},
+			Mean{Values: vals, N: n},
+		}
+		for _, q := range queries {
+			a, err := q.Evaluate(data)
+			if err != nil {
+				return false
+			}
+			b, err := q.Evaluate(perturbed)
+			if err != nil {
+				return false
+			}
+			if floats.L1Dist(a, b) > q.Lipschitz()+1e-9 {
+				return false
+			}
+			if len(a) != q.Dim() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package release implements the end-to-end pipeline behind
+// cmd/privrelease — the shape in which a downstream user consumes this
+// library: parse a discrete time series (possibly split into
+// independent sessions), fit the empirical chain as the model class Θ,
+// compute the chosen mechanism's noise scale, and release the
+// relative-frequency histogram with a machine-readable report.
+package release
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+
+	"pufferfish/internal/core"
+	"pufferfish/internal/laplace"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/query"
+)
+
+// Mechanism names accepted by Config.
+const (
+	MechMQMExact  = "mqm-exact"
+	MechMQMApprox = "mqm-approx"
+	MechGroupDP   = "group-dp"
+	MechDP        = "dp"
+)
+
+// Config selects the release parameters.
+type Config struct {
+	// Epsilon is the Pufferfish/DP privacy parameter.
+	Epsilon float64
+	// K is the number of states; 0 infers max(data)+1.
+	K int
+	// Mechanism is one of the Mech* constants.
+	Mechanism string
+	// Smoothing is the additive smoothing for the empirical chain.
+	Smoothing float64
+	// Seed drives the Laplace noise.
+	Seed uint64
+}
+
+// Report is the JSON-serializable release record.
+type Report struct {
+	Mechanism    string        `json:"mechanism"`
+	Epsilon      float64       `json:"epsilon"`
+	K            int           `json:"k"`
+	Observations int           `json:"observations"`
+	Sessions     int           `json:"sessions"`
+	Sigma        float64       `json:"sigma,omitempty"`
+	NoiseScale   float64       `json:"noise_scale"`
+	ActiveQuilt  string        `json:"active_quilt,omitempty"`
+	Histogram    []float64     `json:"histogram"`
+	Model        *markov.Chain `json:"model,omitempty"`
+}
+
+// ParseSeries reads a series of non-negative integer states. Values
+// are separated by whitespace or commas; a blank line starts a new
+// independent session (the gap-split convention of the activity
+// experiments).
+func ParseSeries(r io.Reader) ([][]int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var sessions [][]int
+	var cur []int
+	flush := func() {
+		if len(cur) > 0 {
+			sessions = append(sessions, cur)
+			cur = nil
+		}
+	}
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			flush()
+			continue
+		}
+		for _, field := range strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t'
+		}) {
+			v, err := strconv.Atoi(field)
+			if err != nil {
+				return nil, fmt.Errorf("release: bad value %q: %w", field, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("release: negative state %d", v)
+			}
+			cur = append(cur, v)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	if len(sessions) == 0 {
+		return nil, errors.New("release: no data")
+	}
+	return sessions, nil
+}
+
+// Run executes the pipeline on parsed sessions.
+func Run(sessions [][]int, cfg Config) (*Report, error) {
+	if cfg.Epsilon <= 0 {
+		return nil, fmt.Errorf("release: invalid ε = %v", cfg.Epsilon)
+	}
+	k := cfg.K
+	var n, longest int
+	var lengths []int
+	for _, s := range sessions {
+		n += len(s)
+		lengths = append(lengths, len(s))
+		if len(s) > longest {
+			longest = len(s)
+		}
+		for _, v := range s {
+			if cfg.K > 0 && v >= cfg.K {
+				return nil, fmt.Errorf("release: state %d outside configured k = %d", v, cfg.K)
+			}
+			if v >= k {
+				k = v + 1
+			}
+		}
+	}
+	if k < 2 {
+		k = 2
+	}
+
+	flat := make([]int, 0, n)
+	for _, s := range sessions {
+		flat = append(flat, s...)
+	}
+	q := query.RelFreqHistogram{K: k, N: n}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x7f4a7c15))
+
+	report := &Report{
+		Mechanism:    cfg.Mechanism,
+		Epsilon:      cfg.Epsilon,
+		K:            k,
+		Observations: n,
+		Sessions:     len(sessions),
+	}
+
+	switch cfg.Mechanism {
+	case MechDP:
+		rel, err := core.LaplaceDP(flat, q, cfg.Epsilon, rng)
+		if err != nil {
+			return nil, err
+		}
+		report.Histogram = rel.Values
+		report.NoiseScale = rel.NoiseScale
+		return report, nil
+	case MechGroupDP:
+		rel, err := core.GroupDP(flat, q, longest, cfg.Epsilon, rng)
+		if err != nil {
+			return nil, err
+		}
+		report.Histogram = rel.Values
+		report.NoiseScale = rel.NoiseScale
+		return report, nil
+	case MechMQMExact, MechMQMApprox:
+		chain, err := markov.EstimateStationary(sessions, k, cfg.Smoothing)
+		if err != nil {
+			return nil, err
+		}
+		class, err := markov.NewSingleton(chain, longest)
+		if err != nil {
+			return nil, err
+		}
+		var score core.ChainScore
+		if cfg.Mechanism == MechMQMExact {
+			score, err = core.ExactScoreMulti(class, cfg.Epsilon, core.ExactOptions{}, lengths)
+		} else {
+			score, err = core.ApproxScoreMulti(class, cfg.Epsilon, core.ApproxOptions{}, lengths)
+		}
+		if err != nil {
+			return nil, err
+		}
+		exact, err := q.Evaluate(flat)
+		if err != nil {
+			return nil, err
+		}
+		scale := q.Lipschitz() * score.Sigma
+		noisy := laplace.AddNoise(exact, scale, rng)
+		report.Histogram = noisy
+		report.NoiseScale = scale
+		report.Sigma = score.Sigma
+		report.ActiveQuilt = fmt.Sprintf("%v @ node %d", score.Quilt, score.Node)
+		report.Model = &chain
+		return report, nil
+	default:
+		return nil, fmt.Errorf("release: unknown mechanism %q (want %s|%s|%s|%s)",
+			cfg.Mechanism, MechMQMExact, MechMQMApprox, MechGroupDP, MechDP)
+	}
+}

@@ -1,0 +1,142 @@
+package release
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+)
+
+func TestParseSeries(t *testing.T) {
+	in := "0 1 1,2\n2\t0\n\n1 1 1\n\n\n0\n"
+	sessions, err := ParseSeries(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 3 {
+		t.Fatalf("sessions = %v", sessions)
+	}
+	if len(sessions[0]) != 6 || sessions[0][3] != 2 {
+		t.Errorf("session 0 = %v", sessions[0])
+	}
+	if len(sessions[1]) != 3 || len(sessions[2]) != 1 {
+		t.Errorf("sessions = %v", sessions)
+	}
+}
+
+func TestParseSeriesErrors(t *testing.T) {
+	if _, err := ParseSeries(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ParseSeries(strings.NewReader("1 x 2")); err == nil {
+		t.Error("non-integer accepted")
+	}
+	if _, err := ParseSeries(strings.NewReader("1 -2")); err == nil {
+		t.Error("negative state accepted")
+	}
+}
+
+func sampleSessions(t *testing.T) [][]int {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(81, 82))
+	truth := markov.BinaryChain(0.5, 0.9, 0.85)
+	var sessions [][]int
+	for i := 0; i < 6; i++ {
+		sessions = append(sessions, truth.Sample(400, rng))
+	}
+	return sessions
+}
+
+func TestRunMQMExact(t *testing.T) {
+	sessions := sampleSessions(t)
+	report, err := Run(sessions, Config{Epsilon: 1, Mechanism: MechMQMExact, Smoothing: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.K != 2 || report.Sessions != 6 || report.Observations != 2400 {
+		t.Errorf("report metadata wrong: %+v", report)
+	}
+	if !(report.Sigma > 0) || !(report.NoiseScale > 0) || report.ActiveQuilt == "" {
+		t.Errorf("score fields missing: %+v", report)
+	}
+	if len(report.Histogram) != 2 {
+		t.Errorf("histogram = %v", report.Histogram)
+	}
+	// Roughly normalized (noise perturbs, but at these sizes mildly).
+	if s := floats.Sum(report.Histogram); s < 0.5 || s > 1.5 {
+		t.Errorf("histogram sums to %v", s)
+	}
+	// JSON round-trip, including the embedded model.
+	blob, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sigma != report.Sigma || back.Model.K() != 2 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if !floats.EqSlices(back.Model.Init, report.Model.Init, 1e-12) {
+		t.Error("model init lost in round trip")
+	}
+}
+
+func TestRunAllMechanisms(t *testing.T) {
+	sessions := sampleSessions(t)
+	for _, mech := range []string{MechMQMExact, MechMQMApprox, MechGroupDP, MechDP} {
+		report, err := Run(sessions, Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: 9})
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if report.NoiseScale <= 0 {
+			t.Errorf("%s: scale %v", mech, report.NoiseScale)
+		}
+	}
+	// Noise ordering: DP < MQM (exact ≤ approx) < GroupDP on this
+	// sticky chain.
+	get := func(mech string) float64 {
+		r, err := Run(sessions, Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.NoiseScale
+	}
+	dp, ex, ap, gd := get(MechDP), get(MechMQMExact), get(MechMQMApprox), get(MechGroupDP)
+	if !(dp < ex && ex <= ap && ap < gd) {
+		t.Errorf("scale ordering violated: dp=%v exact=%v approx=%v group=%v", dp, ex, ap, gd)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sessions := [][]int{{0, 1, 0}}
+	if _, err := Run(sessions, Config{Epsilon: 0, Mechanism: MechDP}); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	if _, err := Run(sessions, Config{Epsilon: 1, Mechanism: "bogus"}); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+	if _, err := Run([][]int{{0, 5}}, Config{Epsilon: 1, K: 3, Mechanism: MechDP}); err == nil {
+		t.Error("state above configured k accepted")
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	sessions := sampleSessions(t)
+	cfg := Config{Epsilon: 1, Mechanism: MechMQMApprox, Smoothing: 0.5, Seed: 33}
+	a, err := Run(sessions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sessions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(a.Histogram, b.Histogram, 0) {
+		t.Error("same seed should reproduce the release")
+	}
+}

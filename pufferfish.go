@@ -1,0 +1,213 @@
+// Package pufferfish is a from-scratch Go implementation of
+// "Pufferfish Privacy Mechanisms for Correlated Data" (Song, Wang,
+// Chaudhuri; SIGMOD 2017): the Wasserstein Mechanism — the first
+// mechanism applicable to any Pufferfish instantiation — and the
+// Markov Quilt Mechanism for Bayesian networks, with its efficient
+// Markov-chain variants MQMExact and MQMApprox, plus the robustness
+// and composition theory and the baselines the paper evaluates
+// against.
+//
+// This root package is the public API: a thin facade over the
+// internal packages, organized as
+//
+//   - mechanisms (this file): Wasserstein, MQMExact, MQMApprox, the
+//     generic Bayesian-network mechanism, composition, robustness,
+//     baselines, and the analytic privacy verifier;
+//   - chain.go: Markov chains and distribution classes Θ;
+//   - query.go: L1-Lipschitz queries;
+//   - data.go: the flu / physical-activity / electricity substrates
+//     used by the paper's experiments.
+//
+// See README.md for a tour and examples/ for runnable programs.
+package pufferfish
+
+import (
+	"math/rand/v2"
+
+	"pufferfish/internal/bayes"
+	"pufferfish/internal/core"
+	"pufferfish/internal/dist"
+)
+
+// Release is a mechanism output: noisy values plus the noise
+// accounting.
+type Release = core.Release
+
+// Secret identifies the event "record Index has value Value".
+type Secret = core.Secret
+
+// SecretPair is one indistinguishability requirement from Q.
+type SecretPair = core.SecretPair
+
+// AllValuePairs returns the Section 4.1 secret-pair set for n records
+// over k values.
+func AllValuePairs(n, k int) []SecretPair { return core.AllValuePairs(n, k) }
+
+// Discrete is a finitely-supported distribution on ℝ.
+type Discrete = dist.Discrete
+
+// NewDiscrete builds a distribution from support points and masses.
+func NewDiscrete(xs, ps []float64) (Discrete, error) { return dist.New(xs, ps) }
+
+// WassersteinInf returns the ∞-Wasserstein distance W∞(µ, ν)
+// (Definition 3.1).
+func WassersteinInf(mu, nu Discrete) float64 { return dist.WassersteinInf(mu, nu) }
+
+// MaxDivergence returns D∞(p‖q) (Definition 2.3).
+func MaxDivergence(p, q Discrete) float64 { return dist.MaxDivergence(p, q) }
+
+// DistributionPair is one pair of conditional query distributions fed
+// to the Wasserstein Mechanism.
+type DistributionPair = core.DistributionPair
+
+// WassersteinInstance enumerates the conditional distribution pairs of
+// a Pufferfish instantiation for a scalar query.
+type WassersteinInstance = core.WassersteinInstance
+
+// WassersteinScale computes the Algorithm 1 noise parameter W.
+func WassersteinScale(inst WassersteinInstance) (w float64, worst DistributionPair, err error) {
+	return core.WassersteinScale(inst)
+}
+
+// Wasserstein releases a scalar query value with ε-Pufferfish privacy
+// via Algorithm 1 (Theorem 3.2).
+func Wasserstein(value float64, inst WassersteinInstance, eps float64, rng *rand.Rand) (Release, error) {
+	return core.Wasserstein(value, inst, eps, rng)
+}
+
+// ChainCountInstance is a ready-made WassersteinInstance for chain
+// classes with the query F = Σ W[X_t].
+type ChainCountInstance = core.ChainCountInstance
+
+// ChainQuilt identifies a Markov quilt from the Lemma 4.6 family.
+type ChainQuilt = core.ChainQuilt
+
+// ChainScore is the result of a quilt-mechanism noise computation.
+type ChainScore = core.ChainScore
+
+// ExactOptions tunes MQMExact (Algorithm 3).
+type ExactOptions = core.ExactOptions
+
+// ApproxOptions tunes MQMApprox (Algorithm 4).
+type ApproxOptions = core.ApproxOptions
+
+// ExactScore computes MQMExact's σ_max for a chain class.
+func ExactScore(class Class, eps float64, opt ExactOptions) (ChainScore, error) {
+	return core.ExactScore(class, eps, opt)
+}
+
+// ApproxScore computes MQMApprox's σ_max for a chain class.
+func ApproxScore(class Class, eps float64, opt ApproxOptions) (ChainScore, error) {
+	return core.ApproxScore(class, eps, opt)
+}
+
+// MQMExact releases a query over chain data via Algorithm 3.
+func MQMExact(data []int, q Query, class Class, eps float64, opt ExactOptions, rng *rand.Rand) (Release, ChainScore, error) {
+	return core.MQMExact(data, q, class, eps, opt, rng)
+}
+
+// MQMApprox releases a query over chain data via Algorithm 4.
+func MQMApprox(data []int, q Query, class Class, eps float64, opt ApproxOptions, rng *rand.Rand) (Release, ChainScore, error) {
+	return core.MQMApprox(data, q, class, eps, opt, rng)
+}
+
+// ExactScoreMulti computes MQMExact's σ_max for a database of
+// independent chains of the given lengths (e.g. the gap-split wear
+// sessions of the activity experiments), all governed by the same
+// class.
+func ExactScoreMulti(class Class, eps float64, opt ExactOptions, lengths []int) (ChainScore, error) {
+	return core.ExactScoreMulti(class, eps, opt, lengths)
+}
+
+// ApproxScoreMulti is ExactScoreMulti for MQMApprox.
+func ApproxScoreMulti(class Class, eps float64, opt ApproxOptions, lengths []int) (ChainScore, error) {
+	return core.ApproxScoreMulti(class, eps, opt, lengths)
+}
+
+// UtilityBound returns the Theorem 4.10 sufficient chain length beyond
+// which MQMApprox noise stops growing with T.
+func UtilityBound(class Class, eps float64) (int, error) { return core.UtilityBound(class, eps) }
+
+// Network is a discrete Bayesian network.
+type Network = bayes.Network
+
+// NetworkNode is one variable of a Bayesian network.
+type NetworkNode = bayes.Node
+
+// NewNetwork validates and builds a Bayesian network.
+func NewNetwork(nodes []NetworkNode) (*Network, error) { return bayes.New(nodes) }
+
+// NetworkFromChain converts a chain into the equivalent network
+// X_1 → … → X_T.
+func NetworkFromChain(c Chain, T int) (*Network, error) { return bayes.FromChain(c, T) }
+
+// Quilt is a Markov quilt of a Bayesian network (Definition 4.2).
+type Quilt = bayes.Quilt
+
+// BayesInstantiation is the generic Algorithm 2 instantiation.
+type BayesInstantiation = core.BayesInstantiation
+
+// QuiltScoreDetail reports Algorithm 2's σ_max and active quilt.
+type QuiltScoreDetail = core.QuiltScoreDetail
+
+// QuiltScoreBayes computes Algorithm 2's noise score.
+func QuiltScoreBayes(inst *BayesInstantiation, eps float64) (QuiltScoreDetail, error) {
+	return core.QuiltScoreBayes(inst, eps)
+}
+
+// MarkovQuiltMechanism releases an L-Lipschitz query via Algorithm 2
+// (Theorem 4.3).
+func MarkovQuiltMechanism(exact []float64, lipschitz float64, inst *BayesInstantiation, eps float64, rng *rand.Rand) (Release, QuiltScoreDetail, error) {
+	return core.MarkovQuiltMechanism(exact, lipschitz, inst, eps, rng)
+}
+
+// Composition tracks repeated quilt releases under Theorem 4.4.
+type Composition = core.Composition
+
+// NewExactComposition returns a composition manager using MQMExact.
+func NewExactComposition(class Class, opt ExactOptions) *Composition {
+	return core.NewExactComposition(class, opt)
+}
+
+// NewApproxComposition returns a composition manager using MQMApprox.
+func NewApproxComposition(class Class) *Composition { return core.NewApproxComposition(class) }
+
+// BeliefInstance feeds Theorem 2.4's robustness computation.
+type BeliefInstance = core.BeliefInstance
+
+// RobustnessDelta computes Δ from Theorem 2.4.
+func RobustnessDelta(inst BeliefInstance) (float64, error) { return core.RobustnessDelta(inst) }
+
+// EffectiveEpsilon returns ε + 2Δ (Theorem 2.4).
+func EffectiveEpsilon(eps, delta float64) float64 { return core.EffectiveEpsilon(eps, delta) }
+
+// LaplaceDP is the ε-differential-privacy Laplace baseline.
+func LaplaceDP(data []int, q Query, eps float64, rng *rand.Rand) (Release, error) {
+	return core.LaplaceDP(data, q, eps, rng)
+}
+
+// GroupDP is the group-differential-privacy baseline (Definition 2.2).
+func GroupDP(data []int, q Query, maxGroupSize int, eps float64, rng *rand.Rand) (Release, error) {
+	return core.GroupDP(data, q, maxGroupSize, eps, rng)
+}
+
+// GK16Score reports the reconstructed GK16 baseline's computation.
+type GK16Score = core.GK16Score
+
+// GK16Release runs the reconstructed GK16 baseline.
+func GK16Release(data []int, q Query, class Class, eps float64, rng *rand.Rand) (Release, GK16Score, error) {
+	return core.GK16Release(data, q, class, eps, rng)
+}
+
+// GK16Sigma computes the GK16 baseline's noise multiplier for a class,
+// or an error when its spectral-norm condition fails (the paper's N/A
+// entries).
+func GK16Sigma(class Class, eps float64) (GK16Score, error) {
+	return core.GK16SigmaClass(class, eps)
+}
+
+// VerifyChainPufferfish analytically checks Definition 2.1 for an
+// additive-Laplace count release on a small chain class.
+func VerifyChainPufferfish(class Class, w []int, scale, eps, slack float64, grid []float64) error {
+	return core.VerifyChainPufferfish(class, w, scale, eps, slack, grid)
+}

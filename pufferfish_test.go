@@ -1,0 +1,204 @@
+// Integration tests exercising the public API end to end, the way a
+// downstream user would.
+package pufferfish_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish"
+)
+
+func TestFacadeChainPipeline(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	const T = 300
+	truth := pufferfish.BinaryChain(0.5, 0.9, 0.8)
+	data := truth.Sample(T, rng)
+
+	class, err := pufferfish.NewFinite([]pufferfish.Chain{truth}, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pufferfish.StateFrequency{State: 1, N: T}
+
+	rel, score, err := pufferfish.MQMExact(data, q, class, 1, pufferfish.ExactOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Mechanism != "MQMExact" || score.Sigma <= 0 {
+		t.Errorf("release %+v score %+v", rel, score)
+	}
+	relA, scoreA, err := pufferfish.MQMApprox(data, q, class, 1, pufferfish.ApproxOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoreA.Sigma < score.Sigma {
+		t.Errorf("approx σ %v below exact σ %v", scoreA.Sigma, score.Sigma)
+	}
+	if len(relA.Values) != 1 {
+		t.Error("bad release shape")
+	}
+
+	// The exact σ passes the public privacy verifier.
+	grid := make([]float64, 0, 50)
+	for v := -5.0; v <= float64(T)/3; v += 5 {
+		grid = append(grid, v)
+	}
+	small, err := pufferfish.NewFinite([]pufferfish.Chain{truth}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallScore, err := pufferfish.ExactScore(small, 1, pufferfish.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pufferfish.VerifyChainPufferfish(small, []int{0, 1}, smallScore.Sigma, 1, 1e-6, grid); err != nil {
+		t.Errorf("public verifier rejected MQMExact scale: %v", err)
+	}
+}
+
+func TestFacadeEstimation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 64))
+	truth := pufferfish.BinaryChain(0.3, 0.85, 0.75)
+	seqs := [][]int{truth.Sample(5000, rng), truth.Sample(5000, rng)}
+	chain, err := pufferfish.EstimateStationaryChain(seqs, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(chain.P.At(0, 0)-0.85) > 0.03 {
+		t.Errorf("estimate drifted: %v", chain.P.At(0, 0))
+	}
+}
+
+func TestFacadeWassersteinAndDiscrete(t *testing.T) {
+	mu, err := pufferfish.NewDiscrete([]float64{0, 1}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu, err := pufferfish.NewDiscrete([]float64{2, 3}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pufferfish.WassersteinInf(mu, nu); got != 2 {
+		t.Errorf("W∞ = %v, want 2", got)
+	}
+	if got := pufferfish.MaxDivergence(mu, mu); got != 0 {
+		t.Errorf("D∞ = %v, want 0", got)
+	}
+}
+
+func TestFacadeGenericQuiltMechanism(t *testing.T) {
+	// The Figure 2 diamond network through the public API.
+	nw, err := pufferfish.NewNetwork([]pufferfish.NetworkNode{
+		{Name: "X1", Card: 2, CPT: []float64{0.6, 0.4}},
+		{Name: "X2", Card: 2, Parents: []int{0}, CPT: []float64{0.7, 0.3, 0.2, 0.8}},
+		{Name: "X3", Card: 2, Parents: []int{0}, CPT: []float64{0.5, 0.5, 0.9, 0.1}},
+		{Name: "X4", Card: 2, Parents: []int{1, 2}, CPT: []float64{0.9, 0.1, 0.4, 0.6, 0.3, 0.7, 0.1, 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &pufferfish.BayesInstantiation{Networks: []*pufferfish.Network{nw}}
+	detail, err := pufferfish.QuiltScoreBayes(inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(detail.Sigma > 0) || math.IsInf(detail.Sigma, 1) {
+		t.Errorf("σ = %v", detail.Sigma)
+	}
+	rng := rand.New(rand.NewPCG(65, 66))
+	rel, _, err := pufferfish.MarkovQuiltMechanism([]float64{2}, 1, inst, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Values) != 1 {
+		t.Error("bad release")
+	}
+}
+
+func TestFacadeFluPipeline(t *testing.T) {
+	clique, err := pufferfish.NewFluClique([]float64{0.1, 0.15, 0.5, 0.15, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := pufferfish.NewFluModel([]pufferfish.FluClique{clique})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(67, 68))
+	data := model.Sample(rng)
+	var count float64
+	for _, x := range data {
+		count += float64(x)
+	}
+	rel, err := pufferfish.Wasserstein(count, pufferfish.FluInstance{Models: []*pufferfish.FluModel{model}}, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Sigma != 2 { // the Section 3.1 worked example
+		t.Errorf("W = %v, want 2", rel.Sigma)
+	}
+}
+
+func TestFacadeActivityAndPower(t *testing.T) {
+	rng := rand.New(rand.NewPCG(69, 70))
+	profile := pufferfish.DefaultActivityProfile(pufferfish.ActivityGroups[0])
+	profile.Participants = 2
+	profile.SessionsPerPerson = 4
+	ds, err := pufferfish.GenerateActivity(profile, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.People) != 2 {
+		t.Error("population wrong")
+	}
+	series, err := pufferfish.SimulatePower(pufferfish.DefaultPowerHouse(), 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5000 {
+		t.Error("series wrong")
+	}
+}
+
+func TestFacadeComposition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	const T = 100
+	truth := pufferfish.BinaryChain(0.5, 0.8, 0.8)
+	class, err := pufferfish.NewFinite([]pufferfish.Chain{truth}, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := pufferfish.NewApproxComposition(class)
+	data := truth.Sample(T, rng)
+	q := pufferfish.StateFrequency{State: 1, N: T}
+	for i := 0; i < 2; i++ {
+		if _, err := comp.Release(data, q, 2, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if comp.TotalEpsilon() != 4 {
+		t.Errorf("TotalEpsilon = %v", comp.TotalEpsilon())
+	}
+}
+
+func TestFacadeUtilityBoundAndRobustness(t *testing.T) {
+	class, err := pufferfish.NewBinaryInterval(0.3, 0.7, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minT, err := pufferfish.UtilityBound(class, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minT <= 0 || minT > 10_000 {
+		t.Errorf("UtilityBound = %d", minT)
+	}
+	if pufferfish.EffectiveEpsilon(1, 0.5) != 2 {
+		t.Error("EffectiveEpsilon wrong")
+	}
+	if len(pufferfish.AllValuePairs(3, 2)) != 3 {
+		t.Error("AllValuePairs wrong")
+	}
+}

@@ -1,0 +1,24 @@
+package pufferfish
+
+import "pufferfish/internal/query"
+
+// Query is a vector-valued, L1-Lipschitz function of a record
+// sequence (Definition 2.5).
+type Query = query.Query
+
+// Histogram counts occurrences of each of K states (2-Lipschitz).
+type Histogram = query.Histogram
+
+// RelFreqHistogram reports per-state fractions over N records
+// ((2/N)-Lipschitz) — the query released throughout Section 5.
+type RelFreqHistogram = query.RelFreqHistogram
+
+// StateFrequency is the scalar fraction of records equal to State
+// ((1/N)-Lipschitz).
+type StateFrequency = query.StateFrequency
+
+// SumQuery releases Σ Values[xᵢ] (range-Lipschitz).
+type SumQuery = query.Sum
+
+// MeanQuery releases the average of Values[xᵢ].
+type MeanQuery = query.Mean
