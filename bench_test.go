@@ -251,6 +251,66 @@ func benchDistPair(b *testing.B) (dist.Discrete, dist.Discrete) {
 	return mk(), mk()
 }
 
+// --- Scoring engine: serial vs parallel --------------------------------
+//
+// benchstat-friendly sub-benchmark pairs for the shared scoring
+// engine; `pufferbench bench` tracks the same workloads in
+// BENCH_1.json. Parallelism 1 is the serial path, 0 uses every CPU;
+// results are bit-for-bit identical (see TestExactScoreParallelGolden).
+
+var engineLevels = []struct {
+	name string
+	par  int
+}{{"serial", 1}, {"parallel", 0}}
+
+func BenchmarkExactScoreEngine(b *testing.B) {
+	class := stationaryBinaryClass(b, 2000)
+	for _, lv := range engineLevels {
+		b.Run(lv.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt := pufferfish.ExactOptions{ForceFullSweep: true, Parallelism: lv.par}
+				if _, err := pufferfish.ExactScore(class, 1, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkApproxScoreEngine(b *testing.B) {
+	class := stationaryBinaryClass(b, 2000)
+	for _, lv := range engineLevels {
+		b.Run(lv.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt := pufferfish.ApproxOptions{ForceFullSweep: true, Parallelism: lv.par}
+				if _, err := pufferfish.ApproxScore(class, 1, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWassersteinScaleEngine(b *testing.B) {
+	class, err := pufferfish.NewFinite([]pufferfish.Chain{markov.BinaryChain(0.5, 0.8, 0.7)}, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lv := range engineLevels {
+		b.Run(lv.name, func(b *testing.B) {
+			b.ReportAllocs()
+			inst := pufferfish.ChainCountInstance{Class: class, W: []int{0, 1}, Parallelism: lv.par}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pufferfish.WassersteinScaleOpt(inst, pufferfish.WassersteinOptions{Parallelism: lv.par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMQMExactPower51 isolates the k = 51 scoring cost that
 // dominates the electricity column of Table 2.
 func BenchmarkMQMExactPower51(b *testing.B) {

@@ -28,6 +28,7 @@ func main() {
 	smoothing := flag.Float64("smoothing", 0.5, "additive smoothing for the empirical chain")
 	seed := flag.Uint64("seed", 0, "noise seed (0 = nondeterministic is NOT offered; 0 is a valid fixed seed)")
 	in := flag.String("in", "", "input file (default stdin)")
+	parallel := flag.Int("parallel", 0, "scoring-engine workers (0 = all CPUs, 1 = serial; release identical either way)")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -44,11 +45,12 @@ func main() {
 		fatal(err)
 	}
 	report, err := release.Run(sessions, release.Config{
-		Epsilon:   *eps,
-		K:         *k,
-		Mechanism: *mech,
-		Smoothing: *smoothing,
-		Seed:      *seed,
+		Epsilon:     *eps,
+		K:           *k,
+		Mechanism:   *mech,
+		Smoothing:   *smoothing,
+		Seed:        *seed,
+		Parallelism: *parallel,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+
+	"pufferfish/internal/core"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+	"pufferfish/internal/power"
+)
+
+// benchEntry is one row of BENCH_1.json: the standard Go benchmark
+// metrics plus the wall-clock speedup of the parallel variant over its
+// serial twin (present only on ".../parallel" rows).
+type benchEntry struct {
+	Name            string  `json:"name"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	Iterations      int     `json:"iterations"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// benchReport is the machine-readable perf snapshot tracked across PRs.
+type benchReport struct {
+	GoMaxProcs int          `json:"go_max_procs"`
+	Quick      bool         `json:"quick"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// runBench measures the scoring engine's hot paths serial vs parallel
+// and writes BENCH_1.json. The workloads mirror bench_test.go's
+// sub-benchmarks so `go test -bench` and this command track the same
+// quantities.
+func runBench(quick bool, out string) error {
+	exactT, approxT, wassT, powT := 2000, 2000, 36, 50_000
+	if quick {
+		exactT, approxT, wassT, powT = 500, 500, 18, 10_000
+	}
+
+	chain, err := markov.BinaryChain(0.5, 0.9, 0.85).StationaryChain()
+	if err != nil {
+		return err
+	}
+	exactClass, err := markov.NewFinite([]markov.Chain{chain}, exactT)
+	if err != nil {
+		return err
+	}
+	approxClass, err := markov.NewFinite([]markov.Chain{chain}, approxT)
+	if err != nil {
+		return err
+	}
+	wassClass, err := markov.NewFinite([]markov.Chain{markov.BinaryChain(0.5, 0.8, 0.7)}, wassT)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewPCG(41, 42))
+	series, err := power.DefaultHouse().Simulate(powT, rng)
+	if err != nil {
+		return err
+	}
+	powChain, err := power.EmpiricalChain(series, 0.5)
+	if err != nil {
+		return err
+	}
+	powClass, err := markov.NewSingleton(powChain, powT)
+	if err != nil {
+		return err
+	}
+
+	// Each case runs once with Parallelism 1 and once with 0 (all
+	// CPUs); any returned error aborts the whole run.
+	cases := []struct {
+		name string
+		run  func(parallelism int) error
+	}{
+		{"ExactScoreSweep", func(p int) error {
+			_, err := core.ExactScore(exactClass, 1, core.ExactOptions{ForceFullSweep: true, Parallelism: p})
+			return err
+		}},
+		{"ApproxScoreSweep", func(p int) error {
+			_, err := core.ApproxScore(approxClass, 1, core.ApproxOptions{ForceFullSweep: true, Parallelism: p})
+			return err
+		}},
+		{"WassersteinChain", func(p int) error {
+			inst := core.ChainCountInstance{Class: wassClass, W: []int{0, 1}, Parallelism: p}
+			_, _, err := core.WassersteinScaleOpt(inst, core.WassersteinOptions{Parallelism: p})
+			return err
+		}},
+		{"ExactScorePower51", func(p int) error {
+			_, err := core.ExactScore(powClass, 1, core.ExactOptions{Parallelism: p})
+			return err
+		}},
+	}
+
+	report := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Quick: quick}
+	for _, c := range cases {
+		var runErr error
+		measure := func(parallelism int) testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := c.run(parallelism); err != nil {
+						runErr = err
+						b.FailNow()
+					}
+				}
+			})
+		}
+		serial := measure(1)
+		parallel := measure(0)
+		if runErr != nil {
+			return fmt.Errorf("bench %s: %w", c.name, runErr)
+		}
+		serialNs := float64(serial.NsPerOp())
+		parallelNs := float64(parallel.NsPerOp())
+		report.Benchmarks = append(report.Benchmarks,
+			benchEntry{
+				Name:        c.name + "/serial",
+				NsPerOp:     serialNs,
+				AllocsPerOp: serial.AllocsPerOp(),
+				BytesPerOp:  serial.AllocedBytesPerOp(),
+				Iterations:  serial.N,
+			},
+			benchEntry{
+				Name:            c.name + "/parallel",
+				NsPerOp:         parallelNs,
+				AllocsPerOp:     parallel.AllocsPerOp(),
+				BytesPerOp:      parallel.AllocedBytesPerOp(),
+				Iterations:      parallel.N,
+				SpeedupVsSerial: serialNs / parallelNs,
+			})
+		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op\n", c.name+"/serial", serialNs, serial.AllocsPerOp())
+		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op   %.2fx\n", c.name+"/parallel", parallelNs, parallel.AllocsPerOp(), serialNs/parallelNs)
+	}
+
+	// Allocation benchmark for the slab-backed power table (no
+	// serial/parallel split; the win is allocs/op).
+	powTable := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pc := matrix.NewPowerCache(powChain.P)
+			pc.Grow(64)
+		}
+	})
+	report.Benchmarks = append(report.Benchmarks, benchEntry{
+		Name:        "PowerCacheGrow64_k51",
+		NsPerOp:     float64(powTable.NsPerOp()),
+		AllocsPerOp: powTable.AllocsPerOp(),
+		BytesPerOp:  powTable.AllocedBytesPerOp(),
+		Iterations:  powTable.N,
+	})
+	fmt.Printf("%-28s %12d ns/op %8d allocs/op\n", "PowerCacheGrow64_k51", powTable.NsPerOp(), powTable.AllocsPerOp())
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

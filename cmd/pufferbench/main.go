@@ -9,10 +9,15 @@
 //	pufferbench table2   [flags]          # Table 2
 //	pufferbench table3   [flags]          # Table 3
 //	pufferbench all      [flags]          # everything above
+//	pufferbench bench    [flags]          # scoring-engine micro-benchmarks → BENCH_1.json
 //
-// Every command accepts -quick for a reduced-size run (minutes →
-// seconds) that exercises identical code paths, and -seed for
-// reproducibility.
+// Every table/figure command accepts -quick for a reduced-size run
+// (minutes → seconds) that exercises identical code paths, -seed for
+// reproducibility, and -parallel to bound the scoring engine's worker
+// count (0 = all CPUs, 1 = serial; results are identical either way).
+// The bench command accepts -quick and -o only: it always measures
+// each workload at both parallelism 1 and all-CPUs, so -parallel does
+// not apply.
 package main
 
 import (
@@ -34,6 +39,8 @@ func main() {
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	trials := fs.Int("trials", 0, "override trial count (0 = default)")
 	csv := fs.Bool("csv", false, "plot-ready CSV output (fig4top only)")
+	parallel := fs.Int("parallel", 0, "scoring-engine workers (0 = all CPUs, 1 = serial)")
+	benchOut := fs.String("o", "BENCH_1.json", "output path (bench only)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -43,17 +50,19 @@ func main() {
 	case "examples":
 		err = runExamples()
 	case "fig4top":
-		err = runFig4Top(*quick, *seed, *trials, *csv)
+		err = runFig4Top(*quick, *seed, *trials, *csv, *parallel)
 	case "fig4bottom":
-		err = runActivity(*quick, *seed, *trials, true, false)
+		err = runActivity(*quick, *seed, *trials, true, false, *parallel)
 	case "table1":
-		err = runActivity(*quick, *seed, *trials, false, true)
+		err = runActivity(*quick, *seed, *trials, false, true, *parallel)
 	case "table2":
-		err = runTable2(*quick, *seed)
+		err = runTable2(*quick, *seed, *parallel)
 	case "table3":
-		err = runTable3(*quick, *seed, *trials)
+		err = runTable3(*quick, *seed, *trials, *parallel)
 	case "all":
-		err = runAll(*quick, *seed, *trials)
+		err = runAll(*quick, *seed, *trials, *parallel)
+	case "bench":
+		err = runBench(*quick, *benchOut)
 	default:
 		usage()
 		os.Exit(2)
@@ -65,7 +74,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pufferbench <examples|fig4top|fig4bottom|table1|table2|table3|all> [-quick] [-seed N] [-trials N]`)
+	fmt.Fprintln(os.Stderr, `usage: pufferbench <examples|fig4top|fig4bottom|table1|table2|table3|all> [-quick] [-seed N] [-trials N] [-parallel N]
+       pufferbench bench [-quick] [-o FILE]`)
 }
 
 func runExamples() error {
@@ -80,9 +90,10 @@ func runExamples() error {
 	return nil
 }
 
-func runFig4Top(quick bool, seed uint64, trials int, csv bool) error {
+func runFig4Top(quick bool, seed uint64, trials int, csv bool, parallel int) error {
 	cfg := experiments.DefaultFig4TopConfig()
 	cfg.Seed = seed
+	cfg.Parallelism = parallel
 	if quick {
 		cfg.Trials = 50
 		cfg.GridN = 5
@@ -105,9 +116,10 @@ func runFig4Top(quick bool, seed uint64, trials int, csv bool) error {
 	return nil
 }
 
-func runActivity(quick bool, seed uint64, trials int, fig, table bool) error {
+func runActivity(quick bool, seed uint64, trials int, fig, table bool, parallel int) error {
 	cfg := experiments.DefaultActivityConfig()
 	cfg.Seed = seed
+	cfg.Parallelism = parallel
 	if quick {
 		cfg.PopulationScale = 0.2
 		cfg.Trials = 5
@@ -137,9 +149,10 @@ func runActivity(quick bool, seed uint64, trials int, fig, table bool) error {
 	return nil
 }
 
-func runTable2(quick bool, seed uint64) error {
+func runTable2(quick bool, seed uint64, parallel int) error {
 	cfg := experiments.DefaultTimingConfig()
 	cfg.Seed = seed
+	cfg.Parallelism = parallel
 	if quick {
 		cfg.SyntheticGridStep = 0.2
 		cfg.PowerT = 100_000
@@ -154,9 +167,10 @@ func runTable2(quick bool, seed uint64) error {
 	return nil
 }
 
-func runTable3(quick bool, seed uint64, trials int) error {
+func runTable3(quick bool, seed uint64, trials int, parallel int) error {
 	cfg := experiments.DefaultPowerConfig()
 	cfg.Seed = seed
+	cfg.Parallelism = parallel
 	if quick {
 		cfg.T = 100_000
 		cfg.Trials = 5
@@ -176,21 +190,21 @@ func runTable3(quick bool, seed uint64, trials int) error {
 	return nil
 }
 
-func runAll(quick bool, seed uint64, trials int) error {
+func runAll(quick bool, seed uint64, trials int, parallel int) error {
 	if err := runExamples(); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := runFig4Top(quick, seed, trials, false); err != nil {
+	if err := runFig4Top(quick, seed, trials, false, parallel); err != nil {
 		return err
 	}
-	if err := runActivity(quick, seed, trials, true, true); err != nil {
-		return err
-	}
-	fmt.Println()
-	if err := runTable3(quick, seed, trials); err != nil {
+	if err := runActivity(quick, seed, trials, true, true, parallel); err != nil {
 		return err
 	}
 	fmt.Println()
-	return runTable2(quick, seed)
+	if err := runTable3(quick, seed, trials, parallel); err != nil {
+		return err
+	}
+	fmt.Println()
+	return runTable2(quick, seed, parallel)
 }

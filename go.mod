@@ -1,0 +1,3 @@
+module pufferfish
+
+go 1.24

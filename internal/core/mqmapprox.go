@@ -7,6 +7,7 @@ import (
 
 	"pufferfish/internal/markov"
 	"pufferfish/internal/query"
+	"pufferfish/internal/sched"
 )
 
 // ApproxOptions tunes Algorithm 4 (MQMApprox).
@@ -17,6 +18,10 @@ type ApproxOptions struct {
 	// ForceFullSweep disables the Lemma 4.9 fast path (middle node
 	// only) even when T ≥ 8a*. Used by ablation benchmarks and tests.
 	ForceFullSweep bool
+	// Parallelism bounds the worker count of the node sweep: 0 uses
+	// every CPU, 1 runs strictly serial. Scores are identical at every
+	// setting.
+	Parallelism int
 }
 
 // influenceBound holds the Lemma 4.8 / Lemma C.1 closed-form upper
@@ -117,13 +122,21 @@ func ApproxScore(class markov.Class, eps float64, opt ApproxOptions) (ChainScore
 		}
 	}
 
-	best := ChainScore{Sigma: math.Inf(-1), Ell: ell}
-	for i := 1; i <= T; i++ {
-		sigma, quilt, infl := approxNodeScore(ib, i, T, ell, eps)
-		if sigma > best.Sigma {
-			best = ChainScore{Sigma: sigma, Node: i, Quilt: quilt, Influence: infl, Ell: ell}
-		}
-	}
+	// Full sweep: per-node scores are independent closed-form
+	// evaluations, so they fan across contiguous node chunks; the
+	// chunk-ordered merge keeps the serial first-maximum.
+	best := sched.ReduceChunks(sched.New(opt.Parallelism), T, ChainScore{Sigma: math.Inf(-1), Ell: ell},
+		func(start, end int) ChainScore {
+			local := ChainScore{Sigma: math.Inf(-1), Ell: ell}
+			for i := start + 1; i <= end; i++ { // nodes are 1-based
+				sigma, quilt, infl := approxNodeScore(ib, i, T, ell, eps)
+				if sigma > local.Sigma {
+					local = ChainScore{Sigma: sigma, Node: i, Quilt: quilt, Influence: infl, Ell: ell}
+				}
+			}
+			return local
+		},
+		maxChainScore)
 	return best, nil
 }
 

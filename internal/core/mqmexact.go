@@ -7,7 +7,9 @@ import (
 
 	"pufferfish/internal/floats"
 	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
 	"pufferfish/internal/query"
+	"pufferfish/internal/sched"
 )
 
 // ExactOptions tunes Algorithm 3 (MQMExact).
@@ -23,6 +25,11 @@ type ExactOptions struct {
 	// then independent of i) even when it applies. Used by the
 	// ablation benchmarks and correctness tests.
 	ForceFullSweep bool
+	// Parallelism bounds the worker count of the scoring sweeps: 0
+	// uses every CPU, 1 runs strictly serial, n > 1 uses up to n
+	// workers. The score is bit-for-bit identical at every setting —
+	// the engine only performs order-preserving max reductions.
+	Parallelism int
 }
 
 // fullSweepLimit is the largest T for which the automatic ℓ falls back
@@ -43,18 +50,38 @@ func ExactScore(class markov.Class, eps float64, opt ExactOptions) (ChainScore, 
 	T := class.T()
 	ell := opt.MaxWidth
 	if ell <= 0 {
-		ell = autoWidth(class, eps, T)
+		ell = autoWidth(class, eps, T, opt.Parallelism)
 	}
 	if ell > T {
 		ell = T
 	}
-	best := ChainScore{Sigma: math.Inf(-1), Ell: ell}
-	for _, theta := range class.Chains() {
-		sc, err := exactScoreTheta(theta, T, ell, eps, class.AllInitialDistributions(), opt.ForceFullSweep)
-		if err != nil {
+	// Per-θ scores are independent; fan them across the pool and merge
+	// in class order (strict > keeps the first maximizer, exactly as
+	// the serial loop would). Split keeps outer×inner concurrency
+	// within the requested worker bound: many-θ classes parallelize
+	// across θ, singleton classes across the inner sweeps.
+	chains := class.Chains()
+	// Fail fast on an invalid chain before paying for any sweep — the
+	// parallel fan below runs every θ to completion regardless of
+	// errors elsewhere.
+	for _, theta := range chains {
+		if err := theta.Validate(); err != nil {
 			return ChainScore{}, err
 		}
-		if sc.Sigma > best.Sigma {
+	}
+	outer, inner := sched.New(opt.Parallelism).Split(len(chains))
+	allInits := class.AllInitialDistributions()
+	scores := make([]ChainScore, len(chains))
+	errs := make([]error, len(chains))
+	outer.ForEach(len(chains), func(ci int) {
+		scores[ci], errs[ci] = exactScoreTheta(chains[ci], T, ell, eps, allInits, opt.ForceFullSweep, inner)
+	})
+	best := ChainScore{Sigma: math.Inf(-1), Ell: ell}
+	for ci := range chains {
+		if errs[ci] != nil {
+			return ChainScore{}, errs[ci]
+		}
+		if sc := scores[ci]; sc.Sigma > best.Sigma {
 			sc.Ell = ell
 			best = sc
 		}
@@ -65,8 +92,8 @@ func ExactScore(class markov.Class, eps float64, opt ExactOptions) (ChainScore, 
 // autoWidth picks ℓ: the active MQMApprox quilt width when the class
 // supports the closed-form bounds, otherwise the full chain (bounded
 // by fullSweepLimit to keep the search honest about its cost).
-func autoWidth(class markov.Class, eps float64, T int) int {
-	if approx, err := ApproxScore(class, eps, ApproxOptions{}); err == nil && approx.Quilt.A > 0 && approx.Quilt.B > 0 {
+func autoWidth(class markov.Class, eps float64, T, parallelism int) int {
+	if approx, err := ApproxScore(class, eps, ApproxOptions{Parallelism: parallelism}); err == nil && approx.Quilt.A > 0 && approx.Quilt.B > 0 {
 		return approx.Quilt.A + approx.Quilt.B
 	}
 	if T <= fullSweepLimit {
@@ -76,7 +103,7 @@ func autoWidth(class markov.Class, eps float64, T int) int {
 }
 
 // exactScoreTheta computes max_i min_quilt σ for a single θ.
-func exactScoreTheta(theta markov.Chain, T, ell int, eps float64, allInits, forceFull bool) (ChainScore, error) {
+func exactScoreTheta(theta markov.Chain, T, ell int, eps float64, allInits, forceFull bool, pool sched.Pool) (ChainScore, error) {
 	if err := theta.Validate(); err != nil {
 		return ChainScore{}, err
 	}
@@ -103,7 +130,7 @@ func exactScoreTheta(theta markov.Chain, T, ell int, eps float64, allInits, forc
 	if maxPow > T-1 {
 		maxPow = T - 1
 	}
-	sc := newExactScorer(theta, T, k, maxPow, allInits)
+	sc := newExactScorer(theta, T, k, maxPow, allInits, pool)
 
 	if stationary {
 		score, ok := sc.stationaryShortcut(ell, eps)
@@ -114,14 +141,31 @@ func exactScoreTheta(theta markov.Chain, T, ell int, eps float64, allInits, forc
 		// quilt is not an interior two-sided quilt.
 	}
 
-	best := ChainScore{Sigma: math.Inf(-1)}
-	for i := 1; i <= T; i++ {
-		sigma, quilt, infl := sc.nodeScore(i, ell, eps)
-		if sigma > best.Sigma {
-			best = ChainScore{Sigma: sigma, Node: i, Quilt: quilt, Influence: infl}
-		}
-	}
+	// The per-node scores only read the scorer's tables, so the sweep
+	// fans across contiguous node chunks; the chunk-ordered first-max
+	// reduction reproduces the serial result exactly.
+	best := sched.ReduceChunks(pool, T, ChainScore{Sigma: math.Inf(-1)},
+		func(start, end int) ChainScore {
+			local := ChainScore{Sigma: math.Inf(-1)}
+			for i := start + 1; i <= end; i++ { // nodes are 1-based
+				sigma, quilt, infl := sc.nodeScore(i, ell, eps)
+				if sigma > local.Sigma {
+					local = ChainScore{Sigma: sigma, Node: i, Quilt: quilt, Influence: infl}
+				}
+			}
+			return local
+		},
+		maxChainScore)
 	return best, nil
+}
+
+// maxChainScore is the engine's first-wins merge: strictly greater σ
+// replaces the accumulator, ties keep the earlier (lower-node) score.
+func maxChainScore(acc, v ChainScore) ChainScore {
+	if v.Sigma > acc.Sigma {
+		return v
+	}
+	return acc
 }
 
 // exactScorer holds the per-θ dynamic-programming tables of
@@ -134,15 +178,25 @@ type exactScorer struct {
 	marg     [][]float64 // node marginals (1-based node i → marg[i−1])
 }
 
-func newExactScorer(theta markov.Chain, T, k, maxPow int, allInits bool) *exactScorer {
+func newExactScorer(theta markov.Chain, T, k, maxPow int, allInits bool, pool sched.Pool) *exactScorer {
 	sc := &exactScorer{T: T, k: k, allInits: allInits}
-	pc := markov.NewPowerCache(theta.P)
+	// The powers P^1 … P^maxPow are a sequential recurrence, so the
+	// cache builds them serially (in-place, two allocations for the
+	// whole table); the per-power max-ratio extraction is embarrassingly
+	// parallel and fans across the pool, each worker writing disjoint
+	// slab rows.
+	pc := matrix.NewPowerCache(theta.P)
+	pc.Grow(maxPow)
 	sc.fwd = make([][]float64, maxPow)
 	sc.bwd = make([][]float64, maxPow)
-	for j := 1; j <= maxPow; j++ {
-		pj := pc.Pow(j)
-		f := make([]float64, k*k)
-		b := make([]float64, k*k)
+	slab := make([]float64, 2*maxPow*k*k)
+	for j := 0; j < maxPow; j++ {
+		sc.fwd[j] = slab[(2*j)*k*k : (2*j+1)*k*k]
+		sc.bwd[j] = slab[(2*j+1)*k*k : (2*j+2)*k*k]
+	}
+	pool.ForEach(maxPow, func(jm1 int) {
+		pj := pc.Pow(jm1 + 1)
+		f, b := sc.fwd[jm1], sc.bwd[jm1]
 		for x := 0; x < k; x++ {
 			for xp := 0; xp < k; xp++ {
 				fbest, bbest := math.Inf(-1), math.Inf(-1)
@@ -154,9 +208,7 @@ func newExactScorer(theta markov.Chain, T, k, maxPow int, allInits bool) *exactS
 				b[x*k+xp] = bbest
 			}
 		}
-		sc.fwd[j-1] = f
-		sc.bwd[j-1] = b
-	}
+	})
 	if !allInits {
 		sc.marg = theta.Marginals(T)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pufferfish/internal/markov"
+	"pufferfish/internal/sched"
 )
 
 // ChainCountInstance is a ready-made WassersteinInstance for the
@@ -20,17 +21,34 @@ type ChainCountInstance struct {
 	// W are per-state integer weights; the indicator of a state makes
 	// F that state's occupancy count.
 	W []int
+	// Parallelism bounds the worker count of the conditional-DP fan:
+	// 0 uses every CPU, 1 runs strictly serial. The pair list is
+	// identical (same order, same distributions) at every setting.
+	Parallelism int
+}
+
+// pairJob is one admissible (θ, node, a, b) secret pair whose two
+// conditional distributions remain to be computed.
+type pairJob struct {
+	theta   markov.Chain
+	ti      int
+	i, a, b int
 }
 
 // ConditionalPairs implements WassersteinInstance. Secret values with
 // zero probability under a θ are skipped per Definition 2.1.
+//
+// The admissible pairs are enumerated serially (marginal checks are
+// cheap), then the O(T·k²·range) conditional dynamic programs — the
+// dominant cost — fan across the pool, each job writing its own slot,
+// so the resulting list is deterministic.
 func (c ChainCountInstance) ConditionalPairs() ([]DistributionPair, error) {
 	T := c.Class.T()
 	k := c.Class.K()
 	if len(c.W) != k {
 		return nil, fmt.Errorf("core: weight vector has length %d, want %d", len(c.W), k)
 	}
-	var pairs []DistributionPair
+	var jobs []pairJob
 	for ti, theta := range c.Class.Chains() {
 		marg := theta.Marginals(T)
 		for i := 1; i <= T; i++ {
@@ -42,21 +60,34 @@ func (c ChainCountInstance) ConditionalPairs() ([]DistributionPair, error) {
 					if marg[i-1][b] <= 0 {
 						continue
 					}
-					mu, err := theta.CountDistGiven(T, c.W, i, a)
-					if err != nil {
-						return nil, err
-					}
-					nu, err := theta.CountDistGiven(T, c.W, i, b)
-					if err != nil {
-						return nil, err
-					}
-					pairs = append(pairs, DistributionPair{
-						Mu:    mu,
-						Nu:    nu,
-						Label: fmt.Sprintf("X%d: %d vs %d @ θ%d", i, a, b, ti+1),
-					})
+					jobs = append(jobs, pairJob{theta: theta, ti: ti, i: i, a: a, b: b})
 				}
 			}
+		}
+	}
+	pairs := make([]DistributionPair, len(jobs))
+	errs := make([]error, len(jobs))
+	sched.New(c.Parallelism).ForEach(len(jobs), func(j int) {
+		job := jobs[j]
+		mu, err := job.theta.CountDistGiven(T, c.W, job.i, job.a)
+		if err != nil {
+			errs[j] = err
+			return
+		}
+		nu, err := job.theta.CountDistGiven(T, c.W, job.i, job.b)
+		if err != nil {
+			errs[j] = err
+			return
+		}
+		pairs[j] = DistributionPair{
+			Mu:    mu,
+			Nu:    nu,
+			Label: fmt.Sprintf("X%d: %d vs %d @ θ%d", job.i, job.a, job.b, job.ti+1),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return pairs, nil

@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 
 	"pufferfish/internal/dist"
+	"pufferfish/internal/sched"
 )
 
 // DistributionPair is one (µ_{i,θ}, µ_{j,θ}) pair from Algorithm 1:
@@ -28,10 +29,32 @@ type WassersteinInstance interface {
 	ConditionalPairs() ([]DistributionPair, error)
 }
 
+// WassersteinOptions tunes the scale computation.
+type WassersteinOptions struct {
+	// Parallelism bounds the worker count of the W∞ sweep over the
+	// pairs the instance returned: 0 uses every CPU, 1 runs strictly
+	// serial. The supremum is identical at every setting. Note it
+	// cannot reach inside ConditionalPairs — instances that fan their
+	// own enumeration (e.g. ChainCountInstance) carry their own
+	// Parallelism knob, which callers must set consistently.
+	Parallelism int
+}
+
 // WassersteinScale computes the noise parameter
 // W = sup_{(s_i,s_j)∈Q, θ∈Θ} W∞(µ_{i,θ}, µ_{j,θ}) of Algorithm 1,
-// returning the worst pair for diagnostics.
+// returning the worst pair for diagnostics. It uses every CPU for the
+// pair sweep; use WassersteinScaleOpt to bound that worker count (the
+// instance's own enumeration parallelism is the instance's knob).
 func WassersteinScale(inst WassersteinInstance) (w float64, worst DistributionPair, err error) {
+	return WassersteinScaleOpt(inst, WassersteinOptions{})
+}
+
+// WassersteinScaleOpt is WassersteinScale with explicit options. The
+// per-pair W∞ distances are independent, so the sweep fans across
+// contiguous pair chunks; each chunk keeps its first local maximum and
+// the chunk-ordered merge returns exactly the pair the serial loop
+// would.
+func WassersteinScaleOpt(inst WassersteinInstance, opt WassersteinOptions) (w float64, worst DistributionPair, err error) {
 	pairs, err := inst.ConditionalPairs()
 	if err != nil {
 		return 0, DistributionPair{}, err
@@ -39,11 +62,28 @@ func WassersteinScale(inst WassersteinInstance) (w float64, worst DistributionPa
 	if len(pairs) == 0 {
 		return 0, DistributionPair{}, errors.New("core: instantiation produced no secret pairs")
 	}
-	for _, p := range pairs {
-		if d := dist.WassersteinInf(p.Mu, p.Nu); d > w {
-			w = d
-			worst = p
-		}
+	type chunkBest struct {
+		w   float64
+		idx int
+	}
+	best := sched.ReduceChunks(sched.New(opt.Parallelism), len(pairs), chunkBest{idx: -1},
+		func(start, end int) chunkBest {
+			local := chunkBest{idx: -1}
+			for i := start; i < end; i++ {
+				if d := dist.WassersteinInf(pairs[i].Mu, pairs[i].Nu); d > local.w {
+					local = chunkBest{w: d, idx: i}
+				}
+			}
+			return local
+		},
+		func(acc, v chunkBest) chunkBest {
+			if v.w > acc.w {
+				return v
+			}
+			return acc
+		})
+	if best.idx >= 0 {
+		w, worst = best.w, pairs[best.idx]
 	}
 	return w, worst, nil
 }

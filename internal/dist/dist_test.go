@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewValidatesAndNormalizes(t *testing.T) {
+	// Unsorted input with a duplicate and a zero atom.
+	d, err := New([]float64{3, 1, 2, 1, 4}, []float64{0.25, 0.2, 0.25, 0.3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (merged duplicate, dropped zero)", d.Len())
+	}
+	wantX := []float64{1, 2, 3}
+	wantP := []float64{0.5, 0.25, 0.25}
+	for i := 0; i < d.Len(); i++ {
+		x, p := d.Atom(i)
+		if x != wantX[i] || math.Abs(p-wantP[i]) > 1e-12 {
+			t.Errorf("atom %d = (%v,%v), want (%v,%v)", i, x, p, wantX[i], wantP[i])
+		}
+	}
+	if d.Prob(2) != 0.25 || d.Prob(5) != 0 {
+		t.Errorf("Prob lookup wrong: %v %v", d.Prob(2), d.Prob(5))
+	}
+
+	for name, args := range map[string][2][]float64{
+		"length mismatch": {{1, 2}, {1}},
+		"empty":           {{}, {}},
+		"negative mass":   {{1, 2}, {1.5, -0.5}},
+		"bad sum":         {{1, 2}, {0.5, 0.1}},
+		"all zero":        {{1, 2}, {0, 0}},
+		"NaN point":       {{math.NaN(), 2}, {0.5, 0.5}},
+	} {
+		if _, err := New(args[0], args[1]); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPointMassAndMeanAndSample(t *testing.T) {
+	p := PointMass(3.5)
+	if p.Len() != 1 || p.Mean() != 3.5 {
+		t.Fatalf("PointMass: Len=%d Mean=%v", p.Len(), p.Mean())
+	}
+	d := MustNew([]float64{0, 10}, []float64{0.25, 0.75})
+	if d.Mean() != 7.5 {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	if math.Abs(sum/float64(n)-7.5) > 0.2 {
+		t.Errorf("sample mean %v far from 7.5", sum/float64(n))
+	}
+}
+
+func TestConvolveAll(t *testing.T) {
+	d := MustNew([]float64{0, 1}, []float64{0.5, 0.5})
+	tot := ConvolveAll([]Discrete{d, d, d})
+	if tot.Len() != 4 {
+		t.Fatalf("support size %d, want 4", tot.Len())
+	}
+	// Binomial(3, 1/2).
+	wantP := []float64{0.125, 0.375, 0.375, 0.125}
+	for i := 0; i < 4; i++ {
+		x, p := tot.Atom(i)
+		if x != float64(i) || math.Abs(p-wantP[i]) > 1e-12 {
+			t.Errorf("atom %d = (%v,%v), want (%d,%v)", i, x, p, i, wantP[i])
+		}
+	}
+	if math.Abs(tot.Mean()-1.5) > 1e-12 {
+		t.Errorf("Mean = %v", tot.Mean())
+	}
+	if empty := ConvolveAll(nil); empty.Len() != 0 {
+		t.Errorf("empty convolution has %d atoms", empty.Len())
+	}
+}
+
+func TestWassersteinInfFluExample(t *testing.T) {
+	// Section 3.1 worked example: W∞ = 2.
+	mu := MustNew([]float64{0, 1, 2, 3}, []float64{0.2, 0.225, 0.5, 0.075})
+	nu := MustNew([]float64{1, 2, 3, 4}, []float64{0.075, 0.5, 0.225, 0.2})
+	if w := WassersteinInf(mu, nu); w != 2 {
+		t.Errorf("W∞ = %v, want 2", w)
+	}
+	if w := WassersteinInfFlow(mu, nu); w != 2 {
+		t.Errorf("flow W∞ = %v, want 2", w)
+	}
+	// Symmetry and identity.
+	if WassersteinInf(nu, mu) != 2 {
+		t.Error("W∞ not symmetric")
+	}
+	if WassersteinInf(mu, mu) != 0 {
+		t.Error("W∞(µ,µ) != 0")
+	}
+}
+
+// TestWassersteinQuantileMatchesFlow cross-validates the O(n) quantile
+// computation against the definitional feasibility search on random
+// pairs.
+func TestWassersteinQuantileMatchesFlow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 200; trial++ {
+		mk := func(n int) Discrete {
+			xs := make([]float64, n)
+			ps := make([]float64, n)
+			var tot float64
+			for i := range xs {
+				xs[i] = math.Round(rng.Float64()*20) / 2
+				ps[i] = rng.Float64() + 0.05
+				tot += ps[i]
+			}
+			for i := range ps {
+				ps[i] /= tot
+			}
+			return MustNew(xs, ps)
+		}
+		mu := mk(2 + rng.IntN(8))
+		nu := mk(2 + rng.IntN(8))
+		q := WassersteinInf(mu, nu)
+		f := WassersteinInfFlow(mu, nu)
+		if math.Abs(q-f) > 1e-9 {
+			t.Fatalf("trial %d: quantile %v != flow %v (mu=%v/%v nu=%v/%v)",
+				trial, q, f, mu.Support(), mu.Masses(), nu.Support(), nu.Masses())
+		}
+	}
+}
+
+func TestMaxDivergence(t *testing.T) {
+	// The Definition 2.3 worked example: D∞ = log 2.
+	p := MustNew([]float64{1, 2, 3}, []float64{1.0 / 3, 0.5, 1.0 / 6})
+	q := MustNew([]float64{1, 2, 3}, []float64{0.5, 0.25, 0.25})
+	if got := MaxDivergence(p, q); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Errorf("D∞ = %v, want log 2", got)
+	}
+	if got := MaxDivergence(p, p); got != 0 {
+		t.Errorf("D∞(p‖p) = %v", got)
+	}
+	// Mass outside q's support → +Inf.
+	wide := MustNew([]float64{1, 4}, []float64{0.5, 0.5})
+	if !math.IsInf(MaxDivergence(wide, q), 1) {
+		t.Error("missing support should give +Inf")
+	}
+	// Symmetrized version takes the max of both directions.
+	s := SymMaxDivergence(p, q)
+	if s != math.Max(MaxDivergence(p, q), MaxDivergence(q, p)) {
+		t.Errorf("SymMaxDivergence = %v", s)
+	}
+}

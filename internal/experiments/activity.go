@@ -34,6 +34,9 @@ type ActivityConfig struct {
 	// scale; 0.2 keeps every code path but ~25× faster).
 	PopulationScale float64
 	Seed            uint64
+	// Parallelism bounds each score computation's worker count
+	// (0 = all CPUs, 1 = serial); results are identical either way.
+	Parallelism int
 }
 
 // DefaultActivityConfig returns the paper's parameters.
@@ -124,11 +127,11 @@ func activityGroup(cfg ActivityConfig, g activity.Group, rng *rand.Rand) (Activi
 	}
 
 	// Quilt-mechanism scores over every distinct session length.
-	approx, err := core.ApproxScoreMulti(class, cfg.Eps, core.ApproxOptions{}, lengths)
+	approx, err := core.ApproxScoreMulti(class, cfg.Eps, core.ApproxOptions{Parallelism: cfg.Parallelism}, lengths)
 	if err != nil {
 		return ActivityResult{}, err
 	}
-	exact, err := core.ExactScoreMulti(class, cfg.Eps, core.ExactOptions{}, lengths)
+	exact, err := core.ExactScoreMulti(class, cfg.Eps, core.ExactOptions{Parallelism: cfg.Parallelism}, lengths)
 	if err != nil {
 		return ActivityResult{}, err
 	}

@@ -30,6 +30,9 @@ type Fig4TopConfig struct {
 	GridN int
 	// Seed makes the sweep reproducible.
 	Seed uint64
+	// Parallelism bounds each score computation's worker count
+	// (0 = all CPUs, 1 = serial); results are identical either way.
+	Parallelism int
 }
 
 // DefaultFig4TopConfig returns the paper's parameters.
@@ -115,12 +118,12 @@ func fig4TopCell(cfg Fig4TopConfig, eps, alpha float64, rng *rand.Rand) (Fig4Top
 	T := float64(cfg.T)
 
 	// Noise scales (per release of the 1/T-Lipschitz frequency query).
-	approx, err := core.ApproxScore(class, eps, core.ApproxOptions{})
+	approx, err := core.ApproxScore(class, eps, core.ApproxOptions{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return Fig4TopCell{}, err
 	}
 	cell.SigmaApprox = approx.Sigma
-	exact, err := core.ExactScore(class, eps, core.ExactOptions{})
+	exact, err := core.ExactScore(class, eps, core.ExactOptions{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return Fig4TopCell{}, err
 	}

@@ -23,6 +23,9 @@ type PowerConfig struct {
 	// chain.
 	Smoothing float64
 	Seed      uint64
+	// Parallelism bounds each score computation's worker count
+	// (0 = all CPUs, 1 = serial); results are identical either way.
+	Parallelism int
 }
 
 // DefaultPowerConfig returns the paper's parameters.
@@ -85,11 +88,11 @@ func PowerExperiment(cfg PowerConfig) (PowerResult, error) {
 
 	for _, eps := range cfg.Epsilons {
 		cell := PowerCell{Eps: eps}
-		approx, err := core.ApproxScore(class, eps, core.ApproxOptions{})
+		approx, err := core.ApproxScore(class, eps, core.ApproxOptions{Parallelism: cfg.Parallelism})
 		if err != nil {
 			return PowerResult{}, err
 		}
-		exact, err := core.ExactScore(class, eps, core.ExactOptions{})
+		exact, err := core.ExactScore(class, eps, core.ExactOptions{Parallelism: cfg.Parallelism})
 		if err != nil {
 			return PowerResult{}, err
 		}

@@ -32,6 +32,10 @@ type TimingConfig struct {
 	PopulationScale float64
 	Smoothing       float64
 	Seed            uint64
+	// Parallelism bounds each timed score computation's worker count
+	// (0 = all CPUs, 1 = serial) — the knob Table 2 uses to report
+	// serial vs parallel wall-clock.
+	Parallelism int
 }
 
 // DefaultTimingConfig returns paper-scale parameters (with a coarser
@@ -99,7 +103,7 @@ func TimingExperiment(cfg TimingConfig) (TimingResult, error) {
 		if err != nil {
 			return TimingResult{}, err
 		}
-		gk, ap, ex := classTimings(class, cfg.Eps, cfg.Repeats)
+		gk, ap, ex := classTimings(class, cfg.Eps, cfg.Repeats, cfg.Parallelism)
 		appendCol(g.String(), gk, ap, ex)
 	}
 
@@ -116,7 +120,7 @@ func TimingExperiment(cfg TimingConfig) (TimingResult, error) {
 	if err != nil {
 		return TimingResult{}, err
 	}
-	gk, ap, ex = classTimings(class, cfg.Eps, cfg.Repeats)
+	gk, ap, ex = classTimings(class, cfg.Eps, cfg.Repeats, cfg.Parallelism)
 	appendCol("electricity", gk, ap, ex)
 
 	return res, nil
@@ -138,7 +142,7 @@ func syntheticTimings(cfg TimingConfig) (gk, ap, ex float64, err error) {
 			if errC != nil {
 				return 0, 0, 0, errC
 			}
-			g, a, e := classTimings(class, cfg.Eps, cfg.Repeats)
+			g, a, e := classTimings(class, cfg.Eps, cfg.Repeats, cfg.Parallelism)
 			if !math.IsNaN(g) {
 				gk += g
 				nGK++
@@ -158,7 +162,7 @@ func syntheticTimings(cfg TimingConfig) (gk, ap, ex float64, err error) {
 
 // classTimings times the three scale computations on one class,
 // averaged over cfg repeats. GK16 returns NaN when inapplicable.
-func classTimings(class markov.Class, eps float64, repeats int) (gk, ap, ex float64) {
+func classTimings(class markov.Class, eps float64, repeats, parallelism int) (gk, ap, ex float64) {
 	var gkTimes, apTimes, exTimes []float64
 	gkOK := true
 	for r := 0; r < repeats; r++ {
@@ -170,13 +174,13 @@ func classTimings(class markov.Class, eps float64, repeats int) (gk, ap, ex floa
 		}
 
 		start = time.Now()
-		if _, err := core.ApproxScore(class, eps, core.ApproxOptions{}); err != nil {
+		if _, err := core.ApproxScore(class, eps, core.ApproxOptions{Parallelism: parallelism}); err != nil {
 			return math.NaN(), math.NaN(), math.NaN()
 		}
 		apTimes = append(apTimes, time.Since(start).Seconds())
 
 		start = time.Now()
-		if _, err := core.ExactScore(class, eps, core.ExactOptions{}); err != nil {
+		if _, err := core.ExactScore(class, eps, core.ExactOptions{Parallelism: parallelism}); err != nil {
 			return math.NaN(), math.NaN(), math.NaN()
 		}
 		exTimes = append(exTimes, time.Since(start).Seconds())

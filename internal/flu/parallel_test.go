@@ -1,0 +1,39 @@
+package flu
+
+import (
+	"testing"
+
+	"pufferfish/internal/core"
+)
+
+// TestWassersteinScaleParallelGolden pins the engine's determinism
+// promise on the flu substrate: the Algorithm 1 scale and worst pair
+// are identical at every parallelism level.
+func TestWassersteinScaleParallelGolden(t *testing.T) {
+	clique, err := FromProbs([]float64{0.1, 0.15, 0.5, 0.15, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel([]Clique{clique, clique, clique})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := Instance{Models: []*Model{model}}
+	wSerial, worstSerial, err := core.WassersteinScaleOpt(inst, core.WassersteinOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wSerial != 2 {
+		t.Errorf("serial W = %v, want the Section 3.1 value 2", wSerial)
+	}
+	for _, par := range []int{4, 0} {
+		w, worst, err := core.WassersteinScaleOpt(inst, core.WassersteinOptions{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != wSerial || worst.Label != worstSerial.Label {
+			t.Errorf("par=%d: (W=%v, worst=%q) != serial (W=%v, worst=%q)",
+				par, w, worst.Label, wSerial, worstSerial.Label)
+		}
+	}
+}

@@ -14,23 +14,33 @@ import (
 var ErrReducible = errors.New("markov: chain is not irreducible")
 
 // Irreducible reports whether the support graph of P is strongly
-// connected (single communicating class).
+// connected (single communicating class). The forward and transposed
+// BFS passes share one seen/queue buffer pair.
 func (c Chain) Irreducible() bool {
 	k := c.K()
-	return reachesAll(c.P, k, false) && reachesAll(c.P, k, true)
+	seen := make([]bool, k)
+	queue := make([]int, 0, k)
+	if !reachesAll(c.P, k, false, seen, queue) {
+		return false
+	}
+	for i := range seen {
+		seen[i] = false
+	}
+	return reachesAll(c.P, k, true, seen, queue)
 }
 
 // reachesAll runs a BFS from state 0 over the support graph (or its
 // transpose) and reports whether every state is reached. Strong
 // connectivity ⇔ both directions reach all states from any one state.
-func reachesAll(p *matrix.Dense, k int, transpose bool) bool {
-	seen := make([]bool, k)
-	queue := []int{0}
+// The queue is consumed by an index cursor (no slice re-slicing), so
+// the traversal is O(k²) with zero allocations beyond the caller's
+// buffers.
+func reachesAll(p *matrix.Dense, k int, transpose bool, seen []bool, queue []int) bool {
+	queue = append(queue[:0], 0)
 	seen[0] = true
 	count := 1
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for v := 0; v < k; v++ {
 			var edge float64
 			if transpose {
@@ -50,7 +60,8 @@ func reachesAll(p *matrix.Dense, k int, transpose bool) bool {
 
 // Period returns the period of an irreducible chain: the gcd of all
 // cycle lengths through state 0, computed from BFS levels (for edge
-// u→v in the support graph, gcd accumulates level(u)+1−level(v)).
+// u→v in the support graph, gcd accumulates level(u)+1−level(v)). The
+// BFS queue is consumed by an index cursor, like reachesAll's.
 func (c Chain) Period() (int, error) {
 	if !c.Irreducible() {
 		return 0, ErrReducible
@@ -61,11 +72,10 @@ func (c Chain) Period() (int, error) {
 		level[i] = -1
 	}
 	level[0] = 0
-	queue := []int{0}
+	queue := make([]int, 1, k)
 	g := 0
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for v := 0; v < k; v++ {
 			if c.P.At(u, v) <= 0 {
 				continue

@@ -124,51 +124,32 @@ func sampleIndex(probs []float64, rng *rand.Rand) int {
 }
 
 // Marginals returns the marginal distributions m_i = P(X_i = ·) for
-// i = 1..T as rows of a T×k slice (index 0 is X_1 = Init).
+// i = 1..T as rows of a T×k slice (index 0 is X_1 = Init). The rows are
+// views into one slab, so the whole table costs two allocations.
 func (c Chain) Marginals(T int) [][]float64 {
+	if T < 1 {
+		return nil
+	}
+	k := len(c.Init)
 	out := make([][]float64, T)
-	cur := make([]float64, len(c.Init))
-	copy(cur, c.Init)
-	for t := 0; t < T; t++ {
-		row := make([]float64, len(cur))
-		copy(row, cur)
+	slab := make([]float64, T*k)
+	copy(slab[:k], c.Init)
+	out[0] = slab[:k:k]
+	for t := 1; t < T; t++ {
+		row := slab[t*k : (t+1)*k : (t+1)*k]
+		c.P.VecMulInto(row, out[t-1])
 		out[t] = row
-		if t < T-1 {
-			cur = c.P.VecMul(cur)
-		}
 	}
 	return out
 }
 
 // PowerCache memoizes consecutive powers P, P², …, Pⁿ of a transition
 // matrix. MQMExact evaluates transition kernels at every quilt
-// distance up to ℓ; sharing one cache makes that O(ℓk³) total.
-type PowerCache struct {
-	p      *matrix.Dense
-	powers []*matrix.Dense // powers[i] = P^(i+1)
-}
+// distance up to ℓ; sharing one cache makes that O(ℓk³) total. It is
+// the slab-backed, concurrency-safe matrix.PowerCache.
+type PowerCache = matrix.PowerCache
 
 // NewPowerCache returns an empty cache for p.
 func NewPowerCache(p *matrix.Dense) *PowerCache {
-	return &PowerCache{p: p}
-}
-
-// Pow returns P^n for n ≥ 0, extending the cache as needed.
-func (pc *PowerCache) Pow(n int) *matrix.Dense {
-	if n < 0 {
-		panic("markov: negative power")
-	}
-	if n == 0 {
-		r, _ := pc.p.Dims()
-		return matrix.Identity(r)
-	}
-	for len(pc.powers) < n {
-		if len(pc.powers) == 0 {
-			pc.powers = append(pc.powers, pc.p.Clone())
-			continue
-		}
-		last := pc.powers[len(pc.powers)-1]
-		pc.powers = append(pc.powers, last.Mul(pc.p))
-	}
-	return pc.powers[n-1]
+	return matrix.NewPowerCache(p)
 }

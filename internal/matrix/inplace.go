@@ -1,0 +1,125 @@
+package matrix
+
+// This file holds the destination-taking kernels and pooled scratch
+// matrices. The scoring engine's hot loops (quilt sweeps, marginal
+// propagation, power tables) run thousands of small multiplies; the
+// -Into variants let callers reuse buffers so the steady state
+// allocates nothing.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MulInto computes dst = a·b in place. dst must have dimensions
+// a.rows×b.cols and must not alias a or b (the product reads its
+// operands while writing dst).
+func MulInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("matrix: MulInto dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("matrix: MulInto destination is %d×%d, want %d×%d", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	if sameData(dst, a) || sameData(dst, b) {
+		panic("matrix: MulInto destination aliases an operand")
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		drow := dst.data[i*b.cols : (i+1)*b.cols]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bkj := range brow {
+				drow[j] += aik * bkj
+			}
+		}
+	}
+	return dst
+}
+
+// MulVecInto computes dst = m·x in place and returns dst. dst must have
+// length m.rows and must not alias x.
+func (m *Dense) MulVecInto(dst, x []float64) []float64 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("matrix: MulVecInto dimension mismatch %d×%d · %d", m.rows, m.cols, len(x)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("matrix: MulVecInto destination has length %d, want %d", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// VecMulInto computes dst = xᵀ·m in place and returns dst — one
+// Markov-chain distribution step without allocating. dst must have
+// length m.cols and must not alias x.
+func (m *Dense) VecMulInto(dst, x []float64) []float64 {
+	if m.rows != len(x) {
+		panic(fmt.Sprintf("matrix: VecMulInto dimension mismatch %d · %d×%d", len(x), m.rows, m.cols))
+	}
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("matrix: VecMulInto destination has length %d, want %d", len(dst), m.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+	return dst
+}
+
+// CopyFrom copies src's elements into m (dimensions must match).
+func (m *Dense) CopyFrom(src *Dense) {
+	m.sameDims(src, "CopyFrom")
+	copy(m.data, src.data)
+}
+
+func sameData(a, b *Dense) bool {
+	return len(a.data) > 0 && len(b.data) > 0 && &a.data[0] == &b.data[0]
+}
+
+// scratchPool recycles Dense values across Pow calls and other
+// temporaries. Entries keep their backing arrays, so a steady-state
+// workload stops allocating once the pool is warm.
+var scratchPool = sync.Pool{New: func() any { return &Dense{} }}
+
+// GetScratch returns a pooled rows×cols matrix with unspecified
+// contents. Release it with PutScratch when done.
+func GetScratch(rows, cols int) *Dense {
+	d := scratchPool.Get().(*Dense)
+	n := rows * cols
+	if cap(d.data) < n {
+		d.data = make([]float64, n)
+	}
+	d.data = d.data[:n]
+	d.rows, d.cols = rows, cols
+	return d
+}
+
+// PutScratch returns a matrix obtained from GetScratch to the pool.
+// The caller must not use it afterwards.
+func PutScratch(d *Dense) {
+	if d != nil {
+		scratchPool.Put(d)
+	}
+}

@@ -1,0 +1,194 @@
+package matrix
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+func randomDense(rows, cols int, rng *rand.Rand) *Dense {
+	m := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	return m
+}
+
+func densesEqual(t *testing.T, got, want *Dense, label string) {
+	t.Helper()
+	gr, gc := got.Dims()
+	wr, wc := want.Dims()
+	if gr != wr || gc != wc {
+		t.Fatalf("%s: dims %d×%d != %d×%d", label, gr, gc, wr, wc)
+	}
+	for i := 0; i < gr; i++ {
+		for j := 0; j < gc; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("%s: (%d,%d) = %v, want %v", label, i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {4, 1, 6}} {
+		a := randomDense(dims[0], dims[1], rng)
+		b := randomDense(dims[1], dims[2], rng)
+		dst := NewDense(dims[0], dims[2])
+		// Pre-dirty the destination: MulInto must overwrite, not add.
+		for i := range dims[0] {
+			for j := range dims[2] {
+				dst.Set(i, j, 99)
+			}
+		}
+		MulInto(dst, a, b)
+		densesEqual(t, dst, a.Mul(b), "MulInto")
+	}
+}
+
+func TestMulIntoPanics(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(3, 2)
+	for name, fn := range map[string]func(){
+		"dim mismatch": func() { MulInto(NewDense(2, 2), a, NewDense(2, 2)) },
+		"bad dst":      func() { MulInto(NewDense(3, 3), a, b) },
+		"alias":        func() { sq := NewDense(2, 2); MulInto(sq, sq, sq) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMulVecIntoAndVecMulInto(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	m := randomDense(3, 4, rng)
+	x4 := []float64{1, -2, 0.5, 3}
+	x3 := []float64{0.25, 0, -1}
+
+	got := m.MulVecInto(make([]float64, 3), x4)
+	want := m.MulVec(x4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVecInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	got = m.VecMulInto(make([]float64, 4), x3)
+	want = m.VecMul(x3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VecMulInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// densesClose allows last-ulp divergence: binary exponentiation
+// associates the products differently from sequential multiplication.
+func densesClose(t *testing.T, got, want *Dense, label string) {
+	t.Helper()
+	gr, gc := got.Dims()
+	for i := 0; i < gr; i++ {
+		for j := 0; j < gc; j++ {
+			if diff := math.Abs(got.At(i, j) - want.At(i, j)); diff > 1e-12*(1+math.Abs(want.At(i, j))) {
+				t.Fatalf("%s: (%d,%d) = %v, want %v", label, i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPowUsesScratchAndMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	m := randomDense(4, 4, rng)
+	naive := Identity(4)
+	for n := 0; n <= 9; n++ {
+		densesClose(t, m.Pow(n), naive, "Pow")
+		naive = naive.Mul(m)
+	}
+}
+
+// seqPowers returns P^1 … P^n by sequential multiplication — the exact
+// association order PowerCache uses, so comparisons are bit-exact.
+func seqPowers(m *Dense, n int) []*Dense {
+	out := make([]*Dense, n+1)
+	out[0] = Identity(m.rows)
+	for i := 1; i <= n; i++ {
+		out[i] = out[i-1].Mul(m)
+	}
+	return out
+}
+
+func TestPowerCacheMatchesPow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	m := randomDense(5, 5, rng)
+	want := seqPowers(m, 9)
+	pc := NewPowerCache(m)
+	for _, n := range []int{4, 1, 7, 0, 2, 7} {
+		densesEqual(t, pc.Pow(n), want[n], "PowerCache.Pow")
+	}
+	if pc.Len() != 7 {
+		t.Errorf("Len = %d, want 7", pc.Len())
+	}
+	pc.Grow(9)
+	if pc.Len() != 9 {
+		t.Errorf("after Grow(9) Len = %d", pc.Len())
+	}
+	densesEqual(t, pc.Pow(9), want[9], "after Grow")
+}
+
+// TestPowerCacheConcurrent hammers one cache from many goroutines; run
+// with -race this validates the locking discipline.
+func TestPowerCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	m := randomDense(3, 3, rng)
+	pc := NewPowerCache(m)
+	want := seqPowers(m, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				n := 1 + (g*50+it)%32
+				got := pc.Pow(n)
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						// t.Error (not Fatal) — safe off the test goroutine.
+						if got.At(i, j) != want[n].At(i, j) {
+							t.Errorf("concurrent Pow(%d) mismatch at (%d,%d)", n, i, j)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestGetScratchDims(t *testing.T) {
+	d := GetScratch(3, 4)
+	r, c := d.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("GetScratch dims %d×%d", r, c)
+	}
+	PutScratch(d)
+	// A second, larger request must resize cleanly even when the pool
+	// hands back the smaller buffer.
+	d2 := GetScratch(10, 10)
+	r, c = d2.Dims()
+	if r != 10 || c != 10 {
+		t.Fatalf("GetScratch reuse dims %d×%d", r, c)
+	}
+	PutScratch(d2)
+	PutScratch(nil) // must not panic
+}

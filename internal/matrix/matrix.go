@@ -197,7 +197,8 @@ func (m *Dense) sameDims(b *Dense, op string) {
 }
 
 // Pow returns m^n for a square matrix and n ≥ 0, using binary
-// exponentiation. Pow(0) is the identity.
+// exponentiation over pooled scratch buffers (three fixed allocations
+// regardless of n). Pow(0) is the identity.
 func (m *Dense) Pow(n int) *Dense {
 	if m.rows != m.cols {
 		panic("matrix: Pow of non-square matrix")
@@ -205,18 +206,32 @@ func (m *Dense) Pow(n int) *Dense {
 	if n < 0 {
 		panic("matrix: Pow with negative exponent")
 	}
-	result := Identity(m.rows)
-	base := m.Clone()
+	k := m.rows
+	result := Identity(k)
+	if n == 0 {
+		return result
+	}
+	base := GetScratch(k, k)
+	base.CopyFrom(m)
+	tmp := GetScratch(k, k)
 	for n > 0 {
 		if n&1 == 1 {
-			result = result.Mul(base)
+			MulInto(tmp, result, base)
+			result, tmp = tmp, result
 		}
 		n >>= 1
 		if n > 0 {
-			base = base.Mul(base)
+			MulInto(tmp, base, base)
+			base, tmp = tmp, base
 		}
 	}
-	return result
+	// result, base, tmp are three distinct matrices (swaps only permute
+	// them), so all three can be pooled once the result is copied out.
+	out := result.Clone()
+	PutScratch(result)
+	PutScratch(base)
+	PutScratch(tmp)
+	return out
 }
 
 // MaxAbs returns the largest absolute entry.

@@ -1,0 +1,101 @@
+package matrix
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PowerCache memoizes the consecutive powers P, P², …, Pⁿ of a square
+// matrix. The quilt decomposition of Lemma 4.6 evaluates transition
+// kernels at every quilt distance up to ℓ for every protected node;
+// sharing one cache makes the whole sweep O(ℓk³) in matrix work and —
+// because entries are carved out of slab allocations — O(1) in
+// allocations per power.
+//
+// The cache is safe for concurrent use: readers take a shared lock and
+// the extension path an exclusive one. Callers that know the maximum
+// power in advance should Grow first so that the parallel phase is
+// read-only.
+type PowerCache struct {
+	mu     sync.RWMutex
+	p      *Dense
+	powers []*Dense // powers[i] = P^(i+1), views into slabs
+}
+
+// NewPowerCache returns an empty cache for the square matrix p.
+func NewPowerCache(p *Dense) *PowerCache {
+	if p.rows != p.cols {
+		panic(fmt.Sprintf("matrix: PowerCache of non-square %d×%d matrix", p.rows, p.cols))
+	}
+	return &PowerCache{p: p}
+}
+
+// Base returns the cached matrix P.
+func (pc *PowerCache) Base() *Dense { return pc.p }
+
+// Grow extends the cache to hold P^1 … P^n. All new entries share one
+// backing slab, so growing by m powers costs O(1+m·k²) memory in two
+// allocations regardless of m.
+func (pc *PowerCache) Grow(n int) {
+	if n < 1 {
+		return
+	}
+	pc.mu.Lock()
+	pc.growLocked(n)
+	pc.mu.Unlock()
+}
+
+func (pc *PowerCache) growLocked(n int) {
+	have := len(pc.powers)
+	if have >= n {
+		return
+	}
+	k := pc.p.rows
+	slab := make([]float64, (n-have)*k*k)
+	headers := make([]Dense, n-have)
+	if cap(pc.powers) < n {
+		grown := make([]*Dense, have, n)
+		copy(grown, pc.powers)
+		pc.powers = grown
+	}
+	for j := have; j < n; j++ {
+		entry := &headers[j-have]
+		*entry = Dense{rows: k, cols: k, data: slab[(j-have)*k*k : (j-have+1)*k*k]}
+		if j == 0 {
+			entry.CopyFrom(pc.p)
+		} else {
+			MulInto(entry, pc.powers[j-1], pc.p)
+		}
+		pc.powers = append(pc.powers, entry)
+	}
+}
+
+// Pow returns P^n for n ≥ 0, extending the cache as needed. The
+// returned matrix is shared — callers must not modify it.
+func (pc *PowerCache) Pow(n int) *Dense {
+	if n < 0 {
+		panic("matrix: PowerCache negative power")
+	}
+	if n == 0 {
+		return Identity(pc.p.rows)
+	}
+	pc.mu.RLock()
+	if n <= len(pc.powers) {
+		out := pc.powers[n-1]
+		pc.mu.RUnlock()
+		return out
+	}
+	pc.mu.RUnlock()
+	pc.mu.Lock()
+	pc.growLocked(n)
+	out := pc.powers[n-1]
+	pc.mu.Unlock()
+	return out
+}
+
+// Len returns the number of cached powers.
+func (pc *PowerCache) Len() int {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	return len(pc.powers)
+}

@@ -41,6 +41,9 @@ type Config struct {
 	Smoothing float64
 	// Seed drives the Laplace noise.
 	Seed uint64
+	// Parallelism bounds the score computation's worker count
+	// (0 = all CPUs, 1 = serial); the release is identical either way.
+	Parallelism int
 }
 
 // Report is the JSON-serializable release record.
@@ -171,9 +174,9 @@ func Run(sessions [][]int, cfg Config) (*Report, error) {
 		}
 		var score core.ChainScore
 		if cfg.Mechanism == MechMQMExact {
-			score, err = core.ExactScoreMulti(class, cfg.Epsilon, core.ExactOptions{}, lengths)
+			score, err = core.ExactScoreMulti(class, cfg.Epsilon, core.ExactOptions{Parallelism: cfg.Parallelism}, lengths)
 		} else {
-			score, err = core.ApproxScoreMulti(class, cfg.Epsilon, core.ApproxOptions{}, lengths)
+			score, err = core.ApproxScoreMulti(class, cfg.Epsilon, core.ApproxOptions{Parallelism: cfg.Parallelism}, lengths)
 		}
 		if err != nil {
 			return nil, err

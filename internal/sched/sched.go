@@ -1,0 +1,163 @@
+// Package sched is the shared worker pool of the scoring engine. It
+// fans index loops across a bounded number of goroutines while keeping
+// every reduction deterministic: work is split into contiguous chunks,
+// each chunk produces a slot-indexed partial result, and callers merge
+// the slots in chunk order. Because the engine only performs max-style
+// reductions (never floating-point sums across chunks), the merged
+// result is bit-for-bit identical to the serial loop at every
+// parallelism level.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunksPerWorker oversubscribes the chunk count so that uneven chunk
+// costs (e.g. quilt sweeps near the chain boundary are cheaper than
+// interior ones) still balance across workers.
+const chunksPerWorker = 8
+
+// Pool bounds the number of concurrent workers. The zero value uses
+// every CPU; Pool{}.With(1) (or New(1)) runs loops inline with no
+// goroutines at all.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given parallelism: n ≤ 0 means every
+// available CPU (GOMAXPROCS, which respects cgroup/env constraints),
+// 1 means strictly serial (loops run inline on the caller's
+// goroutine), n > 1 bounds the worker count to n.
+func New(parallelism int) Pool {
+	return Pool{workers: parallelism}
+}
+
+// Workers returns the effective worker bound.
+func (p Pool) Workers() int {
+	if p.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.workers
+}
+
+// ForEach invokes fn(i) for every i in [0, n), distributing indices
+// across at most Workers() goroutines, and returns when every call has
+// completed. fn must not panic across goroutines with shared state;
+// indices are claimed atomically so each runs exactly once.
+func (p Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ChunkCount returns how many contiguous chunks ForChunks will split n
+// items into. Callers size their slot arrays with it.
+func (p Pool) ChunkCount(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	w := p.Workers()
+	if w <= 1 {
+		return 1
+	}
+	nc := w * chunksPerWorker
+	if nc > n {
+		nc = n
+	}
+	return nc
+}
+
+// ForChunks partitions [0, n) into ChunkCount(n) contiguous chunks and
+// invokes fn(chunk, start, end) for each, concurrently on at most
+// Workers() goroutines. Chunk c covers a half-open index range; chunks
+// are disjoint, ordered, and cover [0, n) exactly, so a slot array
+// indexed by chunk and merged in increasing chunk order yields the same
+// reduction the serial loop would.
+func (p Pool) ForChunks(n int, fn func(chunk, start, end int)) {
+	nc := p.ChunkCount(n)
+	if nc == 0 {
+		return
+	}
+	if nc == 1 {
+		fn(0, 0, n)
+		return
+	}
+	// Balanced partition: the first rem chunks get size+1 items.
+	size, rem := n/nc, n%nc
+	p.ForEach(nc, func(c int) {
+		start := c*size + min(c, rem)
+		end := start + size
+		if c < rem {
+			end++
+		}
+		fn(c, start, end)
+	})
+}
+
+// ReduceChunks partitions [0, n) exactly like Pool.ForChunks, computes
+// one value per chunk with fn (run concurrently), and folds the chunk
+// values in increasing chunk order with merge, starting from zero.
+// With a first-wins merge (strict inequality) over contiguous ordered
+// chunks this reproduces the serial loop's reduction bit-for-bit at
+// every parallelism level — it is the single implementation of the
+// engine's determinism contract.
+func ReduceChunks[T any](p Pool, n int, zero T, fn func(start, end int) T, merge func(acc, v T) T) T {
+	nc := p.ChunkCount(n)
+	if nc == 0 {
+		return zero
+	}
+	slots := make([]T, nc)
+	p.ForChunks(n, func(chunk, start, end int) {
+		slots[chunk] = fn(start, end)
+	})
+	acc := zero
+	for _, v := range slots {
+		acc = merge(acc, v)
+	}
+	return acc
+}
+
+// Split divides this pool's worker budget between an outer loop of
+// outerN items and the inner loops each item runs: the outer pool gets
+// min(outerN, Workers()) workers and the inner pool the remaining
+// budget per outer worker, so nesting outer.ForEach around
+// inner.ForChunks keeps total concurrency within Workers().
+func (p Pool) Split(outerN int) (outer, inner Pool) {
+	w := p.Workers()
+	ow := outerN
+	if ow > w {
+		ow = w
+	}
+	if ow < 1 {
+		ow = 1
+	}
+	return New(ow), New(w / ow)
+}

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	auto := runtime.GOMAXPROCS(0)
+	if got := New(0).Workers(); got != auto {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, auto)
+	}
+	if got := New(-3).Workers(); got != auto {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, auto)
+	}
+	if got := New(1).Workers(); got != 1 {
+		t.Errorf("Workers(1) = %d", got)
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+	if got := (Pool{}).Workers(); got != auto {
+		t.Errorf("zero-value Workers = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 0} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			counts := make([]int32, n)
+			New(workers).ForEach(n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksPartitions(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 3, 17, 64, 1001} {
+			nc := p.ChunkCount(n)
+			if n == 0 {
+				if nc != 0 {
+					t.Fatalf("ChunkCount(0) = %d", nc)
+				}
+				continue
+			}
+			if nc < 1 || nc > n {
+				t.Fatalf("workers=%d: ChunkCount(%d) = %d outside [1,%d]", workers, n, nc, n)
+			}
+			covered := make([]int32, n)
+			var seenChunks atomic.Int32
+			p.ForChunks(n, func(chunk, start, end int) {
+				seenChunks.Add(1)
+				if chunk < 0 || chunk >= nc {
+					t.Errorf("chunk index %d outside [0,%d)", chunk, nc)
+				}
+				if start >= end {
+					t.Errorf("empty chunk %d: [%d,%d)", chunk, start, end)
+				}
+				for i := start; i < end; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			if int(seenChunks.Load()) != nc {
+				t.Fatalf("workers=%d n=%d: %d chunks ran, ChunkCount says %d", workers, n, seenChunks.Load(), nc)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitBoundsTotalWorkers(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		for _, outerN := range []int{1, 2, 3, 8, 100} {
+			outer, inner := New(w).Split(outerN)
+			if outer.Workers() > w {
+				t.Errorf("w=%d outerN=%d: outer %d > budget", w, outerN, outer.Workers())
+			}
+			if got := outer.Workers() * inner.Workers(); got > w {
+				t.Errorf("w=%d outerN=%d: outer×inner = %d exceeds budget", w, outerN, got)
+			}
+			if inner.Workers() < 1 || outer.Workers() < 1 {
+				t.Errorf("w=%d outerN=%d: degenerate pools %d/%d", w, outerN, outer.Workers(), inner.Workers())
+			}
+		}
+	}
+	// Singleton outer loop hands the whole budget to the inner pool.
+	outer, inner := New(8).Split(1)
+	if outer.Workers() != 1 || inner.Workers() != 8 {
+		t.Errorf("Split(1) = %d/%d, want 1/8", outer.Workers(), inner.Workers())
+	}
+}
+
+func TestReduceChunksMatchesSerial(t *testing.T) {
+	n := 300
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = (i * 131) % 97
+	}
+	serialBest, serialIdx := -1, -1
+	for i, v := range vals {
+		if v > serialBest {
+			serialBest, serialIdx = v, i
+		}
+	}
+	type best struct{ v, idx int }
+	for _, w := range []int{1, 2, 8, 0} {
+		got := ReduceChunks(New(w), n, best{v: -1, idx: -1},
+			func(start, end int) best {
+				b := best{v: -1, idx: -1}
+				for i := start; i < end; i++ {
+					if vals[i] > b.v {
+						b = best{v: vals[i], idx: i}
+					}
+				}
+				return b
+			},
+			func(acc, v best) best {
+				if v.v > acc.v {
+					return v
+				}
+				return acc
+			})
+		if got.v != serialBest || got.idx != serialIdx {
+			t.Errorf("w=%d: ReduceChunks (%d,%d) != serial (%d,%d)", w, got.v, got.idx, serialBest, serialIdx)
+		}
+	}
+	if got := ReduceChunks(New(4), 0, 42, func(int, int) int { return 0 }, func(a, b int) int { return a + b }); got != 42 {
+		t.Errorf("empty ReduceChunks = %d, want zero value 42", got)
+	}
+}
+
+// TestForChunksOrderedMergeMatchesSerial checks the engine's core
+// determinism argument: a chunk-local first-max merged in chunk order
+// equals the serial first-max.
+func TestForChunksOrderedMergeMatchesSerial(t *testing.T) {
+	n := 500
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64((i * 7919) % 101) // repeated maxima on purpose
+	}
+	serialBest, serialIdx := -1.0, -1
+	for i, v := range vals {
+		if v > serialBest {
+			serialBest, serialIdx = v, i
+		}
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		type best struct {
+			v   float64
+			idx int
+		}
+		bests := make([]best, p.ChunkCount(n))
+		p.ForChunks(n, func(chunk, start, end int) {
+			b := best{v: -1, idx: -1}
+			for i := start; i < end; i++ {
+				if vals[i] > b.v {
+					b = best{v: vals[i], idx: i}
+				}
+			}
+			bests[chunk] = b
+		})
+		mergedBest, mergedIdx := -1.0, -1
+		for _, b := range bests {
+			if b.v > mergedBest {
+				mergedBest, mergedIdx = b.v, b.idx
+			}
+		}
+		if mergedBest != serialBest || mergedIdx != serialIdx {
+			t.Errorf("workers=%d: merged (%v,%d) != serial (%v,%d)", workers, mergedBest, mergedIdx, serialBest, serialIdx)
+		}
+	}
+}

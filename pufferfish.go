@@ -64,9 +64,22 @@ type DistributionPair = core.DistributionPair
 // a Pufferfish instantiation for a scalar query.
 type WassersteinInstance = core.WassersteinInstance
 
-// WassersteinScale computes the Algorithm 1 noise parameter W.
+// WassersteinOptions tunes the Wasserstein scale computation (worker
+// count; the supremum is identical at every parallelism level).
+type WassersteinOptions = core.WassersteinOptions
+
+// WassersteinScale computes the Algorithm 1 noise parameter W using
+// every CPU.
 func WassersteinScale(inst WassersteinInstance) (w float64, worst DistributionPair, err error) {
 	return core.WassersteinScale(inst)
+}
+
+// WassersteinScaleOpt is WassersteinScale with an explicit worker
+// bound for the pair sweep. Instances that parallelize their own pair
+// enumeration (ChainCountInstance) have their own Parallelism field;
+// set both for a strict bound.
+func WassersteinScaleOpt(inst WassersteinInstance, opt WassersteinOptions) (w float64, worst DistributionPair, err error) {
+	return core.WassersteinScaleOpt(inst, opt)
 }
 
 // Wasserstein releases a scalar query value with ε-Pufferfish privacy
