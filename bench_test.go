@@ -311,6 +311,88 @@ func BenchmarkWassersteinScaleEngine(b *testing.B) {
 	}
 }
 
+// --- Score cache / batch ----------------------------------------------
+//
+// benchstat-friendly pairs for the memoizing layer: each variant
+// against its ablation baseline. `pufferbench bench` tracks the same
+// workloads in BENCH_2.json.
+
+// BenchmarkCompositionRepeatedRelease measures the Theorem 4.4 regime
+// — 100 releases over one unchanged class, each session with its own
+// accounting — with the score cache disabled vs enabled. Scores and
+// released values are bit-identical in both variants (pinned by
+// TestCompositionCachedBitIdentical).
+func BenchmarkCompositionRepeatedRelease(b *testing.B) {
+	const T, releases = 2000, 100
+	class := stationaryBinaryClass(b, T)
+	data := make([]int, T)
+	for i := range data {
+		data[i] = i % 2
+	}
+	q := pufferfish.RelFreqHistogram{K: 2, N: len(data)}
+	loop := func(cache *pufferfish.ScoreCache) error {
+		rng := rand.New(rand.NewPCG(103, 104))
+		for i := 0; i < releases; i++ {
+			comp := pufferfish.NewExactComposition(class, pufferfish.ExactOptions{}).WithCache(cache)
+			if _, err := comp.Release(data, q, 1, rng); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := loop(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := loop(pufferfish.NewScoreCache()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScoreBatch measures batched scoring of eight classes with
+// two distinct fingerprints against the per-class loop it replaces.
+func BenchmarkScoreBatch(b *testing.B) {
+	chains := []pufferfish.Chain{
+		markov.BinaryChain(0.5, 0.9, 0.85),
+		markov.BinaryChain(0.5, 0.8, 0.7),
+	}
+	classes := make([]pufferfish.Class, 8)
+	for i := range classes {
+		class, err := pufferfish.NewFinite([]pufferfish.Chain{chains[i%2]}, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		classes[i] = class
+	}
+	b.Run("individual", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, class := range classes {
+				if _, err := pufferfish.ExactScore(class, 1, pufferfish.ExactOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pufferfish.ScoreBatch(nil, classes, 1, pufferfish.ExactOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkMQMExactPower51 isolates the k = 51 scoring cost that
 // dominates the electricity column of Table 2.
 func BenchmarkMQMExactPower51(b *testing.B) {

@@ -29,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "noise seed (0 = nondeterministic is NOT offered; 0 is a valid fixed seed)")
 	in := flag.String("in", "", "input file (default stdin)")
 	parallel := flag.Int("parallel", 0, "scoring-engine workers (0 = all CPUs, 1 = serial; release identical either way)")
+	cacheFlag := flag.Bool("cache", false, "memoize quilt scores by (model fingerprint, ε); release identical either way, report gains a cache stats block")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -44,6 +45,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var cache *release.ScoreCache
+	if *cacheFlag {
+		cache = release.NewScoreCache()
+	}
 	report, err := release.Run(sessions, release.Config{
 		Epsilon:     *eps,
 		K:           *k,
@@ -51,6 +56,7 @@ func main() {
 		Smoothing:   *smoothing,
 		Seed:        *seed,
 		Parallelism: *parallel,
+		Cache:       cache,
 	})
 	if err != nil {
 		fatal(err)

@@ -12,18 +12,22 @@ import (
 	"pufferfish/internal/markov"
 	"pufferfish/internal/matrix"
 	"pufferfish/internal/power"
+	"pufferfish/internal/query"
 )
 
-// benchEntry is one row of BENCH_1.json: the standard Go benchmark
-// metrics plus the wall-clock speedup of the parallel variant over its
-// serial twin (present only on ".../parallel" rows).
+// benchEntry is one row of the BENCH_N.json report: the standard Go
+// benchmark metrics plus the wall-clock speedup of the parallel
+// variant over its serial twin (".../parallel" rows) or of an
+// optimized variant over its ablation baseline (".../cached",
+// ".../batch" rows).
 type benchEntry struct {
-	Name            string  `json:"name"`
-	NsPerOp         float64 `json:"ns_per_op"`
-	AllocsPerOp     int64   `json:"allocs_per_op"`
-	BytesPerOp      int64   `json:"bytes_per_op"`
-	Iterations      int     `json:"iterations"`
-	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	Name              string  `json:"name"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	BytesPerOp        int64   `json:"bytes_per_op"`
+	Iterations        int     `json:"iterations"`
+	SpeedupVsSerial   float64 `json:"speedup_vs_serial,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
 // benchReport is the machine-readable perf snapshot tracked across PRs.
@@ -33,14 +37,18 @@ type benchReport struct {
 	Benchmarks []benchEntry `json:"benchmarks"`
 }
 
-// runBench measures the scoring engine's hot paths serial vs parallel
-// and writes BENCH_1.json. The workloads mirror bench_test.go's
+// runBench measures the scoring engine's hot paths serial vs parallel,
+// the score cache's composition and batch workloads, and writes the
+// BENCH_N.json report. The workloads mirror bench_test.go's
 // sub-benchmarks so `go test -bench` and this command track the same
-// quantities.
+// quantities; the serial/parallel workload names are shared with
+// BENCH_1.json so `pufferbench compare` can track the trajectory.
 func runBench(quick bool, out string) error {
 	exactT, approxT, wassT, powT := 2000, 2000, 36, 50_000
+	compT, compReleases, batchT := 2000, 100, 500
 	if quick {
 		exactT, approxT, wassT, powT = 500, 500, 18, 10_000
+		compT, batchT = 500, 200
 	}
 
 	chain, err := markov.BinaryChain(0.5, 0.9, 0.85).StationaryChain()
@@ -137,6 +145,111 @@ func runBench(quick bool, out string) error {
 			})
 		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op\n", c.name+"/serial", serialNs, serial.AllocsPerOp())
 		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op   %.2fx\n", c.name+"/parallel", parallelNs, parallel.AllocsPerOp(), serialNs/parallelNs)
+	}
+
+	// Cache/batch workloads: an optimized variant against its ablation
+	// baseline (cache disabled, per-class scoring). Each pair reports
+	// speedup_vs_baseline on the optimized row.
+	compChain, err := markov.BinaryChain(0.5, 0.9, 0.85).StationaryChain()
+	if err != nil {
+		return err
+	}
+	compClass, err := markov.NewFinite([]markov.Chain{compChain}, compT)
+	if err != nil {
+		return err
+	}
+	compRng := rand.New(rand.NewPCG(101, 102))
+	compData := compChain.Sample(compT, compRng)
+	compQuery := query.RelFreqHistogram{K: 2, N: len(compData)}
+	// compositionLoop is the Theorem 4.4 regime: many sessions over one
+	// unchanged class, each with its own accounting, optionally sharing
+	// a score cache.
+	compositionLoop := func(cache *core.ScoreCache) error {
+		rng := rand.New(rand.NewPCG(103, 104))
+		for i := 0; i < compReleases; i++ {
+			comp := core.NewExactComposition(compClass, core.ExactOptions{}).WithCache(cache)
+			if _, err := comp.Release(compData, compQuery, 1, rng); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	batchChains := []markov.Chain{
+		markov.BinaryChain(0.5, 0.9, 0.85),
+		markov.BinaryChain(0.5, 0.8, 0.7),
+	}
+	batchClasses := make([]markov.Class, 8)
+	for i := range batchClasses {
+		class, err := markov.NewFinite([]markov.Chain{batchChains[i%len(batchChains)]}, batchT)
+		if err != nil {
+			return err
+		}
+		batchClasses[i] = class
+	}
+
+	pairs := []struct {
+		name              string
+		baseline, variant string
+		runBase, runVar   func() error
+	}{
+		{"CompositionRepeatedRelease", "uncached", "cached",
+			func() error { return compositionLoop(nil) },
+			func() error { return compositionLoop(core.NewScoreCache()) },
+		},
+		{"ScoreBatchDup8", "individual", "batch",
+			func() error {
+				for _, class := range batchClasses {
+					if _, err := core.ExactScore(class, 1, core.ExactOptions{}); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			func() error {
+				_, err := core.ScoreBatch(nil, batchClasses, 1, core.ExactOptions{})
+				return err
+			},
+		},
+	}
+	for _, p := range pairs {
+		var runErr error
+		measure := func(run func() error) testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := run(); err != nil {
+						runErr = err
+						b.FailNow()
+					}
+				}
+			})
+		}
+		base := measure(p.runBase)
+		variant := measure(p.runVar)
+		if runErr != nil {
+			return fmt.Errorf("bench %s: %w", p.name, runErr)
+		}
+		baseNs := float64(base.NsPerOp())
+		varNs := float64(variant.NsPerOp())
+		report.Benchmarks = append(report.Benchmarks,
+			benchEntry{
+				Name:        p.name + "/" + p.baseline,
+				NsPerOp:     baseNs,
+				AllocsPerOp: base.AllocsPerOp(),
+				BytesPerOp:  base.AllocedBytesPerOp(),
+				Iterations:  base.N,
+			},
+			benchEntry{
+				Name:              p.name + "/" + p.variant,
+				NsPerOp:           varNs,
+				AllocsPerOp:       variant.AllocsPerOp(),
+				BytesPerOp:        variant.AllocedBytesPerOp(),
+				Iterations:        variant.N,
+				SpeedupVsBaseline: baseNs / varNs,
+			})
+		fmt.Printf("%-36s %12.0f ns/op %8d allocs/op\n", p.name+"/"+p.baseline, baseNs, base.AllocsPerOp())
+		fmt.Printf("%-36s %12.0f ns/op %8d allocs/op   %.2fx\n", p.name+"/"+p.variant, varNs, variant.AllocsPerOp(), baseNs/varNs)
 	}
 
 	// Allocation benchmark for the slab-backed power table (no

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// runCompare loads two bench reports (e.g. BENCH_1.json from the
+// previous PR and BENCH_2.json from this one) and fails when any
+// benchmark present in both regressed in ns/op by more than tol
+// (fractional, e.g. 0.15 = 15%). Benchmarks only present on one side
+// are listed but never fail the comparison, so reports can gain and
+// lose workloads across PRs.
+func runCompare(oldPath, newPath string, tol float64) error {
+	oldRep, err := readBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldByName := make(map[string]benchEntry, len(oldRep.Benchmarks))
+	for _, e := range oldRep.Benchmarks {
+		oldByName[e.Name] = e
+	}
+	shared := 0
+	var regressions []string
+	for _, ne := range newRep.Benchmarks {
+		oe, ok := oldByName[ne.Name]
+		if !ok {
+			fmt.Printf("%-36s %31s (new benchmark)\n", ne.Name, "-")
+			continue
+		}
+		shared++
+		delta := ne.NsPerOp/oe.NsPerOp - 1
+		status := "ok"
+		if delta > tol {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s %+.1f%%", ne.Name, delta*100))
+		}
+		fmt.Printf("%-36s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
+			ne.Name, oe.NsPerOp, ne.NsPerOp, delta*100, status)
+	}
+	if shared == 0 {
+		return fmt.Errorf("compare: no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("compare: %d ns/op regression(s) beyond %.0f%%: %v",
+			len(regressions), tol*100, regressions)
+	}
+	fmt.Printf("compare: %d shared benchmarks within %.0f%% ns/op tolerance\n", shared, tol*100)
+	return nil
+}
+
+func readBenchReport(path string) (benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchReport{}, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return benchReport{}, fmt.Errorf("compare: %s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -9,15 +9,19 @@
 //	pufferbench table2   [flags]          # Table 2
 //	pufferbench table3   [flags]          # Table 3
 //	pufferbench all      [flags]          # everything above
-//	pufferbench bench    [flags]          # scoring-engine micro-benchmarks → BENCH_1.json
+//	pufferbench bench    [flags]          # scoring-engine micro-benchmarks → BENCH_2.json
+//	pufferbench compare OLD NEW [-tol F]  # fail on ns/op regressions between two reports
 //
 // Every table/figure command accepts -quick for a reduced-size run
 // (minutes → seconds) that exercises identical code paths, -seed for
 // reproducibility, and -parallel to bound the scoring engine's worker
 // count (0 = all CPUs, 1 = serial; results are identical either way).
-// The bench command accepts -quick and -o only: it always measures
-// each workload at both parallelism 1 and all-CPUs, so -parallel does
-// not apply.
+// The activity commands additionally accept -cache to memoize quilt
+// scores across the run (results identical either way). The bench
+// command accepts -quick and -o only: it always measures each workload
+// at both parallelism 1 and all-CPUs, so -parallel does not apply.
+// compare exits non-zero when any benchmark present in both reports
+// regressed in ns/op by more than -tol (default 0.15).
 package main
 
 import (
@@ -40,9 +44,15 @@ func main() {
 	trials := fs.Int("trials", 0, "override trial count (0 = default)")
 	csv := fs.Bool("csv", false, "plot-ready CSV output (fig4top only)")
 	parallel := fs.Int("parallel", 0, "scoring-engine workers (0 = all CPUs, 1 = serial)")
-	benchOut := fs.String("o", "BENCH_1.json", "output path (bench only)")
+	useCache := fs.Bool("cache", false, "memoize quilt scores across the run (activity commands; results identical either way)")
+	benchOut := fs.String("o", "BENCH_2.json", "output path (bench only)")
+	tol := fs.Float64("tol", 0.15, "allowed ns/op regression fraction (compare only)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	var cache *experiments.ScoreCache
+	if *useCache {
+		cache = experiments.NewScoreCache()
 	}
 
 	var err error
@@ -52,17 +62,24 @@ func main() {
 	case "fig4top":
 		err = runFig4Top(*quick, *seed, *trials, *csv, *parallel)
 	case "fig4bottom":
-		err = runActivity(*quick, *seed, *trials, true, false, *parallel)
+		err = runActivity(*quick, *seed, *trials, true, false, *parallel, cache)
 	case "table1":
-		err = runActivity(*quick, *seed, *trials, false, true, *parallel)
+		err = runActivity(*quick, *seed, *trials, false, true, *parallel, cache)
 	case "table2":
 		err = runTable2(*quick, *seed, *parallel)
 	case "table3":
 		err = runTable3(*quick, *seed, *trials, *parallel)
 	case "all":
-		err = runAll(*quick, *seed, *trials, *parallel)
+		err = runAll(*quick, *seed, *trials, *parallel, cache)
 	case "bench":
 		err = runBench(*quick, *benchOut)
+	case "compare":
+		args := fs.Args()
+		if len(args) != 2 {
+			usage()
+			os.Exit(2)
+		}
+		err = runCompare(args[0], args[1], *tol)
 	default:
 		usage()
 		os.Exit(2)
@@ -74,8 +91,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pufferbench <examples|fig4top|fig4bottom|table1|table2|table3|all> [-quick] [-seed N] [-trials N] [-parallel N]
-       pufferbench bench [-quick] [-o FILE]`)
+	fmt.Fprintln(os.Stderr, `usage: pufferbench <examples|fig4top|fig4bottom|table1|table2|table3|all> [-quick] [-seed N] [-trials N] [-parallel N] [-cache]
+       pufferbench bench [-quick] [-o FILE]
+       pufferbench compare [-tol F] OLD.json NEW.json`)
 }
 
 func runExamples() error {
@@ -116,10 +134,11 @@ func runFig4Top(quick bool, seed uint64, trials int, csv bool, parallel int) err
 	return nil
 }
 
-func runActivity(quick bool, seed uint64, trials int, fig, table bool, parallel int) error {
+func runActivity(quick bool, seed uint64, trials int, fig, table bool, parallel int, cache *experiments.ScoreCache) error {
 	cfg := experiments.DefaultActivityConfig()
 	cfg.Seed = seed
 	cfg.Parallelism = parallel
+	cfg.Cache = cache
 	if quick {
 		cfg.PopulationScale = 0.2
 		cfg.Trials = 5
@@ -190,7 +209,7 @@ func runTable3(quick bool, seed uint64, trials int, parallel int) error {
 	return nil
 }
 
-func runAll(quick bool, seed uint64, trials int, parallel int) error {
+func runAll(quick bool, seed uint64, trials int, parallel int, cache *experiments.ScoreCache) error {
 	if err := runExamples(); err != nil {
 		return err
 	}
@@ -198,7 +217,7 @@ func runAll(quick bool, seed uint64, trials int, parallel int) error {
 	if err := runFig4Top(quick, seed, trials, false, parallel); err != nil {
 		return err
 	}
-	if err := runActivity(quick, seed, trials, true, true, parallel); err != nil {
+	if err := runActivity(quick, seed, trials, true, true, parallel, cache); err != nil {
 		return err
 	}
 	fmt.Println()

@@ -22,7 +22,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	comp := pufferfish.NewExactComposition(class, pufferfish.ExactOptions{})
+	// A shared score cache: every composition over this class pays the
+	// quilt-scoring sweep once; later sessions hit the memoized score
+	// (releases are bit-identical with or without it).
+	cache := pufferfish.NewScoreCache()
+
+	comp := pufferfish.NewExactComposition(class, pufferfish.ExactOptions{}).WithCache(cache)
 	freq := pufferfish.StateFrequency{State: 1, N: T}
 	hist := pufferfish.RelFreqHistogram{K: 2, N: T}
 
@@ -38,6 +43,14 @@ func main() {
 	}
 	fmt.Printf("\nafter %d releases the cumulative guarantee is %.2g-Pufferfish (K·max ε, Theorem 4.4)\n",
 		comp.Count(), comp.TotalEpsilon())
+
+	// A second season of releases: fresh accounting, cached score.
+	comp2 := pufferfish.NewExactComposition(class, pufferfish.ExactOptions{}).WithCache(cache)
+	if _, err := comp2.Release(data, freq, 0.5, rng); err != nil {
+		log.Fatal(err)
+	}
+	stats := cache.Stats()
+	fmt.Printf("score cache across both seasons: %d miss (one sweep), %d hits\n", stats.Misses, stats.Hits)
 }
 
 func trim(xs []float64) []float64 {

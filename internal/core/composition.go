@@ -27,6 +27,7 @@ type Composition struct {
 	useExact bool
 	score    *ChainScore
 	epsilons []float64
+	cache    *ScoreCache
 }
 
 // NewExactComposition returns a composition manager whose releases use
@@ -39,6 +40,19 @@ func NewExactComposition(class markov.Class, opt ExactOptions) *Composition {
 // use MQMApprox with automatic options.
 func NewApproxComposition(class markov.Class) *Composition {
 	return &Composition{class: class}
+}
+
+// WithCache attaches a shared ScoreCache and returns the composition
+// for chaining. The first Release then consults the cache before
+// scoring, so composition-heavy workloads — many sessions over the
+// same class, each with its own accounting — pay the scoring sweep
+// once across all of them. A nil cache is a no-op. The cached and
+// uncached paths produce bit-identical scores (and hence, for a fixed
+// seed, bit-identical releases): the cache stores the engine's
+// deterministic output verbatim.
+func (c *Composition) WithCache(cache *ScoreCache) *Composition {
+	c.cache = cache
+	return c
 }
 
 // Release publishes one more query at privacy parameter eps. All
@@ -57,10 +71,12 @@ func (c *Composition) Release(data []int, q query.Query, eps float64, rng *rand.
 	if c.score == nil {
 		var score ChainScore
 		var err error
+		// c.cache.ExactScore/ApproxScore degrade to the direct scorers
+		// when no cache is attached (nil receiver).
 		if c.useExact {
-			score, err = ExactScore(c.class, eps, c.exactOpt)
+			score, err = c.cache.ExactScore(c.class, eps, c.exactOpt)
 		} else {
-			score, err = ApproxScore(c.class, eps, ApproxOptions{})
+			score, err = c.cache.ApproxScore(c.class, eps, ApproxOptions{})
 		}
 		if err != nil {
 			return Release{}, err

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/query"
+)
+
+// TestCompositionCachedBitIdentical is the accounting interaction
+// test: a release sequence through a cached composition must produce
+// bit-identical noise scales, released values (same seed), and ε
+// accounting as the uncached sequence — the cache must be observable
+// only through speed.
+func TestCompositionCachedBitIdentical(t *testing.T) {
+	class := cacheTestClass(t, 0.9, 100)
+	data := make([]int, 100)
+	for i := range data {
+		data[i] = i % 2
+	}
+	q := query.RelFreqHistogram{K: 2, N: len(data)}
+	epsSeq := []float64{1, 1, 0.5, 2, 1} // exercises the re-score-at-new-ε path
+
+	type outcome struct {
+		values     []float64
+		noiseScale float64
+		sigma      float64
+		total      float64
+		count      int
+	}
+	run := func(cache *ScoreCache, exact bool) []outcome {
+		rng := rand.New(rand.NewPCG(7, 8))
+		var comp *Composition
+		if exact {
+			comp = NewExactComposition(class, ExactOptions{})
+		} else {
+			comp = NewApproxComposition(class)
+		}
+		comp.WithCache(cache)
+		var out []outcome
+		for _, eps := range epsSeq {
+			rel, err := comp.Release(data, q, eps, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, outcome{
+				values:     rel.Values,
+				noiseScale: rel.NoiseScale,
+				sigma:      rel.Sigma,
+				total:      comp.TotalEpsilon(),
+				count:      comp.Count(),
+			})
+		}
+		return out
+	}
+
+	for _, exact := range []bool{true, false} {
+		uncached := run(nil, exact)
+		cache := NewScoreCache()
+		cached := run(cache, exact)
+		// Warm cache: a second cached composition must also agree.
+		rewarmed := run(cache, exact)
+		for name, got := range map[string][]outcome{"cold cache": cached, "warm cache": rewarmed} {
+			for i := range uncached {
+				w, g := uncached[i], got[i]
+				if g.noiseScale != w.noiseScale || g.sigma != w.sigma {
+					t.Fatalf("exact=%v %s release %d: scale (%v, %v) != uncached (%v, %v)",
+						exact, name, i, g.noiseScale, g.sigma, w.noiseScale, w.sigma)
+				}
+				if g.total != w.total || g.count != w.count {
+					t.Fatalf("exact=%v %s release %d: accounting (%v, %d) != uncached (%v, %d)",
+						exact, name, i, g.total, g.count, w.total, w.count)
+				}
+				for j := range w.values {
+					if g.values[j] != w.values[j] {
+						t.Fatalf("exact=%v %s release %d value %d: %v != %v",
+							exact, name, i, j, g.values[j], w.values[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompositionCacheSharedAcrossInstances checks the Theorem 4.4
+// accounting stays per-composition while the score is shared: two
+// compositions over the same class share one scoring pass but track
+// their own K·max ε.
+func TestCompositionCacheSharedAcrossInstances(t *testing.T) {
+	class := cacheTestClass(t, 0.85, 100)
+	data := make([]int, 100)
+	q := query.RelFreqHistogram{K: 2, N: len(data)}
+	cache := NewScoreCache()
+	rng := rand.New(rand.NewPCG(9, 10))
+
+	a := NewExactComposition(class, ExactOptions{}).WithCache(cache)
+	b := NewExactComposition(class, ExactOptions{}).WithCache(cache)
+	for i := 0; i < 3; i++ {
+		if _, err := a.Release(data, q, 1, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Release(data, q, 2, rng); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Misses; got != 2 {
+		// a's first release misses at ε=1; b's first at ε=2 is a
+		// different key (the pinned-quilt rescale happens inside a
+		// composition, not across them).
+		t.Fatalf("misses = %d, want 2", got)
+	}
+	if a.TotalEpsilon() != 3 || a.Count() != 3 {
+		t.Fatalf("a accounting: total %v count %d, want 3, 3", a.TotalEpsilon(), a.Count())
+	}
+	if b.TotalEpsilon() != 2 || b.Count() != 1 {
+		t.Fatalf("b accounting: total %v count %d, want 2, 1", b.TotalEpsilon(), b.Count())
+	}
+}

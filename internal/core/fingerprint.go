@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+)
+
+// Fingerprint is a canonical 128-bit identity for a markov.Class: a
+// hash of everything a ChainScore depends on besides (ε, options) —
+// the chain length T, the state count, the AllInitialDistributions
+// flag, and every representative chain's initial distribution and
+// transition matrix, in Chains() order (order matters: the scorer's
+// first-maximizer tie-breaking is order dependent). Two classes with
+// equal fingerprints score identically, so the ScoreCache and
+// ScoreBatch key on it.
+//
+// The two words are independent FNV-1a streams over the same canonical
+// bytes, so an accidental collision needs both 64-bit hashes to
+// collide at once.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// String renders the fingerprint as 32 hex digits.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x%016x", f.Hi, f.Lo) }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// fnvOffsetAlt seeds the second stream; any constant different
+	// from fnvOffset64 decorrelates the two words.
+	fnvOffsetAlt = fnvOffset64 ^ 0x9e3779b97f4a7c15
+)
+
+// fpHash is a double-stream FNV-1a accumulator.
+type fpHash struct {
+	hi, lo uint64
+}
+
+func newFpHash() fpHash { return fpHash{hi: fnvOffsetAlt, lo: fnvOffset64} }
+
+func (h *fpHash) word(v uint64) {
+	for s := 0; s < 64; s += 8 {
+		b := uint64(byte(v >> s))
+		h.lo = (h.lo ^ b) * fnvPrime64
+		h.hi = (h.hi ^ b) * fnvPrime64
+	}
+}
+
+func (h *fpHash) float(v float64) { h.word(math.Float64bits(v)) }
+
+func (h *fpHash) floats(vs []float64) {
+	h.word(uint64(len(vs)))
+	for _, v := range vs {
+		h.float(v)
+	}
+}
+
+func (h *fpHash) sum() Fingerprint { return Fingerprint{Hi: h.hi, Lo: h.lo} }
+
+// ClassFingerprint computes the canonical fingerprint of a class. It
+// enumerates Chains() once; for grid classes (BinaryInterval) the
+// fingerprint therefore reflects the effective grid, exactly like the
+// scorers do.
+func ClassFingerprint(class markov.Class) Fingerprint {
+	h := newFpHash()
+	h.word(uint64(class.K()))
+	h.word(uint64(class.T()))
+	if class.AllInitialDistributions() {
+		h.word(1)
+	} else {
+		h.word(0)
+	}
+	chains := class.Chains()
+	h.word(uint64(len(chains)))
+	for _, c := range chains {
+		hashChain(&h, c)
+	}
+	return h.sum()
+}
+
+// ChainFingerprint computes the fingerprint of a single chain (initial
+// distribution plus transition matrix).
+func ChainFingerprint(c markov.Chain) Fingerprint {
+	h := newFpHash()
+	hashChain(&h, c)
+	return h.sum()
+}
+
+func hashChain(h *fpHash, c markov.Chain) {
+	h.floats(c.Init)
+	hashMatrix(h, c.P)
+}
+
+func hashMatrix(h *fpHash, m *matrix.Dense) {
+	rows, cols := m.Dims()
+	h.word(uint64(rows))
+	h.word(uint64(cols))
+	for i := 0; i < rows; i++ {
+		for _, v := range m.RawRow(i) {
+			h.float(v)
+		}
+	}
+}
+
+// matrixKey is the single-word hash used to bucket shared power
+// caches; buckets verify full matrix equality, so collisions cost a
+// comparison, never correctness.
+func matrixKey(m *matrix.Dense) uint64 {
+	h := newFpHash()
+	hashMatrix(&h, m)
+	return h.lo
+}

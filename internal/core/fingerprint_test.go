@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/activity"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/power"
+)
+
+// fingerprintSubstrates builds one class per experimental substrate:
+// the Fig4 synthetic binary-interval grids, the three activity
+// cohorts' empirical chains, and the k = 51 electricity chain.
+func fingerprintSubstrates(t *testing.T) map[string]markov.Class {
+	t.Helper()
+	out := map[string]markov.Class{}
+
+	for _, alpha := range []float64{0.1, 0.2, 0.3, 0.4} {
+		class, err := markov.NewBinaryInterval(alpha, 1-alpha, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		class.GridN = 5
+		out["fig4_alpha_"+itoa(int(alpha*100))] = class
+	}
+	// Same interval, different grid resolution ⇒ different representative
+	// chains ⇒ must fingerprint differently.
+	coarse, err := markov.NewBinaryInterval(0.1, 0.9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse.GridN = 3
+	out["fig4_alpha_10_coarse"] = coarse
+	// Same chains, different length.
+	longer, err := markov.NewBinaryInterval(0.1, 0.9, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longer.GridN = 5
+	out["fig4_alpha_10_T101"] = longer
+
+	rng := rand.New(rand.NewPCG(91, 92))
+	for _, g := range activity.Groups {
+		profile := activity.DefaultProfile(g)
+		profile.Participants = 3
+		profile.SessionsPerPerson = 3
+		ds, err := activity.Generate(profile, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain, err := ds.EmpiricalChain(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		class, err := markov.NewSingleton(chain, ds.LongestSession())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["activity_"+g.String()] = class
+	}
+
+	series, err := power.DefaultHouse().Simulate(2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powChain, err := power.EmpiricalChain(series, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powClass, err := markov.NewSingleton(powChain, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["power"] = powClass
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestFingerprintCollisionSanity checks distinct classes get distinct
+// fingerprints across all substrates, and that rebuilding the same
+// class reproduces the same fingerprint.
+func TestFingerprintCollisionSanity(t *testing.T) {
+	classes := fingerprintSubstrates(t)
+	seen := map[Fingerprint]string{}
+	for name, class := range classes {
+		fp := ClassFingerprint(class)
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("fingerprint collision: %s and %s both hash to %s", prev, name, fp)
+		}
+		seen[fp] = name
+		if again := ClassFingerprint(class); again != fp {
+			t.Fatalf("%s: fingerprint not deterministic: %s then %s", name, fp, again)
+		}
+	}
+}
+
+// TestFingerprintRebuildStable checks that structurally equal classes
+// built independently share a fingerprint (the property the ScoreCache
+// relies on), while a one-ulp perturbation changes it.
+func TestFingerprintRebuildStable(t *testing.T) {
+	build := func(p0 float64) markov.Class {
+		chain, err := markov.BinaryChain(0.5, p0, 0.85).StationaryChain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		class, err := markov.NewFinite([]markov.Chain{chain}, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return class
+	}
+	a, b := build(0.9), build(0.9)
+	if ClassFingerprint(a) != ClassFingerprint(b) {
+		t.Fatal("independently built equal classes disagree on fingerprint")
+	}
+	c := build(0.9 + 1e-12)
+	if ClassFingerprint(a) == ClassFingerprint(c) {
+		t.Fatal("perturbed class shares the fingerprint")
+	}
+}
+
+// TestFingerprintDistinguishesSingletonInit checks the initial
+// distribution participates in the hash.
+func TestFingerprintDistinguishesSingletonInit(t *testing.T) {
+	base := markov.BinaryChain(0.5, 0.8, 0.7)
+	other := markov.BinaryChain(0.25, 0.8, 0.7)
+	ca, err := markov.NewSingleton(base, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := markov.NewSingleton(other, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ClassFingerprint(ca) == ClassFingerprint(cb) {
+		t.Fatal("classes differing only in initial distribution share a fingerprint")
+	}
+	if ChainFingerprint(base) == ChainFingerprint(other) {
+		t.Fatal("chains differing only in initial distribution share a fingerprint")
+	}
+}

@@ -7,7 +7,6 @@ import (
 
 	"pufferfish/internal/floats"
 	"pufferfish/internal/markov"
-	"pufferfish/internal/matrix"
 	"pufferfish/internal/query"
 	"pufferfish/internal/sched"
 )
@@ -44,13 +43,23 @@ const fullSweepLimit = 4096
 // the stationary-initial shortcut when the class is started from
 // stationarity.
 func ExactScore(class markov.Class, eps float64, opt ExactOptions) (ChainScore, error) {
+	return exactScoreWith(class, eps, opt, sched.New(opt.Parallelism), newPowerCacheSet())
+}
+
+// exactScoreWith is ExactScore with an explicit worker pool and shared
+// power-cache set, so ScoreBatch can schedule many classes through one
+// pool invocation and share power tables across θ with equal
+// transition matrices. ExactScore itself passes a fresh set, which
+// already deduplicates power tables across the θ of one class (e.g.
+// initial-distribution grids over a common matrix).
+func exactScoreWith(class markov.Class, eps float64, opt ExactOptions, pool sched.Pool, pcs *powerCacheSet) (ChainScore, error) {
 	if err := validateChainClass(class, eps); err != nil {
 		return ChainScore{}, err
 	}
 	T := class.T()
 	ell := opt.MaxWidth
 	if ell <= 0 {
-		ell = autoWidth(class, eps, T, opt.Parallelism)
+		ell = autoWidth(class, eps, T, pool.Workers())
 	}
 	if ell > T {
 		ell = T
@@ -69,12 +78,12 @@ func ExactScore(class markov.Class, eps float64, opt ExactOptions) (ChainScore, 
 			return ChainScore{}, err
 		}
 	}
-	outer, inner := sched.New(opt.Parallelism).Split(len(chains))
+	outer, inner := pool.Split(len(chains))
 	allInits := class.AllInitialDistributions()
 	scores := make([]ChainScore, len(chains))
 	errs := make([]error, len(chains))
 	outer.ForEach(len(chains), func(ci int) {
-		scores[ci], errs[ci] = exactScoreTheta(chains[ci], T, ell, eps, allInits, opt.ForceFullSweep, inner)
+		scores[ci], errs[ci] = exactScoreTheta(chains[ci], T, ell, eps, allInits, opt.ForceFullSweep, inner, pcs)
 	})
 	best := ChainScore{Sigma: math.Inf(-1), Ell: ell}
 	for ci := range chains {
@@ -103,7 +112,7 @@ func autoWidth(class markov.Class, eps float64, T, parallelism int) int {
 }
 
 // exactScoreTheta computes max_i min_quilt σ for a single θ.
-func exactScoreTheta(theta markov.Chain, T, ell int, eps float64, allInits, forceFull bool, pool sched.Pool) (ChainScore, error) {
+func exactScoreTheta(theta markov.Chain, T, ell int, eps float64, allInits, forceFull bool, pool sched.Pool, pcs *powerCacheSet) (ChainScore, error) {
 	if err := theta.Validate(); err != nil {
 		return ChainScore{}, err
 	}
@@ -130,7 +139,7 @@ func exactScoreTheta(theta markov.Chain, T, ell int, eps float64, allInits, forc
 	if maxPow > T-1 {
 		maxPow = T - 1
 	}
-	sc := newExactScorer(theta, T, k, maxPow, allInits, pool)
+	sc := newExactScorer(theta, T, k, maxPow, allInits, pool, pcs)
 
 	if stationary {
 		score, ok := sc.stationaryShortcut(ell, eps)
@@ -178,14 +187,16 @@ type exactScorer struct {
 	marg     [][]float64 // node marginals (1-based node i → marg[i−1])
 }
 
-func newExactScorer(theta markov.Chain, T, k, maxPow int, allInits bool, pool sched.Pool) *exactScorer {
+func newExactScorer(theta markov.Chain, T, k, maxPow int, allInits bool, pool sched.Pool, pcs *powerCacheSet) *exactScorer {
 	sc := &exactScorer{T: T, k: k, allInits: allInits}
 	// The powers P^1 … P^maxPow are a sequential recurrence, so the
 	// cache builds them serially (in-place, two allocations for the
 	// whole table); the per-power max-ratio extraction is embarrassingly
 	// parallel and fans across the pool, each worker writing disjoint
-	// slab rows.
-	pc := matrix.NewPowerCache(theta.P)
+	// slab rows. The cache comes from the shared set, so θ with equal
+	// transition matrices (within a class or across a batch) build the
+	// power table once.
+	pc := pcs.get(theta.P)
 	pc.Grow(maxPow)
 	sc.fwd = make([][]float64, maxPow)
 	sc.bwd = make([][]float64, maxPow)

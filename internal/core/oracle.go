@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"pufferfish/internal/markov"
 	"pufferfish/internal/sched"
@@ -35,6 +36,23 @@ type pairJob struct {
 	i, a, b int
 }
 
+// label renders the pair's diagnostic label with a single allocation
+// (fmt.Sprintf boxes every argument, which dominated the pair sweep's
+// allocation count).
+func (j pairJob) label() string {
+	var arr [40]byte
+	b := arr[:0]
+	b = append(b, 'X')
+	b = strconv.AppendInt(b, int64(j.i), 10)
+	b = append(b, ": "...)
+	b = strconv.AppendInt(b, int64(j.a), 10)
+	b = append(b, " vs "...)
+	b = strconv.AppendInt(b, int64(j.b), 10)
+	b = append(b, " @ θ"...)
+	b = strconv.AppendInt(b, int64(j.ti+1), 10)
+	return string(b)
+}
+
 // ConditionalPairs implements WassersteinInstance. Secret values with
 // zero probability under a θ are skipped per Definition 2.1.
 //
@@ -48,9 +66,30 @@ func (c ChainCountInstance) ConditionalPairs() ([]DistributionPair, error) {
 	if len(c.W) != k {
 		return nil, fmt.Errorf("core: weight vector has length %d, want %d", len(c.W), k)
 	}
-	var jobs []pairJob
-	for ti, theta := range c.Class.Chains() {
+	// Two passes over the (cheap) marginal admissibility checks: the
+	// first counts so the job list is allocated exactly once.
+	chains := c.Class.Chains()
+	margs := make([][][]float64, len(chains))
+	nJobs := 0
+	for ti, theta := range chains {
 		marg := theta.Marginals(T)
+		margs[ti] = marg
+		for i := 1; i <= T; i++ {
+			for a := 0; a < k; a++ {
+				if marg[i-1][a] <= 0 {
+					continue
+				}
+				for b := a + 1; b < k; b++ {
+					if marg[i-1][b] > 0 {
+						nJobs++
+					}
+				}
+			}
+		}
+	}
+	jobs := make([]pairJob, 0, nJobs)
+	for ti, theta := range chains {
+		marg := margs[ti]
 		for i := 1; i <= T; i++ {
 			for a := 0; a < k; a++ {
 				if marg[i-1][a] <= 0 {
@@ -79,11 +118,7 @@ func (c ChainCountInstance) ConditionalPairs() ([]DistributionPair, error) {
 			errs[j] = err
 			return
 		}
-		pairs[j] = DistributionPair{
-			Mu:    mu,
-			Nu:    nu,
-			Label: fmt.Sprintf("X%d: %d vs %d @ θ%d", job.i, job.a, job.b, job.ti+1),
-		}
+		pairs[j] = DistributionPair{Mu: mu, Nu: nu, Label: job.label()}
 	})
 	for _, err := range errs {
 		if err != nil {

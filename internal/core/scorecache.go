@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+	"pufferfish/internal/sched"
+)
+
+// scoreKey identifies one memoizable score computation: the class
+// fingerprint plus everything else the result depends on. Parallelism
+// is deliberately absent — the engine's scores are bit-for-bit
+// identical at every worker count, so cached results are shared across
+// parallelism settings.
+type scoreKey struct {
+	fp        Fingerprint
+	eps       float64
+	exact     bool
+	maxWidth  int
+	forceFull bool
+}
+
+// CacheStats reports a ScoreCache's traffic counters.
+type CacheStats struct {
+	Hits, Misses int64
+}
+
+// ScoreCache memoizes ChainScore results by (class fingerprint, ε,
+// options). Composition-heavy workloads — repeated releases over an
+// unchanged class, the regime of Theorem 4.4 — pay the scoring sweep
+// once and hit the cache thereafter. The cache is safe for concurrent
+// use and unbounded (scores are a few words each; a workload would
+// need millions of distinct classes before size matters).
+//
+// A nil *ScoreCache is valid everywhere one is accepted and simply
+// disables memoization, so callers thread an optional cache without
+// branching.
+type ScoreCache struct {
+	mu           sync.RWMutex
+	m            map[scoreKey]ChainScore
+	hits, misses atomic.Int64
+}
+
+// NewScoreCache returns an empty cache.
+func NewScoreCache() *ScoreCache {
+	return &ScoreCache{m: make(map[scoreKey]ChainScore)}
+}
+
+// Stats returns the hit/miss counters (zero for a nil cache).
+func (sc *ScoreCache) Stats() CacheStats {
+	if sc == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: sc.hits.Load(), Misses: sc.misses.Load()}
+}
+
+// Len returns the number of memoized scores.
+func (sc *ScoreCache) Len() int {
+	if sc == nil {
+		return 0
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return len(sc.m)
+}
+
+// lookup returns the cached score for key, counting a hit or miss.
+// Nil caches always miss (without counting).
+func (sc *ScoreCache) lookup(key scoreKey) (ChainScore, bool) {
+	if sc == nil {
+		return ChainScore{}, false
+	}
+	sc.mu.RLock()
+	s, ok := sc.m[key]
+	sc.mu.RUnlock()
+	if ok {
+		sc.hits.Add(1)
+	} else {
+		sc.misses.Add(1)
+	}
+	return s, ok
+}
+
+// store memoizes a successful score. Nil caches drop it.
+func (sc *ScoreCache) store(key scoreKey, s ChainScore) {
+	if sc == nil {
+		return
+	}
+	sc.mu.Lock()
+	sc.m[key] = s
+	sc.mu.Unlock()
+}
+
+func exactKey(fp Fingerprint, eps float64, opt ExactOptions) scoreKey {
+	return scoreKey{fp: fp, eps: eps, exact: true, maxWidth: opt.MaxWidth, forceFull: opt.ForceFullSweep}
+}
+
+func approxKey(fp Fingerprint, eps float64, opt ApproxOptions) scoreKey {
+	return scoreKey{fp: fp, eps: eps, exact: false, maxWidth: opt.MaxWidth, forceFull: opt.ForceFullSweep}
+}
+
+// ExactScore is the memoizing form of the package-level ExactScore:
+// one fingerprint pass replaces the whole sweep on a hit. Errors are
+// never cached.
+func (sc *ScoreCache) ExactScore(class markov.Class, eps float64, opt ExactOptions) (ChainScore, error) {
+	if sc == nil {
+		return ExactScore(class, eps, opt)
+	}
+	if err := validateChainClass(class, eps); err != nil {
+		return ChainScore{}, err
+	}
+	key := exactKey(ClassFingerprint(class), eps, opt)
+	if s, ok := sc.lookup(key); ok {
+		return s, nil
+	}
+	s, err := ExactScore(class, eps, opt)
+	if err != nil {
+		return s, err
+	}
+	sc.store(key, s)
+	return s, nil
+}
+
+// ApproxScore is the memoizing form of the package-level ApproxScore.
+func (sc *ScoreCache) ApproxScore(class markov.Class, eps float64, opt ApproxOptions) (ChainScore, error) {
+	if sc == nil {
+		return ApproxScore(class, eps, opt)
+	}
+	if err := validateChainClass(class, eps); err != nil {
+		return ChainScore{}, err
+	}
+	key := approxKey(ClassFingerprint(class), eps, opt)
+	if s, ok := sc.lookup(key); ok {
+		return s, nil
+	}
+	s, err := ApproxScore(class, eps, opt)
+	if err != nil {
+		return s, err
+	}
+	sc.store(key, s)
+	return s, nil
+}
+
+// ExactScoreMulti is the memoizing form of ExactScoreMulti: each
+// distinct session length is keyed separately (the fingerprint covers
+// T), so repeated multi-length releases hit per length.
+func (sc *ScoreCache) ExactScoreMulti(class markov.Class, eps float64, opt ExactOptions, lengths []int) (ChainScore, error) {
+	return multiScore(class, lengths, func(lc markov.Class) (ChainScore, error) {
+		return sc.ExactScore(lc, eps, opt)
+	})
+}
+
+// ApproxScoreMulti is the memoizing form of ApproxScoreMulti.
+func (sc *ScoreCache) ApproxScoreMulti(class markov.Class, eps float64, opt ApproxOptions, lengths []int) (ChainScore, error) {
+	return multiScore(class, lengths, func(lc markov.Class) (ChainScore, error) {
+		return sc.ApproxScore(lc, eps, opt)
+	})
+}
+
+// powerCacheSet shares matrix.PowerCache tables across θ (and across
+// batch classes) with equal transition matrices: per-user empirical
+// chains and init-gridded classes repeat the same P, and the power
+// table is the dominant per-θ setup cost. Buckets are keyed by a
+// 64-bit matrix hash but verified with full equality, so a hash
+// collision costs one comparison, never a wrong table. A nil set
+// degrades to private caches.
+type powerCacheSet struct {
+	mu sync.Mutex
+	m  map[uint64][]powerCacheEntry
+}
+
+type powerCacheEntry struct {
+	p  *matrix.Dense
+	pc *matrix.PowerCache
+}
+
+func newPowerCacheSet() *powerCacheSet {
+	return &powerCacheSet{m: make(map[uint64][]powerCacheEntry)}
+}
+
+// get returns the shared cache for p, creating it on first sight.
+func (s *powerCacheSet) get(p *matrix.Dense) *matrix.PowerCache {
+	if s == nil {
+		return matrix.NewPowerCache(p)
+	}
+	key := matrixKey(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.m[key] {
+		if e.p == p || e.p.Equal(p) {
+			return e.pc
+		}
+	}
+	pc := matrix.NewPowerCache(p)
+	s.m[key] = append(s.m[key], powerCacheEntry{p: p, pc: pc})
+	return pc
+}
+
+// ScoreBatch computes ExactScore for every class through one worker-
+// pool invocation. Classes with identical fingerprints are scored once
+// (O(unique) scoring work), all scheduled misses share one power-cache
+// set across θ with equal transition matrices, and cache (which may be
+// nil) is consulted first and updated after. The returned scores align
+// with classes and are bit-for-bit identical to per-class ExactScore
+// calls at any parallelism.
+func ScoreBatch(cache *ScoreCache, classes []markov.Class, eps float64, opt ExactOptions) ([]ChainScore, error) {
+	return scoreBatch(cache, classes, opt.Parallelism,
+		func(fp Fingerprint) scoreKey { return exactKey(fp, eps, opt) },
+		func(class markov.Class, pool sched.Pool, pcs *powerCacheSet) (ChainScore, error) {
+			return exactScoreWith(class, eps, opt, pool, pcs)
+		})
+}
+
+// ApproxScoreBatch is ScoreBatch for MQMApprox. The closed-form scorer
+// needs no power tables, so batching buys fingerprint deduplication
+// and one pool spin-up.
+func ApproxScoreBatch(cache *ScoreCache, classes []markov.Class, eps float64, opt ApproxOptions) ([]ChainScore, error) {
+	return scoreBatch(cache, classes, opt.Parallelism,
+		func(fp Fingerprint) scoreKey { return approxKey(fp, eps, opt) },
+		func(class markov.Class, pool sched.Pool, _ *powerCacheSet) (ChainScore, error) {
+			o := opt
+			o.Parallelism = pool.Workers()
+			return ApproxScore(class, eps, o)
+		})
+}
+
+func scoreBatch(cache *ScoreCache, classes []markov.Class, parallelism int,
+	key func(Fingerprint) scoreKey,
+	score func(markov.Class, sched.Pool, *powerCacheSet) (ChainScore, error),
+) ([]ChainScore, error) {
+	if len(classes) == 0 {
+		return nil, nil
+	}
+	groupOf := make([]int, len(classes))
+	fpToGroup := make(map[Fingerprint]int, len(classes))
+	var reps []int      // group → first class index with that fingerprint
+	var keys []scoreKey // group → cache key
+	for i, class := range classes {
+		if class == nil {
+			return nil, errors.New("core: nil class in ScoreBatch")
+		}
+		fp := ClassFingerprint(class)
+		g, ok := fpToGroup[fp]
+		if !ok {
+			g = len(reps)
+			fpToGroup[fp] = g
+			reps = append(reps, i)
+			keys = append(keys, key(fp))
+		}
+		groupOf[i] = g
+	}
+	res := make([]ChainScore, len(reps))
+	var need []int
+	for g := range reps {
+		if s, ok := cache.lookup(keys[g]); ok {
+			res[g] = s
+			continue
+		}
+		need = append(need, g)
+	}
+	if len(need) > 0 {
+		errs := make([]error, len(need))
+		pcs := newPowerCacheSet()
+		outer, inner := sched.New(parallelism).Split(len(need))
+		outer.ForEach(len(need), func(i int) {
+			g := need[i]
+			res[g], errs[i] = score(classes[reps[g]], inner, pcs)
+		})
+		for i, g := range need {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			cache.store(keys[g], res[g])
+		}
+	}
+	out := make([]ChainScore, len(classes))
+	for i, g := range groupOf {
+		out[i] = res[g]
+	}
+	return out, nil
+}

@@ -15,6 +15,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+
+	"pufferfish/internal/floats"
 )
 
 // cumTol is the tolerance used when comparing cumulative masses: two
@@ -77,6 +79,43 @@ func New(xs, ps []float64) (Discrete, error) {
 		outP[i] /= total
 	}
 	return Discrete{xs: outX, ps: outP}, nil
+}
+
+// FromSorted builds a distribution from support points that are
+// already strictly increasing, each with positive mass summing to 1
+// within 1e-6. It performs the same validation and renormalization as
+// New (bit-identically: the mass total accumulates in the same
+// support order) but skips the sort and merge, and it takes ownership
+// of xs and ps without copying — callers on the hot path (the
+// count-distribution dynamic programs) must not modify them after.
+func FromSorted(xs, ps []float64) (Discrete, error) {
+	if len(xs) != len(ps) {
+		return Discrete{}, fmt.Errorf("dist: %d support points but %d masses", len(xs), len(ps))
+	}
+	if len(xs) == 0 {
+		return Discrete{}, errors.New("dist: empty distribution")
+	}
+	var total float64
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Discrete{}, fmt.Errorf("dist: invalid support point %v", x)
+		}
+		if i > 0 && xs[i-1] >= x {
+			return Discrete{}, fmt.Errorf("dist: support not strictly increasing at %v", x)
+		}
+		p := ps[i]
+		if !(p > 0) || math.IsNaN(p) {
+			return Discrete{}, fmt.Errorf("dist: invalid mass %v at %v", p, x)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return Discrete{}, fmt.Errorf("dist: masses sum to %v, want 1", total)
+	}
+	for i := range ps {
+		ps[i] /= total
+	}
+	return Discrete{xs: xs, ps: ps}, nil
 }
 
 // MustNew is New that panics on error, for tests and fixtures.
@@ -144,8 +183,23 @@ func (d Discrete) Sample(rng *rand.Rand) float64 {
 	return d.xs[len(d.xs)-1]
 }
 
+// sortPairs co-sorts a support/mass pair by support point. It is used
+// with sort.Stable so that contributions to a duplicate support point
+// keep their generation order, which keeps Convolve's duplicate
+// accumulation order (and hence its bits) identical to the previous
+// insertion-ordered implementation.
+type sortPairs struct{ xs, ps []float64 }
+
+func (s sortPairs) Len() int           { return len(s.xs) }
+func (s sortPairs) Less(i, j int) bool { return s.xs[i] < s.xs[j] }
+func (s sortPairs) Swap(i, j int) {
+	s.xs[i], s.xs[j] = s.xs[j], s.xs[i]
+	s.ps[i], s.ps[j] = s.ps[j], s.ps[i]
+}
+
 // Convolve returns the distribution of X + Y for independent X ~ d,
-// Y ~ e.
+// Y ~ e. The pairwise sums are generated into pooled buffers, stably
+// sorted, and merged, so the only retained allocation is the result.
 func Convolve(d, e Discrete) Discrete {
 	if d.Len() == 0 {
 		return e
@@ -153,21 +207,38 @@ func Convolve(d, e Discrete) Discrete {
 	if e.Len() == 0 {
 		return d
 	}
-	sums := make(map[float64]float64, d.Len()*e.Len())
+	n := d.Len() * e.Len()
+	sx := floats.GetBuffer(n)
+	sp := floats.GetBuffer(n)
+	idx := 0
 	for i, x := range d.xs {
 		for j, y := range e.xs {
-			sums[x+y] += d.ps[i] * e.ps[j]
+			sx[idx] = x + y
+			sp[idx] = d.ps[i] * e.ps[j]
+			idx++
 		}
 	}
-	xs := make([]float64, 0, len(sums))
-	for x := range sums {
-		xs = append(xs, x)
+	sort.Stable(sortPairs{xs: sx, ps: sp})
+	distinct := 1
+	for i := 1; i < n; i++ {
+		if sx[i] != sx[i-1] {
+			distinct++
+		}
 	}
-	sort.Float64s(xs)
-	ps := make([]float64, len(xs))
-	for i, x := range xs {
-		ps[i] = sums[x]
+	buf := make([]float64, 2*distinct)
+	xs, ps := buf[:distinct:distinct], buf[distinct:]
+	oi := 0
+	xs[0], ps[0] = sx[0], sp[0]
+	for i := 1; i < n; i++ {
+		if sx[i] != xs[oi] {
+			oi++
+			xs[oi] = sx[i]
+			ps[oi] = 0
+		}
+		ps[oi] += sp[i]
 	}
+	floats.PutBuffer(sx)
+	floats.PutBuffer(sp)
 	return Discrete{xs: xs, ps: ps}
 }
 
@@ -223,11 +294,13 @@ func WassersteinInfFlow(mu, nu Discrete) float64 {
 	if mu.Len() == 0 || nu.Len() == 0 {
 		return math.NaN()
 	}
-	// Candidate distances: every |x_i − y_j|.
-	cands := make([]float64, 0, mu.Len()*nu.Len())
+	// Candidate distances: every |x_i − y_j| (pooled scratch).
+	cands := floats.GetBuffer(mu.Len() * nu.Len())
+	idx := 0
 	for _, x := range mu.xs {
 		for _, y := range nu.xs {
-			cands = append(cands, math.Abs(x-y))
+			cands[idx] = math.Abs(x - y)
+			idx++
 		}
 	}
 	sort.Float64s(cands)
@@ -240,7 +313,9 @@ func WassersteinInfFlow(mu, nu Discrete) float64 {
 			lo = mid + 1
 		}
 	}
-	return cands[lo]
+	w := cands[lo]
+	floats.PutBuffer(cands)
+	return w
 }
 
 // flowFeasible reports whether a coupling of µ and ν exists that moves
@@ -249,7 +324,8 @@ func WassersteinInfFlow(mu, nu Discrete) float64 {
 // moves right, so the greedy left-to-right assignment is exact.
 func flowFeasible(mu, nu Discrete, d float64) bool {
 	const slack = 1e-12
-	remaining := make([]float64, nu.Len())
+	remaining := floats.GetBuffer(nu.Len())
+	defer floats.PutBuffer(remaining)
 	copy(remaining, nu.ps)
 	j := 0
 	for i, x := range mu.xs {

@@ -12,6 +12,17 @@ import (
 	"pufferfish/internal/markov"
 )
 
+// ScoreCache re-exports the engine's score cache type for CLI callers.
+type ScoreCache = core.ScoreCache
+
+// NewScoreCache re-exports the engine's score cache so CLI callers can
+// thread one through experiment configs without importing
+// internal/core. Reused across repeated runs of a deterministic config
+// (same seeds ⇒ same empirical chains ⇒ same fingerprints), it
+// eliminates all but the first scoring sweep; results are bit-identical
+// either way.
+func NewScoreCache() *core.ScoreCache { return core.NewScoreCache() }
+
 // Mechanism labels shared by the activity and power experiments.
 const (
 	MechDP      = "DP"
@@ -37,6 +48,11 @@ type ActivityConfig struct {
 	// Parallelism bounds each score computation's worker count
 	// (0 = all CPUs, 1 = serial); results are identical either way.
 	Parallelism int
+	// Cache optionally memoizes quilt scores across runs sharing the
+	// config (e.g. `pufferbench all -cache` runs the activity
+	// experiment for both Figure 4 and Table 1); results are
+	// bit-identical either way.
+	Cache *core.ScoreCache
 }
 
 // DefaultActivityConfig returns the paper's parameters.
@@ -126,12 +142,13 @@ func activityGroup(cfg ActivityConfig, g activity.Group, rng *rand.Rand) (Activi
 		Sigmas:           map[string]float64{},
 	}
 
-	// Quilt-mechanism scores over every distinct session length.
-	approx, err := core.ApproxScoreMulti(class, cfg.Eps, core.ApproxOptions{Parallelism: cfg.Parallelism}, lengths)
+	// Quilt-mechanism scores over every distinct session length
+	// (cfg.Cache's methods degrade to the direct scorers when nil).
+	approx, err := cfg.Cache.ApproxScoreMulti(class, cfg.Eps, core.ApproxOptions{Parallelism: cfg.Parallelism}, lengths)
 	if err != nil {
 		return ActivityResult{}, err
 	}
-	exact, err := core.ExactScoreMulti(class, cfg.Eps, core.ExactOptions{Parallelism: cfg.Parallelism}, lengths)
+	exact, err := cfg.Cache.ExactScoreMulti(class, cfg.Eps, core.ExactOptions{Parallelism: cfg.Parallelism}, lengths)
 	if err != nil {
 		return ActivityResult{}, err
 	}
@@ -183,8 +200,12 @@ func activityGroup(cfg ActivityConfig, g activity.Group, rng *rand.Rand) (Activi
 		aggScale[MechGK16] = 2 * res.Sigmas[MechGK16] / nTotal
 	}
 
-	// Aggregate task: Trials noisy releases per mechanism.
-	for mech, scale := range aggScale {
+	// Aggregate task: Trials noisy releases per mechanism. Iterate in
+	// fixed order — ranging over the map consumes the shared rng in a
+	// per-run random order, breaking the package's determinism contract
+	// (and making the statistical assertions flaky).
+	for _, mech := range []string{MechDP, MechGroupDP, MechApprox, MechExact, MechGK16} {
+		scale := aggScale[mech]
 		var sum float64
 		var hist []float64
 		for trial := 0; trial < cfg.Trials; trial++ {
@@ -227,7 +248,10 @@ func activityGroup(cfg ActivityConfig, g activity.Group, rng *rand.Rand) (Activi
 			MechApprox:  2 * approx.Sigma / n,
 			MechExact:   2 * exact.Sigma / n,
 		}
-		for mech, scale := range scales {
+		// Fixed order for the same determinism reason as the aggregate
+		// task above.
+		for _, mech := range []string{MechGroupDP, MechApprox, MechExact} {
+			scale := scales[mech]
 			var sum float64
 			for trial := 0; trial < cfg.Trials; trial++ {
 				_, errv := noisyHist(ph, scale, rng)

@@ -1,0 +1,59 @@
+package floats
+
+import "sync"
+
+// The buffer pool recycles float64 slices across the hot paths that
+// need variable-length scratch (the Wasserstein count-distribution
+// dynamic programs, the convolution candidate arrays). It is a small
+// mutex-guarded free list rather than a sync.Pool: entries are slice
+// headers stored in a slice, so neither Get nor Put boxes anything and
+// the steady state allocates exactly nothing.
+var bufPool struct {
+	mu   sync.Mutex
+	free [][]float64
+}
+
+// maxPooledBuffers bounds the free list so a burst of large scratch
+// buffers cannot pin memory forever.
+const maxPooledBuffers = 64
+
+// GetBuffer returns a pooled slice of length n with unspecified
+// contents. Release it with PutBuffer when done; do not use it after.
+func GetBuffer(n int) []float64 {
+	bufPool.mu.Lock()
+	// Last-fit scan from the tail keeps the common case (same sizes
+	// cycling) O(1).
+	for i := len(bufPool.free) - 1; i >= 0; i-- {
+		if cap(bufPool.free[i]) >= n {
+			buf := bufPool.free[i]
+			last := len(bufPool.free) - 1
+			bufPool.free[i] = bufPool.free[last]
+			bufPool.free[last] = nil
+			bufPool.free = bufPool.free[:last]
+			bufPool.mu.Unlock()
+			return buf[:n]
+		}
+	}
+	bufPool.mu.Unlock()
+	return make([]float64, n)
+}
+
+// PutBuffer returns a slice obtained from GetBuffer (or any
+// caller-owned scratch) to the pool.
+func PutBuffer(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	bufPool.mu.Lock()
+	if len(bufPool.free) < maxPooledBuffers {
+		bufPool.free = append(bufPool.free, buf[:cap(buf)])
+	}
+	bufPool.mu.Unlock()
+}
+
+// ZeroBuffer sets every element of buf to zero.
+func ZeroBuffer(buf []float64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+}

@@ -50,27 +50,27 @@ func (c Chain) CountDistGiven(T int, w []int, cond, condState int) (dist.Discret
 	offset := -T * wMin
 	size := T*(wMax-wMin) + 1
 
-	// cur[x][n] = P(X_1..X_t consistent with conditioning so far,
-	// X_t = x, Σ_{s≤t} w[X_s] = n−offset).
-	cur := make([][]float64, k)
-	for x := range cur {
-		cur[x] = make([]float64, size)
-	}
+	// cur[x*size+n] = P(X_1..X_t consistent with conditioning so far,
+	// X_t = x, Σ_{s≤t} w[X_s] = n−offset). The two k×size tables are
+	// pooled slabs swapped each step, so the whole dynamic program
+	// allocates nothing once the pool is warm — this is the dominant
+	// allocation site of the Wasserstein chain instantiation
+	// (previously 2·T·k fresh rows per conditional distribution).
+	cur := floats.GetBuffer(k * size)
+	next := floats.GetBuffer(k * size)
+	floats.ZeroBuffer(cur)
 	for x := 0; x < k; x++ {
 		if cond == 1 && x != condState {
 			continue
 		}
-		cur[x][w[x]+offset] += c.Init[x]
+		cur[x*size+w[x]+offset] += c.Init[x]
 	}
 	// Note: index for partial sum n is n+offset.
 	for t := 2; t <= T; t++ {
-		next := make([][]float64, k)
-		for x := range next {
-			next[x] = make([]float64, size)
-		}
+		floats.ZeroBuffer(next)
 		for x := 0; x < k; x++ {
 			row := c.P.RawRow(x)
-			for n, mass := range cur[x] {
+			for n, mass := range cur[x*size : (x+1)*size] {
 				if mass == 0 {
 					continue
 				}
@@ -81,33 +81,50 @@ func (c Chain) CountDistGiven(T int, w []int, cond, condState int) (dist.Discret
 					if cond == t && y != condState {
 						continue
 					}
-					next[y][n+w[y]] += mass * row[y]
+					next[y*size+n+w[y]] += mass * row[y]
 				}
 			}
 		}
-		cur = next
+		cur, next = next, cur
 	}
 
 	// Collapse over the final state.
-	mass := make([]float64, size)
+	mass := floats.GetBuffer(size)
+	floats.ZeroBuffer(mass)
 	for x := 0; x < k; x++ {
-		for n, p := range cur[x] {
+		for n, p := range cur[x*size : (x+1)*size] {
 			mass[n] += p
 		}
 	}
+	floats.PutBuffer(cur)
+	floats.PutBuffer(next)
 	total := floats.Sum(mass)
 	if total <= 1e-300 {
+		floats.PutBuffer(mass)
 		return dist.Discrete{}, fmt.Errorf("markov: conditioning event X_%d=%d has probability zero", cond, condState)
 	}
-	var xs, ps []float64
+	atoms := 0
+	for _, p := range mass {
+		if p > 0 {
+			atoms++
+		}
+	}
+	// One backing array for both retained slices.
+	buf := make([]float64, 2*atoms)
+	xs, ps := buf[:atoms:atoms], buf[atoms:]
+	i := 0
 	for n, p := range mass {
 		if p <= 0 {
 			continue
 		}
-		xs = append(xs, float64(n-offset))
-		ps = append(ps, p/total)
+		xs[i] = float64(n - offset)
+		ps[i] = p / total
+		i++
 	}
-	return dist.New(xs, ps)
+	floats.PutBuffer(mass)
+	// The support is built in increasing order, so the sort-free
+	// constructor applies; it renormalizes exactly like dist.New.
+	return dist.FromSorted(xs, ps)
 }
 
 // NodeMarginalGiven returns P(X_j = · | X_i = a) for 1-based node

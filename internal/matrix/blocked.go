@@ -1,0 +1,104 @@
+package matrix
+
+// Register-blocked matmul micro-kernel. The naive MulInto loop is an
+// axpy over destination rows: every k step re-loads and re-stores the
+// whole dst row from memory. For the small state spaces of the binary
+// experiments that is fine (and the aik == 0 skip wins on sparse
+// rows), but the k = 51 electricity chain and larger state spaces pay
+// for the memory traffic. The blocked path computes a 2×4 destination
+// tile at a time with the k loop innermost, so all eight partial sums
+// live in registers and every loaded a/b value is reused.
+//
+// Bit-compatibility contract: for every destination element the
+// blocked kernel accumulates products in the same order as the naive
+// loop — increasing k. The only difference is that the naive loop
+// skips k when a(i,k) == 0 while the blocked kernel adds the 0·b(k,j)
+// product. For finite operands that addition is an exact identity
+// (the accumulator is never −0: it starts at +0 and (+0)+(±0) = +0),
+// so the results are bit-for-bit identical — pinned by
+// TestMulIntoBlockedBitIdentical. Non-finite operands (±Inf, NaN)
+// would break this, but no caller produces them.
+
+// blockedMinDim is the size threshold above which MulInto takes the
+// blocked path: all three dimensions must be at least this large.
+// Below it the naive axpy loop (with its zero-skip, which matters for
+// the sparse 2-state chains) wins.
+const blockedMinDim = 8
+
+// mulBlockedInto computes dst = a·b with 2×4 register tiling (eight
+// accumulators, four b values and two a values stay within amd64's
+// sixteen scalar FP registers; a 4×4 tile spills and loses the win).
+// Preconditions (dimensions, no aliasing) are checked by MulInto.
+func mulBlockedInto(dst, a, b *Dense) {
+	m, kk, n := a.rows, a.cols, b.cols
+	ad, bd, dd := a.data, b.data, dst.data
+	i := 0
+	for ; i+2 <= m; i += 2 {
+		a0 := ad[i*kk : (i+1)*kk : (i+1)*kk]
+		a1 := ad[(i+1)*kk : (i+2)*kk : (i+2)*kk]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			var c00, c01, c02, c03 float64
+			var c10, c11, c12, c13 float64
+			bp := j
+			for k := 0; k < kk; k++ {
+				bk := bd[bp : bp+4 : bp+4]
+				b0, b1, b2, b3 := bk[0], bk[1], bk[2], bk[3]
+				v0, v1 := a0[k], a1[k]
+				c00 += v0 * b0
+				c01 += v0 * b1
+				c02 += v0 * b2
+				c03 += v0 * b3
+				c10 += v1 * b0
+				c11 += v1 * b1
+				c12 += v1 * b2
+				c13 += v1 * b3
+				bp += n
+			}
+			d0 := dd[i*n+j : i*n+j+4 : i*n+j+4]
+			d0[0], d0[1], d0[2], d0[3] = c00, c01, c02, c03
+			d1 := dd[(i+1)*n+j : (i+1)*n+j+4 : (i+1)*n+j+4]
+			d1[0], d1[1], d1[2], d1[3] = c10, c11, c12, c13
+		}
+		for ; j < n; j++ { // remainder columns, two rows at a time
+			var c0, c1 float64
+			bp := j
+			for k := 0; k < kk; k++ {
+				bkj := bd[bp]
+				c0 += a0[k] * bkj
+				c1 += a1[k] * bkj
+				bp += n
+			}
+			dd[i*n+j] = c0
+			dd[(i+1)*n+j] = c1
+		}
+	}
+	for ; i < m; i++ { // remainder row
+		arow := ad[i*kk : (i+1)*kk : (i+1)*kk]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			var c0, c1, c2, c3 float64
+			bp := j
+			for k := 0; k < kk; k++ {
+				bk := bd[bp : bp+4 : bp+4]
+				v := arow[k]
+				c0 += v * bk[0]
+				c1 += v * bk[1]
+				c2 += v * bk[2]
+				c3 += v * bk[3]
+				bp += n
+			}
+			d0 := dd[i*n+j : i*n+j+4 : i*n+j+4]
+			d0[0], d0[1], d0[2], d0[3] = c0, c1, c2, c3
+		}
+		for ; j < n; j++ {
+			var s float64
+			bp := j
+			for k := 0; k < kk; k++ {
+				s += arow[k] * bd[bp]
+				bp += n
+			}
+			dd[i*n+j] = s
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package matrix
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// mulReference is the plain triple loop with the naive path's
+// increasing-k summation order and zero-skip — the semantics both
+// MulInto paths must reproduce bit-for-bit.
+func mulReference(a, b *Dense) *Dense {
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			var s float64
+			for k := 0; k < a.cols; k++ {
+				if a.At(i, k) == 0 {
+					continue
+				}
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func randDense(rows, cols int, rng *rand.Rand, sparsity float64) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.data {
+		if rng.Float64() < sparsity {
+			continue // leave an exact zero to exercise the skip semantics
+		}
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randStochastic(k int, rng *rand.Rand) *Dense {
+	m := NewDense(k, k)
+	for i := 0; i < k; i++ {
+		var tot float64
+		row := m.RawRow(i)
+		for j := range row {
+			row[j] = rng.Float64() + 1e-3
+			tot += row[j]
+		}
+		for j := range row {
+			row[j] /= tot
+		}
+	}
+	return m
+}
+
+// TestMulIntoBlockedBitIdentical pins the bit-compatibility contract:
+// the blocked kernel must produce exactly the reference result on
+// finite inputs, across square and rectangular shapes, remainder rows
+// and columns, and sparse operands.
+func TestMulIntoBlockedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	shapes := []struct{ m, k, n int }{
+		{8, 8, 8},    // smallest blocked case
+		{9, 10, 11},  // remainders in every dimension
+		{12, 8, 13},  // column remainder only
+		{13, 9, 12},  // row remainder only
+		{51, 51, 51}, // the electricity chain size
+		{64, 64, 64},
+		{16, 33, 9},
+	}
+	for _, sh := range shapes {
+		for _, sparsity := range []float64{0, 0.3, 0.9} {
+			a := randDense(sh.m, sh.k, rng, sparsity)
+			b := randDense(sh.k, sh.n, rng, sparsity)
+			want := mulReference(a, b)
+			got := NewDense(sh.m, sh.n)
+			MulInto(got, a, b)
+			for i := range want.data {
+				if got.data[i] != want.data[i] {
+					t.Fatalf("%dx%dx%d sparsity %.1f: element %d = %v, want %v (not bit-identical)",
+						sh.m, sh.k, sh.n, sparsity, i, got.data[i], want.data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMulIntoSmallStaysNaive checks the sub-threshold path still
+// matches the reference (and in particular that dispatching did not
+// change small-matrix behavior).
+func TestMulIntoSmallStaysNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for _, sh := range []struct{ m, k, n int }{{2, 2, 2}, {4, 7, 3}, {7, 7, 7}, {8, 7, 8}} {
+		a := randDense(sh.m, sh.k, rng, 0.2)
+		b := randDense(sh.k, sh.n, rng, 0.2)
+		want := mulReference(a, b)
+		got := NewDense(sh.m, sh.n)
+		MulInto(got, a, b)
+		for i := range want.data {
+			if got.data[i] != want.data[i] {
+				t.Fatalf("%dx%dx%d: element %d = %v, want %v", sh.m, sh.k, sh.n, i, got.data[i], want.data[i])
+			}
+		}
+	}
+}
+
+// TestPowerCacheBlockedConsistency checks that power tables built
+// through the blocked kernel agree bit-for-bit with serial naive
+// squaring on a stochastic matrix at the electricity chain size.
+func TestPowerCacheBlockedConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	p := randStochastic(51, rng)
+	pc := NewPowerCache(p)
+	pc.Grow(8)
+	want := p.Clone()
+	for n := 1; n <= 8; n++ {
+		got := pc.Pow(n)
+		for i := range want.data {
+			if got.data[i] != want.data[i] {
+				t.Fatalf("P^%d element %d = %v, want %v", n, i, got.data[i], want.data[i])
+			}
+		}
+		if n < 8 {
+			next := NewDense(51, 51)
+			mulBlockedInto(next, want, p) // same kernel the cache uses at this size
+			want = next
+		}
+	}
+}
+
+func benchMul(b *testing.B, k int) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	x := randStochastic(k, rng)
+	y := randStochastic(k, rng)
+	dst := NewDense(k, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMulInto8(b *testing.B)  { benchMul(b, 8) }
+func BenchmarkMulInto51(b *testing.B) { benchMul(b, 51) }
+func BenchmarkMulInto64(b *testing.B) { benchMul(b, 64) }
+
+// BenchmarkMulIntoNaive51 is the ablation: the axpy loop at the size
+// the blocked kernel now handles.
+func BenchmarkMulIntoNaive51(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	x := randStochastic(51, rng)
+	y := randStochastic(51, rng)
+	dst := NewDense(51, 51)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dst.data {
+			dst.data[j] = 0
+		}
+		for r := 0; r < 51; r++ {
+			arow := x.data[r*51 : (r+1)*51]
+			drow := dst.data[r*51 : (r+1)*51]
+			for k, aik := range arow {
+				if aik == 0 {
+					continue
+				}
+				brow := y.data[k*51 : (k+1)*51]
+				for jj, bkj := range brow {
+					drow[jj] += aik * bkj
+				}
+			}
+		}
+	}
+}

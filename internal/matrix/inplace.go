@@ -13,7 +13,10 @@ import (
 
 // MulInto computes dst = a·b in place. dst must have dimensions
 // a.rows×b.cols and must not alias a or b (the product reads its
-// operands while writing dst).
+// operands while writing dst). Above blockedMinDim in every dimension
+// it takes the register-blocked kernel (see blocked.go); the result is
+// bit-for-bit identical on both paths (same per-element summation
+// order).
 func MulInto(dst, a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("matrix: MulInto dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
@@ -23,6 +26,10 @@ func MulInto(dst, a, b *Dense) *Dense {
 	}
 	if sameData(dst, a) || sameData(dst, b) {
 		panic("matrix: MulInto destination aliases an operand")
+	}
+	if a.rows >= blockedMinDim && a.cols >= blockedMinDim && b.cols >= blockedMinDim {
+		mulBlockedInto(dst, a, b)
+		return dst
 	}
 	for i := range dst.data {
 		dst.data[i] = 0

@@ -84,6 +84,21 @@ func (m *Dense) Col(j int) []float64 {
 	return out
 }
 
+// Equal reports whether b has the same dimensions and exactly equal
+// (==) elements. Used to verify power-cache sharing candidates, so a
+// fingerprint collision can never alias two different matrices.
+func (m *Dense) Equal(b *Dense) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if v != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy.
 func (m *Dense) Clone() *Dense {
 	out := NewDense(m.rows, m.cols)

@@ -44,7 +44,19 @@ type Config struct {
 	// Parallelism bounds the score computation's worker count
 	// (0 = all CPUs, 1 = serial); the release is identical either way.
 	Parallelism int
+	// Cache optionally memoizes quilt scores by (class fingerprint, ε,
+	// options). Long-lived callers that Run many releases over stable
+	// models pay each scoring sweep once; nil disables memoization. The
+	// released values are bit-identical either way.
+	Cache *ScoreCache
 }
+
+// ScoreCache re-exports the engine's score cache so CLI callers can
+// construct one without importing internal/core.
+type ScoreCache = core.ScoreCache
+
+// NewScoreCache returns an empty score cache.
+func NewScoreCache() *ScoreCache { return core.NewScoreCache() }
 
 // Report is the JSON-serializable release record.
 type Report struct {
@@ -58,6 +70,18 @@ type Report struct {
 	ActiveQuilt  string        `json:"active_quilt,omitempty"`
 	Histogram    []float64     `json:"histogram"`
 	Model        *markov.Chain `json:"model,omitempty"`
+	// Cache reports the score cache's cumulative hit/miss counters as
+	// of the end of this run. They are cache-wide: a cache shared
+	// across many runs (the intended long-lived-caller setup)
+	// aggregates their traffic. Nil exactly when Config.Cache is
+	// unset.
+	Cache *CacheReport `json:"cache,omitempty"`
+}
+
+// CacheReport is the Report's score-cache traffic snapshot.
+type CacheReport struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 }
 
 // ParseSeries reads a series of non-negative integer states. Values
@@ -172,14 +196,19 @@ func Run(sessions [][]int, cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		// cfg.Cache's methods degrade to the direct scorers when nil.
 		var score core.ChainScore
 		if cfg.Mechanism == MechMQMExact {
-			score, err = core.ExactScoreMulti(class, cfg.Epsilon, core.ExactOptions{Parallelism: cfg.Parallelism}, lengths)
+			score, err = cfg.Cache.ExactScoreMulti(class, cfg.Epsilon, core.ExactOptions{Parallelism: cfg.Parallelism}, lengths)
 		} else {
-			score, err = core.ApproxScoreMulti(class, cfg.Epsilon, core.ApproxOptions{Parallelism: cfg.Parallelism}, lengths)
+			score, err = cfg.Cache.ApproxScoreMulti(class, cfg.Epsilon, core.ApproxOptions{Parallelism: cfg.Parallelism}, lengths)
 		}
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Cache != nil {
+			stats := cfg.Cache.Stats()
+			report.Cache = &CacheReport{Hits: stats.Hits, Misses: stats.Misses}
 		}
 		exact, err := q.Evaluate(flat)
 		if err != nil {

@@ -125,6 +125,50 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+// TestRunCachedBitIdentical checks a cached pipeline run releases
+// exactly what the uncached run does, and that a second run over the
+// same data is served from the cache.
+func TestRunCachedBitIdentical(t *testing.T) {
+	sessions := sampleSessions(t)
+	for _, mech := range []string{MechMQMExact, MechMQMApprox} {
+		cfg := Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: 44}
+		plain, err := Run(sessions, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cache = NewScoreCache()
+		cold, err := Run(sessions, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := Run(sessions, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, got := range map[string]*Report{"cold": cold, "warm": warm} {
+			if got.NoiseScale != plain.NoiseScale || got.Sigma != plain.Sigma {
+				t.Fatalf("%s %s: scale (%v, %v) != uncached (%v, %v)",
+					mech, name, got.NoiseScale, got.Sigma, plain.NoiseScale, plain.Sigma)
+			}
+			if !floats.EqSlices(got.Histogram, plain.Histogram, 0) {
+				t.Fatalf("%s %s: released histogram differs from uncached run", mech, name)
+			}
+		}
+		if plain.Cache != nil {
+			t.Fatalf("%s uncached run reports cache stats %+v", mech, plain.Cache)
+		}
+		if cold.Cache == nil || cold.Cache.Misses == 0 || cold.Cache.Hits != 0 {
+			t.Fatalf("%s cold run: cache stats %+v, want misses > 0 and no hits", mech, cold.Cache)
+		}
+		// The counters are cumulative cache-wide: the warm run's hits
+		// equal the cold run's misses, whose count carries over.
+		if warm.Cache == nil || warm.Cache.Hits != cold.Cache.Misses || warm.Cache.Misses != cold.Cache.Misses {
+			t.Fatalf("%s warm run: cache stats %+v, want %d hits and %d cumulative misses",
+				mech, warm.Cache, cold.Cache.Misses, cold.Cache.Misses)
+		}
+	}
+}
+
 func TestRunDeterministicWithSeed(t *testing.T) {
 	sessions := sampleSessions(t)
 	cfg := Config{Epsilon: 1, Mechanism: MechMQMApprox, Smoothing: 0.5, Seed: 33}

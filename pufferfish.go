@@ -124,6 +124,40 @@ func MQMApprox(data []int, q Query, class Class, eps float64, opt ApproxOptions,
 	return core.MQMApprox(data, q, class, eps, opt, rng)
 }
 
+// Fingerprint is the canonical 128-bit identity of a class: a hash of
+// everything a ChainScore depends on besides (ε, options). Classes
+// with equal fingerprints score identically.
+type Fingerprint = core.Fingerprint
+
+// ClassFingerprint computes the canonical fingerprint of a class.
+func ClassFingerprint(class Class) Fingerprint { return core.ClassFingerprint(class) }
+
+// ScoreCache memoizes ChainScore results by (class fingerprint, ε,
+// options), so composition-heavy workloads pay each scoring sweep
+// once. A nil *ScoreCache disables memoization everywhere one is
+// accepted.
+type ScoreCache = core.ScoreCache
+
+// CacheStats reports a ScoreCache's hit/miss counters.
+type CacheStats = core.CacheStats
+
+// NewScoreCache returns an empty score cache.
+func NewScoreCache() *ScoreCache { return core.NewScoreCache() }
+
+// ScoreBatch computes ExactScore for every class through one worker-
+// pool invocation, deduplicating identical fingerprints (O(unique)
+// scoring work) and sharing power tables across θ with equal
+// transition matrices. cache may be nil. Results align with classes
+// and are bit-identical to per-class ExactScore calls.
+func ScoreBatch(cache *ScoreCache, classes []Class, eps float64, opt ExactOptions) ([]ChainScore, error) {
+	return core.ScoreBatch(cache, classes, eps, opt)
+}
+
+// ApproxScoreBatch is ScoreBatch for MQMApprox.
+func ApproxScoreBatch(cache *ScoreCache, classes []Class, eps float64, opt ApproxOptions) ([]ChainScore, error) {
+	return core.ApproxScoreBatch(cache, classes, eps, opt)
+}
+
 // ExactScoreMulti computes MQMExact's σ_max for a database of
 // independent chains of the given lengths (e.g. the gap-split wear
 // sessions of the activity experiments), all governed by the same
