@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 )
 
@@ -33,6 +34,15 @@ func runCompare(oldPath, newPath string, tol float64) error {
 			fmt.Printf("%-36s %31s (new benchmark)\n", ne.Name, "-")
 			continue
 		}
+		// A corrupt report (zero, negative, NaN, or Inf ns/op) must be an
+		// explicit failure: the delta below would be NaN/Inf, and NaN > tol
+		// is false, so a regression gate fed garbage would silently pass.
+		if err := checkNsPerOp(oldPath, ne.Name, oe.NsPerOp); err != nil {
+			return err
+		}
+		if err := checkNsPerOp(newPath, ne.Name, ne.NsPerOp); err != nil {
+			return err
+		}
 		shared++
 		delta := ne.NsPerOp/oe.NsPerOp - 1
 		status := "ok"
@@ -51,6 +61,14 @@ func runCompare(oldPath, newPath string, tol float64) error {
 			len(regressions), tol*100, regressions)
 	}
 	fmt.Printf("compare: %d shared benchmarks within %.0f%% ns/op tolerance\n", shared, tol*100)
+	return nil
+}
+
+// checkNsPerOp rejects measurements no real benchmark produces.
+func checkNsPerOp(path, name string, ns float64) error {
+	if !(ns > 0) || math.IsInf(ns, 1) {
+		return fmt.Errorf("compare: %s: %s has invalid ns/op %v (corrupt report?)", path, name, ns)
+	}
 	return nil
 }
 

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, entries []benchEntry) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	blob, err := json.Marshal(benchReport{GoMaxProcs: 1, Benchmarks: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []benchEntry{{Name: "A", NsPerOp: 100}, {Name: "B", NsPerOp: 200}})
+	newP := writeReport(t, dir, "new.json", []benchEntry{{Name: "A", NsPerOp: 110}, {Name: "B", NsPerOp: 150}, {Name: "C", NsPerOp: 1}})
+	if err := runCompare(oldP, newP, 0.15); err != nil {
+		t.Errorf("10%% slower within 15%% tolerance failed: %v", err)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []benchEntry{{Name: "A", NsPerOp: 100}})
+	newP := writeReport(t, dir, "new.json", []benchEntry{{Name: "A", NsPerOp: 130}})
+	err := runCompare(oldP, newP, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("30%% regression passed a 15%% gate: %v", err)
+	}
+}
+
+func TestCompareNoSharedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []benchEntry{{Name: "A", NsPerOp: 100}})
+	newP := writeReport(t, dir, "new.json", []benchEntry{{Name: "B", NsPerOp: 100}})
+	if err := runCompare(oldP, newP, 0.15); err == nil {
+		t.Error("disjoint reports compared successfully")
+	}
+}
+
+// TestCompareRejectsCorruptNsPerOp pins the NaN hole: a zero, negative,
+// NaN, or Inf ns/op on either side used to make delta NaN/Inf, and
+// `NaN > tol` is false — so a corrupt baseline let any regression pass
+// silently. Each must now be an explicit error. The JSON-representable
+// corruptions (a truncated report's missing field decodes to 0, a
+// mangled one to a negative) run through runCompare end to end; the
+// non-finite values, which only arise in-process, hit the guard
+// directly.
+func TestCompareRejectsCorruptNsPerOp(t *testing.T) {
+	cases := map[string]struct{ old, new float64 }{
+		"zero old":     {0, 100},
+		"negative old": {-5, 100},
+		"zero new":     {100, 0},
+		"negative new": {100, -1},
+	}
+	for name, c := range cases {
+		dir := t.TempDir()
+		oldP := writeReport(t, dir, "old.json", []benchEntry{{Name: "A", NsPerOp: c.old}})
+		newP := writeReport(t, dir, "new.json", []benchEntry{{Name: "A", NsPerOp: c.new}})
+		err := runCompare(oldP, newP, 0.15)
+		if err == nil || !strings.Contains(err.Error(), "invalid ns/op") {
+			t.Errorf("%s: corrupt report not rejected: %v", name, err)
+		}
+	}
+	for name, v := range map[string]float64{"NaN": math.NaN(), "+Inf": math.Inf(1), "-Inf": math.Inf(-1)} {
+		if err := checkNsPerOp("x.json", "A", v); err == nil {
+			t.Errorf("checkNsPerOp accepted %s", name)
+		}
+	}
+	if err := checkNsPerOp("x.json", "A", 100); err != nil {
+		t.Errorf("checkNsPerOp rejected a valid measurement: %v", err)
+	}
+	// Corrupt entries only present on one side never block: unmatched
+	// benchmarks are informational by design.
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []benchEntry{{Name: "A", NsPerOp: 100}})
+	newP := writeReport(t, dir, "new.json", []benchEntry{{Name: "A", NsPerOp: 100}, {Name: "B", NsPerOp: 0}})
+	if err := runCompare(oldP, newP, 0.15); err != nil {
+		t.Errorf("unmatched corrupt entry blocked the comparison: %v", err)
+	}
+}

@@ -11,6 +11,7 @@
 //	pufferbench all      [flags]          # everything above
 //	pufferbench bench    [flags]          # scoring-engine micro-benchmarks → BENCH_2.json
 //	pufferbench compare OLD NEW [-tol F]  # fail on ns/op regressions between two reports
+//	pufferbench serve    [flags]          # serving-layer load smoke (in-process pufferd)
 //
 // Every table/figure command accepts -quick for a reduced-size run
 // (minutes → seconds) that exercises identical code paths, -seed for
@@ -21,7 +22,13 @@
 // command accepts -quick and -o only: it always measures each workload
 // at both parallelism 1 and all-CPUs, so -parallel does not apply.
 // compare exits non-zero when any benchmark present in both reports
-// regressed in ns/op by more than -tol (default 0.15).
+// regressed in ns/op by more than -tol (default 0.15); corrupt reports
+// (non-positive or non-finite ns/op on a shared benchmark) are an
+// explicit error, never a silent pass. serve starts an in-process
+// release server, drives concurrent warm-cache traffic over one
+// model (-parallel bounds the server's global worker budget), and
+// fails unless every response is bit-identical to release.Run and the
+// shared cache reports hits.
 package main
 
 import (
@@ -73,6 +80,8 @@ func main() {
 		err = runAll(*quick, *seed, *trials, *parallel, cache)
 	case "bench":
 		err = runBench(*quick, *benchOut)
+	case "serve":
+		err = runServe(*quick, *seed, *parallel)
 	case "compare":
 		args := fs.Args()
 		if len(args) != 2 {
@@ -93,7 +102,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pufferbench <examples|fig4top|fig4bottom|table1|table2|table3|all> [-quick] [-seed N] [-trials N] [-parallel N] [-cache]
        pufferbench bench [-quick] [-o FILE]
-       pufferbench compare [-tol F] OLD.json NEW.json`)
+       pufferbench compare [-tol F] OLD.json NEW.json
+       pufferbench serve [-quick] [-seed N] [-parallel N]`)
 }
 
 func runExamples() error {

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/release"
+	"pufferfish/internal/server"
+)
+
+// runServe is the serving-layer load smoke: it starts an in-process
+// pufferd (internal/server) instance, drives concurrent release
+// traffic over one stable model — the warmed-cache regime the server
+// exists for — and fails unless every response is bit-identical to the
+// equivalent one-shot release.Run and the shared cache reports hits.
+// It finishes with a batch call exercising the deduped scoring path
+// and prints throughput plus the /v1/stats counters.
+func runServe(quick bool, seed uint64, parallel int) error {
+	nSessions, sessionLen, requests := 6, 400, 32
+	if quick {
+		nSessions, sessionLen, requests = 3, 150, 8
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5e21))
+	truth := markov.BinaryChain(0.5, 0.9, 0.85)
+	sessions := make([][]int, nSessions)
+	for i := range sessions {
+		sessions[i] = truth.Sample(sessionLen, rng)
+	}
+
+	s := server.New(server.Config{Workers: parallel})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	mechanisms := []string{release.MechMQMExact, release.MechMQMApprox, release.MechDP, release.MechGroupDP}
+	golden := make(map[string]*release.Report, len(mechanisms))
+	for _, mech := range mechanisms {
+		rep, err := release.Run(sessions, release.Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: seed})
+		if err != nil {
+			return err
+		}
+		golden[mech] = rep
+	}
+
+	post := func(path string, body any) ([]byte, error) {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("serve: %s: status %d: %s", path, resp.StatusCode, out)
+		}
+		return out, nil
+	}
+	checkReport := func(blob []byte, mech string) error {
+		var got release.Report
+		if err := json.Unmarshal(blob, &got); err != nil {
+			return fmt.Errorf("serve: bad report %s: %w", blob, err)
+		}
+		want := golden[mech]
+		if !floats.EqSlices(got.Histogram, want.Histogram, 0) || got.Sigma != want.Sigma || got.NoiseScale != want.NoiseScale {
+			return fmt.Errorf("serve: %s response diverges from release.Run (σ %v vs %v)", mech, got.Sigma, want.Sigma)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mech := mechanisms[i%len(mechanisms)]
+			blob, err := post("/v1/release", server.ReleaseRequest{
+				Sessions: sessions, Epsilon: 1, Mechanism: mech, Smoothing: 0.5,
+				Seed: seed, Parallelism: 1 + i%4,
+			})
+			if err == nil {
+				err = checkReport(blob, mech)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// One batch over the same model: every quilt score must come from
+	// dedupe or the now-warm cache.
+	preBatch := s.Cache().Stats()
+	batch := server.BatchRequest{Requests: make([]server.ReleaseRequest, len(mechanisms))}
+	for i, mech := range mechanisms {
+		batch.Requests[i] = server.ReleaseRequest{Sessions: sessions, Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: seed}
+	}
+	blob, err := post("/v1/release/batch", batch)
+	if err != nil {
+		return err
+	}
+	var batchResp server.BatchResponse
+	if err := json.Unmarshal(blob, &batchResp); err != nil {
+		return err
+	}
+	for i, rep := range batchResp.Reports {
+		reBlob, err := json.Marshal(rep)
+		if err != nil {
+			return err
+		}
+		if err := checkReport(reBlob, mechanisms[i]); err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+	}
+	if misses := s.Cache().Stats().Misses; misses != preBatch.Misses {
+		return fmt.Errorf("serve: warm batch re-scored the model (misses %d -> %d)", preBatch.Misses, misses)
+	}
+
+	st := s.Stats()
+	if st.Cache.Hits == 0 {
+		return fmt.Errorf("serve: repeated releases over one model produced no cache hits: %+v", st.Cache)
+	}
+	fmt.Printf("serve: %d releases over %d sessions × %d obs in %v (%.0f rel/s)\n",
+		st.ReleasesTotal, nSessions, sessionLen, elapsed.Round(time.Millisecond),
+		float64(requests)/elapsed.Seconds())
+	fmt.Printf("serve: all responses bit-identical to release.Run; cache %d hits / %d misses (%d entries), worker budget %d\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Workers.Budget)
+	return nil
+}

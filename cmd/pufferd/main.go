@@ -1,0 +1,83 @@
+// Command pufferd is the long-lived release server: a warmed score
+// cache shared across every request, a global scoring-worker budget,
+// and the internal/server HTTP surface.
+//
+//	pufferd -addr :8080 -workers 0 -drain 30s
+//
+//	POST /v1/release        one release (privrelease semantics)
+//	POST /v1/release/batch  many releases, batched scoring
+//	GET  /v1/stats          cache traffic, worker budget, uptime
+//
+// SIGINT/SIGTERM triggers graceful shutdown: listeners close
+// immediately, in-flight releases drain (bounded by -drain), and the
+// process exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pufferfish/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "global scoring-worker budget shared by all requests (0 = all CPUs)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight releases")
+	flag.Parse()
+
+	s := server.New(server.Config{Workers: *workers})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds the whole request read so a client
+		// trickling a body can't pin a handler goroutine (and the
+		// SIGTERM drain) forever. No WriteTimeout: a large exact
+		// scoring sweep can legitimately outlive any fixed write
+		// budget, and shutdown is already bounded by -drain.
+		ReadTimeout: 2 * time.Minute,
+		IdleTimeout: 2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("pufferd: listening on %s (workers=%d)", *addr, s.Stats().Workers.Budget)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("pufferd: shutting down, draining in-flight releases (up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	st := s.Stats()
+	log.Printf("pufferd: clean exit after %.1fs — %d requests, %d releases, cache %d hits / %d misses",
+		st.UptimeSeconds, st.RequestsTotal, st.ReleasesTotal, st.Cache.Hits, st.Cache.Misses)
+}
+
+func fatal(err error) {
+	if err == nil || errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "pufferd:", err)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"pufferfish/internal/query"
@@ -54,6 +55,9 @@ func scaledLaplace(data []int, q query.Query, sensitivity, eps float64, mech str
 		return Release{}, fmt.Errorf("core: invalid sensitivity %v", sensitivity)
 	}
 	scale := sensitivity / eps
+	if math.IsInf(scale, 1) || math.IsNaN(scale) {
+		return Release{}, fmt.Errorf("core: noise scale %v/%v overflows", sensitivity, eps)
+	}
 	return Release{
 		Values:     addLaplace(exact, scale, rng),
 		NoiseScale: scale,

@@ -88,6 +88,9 @@ func releaseWithScore(data []int, q query.Query, score ChainScore, eps float64, 
 		return Release{}, err
 	}
 	scale := q.Lipschitz() * score.Sigma
+	if err := ValidateNoiseScale(scale, score.Sigma, eps); err != nil {
+		return Release{}, err
+	}
 	return Release{
 		Values:     addLaplace(exact, scale, rng),
 		NoiseScale: scale,
@@ -95,6 +98,19 @@ func releaseWithScore(data []int, q query.Query, score ChainScore, eps float64, 
 		Epsilon:    eps,
 		Mechanism:  mech,
 	}, nil
+}
+
+// ValidateNoiseScale rejects a Laplace scale no release may use:
+// laplace.New panics on non-positive or non-finite scales by contract
+// ("always a caller bug"), so every release path — the mechanisms here
+// and release.Finish — funnels through this one guard before drawing
+// noise. A σ that overflowed (tiny ε on a long chain) therefore
+// surfaces as an error, never a panic.
+func ValidateNoiseScale(scale, sigma, eps float64) error {
+	if !(scale > 0) || math.IsInf(scale, 1) {
+		return fmt.Errorf("core: noise scale %v is not positive finite (σ = %v at ε = %v)", scale, sigma, eps)
+	}
+	return nil
 }
 
 // validateChainClass performs the shared sanity checks of the chain

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"pufferfish/internal/markov"
+)
+
+// MultiSpec is one multi-length scoring request for the batched forms
+// of ExactScoreMulti/ApproxScoreMulti: a class governing a database of
+// independent chains plus that database's chain-length multiset. The
+// class's own T is ignored, exactly as in the non-batched forms.
+type MultiSpec struct {
+	Class   markov.Class
+	Lengths []int
+}
+
+// ExactScoreMultiBatch computes ExactScoreMulti for every spec through
+// shared ScoreBatch invocations, so length-classes with identical
+// fingerprints — the same fitted model at the same session length,
+// whether within one spec or across specs — are scored once. cache may
+// be nil. The returned scores align with specs and are bit-for-bit
+// identical to per-spec ExactScoreMulti calls: each spec's result is
+// the same max over the same per-length scores in the same order.
+func ExactScoreMultiBatch(cache *ScoreCache, specs []MultiSpec, eps float64, opt ExactOptions) ([]ChainScore, error) {
+	return multiScoreBatch(specs, func(classes []markov.Class) ([]ChainScore, error) {
+		return ScoreBatch(cache, classes, eps, opt)
+	})
+}
+
+// ApproxScoreMultiBatch is ExactScoreMultiBatch for Algorithm 4.
+func ApproxScoreMultiBatch(cache *ScoreCache, specs []MultiSpec, eps float64, opt ApproxOptions) ([]ChainScore, error) {
+	return multiScoreBatch(specs, func(classes []markov.Class) ([]ChainScore, error) {
+		return ApproxScoreBatch(cache, classes, eps, opt)
+	})
+}
+
+// multiScoreBatch runs the multiScore algorithm over many specs with
+// two batched scoring phases: every spec's maximum length first (fixing
+// each spec's plateau), then the remaining distinct below-plateau
+// lengths of all specs together. Per spec the per-length scores and the
+// strict-inequality max over them match multiScore exactly.
+func multiScoreBatch(specs []MultiSpec, scoreAll func([]markov.Class) ([]ChainScore, error)) ([]ChainScore, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	maxLens := make([]int, len(specs))
+	tops := make([]markov.Class, len(specs))
+	for i, spec := range specs {
+		if spec.Class == nil {
+			return nil, fmt.Errorf("core: spec %d: nil class", i)
+		}
+		if len(spec.Lengths) == 0 {
+			return nil, fmt.Errorf("core: spec %d: no chain lengths", i)
+		}
+		maxLen := spec.Lengths[0]
+		for _, l := range spec.Lengths[1:] {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen < 1 {
+			return nil, fmt.Errorf("core: spec %d: invalid chain length %d", i, maxLen)
+		}
+		maxLens[i] = maxLen
+		tops[i] = lengthClass{Class: spec.Class, t: maxLen}
+	}
+	topScores, err := scoreAll(tops)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the distinct lengths below each spec's plateau, flattened
+	// across specs so equal (class, length) pairs dedupe in one batch.
+	type pending struct{ spec, length int }
+	var rest []pending
+	var restClasses []markov.Class
+	restLens := make([][]int, len(specs))
+	for i, spec := range specs {
+		top := topScores[i]
+		plateau := 2*top.Ell + 1
+		if !(top.Quilt.A > 0 && top.Quilt.B > 0) {
+			plateau = maxLens[i] + 1
+		}
+		distinct, err := distinctScoringLengths(spec.Lengths, plateau)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range distinct {
+			if l == maxLens[i] {
+				continue // already scored in phase 1
+			}
+			restLens[i] = append(restLens[i], l)
+			rest = append(rest, pending{spec: i, length: l})
+			restClasses = append(restClasses, lengthClass{Class: spec.Class, t: l})
+		}
+	}
+	restScores := map[pending]ChainScore{}
+	if len(restClasses) > 0 {
+		scores, err := scoreAll(restClasses)
+		if err != nil {
+			return nil, err
+		}
+		for j, p := range rest {
+			restScores[p] = scores[j]
+		}
+	}
+
+	out := make([]ChainScore, len(specs))
+	for i := range specs {
+		best := topScores[i]
+		for _, l := range restLens[i] {
+			if sc := restScores[pending{spec: i, length: l}]; sc.Sigma > best.Sigma {
+				best = sc
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/markov"
+)
+
+// TestMultiBatchGoldenVsSequential: the batched multi-length scores
+// must be bit-identical to per-spec ExactScoreMulti/ApproxScoreMulti.
+func TestMultiBatchGoldenVsSequential(t *testing.T) {
+	r := rand.New(rand.NewPCG(17, 18))
+	var specs []MultiSpec
+	for i := 0; i < 5; i++ {
+		chain, err := markov.BinaryChain(0.5, 0.3+0.5*r.Float64(), 0.3+0.5*r.Float64()).StationaryChain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lengths := make([]int, 2+r.IntN(4))
+		for j := range lengths {
+			lengths[j] = 1 + r.IntN(80)
+		}
+		class, err := markov.NewFinite([]markov.Chain{chain}, lengths[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, MultiSpec{Class: class, Lengths: lengths})
+	}
+	eps := 1.3
+
+	exactBatch, err := ExactScoreMultiBatch(nil, specs, eps, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxBatch, err := ApproxScoreMultiBatch(nil, specs, eps, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		ex, err := ExactScoreMulti(spec.Class, eps, ExactOptions{}, spec.Lengths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exactBatch[i] != ex {
+			t.Errorf("spec %d exact: batch %+v != sequential %+v", i, exactBatch[i], ex)
+		}
+		ap, err := ApproxScoreMulti(spec.Class, eps, ApproxOptions{}, spec.Lengths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if approxBatch[i] != ap {
+			t.Errorf("spec %d approx: batch %+v != sequential %+v", i, approxBatch[i], ap)
+		}
+	}
+}
+
+// TestMultiBatchDedupAcrossSpecs: specs sharing a fitted model and
+// length multiset must cost one scoring pass, not one per spec.
+func TestMultiBatchDedupAcrossSpecs(t *testing.T) {
+	chain, err := markov.BinaryChain(0.5, 0.9, 0.85).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := markov.NewFinite([]markov.Chain{chain}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := []int{7, 19, 40}
+	specs := make([]MultiSpec, 6)
+	for i := range specs {
+		specs[i] = MultiSpec{Class: class, Lengths: lengths}
+	}
+	cache := NewScoreCache()
+	scores, err := ExactScoreMultiBatch(cache, specs, 1, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i] != scores[0] {
+			t.Errorf("spec %d score %+v != spec 0 %+v", i, scores[i], scores[0])
+		}
+	}
+	// Every distinct (class, length) is counted as one miss per batch
+	// phase; identical specs add lookups but no extra misses.
+	stats := cache.Stats()
+	if stats.Misses > int64(len(lengths)) {
+		t.Errorf("misses = %d, want ≤ %d distinct length-classes", stats.Misses, len(lengths))
+	}
+	// A re-run over the warm cache is pure hits.
+	warm, err := ExactScoreMultiBatch(cache, specs, 1, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm[0] != scores[0] {
+		t.Errorf("warm score %+v != cold %+v", warm[0], scores[0])
+	}
+	after := cache.Stats()
+	if after.Misses != stats.Misses {
+		t.Errorf("warm run added misses: %d -> %d", stats.Misses, after.Misses)
+	}
+	if after.Hits <= stats.Hits {
+		t.Errorf("warm run added no hits: %d -> %d", stats.Hits, after.Hits)
+	}
+}
+
+func TestMultiBatchValidation(t *testing.T) {
+	chain := markov.BinaryChain(0.5, 0.8, 0.7)
+	class, err := markov.NewFinite([]markov.Chain{chain}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := ExactScoreMultiBatch(nil, nil, 1, ExactOptions{}); err != nil || out != nil {
+		t.Errorf("empty specs: (%v, %v), want (nil, nil)", out, err)
+	}
+	if _, err := ExactScoreMultiBatch(nil, []MultiSpec{{Class: class}}, 1, ExactOptions{}); err == nil {
+		t.Error("empty lengths accepted")
+	}
+	if _, err := ExactScoreMultiBatch(nil, []MultiSpec{{Class: class, Lengths: []int{5, 0}}}, 1, ExactOptions{}); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := ExactScoreMultiBatch(nil, []MultiSpec{{Class: nil, Lengths: []int{5}}}, 1, ExactOptions{}); err == nil {
+		t.Error("nil class accepted")
+	}
+}

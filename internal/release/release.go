@@ -8,9 +8,11 @@ package release
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"strconv"
 	"strings"
@@ -128,21 +130,62 @@ func ParseSeries(r io.Reader) ([][]int, error) {
 	return sessions, nil
 }
 
-// Run executes the pipeline on parsed sessions.
-func Run(sessions [][]int, cfg Config) (*Report, error) {
-	if cfg.Epsilon <= 0 {
+// Prepared is a validated release whose inputs are parsed and whose
+// model (for the quilt mechanisms) is fitted, but whose score and noise
+// have not yet been computed. It is the seam a long-lived server uses:
+// Prepare many requests, schedule their scoring together (e.g. through
+// core.ExactScoreMultiBatch over Class/Lengths), then Finish each with
+// its externally computed score. Run is exactly Prepare + Score +
+// Finish, so the two routes release bit-identical histograms.
+type Prepared struct {
+	cfg      Config
+	sessions [][]int
+	flat     []int
+	lengths  []int
+	k        int
+	n        int
+	longest  int
+	chain    markov.Chain // quilt mechanisms only
+	class    markov.Class // quilt mechanisms only
+}
+
+// Prepare validates cfg and sessions, infers the state space, and fits
+// the empirical chain for the quilt mechanisms.
+func Prepare(sessions [][]int, cfg Config) (*Prepared, error) {
+	switch cfg.Mechanism {
+	case MechDP, MechGroupDP, MechMQMExact, MechMQMApprox:
+	default:
+		return nil, fmt.Errorf("release: unknown mechanism %q (want %s|%s|%s|%s)",
+			cfg.Mechanism, MechMQMExact, MechMQMApprox, MechGroupDP, MechDP)
+	}
+	if !(cfg.Epsilon > 0) || math.IsInf(cfg.Epsilon, 1) {
 		return nil, fmt.Errorf("release: invalid ε = %v", cfg.Epsilon)
+	}
+	if cfg.Epsilon < 0x1p-1022 { // subnormal: even σ = T/ε overflows
+		return nil, fmt.Errorf("release: ε = %v is too small; noise scales overflow", cfg.Epsilon)
+	}
+	if cfg.K != 0 && cfg.K < 2 {
+		return nil, fmt.Errorf("release: configured k = %d, but a state space needs at least 2 states (0 infers from data)", cfg.K)
+	}
+	if len(sessions) == 0 {
+		return nil, errors.New("release: no data")
 	}
 	k := cfg.K
 	var n, longest int
 	var lengths []int
-	for _, s := range sessions {
+	for i, s := range sessions {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("release: session %d is empty", i)
+		}
 		n += len(s)
 		lengths = append(lengths, len(s))
 		if len(s) > longest {
 			longest = len(s)
 		}
 		for _, v := range s {
+			if v < 0 {
+				return nil, fmt.Errorf("release: negative state %d", v)
+			}
 			if cfg.K > 0 && v >= cfg.K {
 				return nil, fmt.Errorf("release: state %d outside configured k = %d", v, cfg.K)
 			}
@@ -154,40 +197,20 @@ func Run(sessions [][]int, cfg Config) (*Report, error) {
 	if k < 2 {
 		k = 2
 	}
-
 	flat := make([]int, 0, n)
 	for _, s := range sessions {
 		flat = append(flat, s...)
 	}
-	q := query.RelFreqHistogram{K: k, N: n}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x7f4a7c15))
-
-	report := &Report{
-		Mechanism:    cfg.Mechanism,
-		Epsilon:      cfg.Epsilon,
-		K:            k,
-		Observations: n,
-		Sessions:     len(sessions),
+	p := &Prepared{
+		cfg:      cfg,
+		sessions: sessions,
+		flat:     flat,
+		lengths:  lengths,
+		k:        k,
+		n:        n,
+		longest:  longest,
 	}
-
-	switch cfg.Mechanism {
-	case MechDP:
-		rel, err := core.LaplaceDP(flat, q, cfg.Epsilon, rng)
-		if err != nil {
-			return nil, err
-		}
-		report.Histogram = rel.Values
-		report.NoiseScale = rel.NoiseScale
-		return report, nil
-	case MechGroupDP:
-		rel, err := core.GroupDP(flat, q, longest, cfg.Epsilon, rng)
-		if err != nil {
-			return nil, err
-		}
-		report.Histogram = rel.Values
-		report.NoiseScale = rel.NoiseScale
-		return report, nil
-	case MechMQMExact, MechMQMApprox:
+	if p.NeedsScore() {
 		chain, err := markov.EstimateStationary(sessions, k, cfg.Smoothing)
 		if err != nil {
 			return nil, err
@@ -196,34 +219,133 @@ func Run(sessions [][]int, cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		// cfg.Cache's methods degrade to the direct scorers when nil.
-		var score core.ChainScore
-		if cfg.Mechanism == MechMQMExact {
-			score, err = cfg.Cache.ExactScoreMulti(class, cfg.Epsilon, core.ExactOptions{Parallelism: cfg.Parallelism}, lengths)
-		} else {
-			score, err = cfg.Cache.ApproxScoreMulti(class, cfg.Epsilon, core.ApproxOptions{Parallelism: cfg.Parallelism}, lengths)
-		}
+		p.chain = chain
+		p.class = class
+	}
+	return p, nil
+}
+
+// NeedsScore reports whether the mechanism requires a quilt score; the
+// DP baselines go straight to Finish with a zero ChainScore.
+func (p *Prepared) NeedsScore() bool {
+	return p.cfg.Mechanism == MechMQMExact || p.cfg.Mechanism == MechMQMApprox
+}
+
+// Class returns the fitted model class (nil for the DP baselines). It
+// is the MultiSpec input for batched scoring.
+func (p *Prepared) Class() markov.Class { return p.class }
+
+// Lengths returns the session-length multiset, aligned with the
+// sessions passed to Prepare.
+func (p *Prepared) Lengths() []int { return p.lengths }
+
+// Epsilon returns the validated privacy parameter.
+func (p *Prepared) Epsilon() float64 { return p.cfg.Epsilon }
+
+// Mechanism returns the validated mechanism name.
+func (p *Prepared) Mechanism() string { return p.cfg.Mechanism }
+
+// SetParallelism overrides Config.Parallelism for the scoring stage —
+// the hook a serving layer uses to map a granted worker budget onto the
+// engine's pool. The released values are identical at every setting.
+func (p *Prepared) SetParallelism(n int) { p.cfg.Parallelism = n }
+
+// Score computes the mechanism's chain score, consulting cfg.Cache
+// (whose methods degrade to the direct scorers when nil). ctx is
+// checked before the sweep starts; a sweep already running is never
+// abandoned half-way, matching the drain semantics of graceful
+// shutdown.
+func (p *Prepared) Score(ctx context.Context) (core.ChainScore, error) {
+	if !p.NeedsScore() {
+		return core.ChainScore{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return core.ChainScore{}, err
+	}
+	if p.cfg.Mechanism == MechMQMExact {
+		return p.cfg.Cache.ExactScoreMulti(p.class, p.cfg.Epsilon, core.ExactOptions{Parallelism: p.cfg.Parallelism}, p.lengths)
+	}
+	return p.cfg.Cache.ApproxScoreMulti(p.class, p.cfg.Epsilon, core.ApproxOptions{Parallelism: p.cfg.Parallelism}, p.lengths)
+}
+
+// Finish adds the mechanism's noise and assembles the report. For the
+// quilt mechanisms score must come from Score (or an equivalent batched
+// computation over Class/Lengths); the DP baselines ignore it.
+func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
+	q := query.RelFreqHistogram{K: p.k, N: p.n}
+	rng := rand.New(rand.NewPCG(p.cfg.Seed, 0x7f4a7c15))
+	report := &Report{
+		Mechanism:    p.cfg.Mechanism,
+		Epsilon:      p.cfg.Epsilon,
+		K:            p.k,
+		Observations: p.n,
+		Sessions:     len(p.sessions),
+	}
+	defer p.snapshotCache(report)
+
+	switch p.cfg.Mechanism {
+	case MechDP:
+		rel, err := core.LaplaceDP(p.flat, q, p.cfg.Epsilon, rng)
 		if err != nil {
 			return nil, err
 		}
-		if cfg.Cache != nil {
-			stats := cfg.Cache.Stats()
-			report.Cache = &CacheReport{Hits: stats.Hits, Misses: stats.Misses}
+		report.Histogram = rel.Values
+		report.NoiseScale = rel.NoiseScale
+	case MechGroupDP:
+		rel, err := core.GroupDP(p.flat, q, p.longest, p.cfg.Epsilon, rng)
+		if err != nil {
+			return nil, err
 		}
-		exact, err := q.Evaluate(flat)
+		report.Histogram = rel.Values
+		report.NoiseScale = rel.NoiseScale
+	default: // MechMQMExact, MechMQMApprox — Prepare validated the name
+		exact, err := q.Evaluate(p.flat)
 		if err != nil {
 			return nil, err
 		}
 		scale := q.Lipschitz() * score.Sigma
-		noisy := laplace.AddNoise(exact, scale, rng)
-		report.Histogram = noisy
+		if err := core.ValidateNoiseScale(scale, score.Sigma, p.cfg.Epsilon); err != nil {
+			return nil, err
+		}
+		report.Histogram = laplace.AddNoise(exact, scale, rng)
 		report.NoiseScale = scale
 		report.Sigma = score.Sigma
 		report.ActiveQuilt = fmt.Sprintf("%v @ node %d", score.Quilt, score.Node)
-		report.Model = &chain
-		return report, nil
-	default:
-		return nil, fmt.Errorf("release: unknown mechanism %q (want %s|%s|%s|%s)",
-			cfg.Mechanism, MechMQMExact, MechMQMApprox, MechGroupDP, MechDP)
+		report.Model = &p.chain
 	}
+	return report, nil
+}
+
+// snapshotCache fills the report's cache block from cfg.Cache,
+// upholding the Report.Cache contract for every mechanism: nil exactly
+// when Config.Cache is unset.
+func (p *Prepared) snapshotCache(report *Report) {
+	if p.cfg.Cache == nil {
+		return
+	}
+	stats := p.cfg.Cache.Stats()
+	report.Cache = &CacheReport{Hits: stats.Hits, Misses: stats.Misses}
+}
+
+// Run executes the pipeline on parsed sessions.
+func Run(sessions [][]int, cfg Config) (*Report, error) {
+	return RunContext(context.Background(), sessions, cfg)
+}
+
+// RunContext is Run with cancellation between the pipeline stages: a
+// context cancelled before scoring starts aborts the release, while a
+// scoring sweep already in flight drains to completion.
+func RunContext(ctx context.Context, sessions [][]int, cfg Config) (*Report, error) {
+	p, err := Prepare(sessions, cfg)
+	if err != nil {
+		return nil, err
+	}
+	score, err := p.Score(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.Finish(score)
 }

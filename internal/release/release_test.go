@@ -1,7 +1,9 @@
 package release
 
 import (
+	"context"
 	"encoding/json"
+	"math"
 	"math/rand/v2"
 	"strings"
 	"testing"
@@ -9,6 +11,8 @@ import (
 	"pufferfish/internal/floats"
 	"pufferfish/internal/markov"
 )
+
+var allMechanisms = []string{MechMQMExact, MechMQMApprox, MechGroupDP, MechDP}
 
 func TestParseSeries(t *testing.T) {
 	in := "0 1 1,2\n2\t0\n\n1 1 1\n\n\n0\n"
@@ -122,6 +126,192 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run([][]int{{0, 5}}, Config{Epsilon: 1, K: 3, Mechanism: MechDP}); err == nil {
 		t.Error("state above configured k accepted")
+	}
+	if _, err := Run(nil, Config{Epsilon: 1, Mechanism: MechDP}); err == nil {
+		t.Error("no sessions accepted")
+	}
+	if _, err := Run([][]int{{0, -1}}, Config{Epsilon: 1, Mechanism: MechDP}); err == nil {
+		t.Error("negative state accepted")
+	}
+}
+
+// TestRunRejectsDegenerateInputs pins the remote-panic fixes flushed
+// out by the serving layer: all-empty or partially-empty sessions and
+// overflowing noise scales used to reach laplace.New's panic instead of
+// returning an error — a dropped connection for an HTTP client.
+func TestRunRejectsDegenerateInputs(t *testing.T) {
+	for _, mech := range allMechanisms {
+		if _, err := Run([][]int{{}}, Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5}); err == nil {
+			t.Errorf("%s: all-empty sessions accepted", mech)
+		}
+		if _, err := Run([][]int{{0, 1}, {}}, Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5}); err == nil {
+			t.Errorf("%s: empty session among non-empty accepted", mech)
+		}
+		// Subnormal ε: σ = T/ε overflows before any noise is drawn.
+		if _, err := Run([][]int{{0, 1, 0, 1}}, Config{Epsilon: 5e-324, Mechanism: mech, Smoothing: 0.5}); err == nil {
+			t.Errorf("%s: subnormal ε accepted", mech)
+		}
+		if _, err := Run([][]int{{0, 1, 0, 1}}, Config{Epsilon: math.NaN(), Mechanism: mech, Smoothing: 0.5}); err == nil {
+			t.Errorf("%s: NaN ε accepted", mech)
+		}
+		if _, err := Run([][]int{{0, 1, 0, 1}}, Config{Epsilon: math.Inf(1), Mechanism: mech, Smoothing: 0.5}); err == nil {
+			t.Errorf("%s: +Inf ε accepted", mech)
+		}
+	}
+	// A normal-but-tiny ε still overflows σ = T/ε after scoring (40
+	// observations at ε = 1e-307 put T/ε past MaxFloat64); that must be
+	// an error from Finish, not a panic. Kept tiny: the quilt sweep's
+	// auto width grows as ε shrinks, so a long series here would crawl.
+	long := make([]int, 40)
+	for i := range long {
+		long[i] = i % 2
+	}
+	if _, err := Run([][]int{long}, Config{Epsilon: 1e-307, Mechanism: MechMQMExact, Smoothing: 0.5}); err == nil {
+		t.Error("overflowing MQM noise scale accepted")
+	}
+}
+
+// TestRunRejectsDegenerateK pins the configured-K fix: cfg.K == 1 used
+// to pass validation and then be silently bumped to 2, so Report.K
+// disagreed with the configuration. Any explicit K < 2 is now an error.
+func TestRunRejectsDegenerateK(t *testing.T) {
+	sessions := [][]int{{0, 0, 0}}
+	for _, mech := range allMechanisms {
+		for _, k := range []int{1, -1, -5} {
+			_, err := Run(sessions, Config{Epsilon: 1, K: k, Mechanism: mech, Smoothing: 0.5})
+			if err == nil {
+				t.Errorf("%s: configured k = %d accepted", mech, k)
+			} else if !strings.Contains(err.Error(), "at least 2 states") {
+				t.Errorf("%s k=%d: unhelpful error %v", mech, k, err)
+			}
+		}
+	}
+	// K = 0 still infers and K = 2 is still honored verbatim.
+	rep, err := Run(sessions, Config{Epsilon: 1, K: 2, Mechanism: MechDP})
+	if err != nil || rep.K != 2 {
+		t.Fatalf("explicit k = 2: report %+v, err %v", rep, err)
+	}
+	rep, err = Run(sessions, Config{Epsilon: 1, Mechanism: MechDP})
+	if err != nil || rep.K != 2 {
+		t.Fatalf("inferred k: report %+v, err %v", rep, err)
+	}
+}
+
+// TestRunCacheReportAllMechanisms pins the Report.Cache contract for
+// every mechanism: nil exactly when Config.Cache is unset. The DP
+// baselines never touch the cache, so a fresh cache reports zeros —
+// but the block must be present.
+func TestRunCacheReportAllMechanisms(t *testing.T) {
+	sessions := sampleSessions(t)
+	for _, mech := range allMechanisms {
+		plain, err := Run(sessions, Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Cache != nil {
+			t.Errorf("%s: cache block present without Config.Cache: %+v", mech, plain.Cache)
+		}
+		cached, err := Run(sessions, Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: 5, Cache: NewScoreCache()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.Cache == nil {
+			t.Fatalf("%s: Config.Cache set but report cache block nil", mech)
+		}
+		if mech == MechDP || mech == MechGroupDP {
+			if cached.Cache.Hits != 0 || cached.Cache.Misses != 0 {
+				t.Errorf("%s: baseline touched the score cache: %+v", mech, cached.Cache)
+			}
+		} else if cached.Cache.Misses == 0 {
+			t.Errorf("%s: cold cache reports no misses: %+v", mech, cached.Cache)
+		}
+	}
+}
+
+// TestRunSingleObservationSessions is the degenerate-session
+// regression test: a length-1 session feeds lengths=[1] into the
+// multi-length scorers (where the only quilt is the trivial one,
+// σ = T/ε = 1/ε) and contributes no transitions to the fit. The
+// pipeline must release, not crash, for every mechanism.
+func TestRunSingleObservationSessions(t *testing.T) {
+	cases := map[string][][]int{
+		"solo":  {{1}},
+		"mixed": {{0, 1, 0, 1, 1}, {1}},
+	}
+	for name, sessions := range cases {
+		for _, mech := range allMechanisms {
+			cfg := Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: 3}
+			rep, err := Run(sessions, cfg)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, mech, err)
+			}
+			if rep.K != 2 || len(rep.Histogram) != 2 || rep.NoiseScale <= 0 {
+				t.Errorf("%s %s: degenerate report %+v", name, mech, rep)
+			}
+			if (mech == MechMQMExact || mech == MechMQMApprox) && rep.Sigma <= 0 {
+				t.Errorf("%s %s: σ = %v", name, mech, rep.Sigma)
+			}
+			again, err := Run(sessions, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !floats.EqSlices(rep.Histogram, again.Histogram, 0) {
+				t.Errorf("%s %s: not deterministic", name, mech)
+			}
+		}
+	}
+	// The solo session's exact score is the trivial quilt: σ = T/ε = 1.
+	rep, err := Run(cases["solo"], Config{Epsilon: 1, Mechanism: MechMQMExact, Smoothing: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sigma != 1 {
+		t.Errorf("solo session σ = %v, want trivial-quilt 1", rep.Sigma)
+	}
+}
+
+// TestPrepareScoreFinishMatchesRun pins the seam the serving layer
+// depends on: staging the pipeline by hand releases bit-identical
+// reports to Run.
+func TestPrepareScoreFinishMatchesRun(t *testing.T) {
+	sessions := sampleSessions(t)
+	for _, mech := range allMechanisms {
+		cfg := Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: 21}
+		want, err := Run(sessions, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Prepare(sessions, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NeedsScore() != (mech == MechMQMExact || mech == MechMQMApprox) {
+			t.Errorf("%s: NeedsScore = %v", mech, p.NeedsScore())
+		}
+		score, err := p.Score(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Finish(score)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floats.EqSlices(got.Histogram, want.Histogram, 0) || got.NoiseScale != want.NoiseScale || got.Sigma != want.Sigma {
+			t.Errorf("%s: staged pipeline diverges from Run:\n  staged %+v\n  run    %+v", mech, got, want)
+		}
+	}
+}
+
+// TestRunContextCancelled: a context cancelled before scoring aborts
+// the release.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sessions := [][]int{{0, 1, 0, 1}}
+	for _, mech := range allMechanisms {
+		if _, err := RunContext(ctx, sessions, Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5}); err == nil {
+			t.Errorf("%s: cancelled context released anyway", mech)
+		}
 	}
 }
 

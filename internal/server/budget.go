@@ -1,0 +1,80 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// budget is the process-wide scoring-worker semaphore. Each release
+// request asks for a parallelism and is granted what the host can
+// spare: at least one worker (so no request starves behind a greedy
+// one forever), at most the request's ask, never more than the free
+// budget. Mapping grants onto sched pool sizes keeps total scoring
+// concurrency at or below the host budget no matter how many requests
+// are in flight — the released values are identical at every grant.
+type budget struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	total int
+	avail int
+}
+
+func newBudget(total int) *budget {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	b := &budget{total: total, avail: total}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// acquire blocks until at least one worker is free or ctx is done, and
+// grants min(want, free); want <= 0 asks for everything free. The
+// caller must release the grant.
+func (b *budget) acquire(ctx context.Context, want int) (int, error) {
+	if want <= 0 || want > b.total {
+		want = b.total
+	}
+	stop := context.AfterFunc(ctx, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.cond.Broadcast()
+	})
+	defer stop()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.avail == 0 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		b.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	g := min(want, b.avail)
+	b.avail -= g
+	return g, nil
+}
+
+// release returns a grant to the pool and wakes waiters.
+func (b *budget) release(n int) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.avail += n
+	if b.avail > b.total {
+		b.avail = b.total
+	}
+	b.cond.Broadcast()
+}
+
+// inUse returns the number of currently granted workers.
+func (b *budget) inUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total - b.avail
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestBudgetGrants(t *testing.T) {
+	b := newBudget(4)
+	ctx := context.Background()
+
+	g, err := b.acquire(ctx, 0) // unbounded ask takes everything free
+	if err != nil || g != 4 {
+		t.Fatalf("acquire(0) = (%d, %v), want (4, nil)", g, err)
+	}
+	b.release(g)
+
+	g1, err := b.acquire(ctx, 3)
+	if err != nil || g1 != 3 {
+		t.Fatalf("acquire(3) = (%d, %v)", g1, err)
+	}
+	g2, err := b.acquire(ctx, 3) // only 1 free: granted 1, not blocked
+	if err != nil || g2 != 1 {
+		t.Fatalf("acquire(3) with 1 free = (%d, %v), want (1, nil)", g2, err)
+	}
+	if b.inUse() != 4 {
+		t.Fatalf("inUse = %d", b.inUse())
+	}
+
+	// A third acquire blocks until something frees, then gets a grant.
+	got := make(chan int, 1)
+	go func() {
+		g, err := b.acquire(ctx, 2)
+		if err != nil {
+			got <- -1
+			return
+		}
+		got <- g
+	}()
+	select {
+	case g := <-got:
+		t.Fatalf("acquire on an empty budget returned %d immediately", g)
+	case <-time.After(50 * time.Millisecond):
+	}
+	b.release(g1)
+	select {
+	case g := <-got:
+		if g != 2 {
+			t.Fatalf("unblocked grant = %d, want 2", g)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire never unblocked after release")
+	}
+
+	// Over-ask is clamped to the total.
+	b.release(2)
+	b.release(g2)
+	g, err = b.acquire(ctx, 99)
+	if err != nil || g != 4 {
+		t.Fatalf("acquire(99) = (%d, %v), want (4, nil)", g, err)
+	}
+	b.release(g)
+}
+
+func TestBudgetContextCancel(t *testing.T) {
+	b := newBudget(1)
+	g, err := b.acquire(context.Background(), 1)
+	if err != nil || g != 1 {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.acquire(ctx, 1)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("cancelled acquire succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled acquire never returned")
+	}
+	b.release(g)
+	// The budget is intact after the cancelled waiter.
+	if g, err := b.acquire(context.Background(), 1); err != nil || g != 1 {
+		t.Fatalf("post-cancel acquire = (%d, %v)", g, err)
+	}
+}
+
+func TestBudgetDefaultsToGOMAXPROCS(t *testing.T) {
+	b := newBudget(0)
+	if b.total != runtime.GOMAXPROCS(0) {
+		t.Errorf("total = %d, want GOMAXPROCS %d", b.total, runtime.GOMAXPROCS(0))
+	}
+}

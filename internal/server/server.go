@@ -1,0 +1,378 @@
+// Package server is the long-lived serving layer around
+// internal/release: a process-wide warmed ScoreCache shared by every
+// request, a global worker budget that maps per-request parallelism
+// onto the scoring engine's pool without oversubscribing the host, and
+// a small JSON-over-HTTP surface:
+//
+//	POST /v1/release        one release (sessions or raw series text)
+//	POST /v1/release/batch  many releases, scored through one batched
+//	                        engine pass that dedupes identical fitted
+//	                        models across requests
+//	GET  /v1/stats          cache traffic, worker budget, uptime
+//
+// Responses are exactly release.Run's Report: N concurrent requests
+// with the same seed and config release bit-identical histograms to
+// the one-shot CLI, warm or cold. Graceful shutdown is plain
+// http.Server.Shutdown — in-flight releases drain to completion
+// because a scoring sweep, once started, is never abandoned.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pufferfish/internal/core"
+	"pufferfish/internal/release"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the global scoring-worker budget shared by all
+	// requests (0 = GOMAXPROCS). No matter how many releases are in
+	// flight, at most this many scoring workers run at once.
+	Workers int
+	// Cache is the shared score cache; nil constructs a fresh one.
+	// Passing a pre-warmed cache lets a restart skip the cold start.
+	Cache *release.ScoreCache
+}
+
+// Server carries the shared state of the serving layer. Create one
+// with New and mount Handler on an http.Server.
+type Server struct {
+	cache    *release.ScoreCache
+	budget   *budget
+	started  time.Time
+	inFlight atomic.Int64
+	requests atomic.Int64
+	releases atomic.Int64
+
+	// scoringHook, when set, runs after Prepare and before scoring on
+	// every release request. Tests use it to hold a request in flight
+	// deterministically.
+	scoringHook func()
+}
+
+// New returns a Server with an empty (or the given pre-warmed) cache.
+func New(cfg Config) *Server {
+	cache := cfg.Cache
+	if cache == nil {
+		cache = release.NewScoreCache()
+	}
+	return &Server{
+		cache:   cache,
+		budget:  newBudget(cfg.Workers),
+		started: time.Now(),
+	}
+}
+
+// Cache returns the server's shared score cache.
+func (s *Server) Cache() *release.ScoreCache { return s.cache }
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/release", s.handleRelease)
+	mux.HandleFunc("POST /v1/release/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// ReleaseRequest is the JSON body of POST /v1/release (and one element
+// of a batch). Exactly one of Sessions and Series must be set; Series
+// is the privrelease input format (whitespace/comma-separated states,
+// blank line = new session). The remaining fields mirror
+// release.Config; the shared cache is always used, and Parallelism is
+// the request's worker ask, granted subject to the global budget (the
+// released values are identical at every grant).
+type ReleaseRequest struct {
+	Sessions    [][]int `json:"sessions,omitempty"`
+	Series      string  `json:"series,omitempty"`
+	Epsilon     float64 `json:"epsilon"`
+	K           int     `json:"k,omitempty"`
+	Mechanism   string  `json:"mechanism"`
+	Smoothing   float64 `json:"smoothing,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Parallelism int     `json:"parallelism,omitempty"`
+}
+
+// BatchRequest is the JSON body of POST /v1/release/batch. The
+// requests are prepared together and their quilt scores computed in
+// one batched engine pass per (mechanism, ε) group, so identical
+// fitted models — across requests, not just within one — are scored
+// once. Any invalid request fails the whole batch with its index.
+type BatchRequest struct {
+	Requests []ReleaseRequest `json:"requests"`
+}
+
+// BatchResponse carries the reports, aligned with the requests.
+type BatchResponse struct {
+	Reports []*release.Report `json:"reports"`
+}
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	RequestsTotal int64   `json:"requests_total"`
+	ReleasesTotal int64   `json:"releases_total"`
+	InFlight      int64   `json:"in_flight"`
+	Cache         struct {
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Entries int   `json:"entries"`
+	} `json:"cache"`
+	Workers struct {
+		Budget int `json:"budget"`
+		InUse  int `json:"in_use"`
+	} `json:"workers"`
+}
+
+// sessions extracts the parsed sessions from the request body.
+func (r *ReleaseRequest) sessions() ([][]int, error) {
+	switch {
+	case len(r.Sessions) > 0 && r.Series != "":
+		return nil, errors.New("set exactly one of sessions and series, not both")
+	case len(r.Sessions) > 0:
+		return r.Sessions, nil
+	case r.Series != "":
+		return release.ParseSeries(strings.NewReader(r.Series))
+	default:
+		return nil, errors.New("set one of sessions and series")
+	}
+}
+
+// config maps the request onto release.Config with the shared cache.
+func (r *ReleaseRequest) config(cache *release.ScoreCache) release.Config {
+	return release.Config{
+		Epsilon:     r.Epsilon,
+		K:           r.K,
+		Mechanism:   r.Mechanism,
+		Smoothing:   r.Smoothing,
+		Seed:        r.Seed,
+		Parallelism: r.Parallelism,
+		Cache:       cache,
+	}
+}
+
+// prepare parses and validates one request.
+func (s *Server) prepare(req *ReleaseRequest) (*release.Prepared, error) {
+	sessions, err := req.sessions()
+	if err != nil {
+		return nil, err
+	}
+	return release.Prepare(sessions, req.config(s.cache))
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.requests.Add(1)
+
+	var req ReleaseRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.prepare(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.scoringHook != nil {
+		s.scoringHook()
+	}
+	var score core.ChainScore
+	if p.NeedsScore() {
+		grant, err := s.budget.acquire(r.Context(), req.Parallelism)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		p.SetParallelism(grant)
+		score, err = p.Score(r.Context())
+		s.budget.release(grant)
+		if err != nil {
+			httpError(w, scoreErrStatus(err), err)
+			return
+		}
+	}
+	report, err := p.Finish(score)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.releases.Add(1)
+	writeJSON(w, report)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.requests.Add(1)
+
+	var batch BatchRequest
+	if err := decodeJSON(w, r, &batch); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(batch.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	prepared := make([]*release.Prepared, len(batch.Requests))
+	for i := range batch.Requests {
+		p, err := s.prepare(&batch.Requests[i])
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+			return
+		}
+		prepared[i] = p
+	}
+	if s.scoringHook != nil {
+		s.scoringHook()
+	}
+	scores, status, err := s.scoreBatch(r, batch.Requests, prepared)
+	if err != nil {
+		httpError(w, status, err)
+		return
+	}
+	resp := BatchResponse{Reports: make([]*release.Report, len(prepared))}
+	for i, p := range prepared {
+		report, err := p.Finish(scores[i])
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("request %d: %w", i, err))
+			return
+		}
+		resp.Reports[i] = report
+	}
+	s.releases.Add(int64(len(resp.Reports)))
+	writeJSON(w, resp)
+}
+
+// scoreBatch computes the quilt scores of every prepared request that
+// needs one, grouped by (mechanism, ε) and routed through the batched
+// multi-length scorers so identical fitted models dedupe across
+// requests. One worker grant covers the whole batch: the engine fans
+// each group across a single pool of the granted size.
+func (s *Server) scoreBatch(r *http.Request, reqs []ReleaseRequest, prepared []*release.Prepared) ([]core.ChainScore, int, error) {
+	scores := make([]core.ChainScore, len(prepared))
+	type groupKey struct {
+		mechanism string
+		eps       float64
+	}
+	groups := map[groupKey][]int{}
+	want := 0
+	for i, p := range prepared {
+		if !p.NeedsScore() {
+			continue
+		}
+		key := groupKey{mechanism: p.Mechanism(), eps: p.Epsilon()}
+		groups[key] = append(groups[key], i)
+		switch ask := reqs[i].Parallelism; {
+		case ask <= 0:
+			want = -1 // one unbounded ask claims everything free
+		case want >= 0 && ask > want:
+			want = ask
+		}
+	}
+	if len(groups) == 0 {
+		return scores, 0, nil
+	}
+	grant, err := s.budget.acquire(r.Context(), want)
+	if err != nil {
+		return nil, http.StatusServiceUnavailable, err
+	}
+	defer s.budget.release(grant)
+	if err := r.Context().Err(); err != nil {
+		return nil, http.StatusServiceUnavailable, err
+	}
+	for key, members := range groups {
+		specs := make([]core.MultiSpec, len(members))
+		for j, i := range members {
+			specs[j] = core.MultiSpec{Class: prepared[i].Class(), Lengths: prepared[i].Lengths()}
+		}
+		var got []core.ChainScore
+		var err error
+		if key.mechanism == release.MechMQMExact {
+			got, err = core.ExactScoreMultiBatch(s.cache, specs, key.eps, core.ExactOptions{Parallelism: grant})
+		} else {
+			got, err = core.ApproxScoreMultiBatch(s.cache, specs, key.eps, core.ApproxOptions{Parallelism: grant})
+		}
+		if err != nil {
+			return nil, scoreErrStatus(err), err
+		}
+		for j, i := range members {
+			scores[i] = got[j]
+		}
+	}
+	return scores, 0, nil
+}
+
+// scoreErrStatus classifies a scoring failure: a cancelled or timed-out
+// request is the connection's fault (503, matching a failed budget
+// wait), while everything else scoring can return is input-derived —
+// Prepare already validated the class shape — so it is the client's
+// request (422), not a server fault.
+func scoreErrStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	var st Stats
+	st.UptimeSeconds = time.Since(s.started).Seconds()
+	st.RequestsTotal = s.requests.Load()
+	st.ReleasesTotal = s.releases.Load()
+	st.InFlight = s.inFlight.Load()
+	cs := s.cache.Stats()
+	st.Cache.Hits = cs.Hits
+	st.Cache.Misses = cs.Misses
+	st.Cache.Entries = s.cache.Len()
+	st.Workers.Budget = s.budget.total
+	st.Workers.InUse = s.budget.inUse()
+	return st
+}
+
+// maxBodyBytes bounds request bodies; it matches ParseSeries's maximum
+// input line budget.
+const maxBodyBytes = 64 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	// A body must be exactly one JSON value: silently processing only
+	// the first of two concatenated requests would drop the second.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return errors.New("bad request body: trailing data after the JSON value")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client went away; nothing to do
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}

@@ -158,6 +158,26 @@ func ApproxScoreBatch(cache *ScoreCache, classes []Class, eps float64, opt Appro
 	return core.ApproxScoreBatch(cache, classes, eps, opt)
 }
 
+// MultiSpec is one multi-length scoring request for the batched
+// multi-length scorers: a class plus the chain-length multiset of a
+// database of independent chains (the class's own T is ignored).
+type MultiSpec = core.MultiSpec
+
+// ExactScoreMultiBatch computes the multi-length MQMExact score of
+// every spec through shared batched engine passes, so identical fitted
+// models at identical lengths — across specs, not just within one —
+// are scored once. cache may be nil; results align with specs and are
+// bit-identical to per-spec sequential scoring. This is the scoring
+// path of the serving layer's batch endpoint.
+func ExactScoreMultiBatch(cache *ScoreCache, specs []MultiSpec, eps float64, opt ExactOptions) ([]ChainScore, error) {
+	return core.ExactScoreMultiBatch(cache, specs, eps, opt)
+}
+
+// ApproxScoreMultiBatch is ExactScoreMultiBatch for MQMApprox.
+func ApproxScoreMultiBatch(cache *ScoreCache, specs []MultiSpec, eps float64, opt ApproxOptions) ([]ChainScore, error) {
+	return core.ApproxScoreMultiBatch(cache, specs, eps, opt)
+}
+
 // ExactScoreMulti computes MQMExact's σ_max for a database of
 // independent chains of the given lengths (e.g. the gap-split wear
 // sessions of the activity experiments), all governed by the same

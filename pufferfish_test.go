@@ -202,3 +202,37 @@ func TestFacadeUtilityBoundAndRobustness(t *testing.T) {
 		t.Error("AllValuePairs wrong")
 	}
 }
+
+func TestFacadeMultiBatchScoring(t *testing.T) {
+	chain, err := pufferfish.BinaryChain(0.5, 0.9, 0.85).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := pufferfish.NewFinite([]pufferfish.Chain{chain}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []pufferfish.MultiSpec{
+		{Class: class, Lengths: []int{5, 12, 30}},
+		{Class: class, Lengths: []int{5, 12, 30}}, // duplicate dedupes
+		{Class: class, Lengths: []int{30}},
+	}
+	cache := pufferfish.NewScoreCache()
+	exact, err := pufferfish.ExactScoreMultiBatch(cache, specs, 1, pufferfish.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != 3 || exact[0] != exact[1] || exact[0].Sigma <= 0 {
+		t.Errorf("batch scores %+v", exact)
+	}
+	approx, err := pufferfish.ApproxScoreMultiBatch(cache, specs, 1, pufferfish.ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx) != 3 || approx[0].Sigma < exact[0].Sigma {
+		t.Errorf("approx σ %v below exact σ %v", approx[0].Sigma, exact[0].Sigma)
+	}
+	if stats := cache.Stats(); stats.Misses == 0 {
+		t.Errorf("cache untouched: %+v", stats)
+	}
+}
