@@ -23,7 +23,7 @@ import (
 
 func main() {
 	eps := flag.Float64("eps", 1.0, "privacy parameter ε")
-	mech := flag.String("mech", release.MechMQMExact, "mechanism: mqm-exact|mqm-approx|group-dp|dp")
+	mech := flag.String("mech", release.MechMQMExact, "mechanism: mqm-exact|mqm-approx|kantorovich|group-dp|dp")
 	k := flag.Int("k", 0, "number of states (0 = infer from data)")
 	smoothing := flag.Float64("smoothing", 0.5, "additive smoothing for the empirical chain")
 	seed := flag.Uint64("seed", 0, "noise seed (0 = nondeterministic is NOT offered; 0 is a valid fixed seed)")

@@ -9,10 +9,12 @@ import (
 	"testing"
 
 	"pufferfish/internal/core"
+	"pufferfish/internal/kantorovich"
 	"pufferfish/internal/markov"
 	"pufferfish/internal/matrix"
 	"pufferfish/internal/power"
 	"pufferfish/internal/query"
+	"pufferfish/internal/release"
 )
 
 // benchEntry is one row of the BENCH_N.json report: the standard Go
@@ -46,9 +48,11 @@ type benchReport struct {
 func runBench(quick bool, out string) error {
 	exactT, approxT, wassT, powT := 2000, 2000, 36, 50_000
 	compT, compReleases, batchT := 2000, 100, 500
+	kantT, kantReleases := 100, 12
 	if quick {
 		exactT, approxT, wassT, powT = 500, 500, 18, 10_000
 		compT, batchT = 500, 200
+		kantT, kantReleases = 50, 6
 	}
 
 	chain, err := markov.BinaryChain(0.5, 0.9, 0.85).StationaryChain()
@@ -81,6 +85,11 @@ func runBench(quick bool, out string) error {
 		return err
 	}
 
+	kantClass, err := markov.NewFinite([]markov.Chain{markov.BinaryChain(0.5, 0.85, 0.8)}, kantT)
+	if err != nil {
+		return err
+	}
+
 	// Each case runs once with Parallelism 1 and once with 0 (all
 	// CPUs); any returned error aborts the whole run.
 	cases := []struct {
@@ -102,6 +111,10 @@ func runBench(quick bool, out string) error {
 		}},
 		{"ExactScorePower51", func(p int) error {
 			_, err := core.ExactScore(powClass, 1, core.ExactOptions{Parallelism: p})
+			return err
+		}},
+		{"KantorovichProfileSweep", func(p int) error {
+			_, err := kantorovich.Score(nil, kantClass, 1, kantorovich.Options{Parallelism: p})
 			return err
 		}},
 	}
@@ -188,11 +201,34 @@ func runBench(quick bool, out string) error {
 		batchClasses[i] = class
 	}
 
+	// kantorovichLoop is the pufferd regime for the new mechanism:
+	// repeated MechKantorovich releases over one stable fitted model,
+	// optionally sharing the score cache's cell-profile table.
+	kantRng := rand.New(rand.NewPCG(105, 106))
+	kantChain := markov.BinaryChain(0.5, 0.85, 0.8)
+	kantSessions := [][]int{kantChain.Sample(kantT, kantRng), kantChain.Sample(kantT, kantRng)}
+	kantorovichLoop := func(cache *core.ScoreCache) error {
+		for i := 0; i < kantReleases; i++ {
+			_, err := release.Run(kantSessions, release.Config{
+				Epsilon: 1, Mechanism: release.MechKantorovich, Smoothing: 0.5,
+				Seed: uint64(i), Cache: cache,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	pairs := []struct {
 		name              string
 		baseline, variant string
 		runBase, runVar   func() error
 	}{
+		{"KantorovichRepeatedRelease", "uncached", "cached",
+			func() error { return kantorovichLoop(nil) },
+			func() error { return kantorovichLoop(core.NewScoreCache()) },
+		},
 		{"CompositionRepeatedRelease", "uncached", "cached",
 			func() error { return compositionLoop(nil) },
 			func() error { return compositionLoop(core.NewScoreCache()) },

@@ -40,7 +40,7 @@ func runServe(quick bool, seed uint64, parallel int) error {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	mechanisms := []string{release.MechMQMExact, release.MechMQMApprox, release.MechDP, release.MechGroupDP}
+	mechanisms := release.Mechanisms()
 	golden := make(map[string]*release.Report, len(mechanisms))
 	for _, mech := range mechanisms {
 		rep, err := release.Run(sessions, release.Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: seed})
@@ -138,6 +138,18 @@ func runServe(quick bool, seed uint64, parallel int) error {
 	st := s.Stats()
 	if st.Cache.Hits == 0 {
 		return fmt.Errorf("serve: repeated releases over one model produced no cache hits: %+v", st.Cache)
+	}
+	// Traffic-mix assertion: the per-mechanism counters must account
+	// for exactly the requests this smoke drove (round-robin singles
+	// plus one batch member each).
+	for i, mech := range mechanisms {
+		want := int64(requests/len(mechanisms) + 1) // +1 from the batch
+		if i < requests%len(mechanisms) {
+			want++
+		}
+		if got := st.ReleasesByMechanism[mech]; got != want {
+			return fmt.Errorf("serve: stats report %d %s releases, drove %d", got, mech, want)
+		}
 	}
 	fmt.Printf("serve: %d releases over %d sessions × %d obs in %v (%.0f rel/s)\n",
 		st.ReleasesTotal, nSessions, sessionLen, elapsed.Round(time.Millisecond),

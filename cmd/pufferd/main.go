@@ -2,15 +2,19 @@
 // cache shared across every request, a global scoring-worker budget,
 // and the internal/server HTTP surface.
 //
-//	pufferd -addr :8080 -workers 0 -drain 30s
+//	pufferd -addr :8080 -workers 0 -drain 30s -cache-file cache.json
 //
 //	POST /v1/release        one release (privrelease semantics)
 //	POST /v1/release/batch  many releases, batched scoring
-//	GET  /v1/stats          cache traffic, worker budget, uptime
+//	GET  /v1/stats          cache traffic, per-mechanism release
+//	                        counters, worker budget, uptime
 //
 // SIGINT/SIGTERM triggers graceful shutdown: listeners close
 // immediately, in-flight releases drain (bounded by -drain), and the
-// process exits 0 on a clean drain.
+// process exits 0 on a clean drain. With -cache-file the score cache
+// (quilt scores and Kantorovich transport profiles alike) is restored
+// from the file at startup and snapshotted back after the drain, so a
+// restart serves its first requests warm.
 package main
 
 import (
@@ -32,9 +36,19 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "global scoring-worker budget shared by all requests (0 = all CPUs)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight releases")
+	cacheFile := flag.String("cache-file", "", "score-cache snapshot: pre-warm at startup, save after the shutdown drain")
 	flag.Parse()
 
-	s := server.New(server.Config{Workers: *workers})
+	var cache *server.Cache
+	if *cacheFile != "" {
+		var err error
+		cache, err = server.LoadCacheFile(*cacheFile)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("pufferd: cache file %s restored (%d entries)", *cacheFile, cache.Len())
+	}
+	s := server.New(server.Config{Workers: *workers, Cache: cache})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
@@ -66,8 +80,22 @@ func main() {
 	log.Printf("pufferd: shutting down, draining in-flight releases (up to %s)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fatal(fmt.Errorf("drain: %w", err))
+	drainErr := srv.Shutdown(shutdownCtx)
+	// Save the snapshot even on a drain timeout: every memoized entry
+	// is deterministic and valid regardless of how the drain ended,
+	// and discarding a warm cache exactly when the server was busiest
+	// would defeat the persistence feature.
+	if *cacheFile != "" {
+		if err := server.SaveCacheFile(*cacheFile, s.Cache()); err != nil {
+			if drainErr != nil {
+				log.Printf("pufferd: drain: %v", drainErr)
+			}
+			fatal(err)
+		}
+		log.Printf("pufferd: cache snapshot saved to %s (%d entries)", *cacheFile, s.Cache().Len())
+	}
+	if drainErr != nil {
+		fatal(fmt.Errorf("drain: %w", drainErr))
 	}
 	st := s.Stats()
 	log.Printf("pufferd: clean exit after %.1fs — %d requests, %d releases, cache %d hits / %d misses",

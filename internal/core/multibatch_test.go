@@ -123,3 +123,81 @@ func TestMultiBatchValidation(t *testing.T) {
 		t.Error("nil class accepted")
 	}
 }
+
+// TestMultiBatchSingleSpec: a one-element batch must reproduce the
+// non-batched multi-length scorer exactly, for both mechanisms.
+func TestMultiBatchSingleSpec(t *testing.T) {
+	chain, err := markov.BinaryChain(0.5, 0.85, 0.75).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := markov.NewFinite([]markov.Chain{chain}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MultiSpec{Class: class, Lengths: []int{4, 30, 11}}
+	eps := 0.8
+
+	exactBatch, err := ExactScoreMultiBatch(nil, []MultiSpec{spec}, eps, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exactBatch) != 1 {
+		t.Fatalf("got %d scores for one spec", len(exactBatch))
+	}
+	exact, err := ExactScoreMulti(class, eps, ExactOptions{}, spec.Lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactBatch[0] != exact {
+		t.Errorf("single-spec exact batch %+v != ExactScoreMulti %+v", exactBatch[0], exact)
+	}
+
+	approxBatch, err := ApproxScoreMultiBatch(nil, []MultiSpec{spec}, eps, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ApproxScoreMulti(class, eps, ApproxOptions{}, spec.Lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approxBatch[0] != approx {
+		t.Errorf("single-spec approx batch %+v != ApproxScoreMulti %+v", approxBatch[0], approx)
+	}
+}
+
+// TestMultiBatchAllDuplicatesOneSweep: N specs with identical
+// fingerprints and a single shared length must cost exactly one
+// scoring sweep (one cache miss) no matter how large N is.
+func TestMultiBatchAllDuplicatesOneSweep(t *testing.T) {
+	chain, err := markov.BinaryChain(0.5, 0.9, 0.8).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]MultiSpec, 12)
+	for i := range specs {
+		// Distinct Class values (fresh lengthClass wrappers arise per
+		// spec inside the batch) but identical fingerprints.
+		dup, err := markov.NewFinite([]markov.Chain{chain}, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = MultiSpec{Class: dup, Lengths: []int{25}}
+	}
+	cache := NewScoreCache()
+	scores, err := ExactScoreMultiBatch(cache, specs, 1, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scores {
+		if scores[i] != scores[0] {
+			t.Fatalf("spec %d score %+v != spec 0 %+v", i, scores[i], scores[0])
+		}
+	}
+	if misses := cache.Stats().Misses; misses != 1 {
+		t.Errorf("12 duplicate specs cost %d sweeps (cache misses), want exactly 1", misses)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", cache.Len())
+	}
+}

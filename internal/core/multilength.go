@@ -32,6 +32,14 @@ type lengthClass struct {
 
 func (lc lengthClass) T() int { return lc.t }
 
+// WithLength returns a view of class whose chain length is t, leaving
+// everything else (chains, π^min, gap) untouched. It is the building
+// block of every multi-length scorer, exported for the Kantorovich
+// subsystem, whose per-length sweeps need the same view.
+func WithLength(class markov.Class, t int) markov.Class {
+	return lengthClass{Class: class, t: t}
+}
+
 // distinctScoringLengths reduces a length multiset to the lengths that
 // can yield distinct scores: everything below the plateau, plus the
 // maximum.

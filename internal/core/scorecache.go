@@ -28,6 +28,33 @@ type CacheStats struct {
 	Hits, Misses int64
 }
 
+// CellScore is the per-cell transport profile the Kantorovich
+// subsystem memoizes: the two Wasserstein suprema of one histogram
+// cell's conditional count distributions over every admissible secret
+// pair and θ. It is ε-independent (distances depend only on the class
+// and the cell), so one entry serves every privacy budget.
+type CellScore struct {
+	// WInf is sup W∞ over the cell's pairs — the quantity the
+	// exponential/additive mechanism calibrates to (Theorem 3.2).
+	WInf float64 `json:"w_inf"`
+	// W1 is sup W₁ (the Kantorovich distance) over the same pairs: the
+	// average-case transport cost, reported as the conservativeness
+	// diagnostic W₁/W∞.
+	W1 float64 `json:"w1"`
+	// Label identifies the W∞-maximizing pair for diagnostics.
+	Label string `json:"label,omitempty"`
+	// Pairs counts the admissible secret pairs swept.
+	Pairs int `json:"pairs"`
+}
+
+// cellKey identifies one memoizable Kantorovich cell profile: the
+// class fingerprint (which covers T, K, inits and transitions) plus
+// the cell (state) index whose indicator count is profiled.
+type cellKey struct {
+	fp   Fingerprint
+	cell int
+}
+
 // ScoreCache memoizes ChainScore results by (class fingerprint, ε,
 // options). Composition-heavy workloads — repeated releases over an
 // unchanged class, the regime of Theorem 4.4 — pay the scoring sweep
@@ -35,18 +62,28 @@ type CacheStats struct {
 // use and unbounded (scores are a few words each; a workload would
 // need millions of distinct classes before size matters).
 //
+// A second side table memoizes the Kantorovich subsystem's per-cell
+// transport profiles by (class fingerprint, cell); both tables share
+// the hit/miss counters, so one cache object (and one Report.Cache
+// block, one /v1/stats entry, one persistence snapshot) covers every
+// mechanism family.
+//
 // A nil *ScoreCache is valid everywhere one is accepted and simply
 // disables memoization, so callers thread an optional cache without
 // branching.
 type ScoreCache struct {
 	mu           sync.RWMutex
 	m            map[scoreKey]ChainScore
+	cells        map[cellKey]CellScore
 	hits, misses atomic.Int64
 }
 
 // NewScoreCache returns an empty cache.
 func NewScoreCache() *ScoreCache {
-	return &ScoreCache{m: make(map[scoreKey]ChainScore)}
+	return &ScoreCache{
+		m:     make(map[scoreKey]ChainScore),
+		cells: make(map[cellKey]CellScore),
+	}
 }
 
 // Stats returns the hit/miss counters (zero for a nil cache).
@@ -57,14 +94,41 @@ func (sc *ScoreCache) Stats() CacheStats {
 	return CacheStats{Hits: sc.hits.Load(), Misses: sc.misses.Load()}
 }
 
-// Len returns the number of memoized scores.
+// Len returns the number of memoized entries across both tables.
 func (sc *ScoreCache) Len() int {
 	if sc == nil {
 		return 0
 	}
 	sc.mu.RLock()
 	defer sc.mu.RUnlock()
-	return len(sc.m)
+	return len(sc.m) + len(sc.cells)
+}
+
+// LookupCell returns the memoized Kantorovich profile for (fp, cell),
+// counting a hit or miss. Nil caches always miss without counting.
+func (sc *ScoreCache) LookupCell(fp Fingerprint, cell int) (CellScore, bool) {
+	if sc == nil {
+		return CellScore{}, false
+	}
+	sc.mu.RLock()
+	s, ok := sc.cells[cellKey{fp: fp, cell: cell}]
+	sc.mu.RUnlock()
+	if ok {
+		sc.hits.Add(1)
+	} else {
+		sc.misses.Add(1)
+	}
+	return s, ok
+}
+
+// StoreCell memoizes a Kantorovich cell profile. Nil caches drop it.
+func (sc *ScoreCache) StoreCell(fp Fingerprint, cell int, s CellScore) {
+	if sc == nil {
+		return
+	}
+	sc.mu.Lock()
+	sc.cells[cellKey{fp: fp, cell: cell}] = s
+	sc.mu.Unlock()
 }
 
 // lookup returns the cached score for key, counting a hit or miss.

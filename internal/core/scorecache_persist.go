@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CacheSnapshot is the JSON-serializable image of a ScoreCache's
+// memoized entries (not its traffic counters): the quilt-score table
+// and the Kantorovich cell-profile table. A long-lived server writes
+// one on graceful shutdown and restores it at startup, so a restart
+// skips the cold start (ROADMAP: cache persistence across restarts).
+//
+// Keys are persisted losslessly: ε and the score floats round-trip
+// through JSON as exact decimal renderings of float64 (Go marshals
+// float64 with the shortest representation that parses back to the
+// same bits), and fingerprints as two uint64 words.
+type CacheSnapshot struct {
+	Version int              `json:"version"`
+	Scores  []ScoreEntry     `json:"scores,omitempty"`
+	Cells   []CellScoreEntry `json:"cells,omitempty"`
+}
+
+// snapshotVersion guards the format; Restore rejects snapshots written
+// by an incompatible future layout instead of silently mis-keying.
+const snapshotVersion = 1
+
+// ScoreEntry is one (key, ChainScore) pair of the quilt-score table.
+type ScoreEntry struct {
+	FpHi      uint64  `json:"fp_hi"`
+	FpLo      uint64  `json:"fp_lo"`
+	Eps       float64 `json:"eps"`
+	Exact     bool    `json:"exact"`
+	MaxWidth  int     `json:"max_width,omitempty"`
+	ForceFull bool    `json:"force_full,omitempty"`
+
+	Sigma     float64 `json:"sigma"`
+	Node      int     `json:"node"`
+	QuiltA    int     `json:"quilt_a"`
+	QuiltB    int     `json:"quilt_b"`
+	Influence float64 `json:"influence"`
+	Ell       int     `json:"ell"`
+}
+
+// CellScoreEntry is one (key, CellScore) pair of the Kantorovich
+// cell-profile table.
+type CellScoreEntry struct {
+	FpHi uint64 `json:"fp_hi"`
+	FpLo uint64 `json:"fp_lo"`
+	Cell int    `json:"cell"`
+
+	Profile CellScore `json:"profile"`
+}
+
+// Snapshot captures every memoized entry. Safe for concurrent use;
+// entries stored while the snapshot runs may or may not be included.
+// A nil cache snapshots empty.
+func (sc *ScoreCache) Snapshot() CacheSnapshot {
+	snap := CacheSnapshot{Version: snapshotVersion}
+	if sc == nil {
+		return snap
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	for k, s := range sc.m {
+		snap.Scores = append(snap.Scores, ScoreEntry{
+			FpHi: k.fp.Hi, FpLo: k.fp.Lo, Eps: k.eps, Exact: k.exact,
+			MaxWidth: k.maxWidth, ForceFull: k.forceFull,
+			Sigma: s.Sigma, Node: s.Node, QuiltA: s.Quilt.A, QuiltB: s.Quilt.B,
+			Influence: s.Influence, Ell: s.Ell,
+		})
+	}
+	for k, p := range sc.cells {
+		snap.Cells = append(snap.Cells, CellScoreEntry{
+			FpHi: k.fp.Hi, FpLo: k.fp.Lo, Cell: k.cell, Profile: p,
+		})
+	}
+	return snap
+}
+
+// Restore merges a snapshot's entries into the cache (existing entries
+// with equal keys are overwritten; counters are untouched). It rejects
+// snapshots from an unknown format version and entries that could
+// never have been stored (non-finite or non-positive σ / W∞), so a
+// corrupted or hand-edited file cannot plant scores the engine would
+// not compute.
+func (sc *ScoreCache) Restore(snap CacheSnapshot) error {
+	if sc == nil {
+		return fmt.Errorf("core: cannot restore into a nil ScoreCache")
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("core: cache snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	for i, e := range snap.Scores {
+		if !(e.Sigma > 0) || math.IsInf(e.Sigma, 1) || math.IsNaN(e.Eps) || !(e.Eps > 0) {
+			return fmt.Errorf("core: cache snapshot score %d has invalid σ = %v at ε = %v", i, e.Sigma, e.Eps)
+		}
+	}
+	for i, e := range snap.Cells {
+		p := e.Profile
+		if !(p.WInf >= 0) || math.IsInf(p.WInf, 1) || !(p.W1 >= 0) || p.W1 > p.WInf+1e-9 {
+			return fmt.Errorf("core: cache snapshot cell %d has invalid profile W∞ = %v, W₁ = %v", i, p.WInf, p.W1)
+		}
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for _, e := range snap.Scores {
+		key := scoreKey{
+			fp: Fingerprint{Hi: e.FpHi, Lo: e.FpLo}, eps: e.Eps, exact: e.Exact,
+			maxWidth: e.MaxWidth, forceFull: e.ForceFull,
+		}
+		sc.m[key] = ChainScore{
+			Sigma: e.Sigma, Node: e.Node, Quilt: ChainQuilt{A: e.QuiltA, B: e.QuiltB},
+			Influence: e.Influence, Ell: e.Ell,
+		}
+	}
+	for _, e := range snap.Cells {
+		sc.cells[cellKey{fp: Fingerprint{Hi: e.FpHi, Lo: e.FpLo}, cell: e.Cell}] = e.Profile
+	}
+	return nil
+}

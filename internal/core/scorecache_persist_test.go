@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"pufferfish/internal/markov"
+)
+
+// TestCacheSnapshotRoundTrip: a populated cache must survive
+// Snapshot → JSON → Restore with every entry bit-identical, covering
+// both the quilt-score table and the Kantorovich cell-profile table.
+func TestCacheSnapshotRoundTrip(t *testing.T) {
+	chain, err := markov.BinaryChain(0.5, 0.9, 0.85).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := markov.NewFinite([]markov.Chain{chain}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewScoreCache()
+	eps := []float64{0.5, 1, 2.25}
+	want := make([]ChainScore, len(eps))
+	for i, e := range eps {
+		s, err := cache.ExactScore(class, e, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = s
+	}
+	fp := ClassFingerprint(class)
+	cellProfiles := []CellScore{
+		{WInf: 3, W1: 1.25, Label: "X3: 0 vs 1 @ θ1", Pairs: 40},
+		{WInf: 1.5, W1: 1.5, Pairs: 7},
+	}
+	for cell, p := range cellProfiles {
+		cache.StoreCell(fp, cell, p)
+	}
+
+	blob, err := json.Marshal(cache.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewScoreCache()
+	var snap CacheSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != cache.Len() {
+		t.Fatalf("restored %d entries, want %d", restored.Len(), cache.Len())
+	}
+
+	// Every quilt score must be a pure hit with bit-identical values.
+	for i, e := range eps {
+		s, err := restored.ExactScore(class, e, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != want[i] {
+			t.Errorf("ε = %v: restored score %+v != original %+v", e, s, want[i])
+		}
+	}
+	if stats := restored.Stats(); stats.Misses != 0 || stats.Hits != int64(len(eps)) {
+		t.Errorf("restored cache was not warm: %+v", stats)
+	}
+	for cell, p := range cellProfiles {
+		got, ok := restored.LookupCell(fp, cell)
+		if !ok || got != p {
+			t.Errorf("cell %d: restored profile (%+v, %v) != original %+v", cell, got, ok, p)
+		}
+	}
+}
+
+// TestCacheSnapshotRestoreRejectsBadInput: version mismatches and
+// entries the engine could never have produced must not be merged.
+func TestCacheSnapshotRestoreRejectsBadInput(t *testing.T) {
+	good := CacheSnapshot{Version: snapshotVersion}
+	if err := NewScoreCache().Restore(good); err != nil {
+		t.Fatalf("empty snapshot rejected: %v", err)
+	}
+	cases := map[string]CacheSnapshot{
+		"version": {Version: snapshotVersion + 1},
+		"sigma": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: 1, Sigma: 0},
+		}},
+		"inf sigma": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: 1, Sigma: math.Inf(1)},
+		}},
+		"eps": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: -1, Sigma: 2},
+		}},
+		"cell winf": {Version: snapshotVersion, Cells: []CellScoreEntry{
+			{Profile: CellScore{WInf: math.Inf(1)}},
+		}},
+		"cell order": {Version: snapshotVersion, Cells: []CellScoreEntry{
+			{Profile: CellScore{WInf: 1, W1: 2}},
+		}},
+	}
+	for name, snap := range cases {
+		if err := NewScoreCache().Restore(snap); err == nil {
+			t.Errorf("%s: bad snapshot accepted", name)
+		}
+	}
+	var nilCache *ScoreCache
+	if err := nilCache.Restore(good); err == nil {
+		t.Error("restore into nil cache accepted")
+	}
+	if snap := nilCache.Snapshot(); len(snap.Scores) != 0 || len(snap.Cells) != 0 {
+		t.Error("nil cache snapshot not empty")
+	}
+}

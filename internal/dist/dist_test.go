@@ -154,3 +154,87 @@ func TestMaxDivergence(t *testing.T) {
 		t.Errorf("SymMaxDivergence = %v", s)
 	}
 }
+
+// wasserstein1Greedy computes W₁ exactly via the quantile coupling:
+// with both supports sorted, the optimal transport on ℝ pairs mass
+// monotonically, so a two-pointer greedy matching yields E|X − Y|.
+func wasserstein1Greedy(mu, nu Discrete) float64 {
+	i, j := 0, 0
+	remMu, remNu := mu.ps[0], nu.ps[0]
+	var w float64
+	for {
+		moved := math.Min(remMu, remNu)
+		w += moved * math.Abs(mu.xs[i]-nu.xs[j])
+		remMu -= moved
+		remNu -= moved
+		if remMu <= 1e-15 {
+			i++
+			if i >= mu.Len() {
+				return w
+			}
+			remMu = mu.ps[i]
+		}
+		if remNu <= 1e-15 {
+			j++
+			if j >= nu.Len() {
+				return w
+			}
+			remNu = nu.ps[j]
+		}
+	}
+}
+
+func TestWasserstein1MatchesGreedyCoupling(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 200; trial++ {
+		mk := func() Discrete {
+			n := 1 + rng.IntN(6)
+			xs := make([]float64, n)
+			ps := make([]float64, n)
+			var tot float64
+			for i := range xs {
+				xs[i] = float64(rng.IntN(12)) - 3
+				ps[i] = rng.Float64() + 0.01
+				tot += ps[i]
+			}
+			for i := range ps {
+				ps[i] /= tot
+			}
+			return MustNew(xs, ps)
+		}
+		mu, nu := mk(), mk()
+		got := Wasserstein1(mu, nu)
+		want := wasserstein1Greedy(mu, nu)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Wasserstein1 = %v, greedy coupling = %v", trial, got, want)
+		}
+		if winf := WassersteinInf(mu, nu); got > winf+1e-9 {
+			t.Fatalf("trial %d: W1 = %v > W∞ = %v", trial, got, winf)
+		}
+		if sym := Wasserstein1(nu, mu); math.Abs(got-sym) > 1e-12 {
+			t.Fatalf("trial %d: asymmetric W1: %v vs %v", trial, got, sym)
+		}
+	}
+}
+
+func TestWasserstein1Basics(t *testing.T) {
+	if w := Wasserstein1(PointMass(2), PointMass(5)); w != 3 {
+		t.Errorf("point masses: W1 = %v, want 3", w)
+	}
+	d := MustNew([]float64{0, 1}, []float64{0.5, 0.5})
+	if w := Wasserstein1(d, d); w != 0 {
+		t.Errorf("identical: W1 = %v, want 0", w)
+	}
+	// (1−p)δ0 + pδM vs δ0: W1 = p·M but W∞ = M — the gap the
+	// Kantorovich diagnostics report.
+	spike := MustNew([]float64{0, 10}, []float64{0.9, 0.1})
+	if w := Wasserstein1(spike, PointMass(0)); math.Abs(w-1) > 1e-12 {
+		t.Errorf("spike: W1 = %v, want 1", w)
+	}
+	if w := WassersteinInf(spike, PointMass(0)); w != 10 {
+		t.Errorf("spike: W∞ = %v, want 10", w)
+	}
+	if !math.IsNaN(Wasserstein1(Discrete{}, d)) {
+		t.Error("empty distribution: want NaN")
+	}
+}

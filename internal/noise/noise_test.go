@@ -1,0 +1,128 @@
+package noise
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/laplace"
+)
+
+func TestLaplaceMatchesUnderlyingDist(t *testing.T) {
+	n, err := Laplace(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := laplace.New(2.5)
+	for _, x := range []float64{-3, -0.5, 0, 1.25, 7} {
+		if n.PDF(x) != d.PDF(x) {
+			t.Errorf("PDF(%v) = %v, want %v", x, n.PDF(x), d.PDF(x))
+		}
+		if n.LogPDF(x) != d.LogPDF(x) {
+			t.Errorf("LogPDF(%v) = %v, want %v", x, n.LogPDF(x), d.LogPDF(x))
+		}
+	}
+	if n.MeanAbs() != d.MeanAbs() || n.Variance() != d.Variance() || n.Scale() != 2.5 {
+		t.Errorf("moments diverge from laplace.Dist")
+	}
+	if n.Name() != "laplace" {
+		t.Errorf("Name = %q", n.Name())
+	}
+	// Same scale, same seed → the adapter samples identical variates.
+	r1 := rand.New(rand.NewPCG(1, 2))
+	r2 := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 10; i++ {
+		if n.Sample(r1) != d.Sample(r2) {
+			t.Fatal("adapter sampling diverges from laplace.Dist")
+		}
+	}
+}
+
+func TestGaussianDensityAndMoments(t *testing.T) {
+	g, err := Gaussian(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Density integrates to ~1 and matches exp(LogPDF).
+	var integral float64
+	for x := -12.0; x <= 12; x += 1e-3 {
+		p := g.PDF(x)
+		integral += p * 1e-3
+		if math.Abs(p-math.Exp(g.LogPDF(x))) > 1e-12 {
+			t.Fatalf("PDF/LogPDF mismatch at %v", x)
+		}
+	}
+	if math.Abs(integral-1) > 1e-3 {
+		t.Errorf("density integrates to %v", integral)
+	}
+	if math.Abs(g.MeanAbs()-1.5*math.Sqrt(2/math.Pi)) > 1e-12 {
+		t.Errorf("MeanAbs = %v", g.MeanAbs())
+	}
+	if g.Variance() != 2.25 || g.Name() != "gaussian" {
+		t.Errorf("Variance = %v, Name = %q", g.Variance(), g.Name())
+	}
+	// Empirical moments from samples.
+	rng := rand.New(rand.NewPCG(3, 4))
+	var sum, sumSq float64
+	const trials = 200_000
+	for i := 0; i < trials; i++ {
+		v := g.Sample(rng)
+		sum += v
+		sumSq += v * v
+	}
+	if mean := sum / trials; math.Abs(mean) > 0.02 {
+		t.Errorf("sample mean = %v", mean)
+	}
+	if v := sumSq / trials; math.Abs(v-2.25) > 0.05 {
+		t.Errorf("sample variance = %v, want 2.25", v)
+	}
+}
+
+func TestInvalidScalesRejected(t *testing.T) {
+	for _, s := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := Laplace(s); err == nil {
+			t.Errorf("Laplace(%v): accepted", s)
+		}
+		if _, err := Gaussian(s); err == nil {
+			t.Errorf("Gaussian(%v): accepted", s)
+		}
+	}
+}
+
+func TestGaussianSigmaCalibration(t *testing.T) {
+	sigma, err := GaussianSigma(2, 0.5, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Sqrt(2*math.Log(1.25/1e-5)) / 0.5
+	if math.Abs(sigma-want) > 1e-12 {
+		t.Errorf("sigma = %v, want %v", sigma, want)
+	}
+	for _, c := range []struct{ w, eps, delta float64 }{
+		{2, 0, 1e-5}, {2, 1.5, 1e-5}, {2, 0.5, 0}, {2, 0.5, 1}, {0, 0.5, 1e-5}, {math.Inf(1), 0.5, 1e-5},
+	} {
+		if _, err := GaussianSigma(c.w, c.eps, c.delta); err == nil {
+			t.Errorf("GaussianSigma(%v, %v, %v): accepted", c.w, c.eps, c.delta)
+		}
+	}
+}
+
+func TestAddVec(t *testing.T) {
+	n, err := Laplace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{1, 2, 3}
+	r1 := rand.New(rand.NewPCG(9, 9))
+	out := AddVec(in, n, r1)
+	if in[0] != 1 || in[1] != 2 || in[2] != 3 {
+		t.Fatal("AddVec mutated its input")
+	}
+	r2 := rand.New(rand.NewPCG(9, 9))
+	want := laplace.AddNoise(in, 1, r2)
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("AddVec diverges from laplace.AddNoise at %d: %v vs %v", i, out[i], want[i])
+		}
+	}
+}

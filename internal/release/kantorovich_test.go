@@ -1,0 +1,154 @@
+package release
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/floats"
+	"pufferfish/internal/markov"
+)
+
+// kantSessions keeps the transport sweeps small enough for the race
+// detector: the per-pair dynamic programs are O(T²k²) each.
+func kantSessions(t *testing.T) [][]int {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(21, 22))
+	truth := markov.BinaryChain(0.5, 0.85, 0.8)
+	var sessions [][]int
+	for i := 0; i < 3; i++ {
+		sessions = append(sessions, truth.Sample(40+10*i, rng))
+	}
+	return sessions
+}
+
+func TestRunKantorovich(t *testing.T) {
+	sessions := kantSessions(t)
+	report, err := Run(sessions, Config{Epsilon: 1, Mechanism: MechKantorovich, Smoothing: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Mechanism != MechKantorovich || report.K != 2 || report.Observations != 150 {
+		t.Fatalf("report header wrong: %+v", report)
+	}
+	if len(report.Histogram) != report.K {
+		t.Fatalf("histogram has %d cells, want %d", len(report.Histogram), report.K)
+	}
+	if !(report.Sigma > 0) {
+		t.Fatalf("σ = %v", report.Sigma)
+	}
+	if want := report.Sigma / float64(report.Observations); report.NoiseScale != want {
+		t.Errorf("noise scale %v, want σ/n = %v", report.NoiseScale, want)
+	}
+	kr := report.Kantorovich
+	if kr == nil {
+		t.Fatal("missing kantorovich diagnostics block")
+	}
+	if kr.Cell < 0 || kr.Cell >= report.K {
+		t.Errorf("worst cell %d outside [0,%d)", kr.Cell, report.K)
+	}
+	if !(kr.W1 > 0) || kr.W1 > kr.WInf+1e-12 {
+		t.Errorf("transport profile out of order: W1 = %v, W∞ = %v", kr.W1, kr.WInf)
+	}
+	// σ = k·W∞/ε up to the float round-trip in the report block.
+	if got := float64(report.K) * kr.WInf / report.Epsilon; math.Abs(got-report.Sigma) > 1e-9*report.Sigma {
+		t.Errorf("σ = %v inconsistent with k·W∞/ε = %v", report.Sigma, got)
+	}
+	if report.Model == nil {
+		t.Error("missing fitted model")
+	}
+	if report.Cache != nil {
+		t.Error("cache block present without Config.Cache")
+	}
+	// Other mechanisms never grow the diagnostics block.
+	for _, mech := range allMechanisms {
+		rep, err := Run(sessions, Config{Epsilon: 1, Mechanism: mech, Smoothing: 0.5, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Kantorovich != nil {
+			t.Errorf("%s: unexpected kantorovich block", mech)
+		}
+	}
+}
+
+// TestRunKantorovichCachedBitIdentical: nil cache, cold cache, warm
+// cache and the staged Prepare/Score/Finish pipeline all release the
+// same bits, and the Report.Cache contract holds.
+func TestRunKantorovichCachedBitIdentical(t *testing.T) {
+	sessions := kantSessions(t)
+	cfg := Config{Epsilon: 0.8, Mechanism: MechKantorovich, Smoothing: 0.5, Seed: 11}
+	want, err := Run(sessions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewScoreCache()
+	cached := cfg
+	cached.Cache = cache
+	cold, err := Run(sessions, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterCold := cache.Stats().Misses
+	if missesAfterCold == 0 {
+		t.Fatal("cold run recorded no misses")
+	}
+	warm, err := Run(sessions, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().Misses != missesAfterCold {
+		t.Errorf("warm run re-swept: misses %d -> %d", missesAfterCold, cache.Stats().Misses)
+	}
+	for name, got := range map[string]*Report{"cold": cold, "warm": warm} {
+		if !floats.EqSlices(got.Histogram, want.Histogram, 0) || got.Sigma != want.Sigma || got.NoiseScale != want.NoiseScale {
+			t.Errorf("%s cached release diverges from uncached", name)
+		}
+		if got.Cache == nil {
+			t.Errorf("%s: Report.Cache nil with Config.Cache set", name)
+		}
+		if *got.Kantorovich != *want.Kantorovich {
+			t.Errorf("%s: diagnostics diverge: %+v vs %+v", name, got.Kantorovich, want.Kantorovich)
+		}
+	}
+
+	// Staged pipeline == Run, bit for bit.
+	p, err := Prepare(sessions, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := p.Score(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := p.Finish(score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.EqSlices(staged.Histogram, want.Histogram, 0) || staged.Sigma != want.Sigma {
+		t.Error("staged pipeline diverges from Run")
+	}
+}
+
+// TestRunKantorovichParallelIdentical pins the engine determinism
+// contract through the release pipeline.
+func TestRunKantorovichParallelIdentical(t *testing.T) {
+	sessions := kantSessions(t)
+	cfg := Config{Epsilon: 1.5, Mechanism: MechKantorovich, Smoothing: 0.5, Seed: 3, Parallelism: 1}
+	serial, err := Run(sessions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 2, 7} {
+		cfg.Parallelism = par
+		got, err := Run(sessions, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floats.EqSlices(got.Histogram, serial.Histogram, 0) || got.Sigma != serial.Sigma {
+			t.Errorf("parallelism %d diverges from serial", par)
+		}
+	}
+}

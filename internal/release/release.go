@@ -14,22 +14,35 @@ import (
 	"io"
 	"math"
 	"math/rand/v2"
+	"slices"
 	"strconv"
 	"strings"
 
 	"pufferfish/internal/core"
+	"pufferfish/internal/kantorovich"
 	"pufferfish/internal/laplace"
 	"pufferfish/internal/markov"
+	"pufferfish/internal/noise"
 	"pufferfish/internal/query"
 )
 
 // Mechanism names accepted by Config.
 const (
-	MechMQMExact  = "mqm-exact"
-	MechMQMApprox = "mqm-approx"
-	MechGroupDP   = "group-dp"
-	MechDP        = "dp"
+	MechMQMExact    = "mqm-exact"
+	MechMQMApprox   = "mqm-approx"
+	MechGroupDP     = "group-dp"
+	MechDP          = "dp"
+	MechKantorovich = "kantorovich"
 )
+
+// Mechanisms returns every mechanism name Prepare accepts, in a
+// stable order. It is the single source of truth the validation
+// switch, the serving layer's per-mechanism counters, and the load
+// smokes all consume, so a new mechanism cannot be wired in without
+// its traffic being visible in /v1/stats.
+func Mechanisms() []string {
+	return []string{MechMQMExact, MechMQMApprox, MechKantorovich, MechGroupDP, MechDP}
+}
 
 // Config selects the release parameters.
 type Config struct {
@@ -72,6 +85,9 @@ type Report struct {
 	ActiveQuilt  string        `json:"active_quilt,omitempty"`
 	Histogram    []float64     `json:"histogram"`
 	Model        *markov.Chain `json:"model,omitempty"`
+	// Kantorovich carries the transport diagnostics of MechKantorovich
+	// releases (nil for every other mechanism).
+	Kantorovich *KantorovichReport `json:"kantorovich,omitempty"`
 	// Cache reports the score cache's cumulative hit/miss counters as
 	// of the end of this run. They are cache-wide: a cache shared
 	// across many runs (the intended long-lived-caller setup)
@@ -84,6 +100,20 @@ type Report struct {
 type CacheReport struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+}
+
+// KantorovichReport is the Report's transport-diagnostics block for
+// the Kantorovich mechanism: the worst histogram cell and its two
+// Wasserstein suprema. W₁/W∞ ≤ 1 quantifies how conservative the
+// worst-case calibration is on this database's fitted model.
+type KantorovichReport struct {
+	// Cell is the 0-based histogram cell (state) with the largest W∞.
+	Cell int `json:"cell"`
+	// WInf is that cell's sup ∞-Wasserstein distance; the count-level
+	// Laplace scale is k·WInf/ε.
+	WInf float64 `json:"w_inf"`
+	// W1 is the cell's sup 1-Wasserstein (Kantorovich) distance.
+	W1 float64 `json:"w1"`
 }
 
 // ParseSeries reads a series of non-negative integer states. Values
@@ -152,11 +182,9 @@ type Prepared struct {
 // Prepare validates cfg and sessions, infers the state space, and fits
 // the empirical chain for the quilt mechanisms.
 func Prepare(sessions [][]int, cfg Config) (*Prepared, error) {
-	switch cfg.Mechanism {
-	case MechDP, MechGroupDP, MechMQMExact, MechMQMApprox:
-	default:
-		return nil, fmt.Errorf("release: unknown mechanism %q (want %s|%s|%s|%s)",
-			cfg.Mechanism, MechMQMExact, MechMQMApprox, MechGroupDP, MechDP)
+	if !slices.Contains(Mechanisms(), cfg.Mechanism) {
+		return nil, fmt.Errorf("release: unknown mechanism %q (want %s)",
+			cfg.Mechanism, strings.Join(Mechanisms(), "|"))
 	}
 	if !(cfg.Epsilon > 0) || math.IsInf(cfg.Epsilon, 1) {
 		return nil, fmt.Errorf("release: invalid ε = %v", cfg.Epsilon)
@@ -225,10 +253,16 @@ func Prepare(sessions [][]int, cfg Config) (*Prepared, error) {
 	return p, nil
 }
 
-// NeedsScore reports whether the mechanism requires a quilt score; the
-// DP baselines go straight to Finish with a zero ChainScore.
+// NeedsScore reports whether the mechanism requires a scoring sweep
+// over the fitted model (a quilt score for the MQM variants, a
+// transport profile for the Kantorovich mechanism); the DP baselines
+// go straight to Finish with a zero ChainScore.
 func (p *Prepared) NeedsScore() bool {
-	return p.cfg.Mechanism == MechMQMExact || p.cfg.Mechanism == MechMQMApprox
+	switch p.cfg.Mechanism {
+	case MechMQMExact, MechMQMApprox, MechKantorovich:
+		return true
+	}
+	return false
 }
 
 // Class returns the fitted model class (nil for the DP baselines). It
@@ -262,8 +296,11 @@ func (p *Prepared) Score(ctx context.Context) (core.ChainScore, error) {
 	if err := ctx.Err(); err != nil {
 		return core.ChainScore{}, err
 	}
-	if p.cfg.Mechanism == MechMQMExact {
+	switch p.cfg.Mechanism {
+	case MechMQMExact:
 		return p.cfg.Cache.ExactScoreMulti(p.class, p.cfg.Epsilon, core.ExactOptions{Parallelism: p.cfg.Parallelism}, p.lengths)
+	case MechKantorovich:
+		return kantorovich.ScoreMulti(p.cfg.Cache, p.class, p.cfg.Epsilon, kantorovich.Options{Parallelism: p.cfg.Parallelism}, p.lengths)
 	}
 	return p.cfg.Cache.ApproxScoreMulti(p.class, p.cfg.Epsilon, core.ApproxOptions{Parallelism: p.cfg.Parallelism}, p.lengths)
 }
@@ -298,6 +335,34 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 		}
 		report.Histogram = rel.Values
 		report.NoiseScale = rel.NoiseScale
+	case MechKantorovich:
+		// Count-level per-coordinate scale is σ = k·W∞max/ε (ε/k per
+		// cell, composed); the released values are relative frequencies
+		// (counts / n), so the scale divides by n alongside them.
+		exact, err := q.Evaluate(p.flat)
+		if err != nil {
+			return nil, err
+		}
+		scale := score.Sigma / float64(p.n)
+		if err := core.ValidateNoiseScale(scale, score.Sigma, p.cfg.Epsilon); err != nil {
+			return nil, err
+		}
+		lap, err := noise.Laplace(scale)
+		if err != nil {
+			return nil, err
+		}
+		report.Histogram = noise.AddVec(exact, lap, rng)
+		report.NoiseScale = scale
+		report.Sigma = score.Sigma
+		report.Model = &p.chain
+		// W∞ is reconstructed from σ = k·W∞/ε; the max with W₁ absorbs
+		// the one-ulp rounding of the round trip so the reported ratio
+		// W₁/W∞ never exceeds 1 (its documented contract).
+		report.Kantorovich = &KantorovichReport{
+			Cell: score.Node,
+			WInf: math.Max(score.Sigma*p.cfg.Epsilon/float64(p.k), score.Influence),
+			W1:   score.Influence,
+		}
 	default: // MechMQMExact, MechMQMApprox — Prepare validated the name
 		exact, err := q.Evaluate(p.flat)
 		if err != nil {

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pufferfish/internal/core"
+	"pufferfish/internal/release"
+)
+
+// LoadCacheFile reads a score-cache snapshot written by SaveCacheFile
+// and returns a warmed cache ready for Config.Cache, so a restarted
+// pufferd skips the cold start. A missing file is not an error: it
+// returns a fresh empty cache (first boot).
+func LoadCacheFile(path string) (*release.ScoreCache, error) {
+	cache := release.NewScoreCache()
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return cache, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: read cache file: %w", err)
+	}
+	var snap core.CacheSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return nil, fmt.Errorf("server: parse cache file %s: %w", path, err)
+	}
+	if err := cache.Restore(snap); err != nil {
+		return nil, fmt.Errorf("server: restore cache file %s: %w", path, err)
+	}
+	return cache, nil
+}
+
+// SaveCacheFile writes the cache's snapshot as JSON, atomically (temp
+// file + rename), so a crash mid-write can never truncate a snapshot
+// a future boot would trust.
+func SaveCacheFile(path string, cache *release.ScoreCache) error {
+	blob, err := json.MarshalIndent(cache.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: marshal cache snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("server: write cache file: %w", err)
+	}
+	_, werr := tmp.Write(append(blob, '\n'))
+	// Flush to disk before the rename: an unsynced rename can survive
+	// a crash with empty data blocks, and a truncated snapshot blocks
+	// the next boot (load failures are deliberately fatal).
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: write cache file: %w", errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: write cache file: %w", err)
+	}
+	return nil
+}

@@ -29,8 +29,20 @@ import (
 	"time"
 
 	"pufferfish/internal/core"
+	"pufferfish/internal/kantorovich"
 	"pufferfish/internal/release"
 )
+
+// mechanisms is the canonical mechanism list; the per-mechanism stats
+// counters carry exactly these keys so load smokes can assert their
+// traffic mix, and a mechanism added to internal/release gains a
+// counter automatically.
+var mechanisms = release.Mechanisms()
+
+// Cache re-exports the shared score cache type so cmd/pufferd can
+// thread a pre-warmed (or to-be-persisted) cache without importing
+// the internal release package.
+type Cache = release.ScoreCache
 
 // Config tunes a Server.
 type Config struct {
@@ -52,6 +64,10 @@ type Server struct {
 	inFlight atomic.Int64
 	requests atomic.Int64
 	releases atomic.Int64
+	// byMech counts successful releases per mechanism name; the keys
+	// are fixed at construction (one per supported mechanism), so the
+	// map itself is read-only and the values are atomics.
+	byMech map[string]*atomic.Int64
 
 	// scoringHook, when set, runs after Prepare and before scoring on
 	// every release request. Tests use it to hold a request in flight
@@ -65,10 +81,15 @@ func New(cfg Config) *Server {
 	if cache == nil {
 		cache = release.NewScoreCache()
 	}
+	byMech := make(map[string]*atomic.Int64, len(mechanisms))
+	for _, m := range mechanisms {
+		byMech[m] = new(atomic.Int64)
+	}
 	return &Server{
 		cache:   cache,
 		budget:  newBudget(cfg.Workers),
 		started: time.Now(),
+		byMech:  byMech,
 	}
 }
 
@@ -122,7 +143,11 @@ type Stats struct {
 	RequestsTotal int64   `json:"requests_total"`
 	ReleasesTotal int64   `json:"releases_total"`
 	InFlight      int64   `json:"in_flight"`
-	Cache         struct {
+	// ReleasesByMechanism breaks ReleasesTotal down per mechanism name
+	// (every supported mechanism is present, zero-valued when unused),
+	// so load smokes can assert the traffic mix they drove.
+	ReleasesByMechanism map[string]int64 `json:"releases_by_mechanism"`
+	Cache               struct {
 		Hits    int64 `json:"hits"`
 		Misses  int64 `json:"misses"`
 		Entries int   `json:"entries"`
@@ -208,7 +233,16 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.releases.Add(1)
+	s.countRelease(p.Mechanism())
 	writeJSON(w, report)
+}
+
+// countRelease bumps the per-mechanism counter; mech was validated by
+// Prepare, so the lookup never misses.
+func (s *Server) countRelease(mech string) {
+	if c, ok := s.byMech[mech]; ok {
+		c.Add(1)
+	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -252,6 +286,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Reports[i] = report
 	}
 	s.releases.Add(int64(len(resp.Reports)))
+	for _, p := range prepared {
+		s.countRelease(p.Mechanism())
+	}
 	writeJSON(w, resp)
 }
 
@@ -299,9 +336,12 @@ func (s *Server) scoreBatch(r *http.Request, reqs []ReleaseRequest, prepared []*
 		}
 		var got []core.ChainScore
 		var err error
-		if key.mechanism == release.MechMQMExact {
+		switch key.mechanism {
+		case release.MechMQMExact:
 			got, err = core.ExactScoreMultiBatch(s.cache, specs, key.eps, core.ExactOptions{Parallelism: grant})
-		} else {
+		case release.MechKantorovich:
+			got, err = kantorovich.ScoreBatch(s.cache, specs, key.eps, kantorovich.Options{Parallelism: grant})
+		default:
 			got, err = core.ApproxScoreMultiBatch(s.cache, specs, key.eps, core.ApproxOptions{Parallelism: grant})
 		}
 		if err != nil {
@@ -337,6 +377,10 @@ func (s *Server) Stats() Stats {
 	st.RequestsTotal = s.requests.Load()
 	st.ReleasesTotal = s.releases.Load()
 	st.InFlight = s.inFlight.Load()
+	st.ReleasesByMechanism = make(map[string]int64, len(s.byMech))
+	for m, c := range s.byMech {
+		st.ReleasesByMechanism[m] = c.Load()
+	}
 	cs := s.cache.Stats()
 	st.Cache.Hits = cs.Hits
 	st.Cache.Misses = cs.Misses

@@ -11,8 +11,10 @@
 // internal packages, organized as
 //
 //   - mechanisms (this file): Wasserstein, MQMExact, MQMApprox, the
-//     generic Bayesian-network mechanism, composition, robustness,
-//     baselines, and the analytic privacy verifier;
+//     Kantorovich/exponential-mechanism subsystem (per-cell transport
+//     profiles, exponential mechanism, Laplace/Gaussian additive
+//     noise), the generic Bayesian-network mechanism, composition,
+//     robustness, baselines, and the analytic privacy verifier;
 //   - chain.go: Markov chains and distribution classes Θ;
 //   - query.go: L1-Lipschitz queries;
 //   - data.go: the flu / physical-activity / electricity substrates
@@ -27,6 +29,8 @@ import (
 	"pufferfish/internal/bayes"
 	"pufferfish/internal/core"
 	"pufferfish/internal/dist"
+	"pufferfish/internal/kantorovich"
+	"pufferfish/internal/noise"
 )
 
 // Release is a mechanism output: noisy values plus the noise
@@ -52,6 +56,10 @@ func NewDiscrete(xs, ps []float64) (Discrete, error) { return dist.New(xs, ps) }
 // WassersteinInf returns the ∞-Wasserstein distance W∞(µ, ν)
 // (Definition 3.1).
 func WassersteinInf(mu, nu Discrete) float64 { return dist.WassersteinInf(mu, nu) }
+
+// Wasserstein1 returns the 1-Wasserstein (Kantorovich) distance
+// W₁(µ, ν) — the average-case transport cost, always ≤ W∞.
+func Wasserstein1(mu, nu Discrete) float64 { return dist.Wasserstein1(mu, nu) }
 
 // MaxDivergence returns D∞(p‖q) (Definition 2.3).
 func MaxDivergence(p, q Discrete) float64 { return dist.MaxDivergence(p, q) }
@@ -194,6 +202,74 @@ func ApproxScoreMulti(class Class, eps float64, opt ApproxOptions, lengths []int
 // UtilityBound returns the Theorem 4.10 sufficient chain length beyond
 // which MQMApprox noise stops growing with T.
 func UtilityBound(class Class, eps float64) (int, error) { return core.UtilityBound(class, eps) }
+
+// KantorovichOptions tunes the Kantorovich subsystem's transport
+// sweeps (worker count; profiles are bit-identical at every setting).
+type KantorovichOptions = kantorovich.Options
+
+// KantorovichProfile is one histogram cell's transport profile: the
+// suprema of W∞ (which calibrates the noise) and of the Kantorovich
+// distance W₁ (the average-case diagnostic) over every admissible
+// secret pair and θ.
+type KantorovichProfile = core.CellScore
+
+// KantorovichCellProfile computes (and memoizes, when cache is
+// non-nil) the transport profile of one histogram cell of a chain
+// class.
+func KantorovichCellProfile(cache *ScoreCache, class Class, cell int, opt KantorovichOptions) (KantorovichProfile, error) {
+	return kantorovich.CellProfile(cache, class, cell, opt)
+}
+
+// KantorovichProfileInstance computes the transport profile of any
+// Pufferfish instantiation exposed as a WassersteinInstance.
+func KantorovichProfileInstance(inst WassersteinInstance, opt KantorovichOptions) (KantorovichProfile, error) {
+	return kantorovich.ProfileInstance(inst, opt)
+}
+
+// KantorovichScore computes the Kantorovich mechanism's ChainScore
+// for a class: σ = k·max_a W∞(a)/ε so the histogram release spends
+// ε/k per cell. In the result, Node is the 0-based worst cell and
+// Influence carries its W₁ supremum.
+func KantorovichScore(cache *ScoreCache, class Class, eps float64, opt KantorovichOptions) (ChainScore, error) {
+	return kantorovich.Score(cache, class, eps, opt)
+}
+
+// KantorovichScoreMulti is KantorovichScore for a database of
+// independent chains with the given session lengths.
+func KantorovichScoreMulti(cache *ScoreCache, class Class, eps float64, opt KantorovichOptions, lengths []int) (ChainScore, error) {
+	return kantorovich.ScoreMulti(cache, class, eps, opt, lengths)
+}
+
+// KantorovichScoreBatch scores many multi-length specs through one
+// worker-pool invocation, deduplicating identical (class, length)
+// sweeps across specs. Results align with specs and are bit-identical
+// to per-spec KantorovichScoreMulti calls.
+func KantorovichScoreBatch(cache *ScoreCache, specs []MultiSpec, eps float64, opt KantorovichOptions) ([]ChainScore, error) {
+	return kantorovich.ScoreBatch(cache, specs, eps, opt)
+}
+
+// ExpMech is the discrete exponential mechanism over a fixed output
+// grid, calibrated to a W∞ transport bound (scale 2W∞/ε absorbs the
+// per-input normalizers; the release is ε-Pufferfish private).
+type ExpMech = kantorovich.ExpMech
+
+// NewExpMech validates and builds an exponential mechanism.
+func NewExpMech(grid []float64, wInf, eps float64) (*ExpMech, error) {
+	return kantorovich.NewExpMech(grid, wInf, eps)
+}
+
+// AdditiveNoise is a zero-mean additive noise distribution (Laplace
+// or Gaussian) behind one interface.
+type AdditiveNoise = noise.Additive
+
+// NewAdditiveNoise calibrates an additive noise backend to a W∞
+// transport bound: kind "laplace" gives b = W∞/ε (ε-Pufferfish; delta
+// is ignored), kind "gaussian" gives σ = W∞·√(2·ln(1.25/δ))/ε (the
+// (ε, δ) general additive-noise route, valid for ε ∈ (0, 1] and
+// δ ∈ (0, 1) — the analytic calibration does not extend to ε > 1).
+func NewAdditiveNoise(kind string, wInf, eps, delta float64) (AdditiveNoise, error) {
+	return kantorovich.AdditiveNoise(kind, wInf, eps, delta)
+}
 
 // Network is a discrete Bayesian network.
 type Network = bayes.Network

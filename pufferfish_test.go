@@ -236,3 +236,80 @@ func TestFacadeMultiBatchScoring(t *testing.T) {
 		t.Errorf("cache untouched: %+v", stats)
 	}
 }
+
+func TestFacadeKantorovichSubsystem(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	truth := pufferfish.BinaryChain(0.5, 0.85, 0.8)
+	class, err := pufferfish.NewFinite([]pufferfish.Chain{truth}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := pufferfish.NewScoreCache()
+	score, err := pufferfish.KantorovichScore(cache, class, 1, pufferfish.KantorovichOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Sigma <= 0 || score.Node < 0 || score.Node >= 2 {
+		t.Fatalf("degenerate score %+v", score)
+	}
+	profile, err := pufferfish.KantorovichCellProfile(cache, class, score.Node, pufferfish.KantorovichOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile.W1 > profile.WInf || profile.WInf <= 0 {
+		t.Fatalf("profile out of order: %+v", profile)
+	}
+	if got := 2 * profile.WInf / 1; math.Abs(got-score.Sigma) > 1e-12*score.Sigma {
+		t.Errorf("σ = %v, want k·W∞/ε = %v", score.Sigma, got)
+	}
+	// The facade's W1 matches the subsystem's convention.
+	mu, err := pufferfish.NewDiscrete([]float64{0, 3}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu, err := pufferfish.NewDiscrete([]float64{0}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := pufferfish.Wasserstein1(mu, nu); math.Abs(w-1.5) > 1e-12 {
+		t.Errorf("W1 = %v, want 1.5", w)
+	}
+
+	// Multi-length + batch through the facade agree.
+	lengths := []int{3, 8}
+	multi, err := pufferfish.KantorovichScoreMulti(nil, class, 1, pufferfish.KantorovichOptions{}, lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := pufferfish.KantorovichScoreBatch(nil, []pufferfish.MultiSpec{{Class: class, Lengths: lengths}}, 1, pufferfish.KantorovichOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 1 || batch[0] != multi {
+		t.Errorf("batch %+v != multi %+v", batch, multi)
+	}
+
+	// Exponential mechanism and the additive noise backends.
+	m, err := pufferfish.NewExpMech([]float64{0, 1, 2, 3}, profile.WInf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := m.Sample(1.2, rng); y < 0 || y > 3 {
+		t.Errorf("exponential mechanism left its grid: %v", y)
+	}
+	lap, err := pufferfish.NewAdditiveNoise("laplace", profile.WInf, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lap.Scale() != profile.WInf {
+		t.Errorf("laplace scale %v, want W∞/ε = %v", lap.Scale(), profile.WInf)
+	}
+	gauss, err := pufferfish.NewAdditiveNoise("gaussian", profile.WInf, 1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gauss.Name() != "gaussian" || gauss.Scale() <= lap.Scale() {
+		t.Errorf("gaussian backend: %q scale %v", gauss.Name(), gauss.Scale())
+	}
+}
