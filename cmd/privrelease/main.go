@@ -18,12 +18,17 @@ import (
 	"io"
 	"os"
 
+	"pufferfish/internal/accounting"
 	"pufferfish/internal/release"
 )
 
 func main() {
 	eps := flag.Float64("eps", 1.0, "privacy parameter ε")
 	mech := flag.String("mech", release.MechMQMExact, "mechanism: mqm-exact|mqm-approx|kantorovich|group-dp|dp")
+	noiseKind := flag.String("noise", "", "additive backend for -mech kantorovich: laplace (default) or gaussian (needs -delta)")
+	delta := flag.Float64("delta", 0, "δ of the (ε, δ) guarantee (-noise gaussian only)")
+	account := flag.Bool("account", false, "attach a Rényi accounting ledger; the report gains an accounting block (release identical either way)")
+	accountDelta := flag.Float64("account-delta", 0, "δ at which the ledger reports its headline ε (0 = 1e-5)")
 	k := flag.Int("k", 0, "number of states (0 = infer from data)")
 	smoothing := flag.Float64("smoothing", 0.5, "additive smoothing for the empirical chain")
 	seed := flag.Uint64("seed", 0, "noise seed (0 = nondeterministic is NOT offered; 0 is a valid fixed seed)")
@@ -49,14 +54,21 @@ func main() {
 	if *cacheFlag {
 		cache = release.NewScoreCache()
 	}
+	var ledger *accounting.Ledger
+	if *account {
+		ledger = accounting.NewLedger(*accountDelta)
+	}
 	report, err := release.Run(sessions, release.Config{
 		Epsilon:     *eps,
+		Delta:       *delta,
 		K:           *k,
 		Mechanism:   *mech,
+		Noise:       *noiseKind,
 		Smoothing:   *smoothing,
 		Seed:        *seed,
 		Parallelism: *parallel,
 		Cache:       cache,
+		Accountant:  ledger,
 	})
 	if err != nil {
 		fatal(err)

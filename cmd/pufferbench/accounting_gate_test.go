@@ -1,0 +1,105 @@
+package main
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/accounting"
+	"pufferfish/internal/core"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/query"
+	"pufferfish/internal/release"
+)
+
+// TestAccountingGoldenOnBenchWorkloads is the golden budget gate over
+// every repeated-release workload the bench command measures: on each
+// one, the RDP accountant's (ε, δ) must never exceed the linear
+// K·max ε bound at any prefix, must equal it exactly at K = 1 for the
+// pure workloads (the Theorem 4.4 degenerate case), and must be
+// strictly below it by the workload's end for the Gaussian one.
+func TestAccountingGoldenOnBenchWorkloads(t *testing.T) {
+	const delta = 1e-5
+	chain, err := markov.BinaryChain(0.5, 0.9, 0.85).StationaryChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compClass, err := markov.NewFinite([]markov.Chain{chain}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compRng := rand.New(rand.NewPCG(101, 102))
+	compData := chain.Sample(200, compRng)
+	compQuery := query.RelFreqHistogram{K: 2, N: len(compData)}
+
+	kantChain := markov.BinaryChain(0.5, 0.85, 0.8)
+	kantRng := rand.New(rand.NewPCG(105, 106))
+	kantSessions := [][]int{kantChain.Sample(40, kantRng), kantChain.Sample(40, kantRng)}
+
+	// Each workload records one release into led and returns; the gate
+	// drives it K times, checking the invariants after every release.
+	cache := core.NewScoreCache()
+	workloads := []struct {
+		name     string
+		pure     bool
+		releases int
+		step     func(led *accounting.Ledger, i int) error
+	}{
+		{"CompositionRepeatedRelease", true, 12, func() func(*accounting.Ledger, int) error {
+			var comp *core.Composition
+			rng := rand.New(rand.NewPCG(103, 104))
+			return func(led *accounting.Ledger, i int) error {
+				if comp == nil {
+					comp = core.NewExactComposition(compClass, core.ExactOptions{}).
+						WithCache(cache).WithAccountant(led)
+				}
+				_, err := comp.Release(compData, compQuery, 1, rng)
+				return err
+			}
+		}()},
+		{"KantorovichRepeatedRelease", true, 12, func(led *accounting.Ledger, i int) error {
+			_, err := release.Run(kantSessions, release.Config{
+				Epsilon: 1, Mechanism: release.MechKantorovich, Smoothing: 0.5,
+				Seed: uint64(i), Cache: cache, Accountant: led,
+			})
+			return err
+		}},
+		{"AccountedGaussianRelease", false, 12, func(led *accounting.Ledger, i int) error {
+			_, err := release.Run(kantSessions, release.Config{
+				Epsilon: 1, Delta: delta, Mechanism: release.MechKantorovich,
+				Noise: release.NoiseGaussian, Smoothing: 0.5,
+				Seed: uint64(i), Cache: cache, Accountant: led,
+			})
+			return err
+		}},
+	}
+
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			led := accounting.NewLedger(delta)
+			for i := 0; i < w.releases; i++ {
+				if err := w.step(led, i); err != nil {
+					t.Fatalf("release %d: %v", i, err)
+				}
+				rdp, err := led.Epsilon(delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				linear := led.LinearEpsilon()
+				if w.pure || led.DeltaSum() <= delta {
+					if rdp > linear {
+						t.Fatalf("K = %d: RDP ε %v above linear %v", i+1, rdp, linear)
+					}
+				}
+				if i == 0 && w.pure && rdp != linear {
+					t.Fatalf("K = 1: RDP ε %v != linear %v (degenerate case broken)", rdp, linear)
+				}
+			}
+			if !w.pure {
+				rdp, _ := led.Epsilon(delta)
+				if linear := led.LinearEpsilon(); !(rdp < linear) {
+					t.Fatalf("gaussian workload: RDP ε %v not strictly below linear %v", rdp, linear)
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"testing"
 
+	"pufferfish/internal/accounting"
 	"pufferfish/internal/core"
 	"pufferfish/internal/kantorovich"
 	"pufferfish/internal/markov"
@@ -37,6 +38,23 @@ type benchReport struct {
 	GoMaxProcs int          `json:"go_max_procs"`
 	Quick      bool         `json:"quick"`
 	Benchmarks []benchEntry `json:"benchmarks"`
+	// Accounting records the privacy-budget outcome of the repeated
+	// Gaussian-release workload: the Rényi ledger's (ε, δ) next to the
+	// linear Theorem 4.4 bound it tightens. The bench fails when the
+	// RDP bound is not strictly below linear, so a committed BENCH
+	// snapshot doubles as the budget gate.
+	Accounting *accountingSummary `json:"accounting,omitempty"`
+}
+
+// accountingSummary is benchReport.Accounting.
+type accountingSummary struct {
+	Workload       string  `json:"workload"`
+	Releases       int     `json:"releases"`
+	Delta          float64 `json:"delta"`
+	LinearEpsilon  float64 `json:"linear_epsilon"`
+	RDPEpsilon     float64 `json:"rdp_epsilon"`
+	SavingsFactor  float64 `json:"savings_vs_linear"`
+	AccumulatedRho float64 `json:"rho"`
 }
 
 // runBench measures the scoring engine's hot paths serial vs parallel,
@@ -220,11 +238,42 @@ func runBench(quick bool, out string) error {
 		return nil
 	}
 
+	// Rényi-accounting workload: the repeated-release regime with the
+	// Gaussian backend over one stable model, accounted vs not. The
+	// pair measures the ledger's release-time overhead (it must be in
+	// the noise — accounting is observational); the summary block
+	// below records the budget it buys. A shared pre-warmed cache
+	// keeps the pair measuring accounting, not scoring.
+	const gaussReleases, gaussDelta = 12, 1e-5
+	gaussRng := rand.New(rand.NewPCG(107, 108))
+	gaussSessions := [][]int{kantChain.Sample(kantT, gaussRng), kantChain.Sample(kantT, gaussRng)}
+	gaussCache := core.NewScoreCache()
+	gaussLoop := func(led *accounting.Ledger) error {
+		for i := 0; i < gaussReleases; i++ {
+			_, err := release.Run(gaussSessions, release.Config{
+				Epsilon: 1, Delta: gaussDelta, Mechanism: release.MechKantorovich,
+				Noise: release.NoiseGaussian, Smoothing: 0.5,
+				Seed: uint64(i), Cache: gaussCache, Accountant: led,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := gaussLoop(nil); err != nil { // pre-warm the shared cache
+		return err
+	}
+
 	pairs := []struct {
 		name              string
 		baseline, variant string
 		runBase, runVar   func() error
 	}{
+		{"AccountedGaussianRelease", "unaccounted", "accounted",
+			func() error { return gaussLoop(nil) },
+			func() error { return gaussLoop(accounting.NewLedger(gaussDelta)) },
+		},
 		{"KantorovichRepeatedRelease", "uncached", "cached",
 			func() error { return kantorovichLoop(nil) },
 			func() error { return kantorovichLoop(core.NewScoreCache()) },
@@ -305,6 +354,35 @@ func runBench(quick bool, out string) error {
 		Iterations:  powTable.N,
 	})
 	fmt.Printf("%-28s %12d ns/op %8d allocs/op\n", "PowerCacheGrow64_k51", powTable.NsPerOp(), powTable.AllocsPerOp())
+
+	// Budget gate: run the accounted workload once more against a
+	// fresh ledger and record the tightened (ε, δ). The bench fails
+	// unless the Rényi bound is strictly below the linear one — the
+	// committed snapshot proves the accountant earns its keep.
+	led := accounting.NewLedger(gaussDelta)
+	if err := gaussLoop(led); err != nil {
+		return err
+	}
+	rdp, err := led.Epsilon(gaussDelta)
+	if err != nil {
+		return err
+	}
+	linear := led.LinearEpsilon()
+	if !(rdp < linear) {
+		return fmt.Errorf("accounting gate: RDP ε %v not strictly below linear %v after %d gaussian releases",
+			rdp, linear, gaussReleases)
+	}
+	report.Accounting = &accountingSummary{
+		Workload:       "AccountedGaussianRelease",
+		Releases:       gaussReleases,
+		Delta:          gaussDelta,
+		LinearEpsilon:  linear,
+		RDPEpsilon:     rdp,
+		SavingsFactor:  linear / rdp,
+		AccumulatedRho: led.Rho(),
+	}
+	fmt.Printf("%-36s K=%d gaussian releases: RDP ε(δ=%g) = %.3f vs linear %.0f (%.1fx tighter)\n",
+		"AccountingBudget", gaussReleases, gaussDelta, rdp, linear, linear/rdp)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -9,7 +9,7 @@
 //	pufferbench table2   [flags]          # Table 2
 //	pufferbench table3   [flags]          # Table 3
 //	pufferbench all      [flags]          # everything above
-//	pufferbench bench    [flags]          # scoring-engine micro-benchmarks → BENCH_3.json
+//	pufferbench bench    [flags]          # scoring-engine micro-benchmarks → BENCH_4.json
 //	pufferbench compare OLD NEW [-tol F]  # fail on ns/op regressions between two reports
 //	pufferbench serve    [flags]          # serving-layer load smoke (in-process pufferd)
 //
@@ -52,7 +52,7 @@ func main() {
 	csv := fs.Bool("csv", false, "plot-ready CSV output (fig4top only)")
 	parallel := fs.Int("parallel", 0, "scoring-engine workers (0 = all CPUs, 1 = serial)")
 	useCache := fs.Bool("cache", false, "memoize quilt scores across the run (activity commands; results identical either way)")
-	benchOut := fs.String("o", "BENCH_3.json", "output path (bench only)")
+	benchOut := fs.String("o", "BENCH_4.json", "output path (bench only)")
 	tol := fs.Float64("tol", 0.15, "allowed ns/op regression fraction (compare only)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)

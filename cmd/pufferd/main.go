@@ -12,9 +12,11 @@
 // SIGINT/SIGTERM triggers graceful shutdown: listeners close
 // immediately, in-flight releases drain (bounded by -drain), and the
 // process exits 0 on a clean drain. With -cache-file the score cache
-// (quilt scores and Kantorovich transport profiles alike) is restored
-// from the file at startup and snapshotted back after the drain, so a
-// restart serves its first requests warm.
+// (quilt scores and Kantorovich transport profiles alike) and the
+// named Rényi accountant sessions are restored from the file at
+// startup and snapshotted back after the drain, so a restart serves
+// its first requests warm and resumes every cumulative privacy budget
+// where it left off.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"pufferfish/internal/accounting"
 	"pufferfish/internal/server"
 )
 
@@ -40,15 +43,17 @@ func main() {
 	flag.Parse()
 
 	var cache *server.Cache
+	var accountants map[string]*accounting.Ledger
 	if *cacheFile != "" {
 		var err error
-		cache, err = server.LoadCacheFile(*cacheFile)
+		cache, accountants, err = server.LoadSnapshotFile(*cacheFile)
 		if err != nil {
 			fatal(err)
 		}
-		log.Printf("pufferd: cache file %s restored (%d entries)", *cacheFile, cache.Len())
+		log.Printf("pufferd: cache file %s restored (%d entries, %d accountant sessions)",
+			*cacheFile, cache.Len(), len(accountants))
 	}
-	s := server.New(server.Config{Workers: *workers, Cache: cache})
+	s := server.New(server.Config{Workers: *workers, Cache: cache, Accountants: accountants})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
@@ -86,13 +91,14 @@ func main() {
 	// and discarding a warm cache exactly when the server was busiest
 	// would defeat the persistence feature.
 	if *cacheFile != "" {
-		if err := server.SaveCacheFile(*cacheFile, s.Cache()); err != nil {
+		if err := server.SaveSnapshotFile(*cacheFile, s.Cache(), s.AccountantSnapshots()); err != nil {
 			if drainErr != nil {
 				log.Printf("pufferd: drain: %v", drainErr)
 			}
 			fatal(err)
 		}
-		log.Printf("pufferd: cache snapshot saved to %s (%d entries)", *cacheFile, s.Cache().Len())
+		log.Printf("pufferd: cache snapshot saved to %s (%d entries, %d accountant sessions)",
+			*cacheFile, s.Cache().Len(), len(s.AccountantSnapshots()))
 	}
 	if drainErr != nil {
 		fatal(fmt.Errorf("drain: %w", drainErr))

@@ -1,0 +1,379 @@
+// Package accounting is an RDP/zCDP privacy ledger for sequences of
+// Pufferfish releases, following Pierquin, Bellet, Tommasi, Boussard,
+// "Rényi Pufferfish Privacy" (arXiv:2312.13985).
+//
+// # Why a ledger
+//
+// Theorem 4.4 of Song–Wang–Chaudhuri only gives linear composition: K
+// releases at ε_1 … ε_K (same active quilts) satisfy K·max_k ε_k
+// Pufferfish privacy. Pierquin et al. show the same W∞ shift-reduction
+// bound that calibrates the Gaussian backend of internal/noise also
+// yields a Rényi guarantee
+//
+//	ε_α = α·W∞² / (2σ²)                       (Gaussian, every α > 1)
+//
+// that composes *additively in the α-divergence*: the accumulated
+// curve of K releases is the pointwise sum of the per-release curves,
+// and converts back to an (ε, δ) statement via
+//
+//	ε(δ) = min_α [ ε_α + log(1/δ)/(α − 1) ].
+//
+// For K homogeneous Gaussian releases this grows like K·ρ + 2√(K·ρ·
+// log(1/δ)) — √K-ish, quadratically tighter than the linear K·ε of
+// Theorem 4.4 once K is large.
+//
+// Pure-ε releases (the Laplace quilt mechanisms) enter the same curve
+// through the standard pure-ε → RDP conversion
+//
+//	ε_α = min(ε, α·ε²/2)
+//
+// (the α·ε²/2 branch is the ½ε²-zCDP bound of Bun–Steinke,
+// Proposition 1.4; the ε branch is D_α ≤ D_∞, both per secret-pair
+// direction, which the symmetric Pufferfish guarantee provides). On
+// top of the curve the ledger always retains the linear Theorem 4.4
+// statement (K·max ε at δ = Σδ_i), and Epsilon reports the smaller of
+// the two applicable bounds — so linear accounting is the exact
+// degenerate case: for a single pure release, Epsilon(δ) = ε.
+//
+// # Composition caveat
+//
+// Pufferfish in general does not compose (Section 4.3 of the source
+// paper). Every composition statement here — linear and Rényi alike —
+// inherits Theorem 4.4's shared-active-quilt hypothesis: all releases
+// must use the same quilt sets (core.Composition enforces this) or be
+// calibrated by a W∞ bound over the same instantiation (the
+// Kantorovich releases). The ledger records what its caller feeds it;
+// upholding the hypothesis is the caller's contract, exactly as for
+// Composition.TotalEpsilon.
+//
+// # Mechanics
+//
+// The accumulated curve is maintained on a fixed α-grid, updated in
+// O(grid) per Add; Epsilon(δ) is an O(grid) scan whose result is
+// memoized per δ and invalidated on Add, so the optimization runs once
+// per (ledger state, δ). The Ledger is safe for concurrent use — it is
+// the per-session object a long-lived server keeps across requests —
+// and serializes losslessly through Snapshot/Restore (entries only;
+// the grid vector is recomputed).
+package accounting
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Entry kinds.
+const (
+	// KindPure is an ε-Pufferfish release (Laplace noise, exponential
+	// mechanism, or any pure-ε quilt release).
+	KindPure = "pure"
+	// KindGaussian is an (ε, δ)-style Gaussian release whose Rényi
+	// curve ε_α = α·ρ is exact (ρ = Σ_coords W∞²/(2σ²)).
+	KindGaussian = "gaussian"
+)
+
+// DefaultDelta is the δ at which ledgers report their headline (ε, δ)
+// statement when the caller does not configure one.
+const DefaultDelta = 1e-5
+
+// Entry is one recorded release: the validated inputs of Add, and the
+// unit of Snapshot persistence.
+type Entry struct {
+	// Kind is KindPure or KindGaussian.
+	Kind string `json:"kind"`
+	// Mechanism optionally labels the release ("mqm-exact",
+	// "kantorovich", …) for reports; it does not affect accounting.
+	Mechanism string `json:"mechanism,omitempty"`
+	// Eps is the release's configured privacy parameter ε.
+	Eps float64 `json:"eps"`
+	// Delta is the release's configured δ (0 for pure releases).
+	Delta float64 `json:"delta,omitempty"`
+	// Rho is the release's zCDP parameter (Gaussian only): the Rényi
+	// curve is ε_α = α·Rho.
+	Rho float64 `json:"rho,omitempty"`
+}
+
+// EpsAlpha evaluates the entry's Rényi curve at order α > 1.
+func (e Entry) EpsAlpha(alpha float64) float64 {
+	switch e.Kind {
+	case KindGaussian:
+		return alpha * e.Rho
+	default: // KindPure — validate rejects anything else
+		return math.Min(e.Eps, alpha*e.Eps*e.Eps/2)
+	}
+}
+
+// validate rejects entries that no release path could have produced.
+func (e Entry) validate() error {
+	switch e.Kind {
+	case KindPure:
+		if e.Rho != 0 {
+			return fmt.Errorf("accounting: pure entry carries ρ = %v", e.Rho)
+		}
+		if e.Delta != 0 {
+			return fmt.Errorf("accounting: pure entry carries δ = %v", e.Delta)
+		}
+	case KindGaussian:
+		if !(e.Rho > 0) || math.IsInf(e.Rho, 1) {
+			return fmt.Errorf("accounting: gaussian entry has invalid ρ = %v", e.Rho)
+		}
+		if !(e.Delta > 0 && e.Delta < 1) {
+			return fmt.Errorf("accounting: gaussian entry has invalid δ = %v", e.Delta)
+		}
+	default:
+		return fmt.Errorf("accounting: unknown entry kind %q", e.Kind)
+	}
+	if !(e.Eps > 0) || math.IsInf(e.Eps, 1) {
+		return fmt.Errorf("accounting: entry has invalid ε = %v", e.Eps)
+	}
+	return nil
+}
+
+// CurvePoint is one sample of a Rényi curve, for reports.
+type CurvePoint struct {
+	Alpha float64 `json:"alpha"`
+	Eps   float64 `json:"eps"`
+}
+
+// ReportAlphas is the small α sample reports attach per release; the
+// conversion itself runs on the much finer internal grid.
+var ReportAlphas = []float64{2, 4, 8, 16, 32, 64}
+
+// EntryCurve samples an entry's Rényi curve at the given orders.
+func EntryCurve(e Entry, alphas []float64) []CurvePoint {
+	pts := make([]CurvePoint, len(alphas))
+	for i, a := range alphas {
+		pts[i] = CurvePoint{Alpha: a, Eps: e.EpsAlpha(a)}
+	}
+	return pts
+}
+
+// defaultAlphas is the conversion grid: dense where the Gaussian
+// optimum usually lands (small α), geometric beyond so pure-dominated
+// curves (capped at Σε) can ride log(1/δ)/(α−1) down to nothing.
+var defaultAlphas = func() []float64 {
+	var as []float64
+	for a := 1.25; a <= 10; a += 0.25 {
+		as = append(as, a)
+	}
+	for a := 10.5; a <= 64; a += 0.5 {
+		as = append(as, a)
+	}
+	for a := 96.0; a <= 1<<20; a *= 1.5 {
+		as = append(as, a)
+	}
+	return as
+}()
+
+// Ledger accumulates per-release Rényi curves and answers (ε, δ)
+// queries against the running total. The zero value is not usable;
+// construct with NewLedger.
+//
+// The ledger retains one Entry per release so snapshots are a faithful
+// audit trail (Restore re-validates and replays them). Memory and
+// snapshot size therefore grow by a few words per release; a session
+// expected to account millions of releases should be rotated (snapshot
+// + fresh ledger) rather than grown forever.
+type Ledger struct {
+	mu       sync.Mutex
+	delta    float64 // headline δ for TotalEpsilon
+	entries  []Entry
+	epsAlpha []float64 // accumulated curve on defaultAlphas
+	maxEps   float64
+	deltaSum float64
+	memo     map[float64]float64 // δ → optimized ε, cleared on Add
+}
+
+// NewLedger returns an empty ledger whose headline TotalEpsilon
+// reports ε at the given δ (δ <= 0 selects DefaultDelta).
+func NewLedger(delta float64) *Ledger {
+	if !(delta > 0 && delta < 1) {
+		delta = DefaultDelta
+	}
+	return &Ledger{
+		delta:    delta,
+		epsAlpha: make([]float64, len(defaultAlphas)),
+		memo:     map[float64]float64{},
+	}
+}
+
+// Add records one release. Invalid entries are rejected before any
+// state changes, so a ledger never holds a partially applied release.
+func (l *Ledger) Add(e Entry) error {
+	if err := e.validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+	for i, a := range defaultAlphas {
+		l.epsAlpha[i] += e.EpsAlpha(a)
+	}
+	if e.Eps > l.maxEps {
+		l.maxEps = e.Eps
+	}
+	l.deltaSum += e.Delta
+	clear(l.memo)
+	return nil
+}
+
+// AddPure records an ε-Pufferfish release.
+func (l *Ledger) AddPure(mechanism string, eps float64) error {
+	return l.Add(Entry{Kind: KindPure, Mechanism: mechanism, Eps: eps})
+}
+
+// AddGaussian records a Gaussian release with zCDP parameter rho
+// (noise.GaussianRho per coordinate, summed over coordinates) that was
+// calibrated to the per-release target (eps, delta).
+func (l *Ledger) AddGaussian(mechanism string, rho, eps, delta float64) error {
+	return l.Add(Entry{Kind: KindGaussian, Mechanism: mechanism, Eps: eps, Delta: delta, Rho: rho})
+}
+
+// Count returns the number of recorded releases.
+func (l *Ledger) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Delta returns the ledger's headline δ.
+func (l *Ledger) Delta() float64 { return l.delta }
+
+// LinearEpsilon returns the Theorem 4.4 linear bound K·max_k ε_k over
+// the recorded releases (0 before any). For ledgers holding Gaussian
+// entries the bound's δ side is DeltaSum.
+func (l *Ledger) LinearEpsilon() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.linearLocked()
+}
+
+func (l *Ledger) linearLocked() float64 {
+	return float64(len(l.entries)) * l.maxEps
+}
+
+// DeltaSum returns Σ_k δ_k over the recorded releases — the δ at which
+// the linear bound holds.
+func (l *Ledger) DeltaSum() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.deltaSum
+}
+
+// Rho returns the accumulated zCDP parameter of the Gaussian entries
+// (the slope of their joint curve).
+func (l *Ledger) Rho() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var rho float64
+	for _, e := range l.entries {
+		rho += e.Rho
+	}
+	return rho
+}
+
+// Entries returns a copy of the recorded releases in order.
+func (l *Ledger) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Curve samples the accumulated Rényi curve at the given orders (the
+// pointwise sum of the per-release curves).
+func (l *Ledger) Curve(alphas []float64) []CurvePoint {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pts := make([]CurvePoint, len(alphas))
+	for i, a := range alphas {
+		var sum float64
+		for _, e := range l.entries {
+			sum += e.EpsAlpha(a)
+		}
+		pts[i] = CurvePoint{Alpha: a, Eps: sum}
+	}
+	return pts
+}
+
+// Epsilon converts the accumulated curve to an ε valid at the given δ:
+// the α-grid minimum of ε_α + log(1/δ)/(α−1), further capped by the
+// linear Theorem 4.4 bound whenever that bound's δ budget (DeltaSum)
+// fits under δ — which makes a single pure release report exactly its
+// ε, the linear degenerate case. Results are memoized per δ until the
+// next Add. An empty ledger reports 0; an invalid δ reports an error.
+func (l *Ledger) Epsilon(delta float64) (float64, error) {
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("accounting: δ = %v outside (0, 1)", delta)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 {
+		return 0, nil
+	}
+	if eps, ok := l.memo[delta]; ok {
+		return eps, nil
+	}
+	logInvDelta := math.Log(1 / delta)
+	eps := math.Inf(1)
+	for i, a := range defaultAlphas {
+		if v := l.epsAlpha[i] + logInvDelta/(a-1); v < eps {
+			eps = v
+		}
+	}
+	if l.deltaSum <= delta {
+		eps = math.Min(eps, l.linearLocked())
+	}
+	l.memo[delta] = eps
+	return eps, nil
+}
+
+// TotalEpsilon reports Epsilon at the ledger's headline δ, satisfying
+// core.Accountant so a Ledger plugs into core.Composition. The
+// error-free signature is safe: the headline δ is validated at
+// construction.
+func (l *Ledger) TotalEpsilon() float64 {
+	eps, _ := l.Epsilon(l.delta)
+	return eps
+}
+
+// RecordPure satisfies core.Accountant. The caller (Composition)
+// records only releases that already passed ε validation and
+// succeeded; an entry the ledger would reject at that point is a
+// caller bug, reported by panic like any other broken invariant.
+func (l *Ledger) RecordPure(eps float64) {
+	if err := l.AddPure("", eps); err != nil {
+		panic(fmt.Sprintf("accounting: RecordPure(%v): %v", eps, err))
+	}
+}
+
+// Snapshot is the JSON image of a ledger: the headline δ and the
+// entries, from which the curve state is reconstructed on Restore.
+type Snapshot struct {
+	Delta   float64 `json:"delta"`
+	Entries []Entry `json:"entries,omitempty"`
+}
+
+// Snapshot captures the ledger's state.
+func (l *Ledger) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	entries := make([]Entry, len(l.entries))
+	copy(entries, l.entries)
+	return Snapshot{Delta: l.delta, Entries: entries}
+}
+
+// Restore rebuilds a ledger from a snapshot, re-validating every entry
+// so a corrupted or hand-edited file cannot plant accounting state no
+// release path could have produced.
+func Restore(s Snapshot) (*Ledger, error) {
+	l := NewLedger(s.Delta)
+	for i, e := range s.Entries {
+		if err := l.Add(e); err != nil {
+			return nil, fmt.Errorf("accounting: snapshot entry %d: %w", i, err)
+		}
+	}
+	return l, nil
+}

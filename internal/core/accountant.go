@@ -1,0 +1,57 @@
+package core
+
+// Accountant tracks the cumulative privacy loss of a sequence of
+// pure-ε quilt releases. Composition holds one and records every
+// successful release into it, so the composition-theorem arithmetic is
+// a pluggable policy rather than a hard-coded scalar: the default
+// LinearAccountant reproduces Theorem 4.4's K·max ε exactly, and
+// accounting.Ledger substitutes the Rényi curve of Pierquin et al.
+// (arXiv:2312.13985) for a quadratically tighter bound over many
+// releases. Swapping accountants never touches the noise path —
+// releases are bit-identical under every accountant.
+//
+// Every implementation inherits Theorem 4.4's hypothesis: the recorded
+// releases share their active quilt sets (Composition enforces this by
+// pinning the score).
+type Accountant interface {
+	// RecordPure accounts one successful ε-Pufferfish release. Callers
+	// pass only ε values that already passed release validation.
+	RecordPure(eps float64)
+	// TotalEpsilon is the cumulative privacy parameter under this
+	// accountant's composition theorem (0 before any release). For
+	// accountants with a δ (the Rényi ledger), it is the ε of their
+	// headline (ε, δ) statement.
+	TotalEpsilon() float64
+	// Count is the number of releases recorded.
+	Count() int
+}
+
+// LinearAccountant is the Theorem 4.4 accountant: K releases at
+// ε_1 … ε_K compose to K·max_k ε_k. It is Composition's default and
+// reproduces the pre-accountant TotalEpsilon bit for bit.
+type LinearAccountant struct {
+	epsilons []float64
+}
+
+// RecordPure appends one release.
+func (a *LinearAccountant) RecordPure(eps float64) {
+	a.epsilons = append(a.epsilons, eps)
+}
+
+// TotalEpsilon returns K·max_k ε_k (0 before any release).
+func (a *LinearAccountant) TotalEpsilon() float64 {
+	if len(a.epsilons) == 0 {
+		return 0
+	}
+	return float64(len(a.epsilons)) * floatsMax(a.epsilons)
+}
+
+// Count returns the number of recorded releases.
+func (a *LinearAccountant) Count() int { return len(a.epsilons) }
+
+// Epsilons returns the recorded parameters in release order.
+func (a *LinearAccountant) Epsilons() []float64 {
+	out := make([]float64, len(a.epsilons))
+	copy(out, a.epsilons)
+	return out
+}

@@ -26,8 +26,13 @@ type Composition struct {
 	exactOpt ExactOptions
 	useExact bool
 	score    *ChainScore
-	epsilons []float64
-	cache    *ScoreCache
+	// scoreEps is the ε the pinned score was computed at. It is
+	// tracked separately from the release history so a release that
+	// fails after scoring (bad data, overflowing scale) cannot leave a
+	// later release at a different ε running on σ(scoreEps) unrescaled.
+	scoreEps   float64
+	cache      *ScoreCache
+	accountant Accountant
 }
 
 // NewExactComposition returns a composition manager whose releases use
@@ -53,6 +58,32 @@ func NewApproxComposition(class markov.Class) *Composition {
 func (c *Composition) WithCache(cache *ScoreCache) *Composition {
 	c.cache = cache
 	return c
+}
+
+// WithAccountant replaces the composition's privacy accountant and
+// returns the composition for chaining. The default is a
+// LinearAccountant (Theorem 4.4's K·max ε); an accounting.Ledger
+// substitutes Rényi accounting. Swapping accountants never changes the
+// released values — only how the cumulative loss is reported. A nil
+// accountant restores the default. Swapping after releases have been
+// recorded would silently discard privacy history — the unsafe
+// direction for an accountant — so it panics; choose the accountant
+// before the first Release.
+func (c *Composition) WithAccountant(a Accountant) *Composition {
+	if c.accountant != nil && c.accountant.Count() > 0 {
+		panic("core: WithAccountant after releases were recorded would discard privacy history")
+	}
+	c.accountant = a
+	return c
+}
+
+// Accountant returns the composition's accountant, constructing the
+// default LinearAccountant on first use.
+func (c *Composition) Accountant() Accountant {
+	if c.accountant == nil {
+		c.accountant = &LinearAccountant{}
+	}
+	return c.accountant
 }
 
 // Release publishes one more query at privacy parameter eps. All
@@ -85,11 +116,15 @@ func (c *Composition) Release(data []int, q query.Query, eps float64, rng *rand.
 			return Release{}, fmt.Errorf("core: composition inapplicable: σ = ∞")
 		}
 		c.score = &score
+		c.scoreEps = eps
 	}
 	score := *c.score
-	if len(c.epsilons) > 0 && eps != c.epsilons[0] {
+	if eps != c.scoreEps {
 		// Re-score the pinned active quilt at the new ε (Theorem 4.4's
 		// K·max ε_k accounting permits varying ε with fixed quilts).
+		// The guard compares against the ε the score was computed at —
+		// not the first *successful* release's ε — so a first release
+		// that failed after scoring still forces the rescale here.
 		sigma := quiltScore(score.Quilt.CardN(score.Node, c.class.T()), score.Influence, eps)
 		if math.IsInf(sigma, 1) {
 			return Release{}, fmt.Errorf("core: pinned quilt has influence %.4f ≥ ε = %v", score.Influence, eps)
@@ -100,21 +135,17 @@ func (c *Composition) Release(data []int, q query.Query, eps float64, rng *rand.
 	if err != nil {
 		return Release{}, err
 	}
-	c.epsilons = append(c.epsilons, eps)
+	c.Accountant().RecordPure(eps)
 	return rel, nil
 }
 
 // Count returns the number of releases made so far.
-func (c *Composition) Count() int { return len(c.epsilons) }
+func (c *Composition) Count() int { return c.Accountant().Count() }
 
-// TotalEpsilon returns the Theorem 4.4 cumulative privacy parameter
-// K·max_k ε_k for the releases made so far (0 before any release).
-func (c *Composition) TotalEpsilon() float64 {
-	if len(c.epsilons) == 0 {
-		return 0
-	}
-	return float64(len(c.epsilons)) * floatsMax(c.epsilons)
-}
+// TotalEpsilon returns the accountant's cumulative privacy parameter
+// for the releases made so far (0 before any release): K·max_k ε_k
+// under the default Theorem 4.4 LinearAccountant.
+func (c *Composition) TotalEpsilon() float64 { return c.Accountant().TotalEpsilon() }
 
 func floatsMax(xs []float64) float64 {
 	m := xs[0]

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pufferfish/internal/query"
+)
+
+// TestCompositionFailedFirstReleaseRescales is the regression test for
+// the pinned-ε bug: a first Release that fails *after* scoring (bad
+// data) used to pin c.score without any release history, so a second
+// Release at a different ε skipped the rescale guard and went out with
+// σ computed for the failed call's ε — under-noised whenever ε₂ > ε₁.
+// The second release must get σ(ε₂), exactly what a fresh composition
+// at ε₂ releases with.
+func TestCompositionFailedFirstReleaseRescales(t *testing.T) {
+	class := cacheTestClass(t, 0.9, 60)
+	good := make([]int, 60)
+	for i := range good {
+		good[i] = i % 2
+	}
+	bad := append([]int{}, good...)
+	bad[10] = 7 // outside K=2: Evaluate fails after the score is pinned
+	q := query.RelFreqHistogram{K: 2, N: len(good)}
+	// ε₂ < ε₁ is the dangerous direction: σ(ε₁) < σ(ε₂), so skipping
+	// the rescale released with too little noise for ε₂. ε₂ stays
+	// above the pinned quilt's influence so the rescale is feasible.
+	const eps1, eps2 = 2.0, 1.0
+
+	newComp := func(exact bool) *Composition {
+		if exact {
+			return NewExactComposition(class, ExactOptions{})
+		}
+		return NewApproxComposition(class)
+	}
+	for _, exact := range []bool{true, false} {
+		comp := newComp(exact)
+		rng := rand.New(rand.NewPCG(1, 2))
+		if _, err := comp.Release(bad, q, eps1, rng); err == nil {
+			t.Fatal("release of out-of-range data succeeded")
+		}
+		if comp.Count() != 0 {
+			t.Fatalf("failed release was counted: %d", comp.Count())
+		}
+		rel, err := comp.Release(good, q, eps2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The oracle is a composition whose first release *succeeded*
+		// at ε₁ and then rescaled its pinned quilt to ε₂ — the exact
+		// semantics the failed first release must not change. (Noise
+		// values differ — the oracle's rng drew for two releases — so
+		// only the deterministic σ and scale are compared.)
+		oracle := newComp(exact)
+		first, err := oracle.Release(good, q, eps1, rand.New(rand.NewPCG(1, 2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Release(good, q, eps2, rand.New(rand.NewPCG(1, 2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Sigma != want.Sigma || rel.NoiseScale != want.NoiseScale {
+			t.Errorf("exact=%v: after failed first release σ = %v (scale %v), want σ(ε₂) = %v (scale %v)",
+				exact, rel.Sigma, rel.NoiseScale, want.Sigma, want.NoiseScale)
+		}
+		// And σ(ε₂) really is bigger than the σ(ε₁) the bug leaked.
+		if rel.Sigma <= first.Sigma {
+			t.Errorf("exact=%v: σ(ε₂) = %v not above the failed call's σ(ε₁) = %v",
+				exact, rel.Sigma, first.Sigma)
+		}
+		if comp.Count() != 1 || comp.TotalEpsilon() != eps2 {
+			t.Errorf("exact=%v: accounting (K=%d, total=%v), want (1, %v)",
+				exact, comp.Count(), comp.TotalEpsilon(), eps2)
+		}
+	}
+}
+
+// TestCompositionAccountantPluggable: the default accountant is the
+// Theorem 4.4 linear one (pre-accountant TotalEpsilon bit-identical),
+// a custom accountant sees exactly the successful releases, and
+// swapping accountants never changes the released values.
+func TestCompositionAccountantPluggable(t *testing.T) {
+	class := cacheTestClass(t, 0.9, 60)
+	data := make([]int, 60)
+	for i := range data {
+		data[i] = i % 2
+	}
+	q := query.RelFreqHistogram{K: 2, N: len(data)}
+	epsSeq := []float64{1, 0.5, 2}
+
+	run := func(a Accountant) ([][]float64, *Composition) {
+		comp := NewExactComposition(class, ExactOptions{}).WithAccountant(a)
+		rng := rand.New(rand.NewPCG(3, 4))
+		var values [][]float64
+		for _, eps := range epsSeq {
+			rel, err := comp.Release(data, q, eps, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			values = append(values, rel.Values)
+		}
+		return values, comp
+	}
+
+	defValues, defComp := run(nil) // nil restores the default
+	if got, want := defComp.TotalEpsilon(), 3*2.0; got != want {
+		t.Errorf("default accountant total = %v, want %v", got, want)
+	}
+	if _, ok := defComp.Accountant().(*LinearAccountant); !ok {
+		t.Errorf("default accountant is %T, want *LinearAccountant", defComp.Accountant())
+	}
+
+	// Swapping the accountant after releases would discard history —
+	// it must refuse loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("WithAccountant after releases did not panic")
+			}
+		}()
+		defComp.WithAccountant(&LinearAccountant{})
+	}()
+
+	lin := &LinearAccountant{}
+	linValues, linComp := run(lin)
+	if lin.Count() != len(epsSeq) || lin.TotalEpsilon() != 6 {
+		t.Errorf("custom linear accountant recorded (K=%d, total=%v)", lin.Count(), lin.TotalEpsilon())
+	}
+	if got := lin.Epsilons(); len(got) != 3 || got[0] != 1 || got[1] != 0.5 || got[2] != 2 {
+		t.Errorf("recorded epsilons = %v", got)
+	}
+	if linComp.Count() != 3 {
+		t.Errorf("composition count = %d", linComp.Count())
+	}
+	for i := range defValues {
+		for j := range defValues[i] {
+			if defValues[i][j] != linValues[i][j] {
+				t.Fatalf("release %d differs across accountants", i)
+			}
+		}
+	}
+}

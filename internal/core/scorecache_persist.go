@@ -81,9 +81,12 @@ func (sc *ScoreCache) Snapshot() CacheSnapshot {
 // Restore merges a snapshot's entries into the cache (existing entries
 // with equal keys are overwritten; counters are untouched). It rejects
 // snapshots from an unknown format version and entries that could
-// never have been stored (non-finite or non-positive σ / W∞), so a
-// corrupted or hand-edited file cannot plant scores the engine would
-// not compute.
+// never have been stored — non-finite or non-positive σ / W∞, NaN or
+// negative influence, influence at or above the entry's ε (the engine
+// only stores finite σ = card/(ε − infl)), negative ℓ, and
+// out-of-range node/quilt indices — so a corrupted or hand-edited file
+// cannot plant scores the engine would not compute (and a later
+// composition rescale cannot run Quilt.CardN on garbage indices).
 func (sc *ScoreCache) Restore(snap CacheSnapshot) error {
 	if sc == nil {
 		return fmt.Errorf("core: cannot restore into a nil ScoreCache")
@@ -95,11 +98,26 @@ func (sc *ScoreCache) Restore(snap CacheSnapshot) error {
 		if !(e.Sigma > 0) || math.IsInf(e.Sigma, 1) || math.IsNaN(e.Eps) || !(e.Eps > 0) {
 			return fmt.Errorf("core: cache snapshot score %d has invalid σ = %v at ε = %v", i, e.Sigma, e.Eps)
 		}
+		// Influence is a max-influence: finite, ≥ 0, and < ε for every
+		// stored score (σ = card/(ε − e) is only finite below ε). NaN
+		// fails both comparisons, so it is caught here too.
+		if !(e.Influence >= 0) || !(e.Influence < e.Eps) {
+			return fmt.Errorf("core: cache snapshot score %d has invalid influence %v at ε = %v", i, e.Influence, e.Eps)
+		}
+		// Node is 1-based and the quilt offsets / width limit are
+		// non-negative by construction (ChainQuilt's Lemma 4.6 family).
+		if e.Node < 1 || e.QuiltA < 0 || e.QuiltB < 0 || e.Ell < 0 {
+			return fmt.Errorf("core: cache snapshot score %d has invalid quilt indices node=%d A=%d B=%d ℓ=%d",
+				i, e.Node, e.QuiltA, e.QuiltB, e.Ell)
+		}
 	}
 	for i, e := range snap.Cells {
 		p := e.Profile
 		if !(p.WInf >= 0) || math.IsInf(p.WInf, 1) || !(p.W1 >= 0) || p.W1 > p.WInf+1e-9 {
 			return fmt.Errorf("core: cache snapshot cell %d has invalid profile W∞ = %v, W₁ = %v", i, p.WInf, p.W1)
+		}
+		if e.Cell < 0 || p.Pairs < 0 {
+			return fmt.Errorf("core: cache snapshot cell %d has invalid cell index %d (pairs %d)", i, e.Cell, p.Pairs)
 		}
 	}
 	sc.mu.Lock()

@@ -94,11 +94,41 @@ func TestCacheSnapshotRestoreRejectsBadInput(t *testing.T) {
 		"eps": {Version: snapshotVersion, Scores: []ScoreEntry{
 			{Eps: -1, Sigma: 2},
 		}},
+		"nan influence": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: 1, Sigma: 2, Node: 1, Influence: math.NaN()},
+		}},
+		"negative influence": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: 1, Sigma: 2, Node: 1, Influence: -0.25},
+		}},
+		"influence at eps": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: 1, Sigma: 2, Node: 1, Influence: 1},
+		}},
+		"zero node": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: 1, Sigma: 2, Node: 0, Influence: 0.5},
+		}},
+		"negative node": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: 1, Sigma: 2, Node: -3, Influence: 0.5},
+		}},
+		"negative quilt A": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: 1, Sigma: 2, Node: 1, QuiltA: -1, Influence: 0.5},
+		}},
+		"negative quilt B": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: 1, Sigma: 2, Node: 1, QuiltB: -2, Influence: 0.5},
+		}},
+		"negative ell": {Version: snapshotVersion, Scores: []ScoreEntry{
+			{Eps: 1, Sigma: 2, Node: 1, Influence: 0.5, Ell: -1},
+		}},
 		"cell winf": {Version: snapshotVersion, Cells: []CellScoreEntry{
 			{Profile: CellScore{WInf: math.Inf(1)}},
 		}},
 		"cell order": {Version: snapshotVersion, Cells: []CellScoreEntry{
 			{Profile: CellScore{WInf: 1, W1: 2}},
+		}},
+		"negative cell index": {Version: snapshotVersion, Cells: []CellScoreEntry{
+			{Cell: -1, Profile: CellScore{WInf: 1, W1: 0.5}},
+		}},
+		"negative pairs": {Version: snapshotVersion, Cells: []CellScoreEntry{
+			{Cell: 0, Profile: CellScore{WInf: 1, W1: 0.5, Pairs: -4}},
 		}},
 	}
 	for name, snap := range cases {

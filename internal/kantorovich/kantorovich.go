@@ -340,6 +340,24 @@ func AdditiveNoise(kind string, wInf, eps, delta float64) (noise.Additive, error
 	}
 }
 
+// GaussianCountScale calibrates the Gaussian analogue of the
+// mechanism's histogram release: per-coordinate N(0, σ²) noise at the
+// count level, with each of the k cells granted the per-cell budget
+// (ε/k, δ/k) so the joint release composes to (ε, δ) exactly as the
+// Laplace path's ε/k-per-cell split does. wInf is the worst cell's
+// transport bound (max_a W∞(a)); the returned σ is
+//
+//	σ = W∞max · √(2·ln(1.25·k/δ)) · k/ε
+//
+// (noise.GaussianSigma at the per-cell budget). The analytic
+// calibration restricts the per-cell ε/k to (0, 1] and δ/k to (0, 1).
+func GaussianCountScale(wInf, eps, delta float64, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("kantorovich: invalid cell count k = %d", k)
+	}
+	return noise.GaussianSigma(wInf, eps/float64(k), delta/float64(k))
+}
+
 func validate(class markov.Class) error {
 	if class == nil {
 		return errors.New("kantorovich: nil distribution class")

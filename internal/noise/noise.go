@@ -131,6 +131,24 @@ func GaussianSigma(wInf, eps, delta float64) (float64, error) {
 	return wInf * math.Sqrt(2*math.Log(1.25/delta)) / eps, nil
 }
 
+// GaussianRho is the per-coordinate Rényi/zCDP parameter of a
+// Gaussian release under the same W∞ shift-reduction bound that
+// GaussianSigma calibrates to: a scalar released as value + N(0, σ²)
+// whose conditional distributions are within W∞ transport distance
+// wInf satisfies ε_α = α·ρ Rényi Pufferfish privacy at every order
+// α > 1, with ρ = W∞²/(2σ²) (Pierquin et al., arXiv:2312.13985). This
+// is what a release feeds the accounting ledger: unlike the (ε, δ)
+// the σ was calibrated to, the curve composes additively.
+func GaussianRho(wInf, sigma float64) (float64, error) {
+	if !(wInf > 0) || math.IsInf(wInf, 1) {
+		return 0, fmt.Errorf("noise: invalid transport bound W∞ = %v", wInf)
+	}
+	if err := checkScale(sigma, "gaussian"); err != nil {
+		return 0, err
+	}
+	return wInf * wInf / (2 * sigma * sigma), nil
+}
+
 // AddVec returns values + independent noise per coordinate, leaving
 // the input untouched — the vector release step shared by every
 // additive mechanism.

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pufferfish/internal/accounting"
 	"pufferfish/internal/core"
 	"pufferfish/internal/kantorovich"
 	"pufferfish/internal/laplace"
@@ -44,14 +45,32 @@ func Mechanisms() []string {
 	return []string{MechMQMExact, MechMQMApprox, MechKantorovich, MechGroupDP, MechDP}
 }
 
+// Noise backend names accepted by Config.Noise.
+const (
+	NoiseLaplace  = "laplace"
+	NoiseGaussian = "gaussian"
+)
+
 // Config selects the release parameters.
 type Config struct {
 	// Epsilon is the Pufferfish/DP privacy parameter.
 	Epsilon float64
+	// Delta is the δ of the (ε, δ) guarantee when Noise is "gaussian"
+	// (required there, in (0, 1)); it must be 0 for the pure-ε Laplace
+	// backend.
+	Delta float64
 	// K is the number of states; 0 infers max(data)+1.
 	K int
 	// Mechanism is one of the Mech* constants.
 	Mechanism string
+	// Noise selects the additive backend for MechKantorovich: ""
+	// or "laplace" releases with per-coordinate Laplace noise at
+	// k·W∞max/ε (pure ε), "gaussian" with per-coordinate Gaussian
+	// noise at the per-cell (ε/k, δ/k) analytic calibration (the
+	// Pierquin et al. shift-reduction route; its Rényi curve is what
+	// the accounting ledger composes). The quilt and DP mechanisms are
+	// Laplace-only — their σ is a Laplace scale by construction.
+	Noise string
 	// Smoothing is the additive smoothing for the empirical chain.
 	Smoothing float64
 	// Seed drives the Laplace noise.
@@ -64,6 +83,16 @@ type Config struct {
 	// models pay each scoring sweep once; nil disables memoization. The
 	// released values are bit-identical either way.
 	Cache *ScoreCache
+	// Accountant, when set, records this release into the given Rényi
+	// ledger and attaches an Accounting block to the report (the
+	// cumulative (ε, δ) next to the linear Theorem 4.4 bound). It is
+	// purely observational: releases are bit-identical with or without
+	// an accountant for a fixed seed.
+	Accountant *accounting.Ledger
+	// AccountantName labels the report's Accounting block with the
+	// ledger's session name (the serving layer's named accountant
+	// sessions); it does not affect accounting.
+	AccountantName string
 }
 
 // ScoreCache re-exports the engine's score cache so CLI callers can
@@ -75,19 +104,28 @@ func NewScoreCache() *ScoreCache { return core.NewScoreCache() }
 
 // Report is the JSON-serializable release record.
 type Report struct {
-	Mechanism    string        `json:"mechanism"`
-	Epsilon      float64       `json:"epsilon"`
-	K            int           `json:"k"`
-	Observations int           `json:"observations"`
-	Sessions     int           `json:"sessions"`
-	Sigma        float64       `json:"sigma,omitempty"`
-	NoiseScale   float64       `json:"noise_scale"`
-	ActiveQuilt  string        `json:"active_quilt,omitempty"`
-	Histogram    []float64     `json:"histogram"`
-	Model        *markov.Chain `json:"model,omitempty"`
+	Mechanism string  `json:"mechanism"`
+	Epsilon   float64 `json:"epsilon"`
+	// Delta is the δ of the (ε, δ) guarantee (Gaussian noise only).
+	Delta        float64 `json:"delta,omitempty"`
+	K            int     `json:"k"`
+	Observations int     `json:"observations"`
+	Sessions     int     `json:"sessions"`
+	Sigma        float64 `json:"sigma,omitempty"`
+	NoiseScale   float64 `json:"noise_scale"`
+	// Noise names the additive backend ("laplace", "gaussian"); empty
+	// for the DP baselines, whose noise is definitionally Laplace.
+	Noise       string        `json:"noise,omitempty"`
+	ActiveQuilt string        `json:"active_quilt,omitempty"`
+	Histogram   []float64     `json:"histogram"`
+	Model       *markov.Chain `json:"model,omitempty"`
 	// Kantorovich carries the transport diagnostics of MechKantorovich
 	// releases (nil for every other mechanism).
 	Kantorovich *KantorovichReport `json:"kantorovich,omitempty"`
+	// Accounting carries the Rényi ledger's view of this release and
+	// of the cumulative budget. Nil exactly when Config.Accountant is
+	// unset.
+	Accounting *AccountingReport `json:"accounting,omitempty"`
 	// Cache reports the score cache's cumulative hit/miss counters as
 	// of the end of this run. They are cache-wide: a cache shared
 	// across many runs (the intended long-lived-caller setup)
@@ -100,6 +138,36 @@ type Report struct {
 type CacheReport struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+}
+
+// AccountingReport is the Report's privacy-ledger block: how this
+// release entered the Rényi accountant, and where the cumulative
+// budget stands afterwards — the RDP-optimized (ε, δ) next to the
+// linear Theorem 4.4 bound it improves on.
+type AccountingReport struct {
+	// Accountant is the ledger's session name (empty for anonymous
+	// per-run ledgers).
+	Accountant string `json:"accountant,omitempty"`
+	// Kind is how this release entered the ledger: "pure" (Laplace
+	// noise, ε_α = min(ε, αε²/2)) or "gaussian" (ε_α = α·ρ).
+	Kind string `json:"kind"`
+	// Rho is this release's zCDP parameter (Gaussian only).
+	Rho float64 `json:"rho,omitempty"`
+	// Curve samples this release's Rényi curve at accounting.ReportAlphas.
+	Curve []accounting.CurvePoint `json:"curve"`
+	// Releases is the ledger's release count including this one.
+	Releases int `json:"releases"`
+	// LinearEpsilon is the Theorem 4.4 bound K·max_k ε_k, valid at
+	// δ = DeltaSum.
+	LinearEpsilon float64 `json:"linear_epsilon"`
+	// DeltaSum is Σ per-release δ — the linear bound's δ cost.
+	DeltaSum float64 `json:"delta_sum,omitempty"`
+	// Delta is the ledger's headline δ at which RDPEpsilon holds.
+	Delta float64 `json:"delta"`
+	// RDPEpsilon is the accumulated curve's optimized ε at Delta —
+	// never worse than LinearEpsilon where the latter applies, and
+	// quadratically tighter over many Gaussian releases.
+	RDPEpsilon float64 `json:"rdp_epsilon"`
 }
 
 // KantorovichReport is the Report's transport-diagnostics block for
@@ -191,6 +259,21 @@ func Prepare(sessions [][]int, cfg Config) (*Prepared, error) {
 	}
 	if cfg.Epsilon < 0x1p-1022 { // subnormal: even σ = T/ε overflows
 		return nil, fmt.Errorf("release: ε = %v is too small; noise scales overflow", cfg.Epsilon)
+	}
+	switch cfg.Noise {
+	case "", NoiseLaplace:
+		if cfg.Delta != 0 {
+			return nil, fmt.Errorf("release: δ = %v set, but the Laplace backend is pure-ε (δ must be 0)", cfg.Delta)
+		}
+	case NoiseGaussian:
+		if cfg.Mechanism != MechKantorovich {
+			return nil, fmt.Errorf("release: gaussian noise requires mechanism %s (the quilt/DP σ is a Laplace scale)", MechKantorovich)
+		}
+		if !(cfg.Delta > 0 && cfg.Delta < 1) || math.IsNaN(cfg.Delta) {
+			return nil, fmt.Errorf("release: gaussian noise needs δ ∈ (0, 1), got %v", cfg.Delta)
+		}
+	default:
+		return nil, fmt.Errorf("release: unknown noise backend %q (want %s|%s)", cfg.Noise, NoiseLaplace, NoiseGaussian)
 	}
 	if cfg.K != 0 && cfg.K < 2 {
 		return nil, fmt.Errorf("release: configured k = %d, but a state space needs at least 2 states (0 infers from data)", cfg.K)
@@ -284,6 +367,16 @@ func (p *Prepared) Mechanism() string { return p.cfg.Mechanism }
 // engine's pool. The released values are identical at every setting.
 func (p *Prepared) SetParallelism(n int) { p.cfg.Parallelism = n }
 
+// SetAccountant attaches a Rényi ledger (and its session name) after
+// Prepare has validated the request — the hook a serving layer uses so
+// accountant sessions are only ever created for requests that passed
+// validation. Equivalent to setting Config.Accountant/AccountantName
+// up front; the released values are identical either way.
+func (p *Prepared) SetAccountant(led *accounting.Ledger, name string) {
+	p.cfg.Accountant = led
+	p.cfg.AccountantName = name
+}
+
 // Score computes the mechanism's chain score, consulting cfg.Cache
 // (whose methods degrade to the direct scorers when nil). ctx is
 // checked before the sweep starts; a sweep already running is never
@@ -320,6 +413,11 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 	}
 	defer p.snapshotCache(report)
 
+	// Every Laplace path is a pure-ε release in the ledger; the
+	// Gaussian branch below replaces this with its Rényi curve entry.
+	entry := accounting.Entry{
+		Kind: accounting.KindPure, Mechanism: p.cfg.Mechanism, Eps: p.cfg.Epsilon,
+	}
 	switch p.cfg.Mechanism {
 	case MechDP:
 		rel, err := core.LaplaceDP(p.flat, q, p.cfg.Epsilon, rng)
@@ -336,31 +434,68 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 		report.Histogram = rel.Values
 		report.NoiseScale = rel.NoiseScale
 	case MechKantorovich:
-		// Count-level per-coordinate scale is σ = k·W∞max/ε (ε/k per
-		// cell, composed); the released values are relative frequencies
-		// (counts / n), so the scale divides by n alongside them.
 		exact, err := q.Evaluate(p.flat)
 		if err != nil {
 			return nil, err
 		}
-		scale := score.Sigma / float64(p.n)
-		if err := core.ValidateNoiseScale(scale, score.Sigma, p.cfg.Epsilon); err != nil {
-			return nil, err
-		}
-		lap, err := noise.Laplace(scale)
-		if err != nil {
-			return nil, err
-		}
-		report.Histogram = noise.AddVec(exact, lap, rng)
-		report.NoiseScale = scale
-		report.Sigma = score.Sigma
-		report.Model = &p.chain
 		// W∞ is reconstructed from σ = k·W∞/ε; the max with W₁ absorbs
 		// the one-ulp rounding of the round trip so the reported ratio
 		// W₁/W∞ never exceeds 1 (its documented contract).
+		wInf := math.Max(score.Sigma*p.cfg.Epsilon/float64(p.k), score.Influence)
+		if p.cfg.Noise == NoiseGaussian {
+			// Per-coordinate Gaussian noise at the per-cell budget
+			// (ε/k, δ/k); the count-level σ divides by n alongside the
+			// released relative frequencies, exactly like the Laplace
+			// path below.
+			sigmaCount, err := kantorovich.GaussianCountScale(wInf, p.cfg.Epsilon, p.cfg.Delta, p.k)
+			if err != nil {
+				return nil, err
+			}
+			scale := sigmaCount / float64(p.n)
+			if err := core.ValidateNoiseScale(scale, sigmaCount, p.cfg.Epsilon); err != nil {
+				return nil, err
+			}
+			g, err := noise.Gaussian(scale)
+			if err != nil {
+				return nil, err
+			}
+			report.Histogram = noise.AddVec(exact, g, rng)
+			report.NoiseScale = scale
+			report.Sigma = sigmaCount
+			report.Noise = NoiseGaussian
+			report.Delta = p.cfg.Delta
+			// ρ per coordinate under the count-level shift bound W∞max,
+			// summed over the k cells.
+			rhoCoord, err := noise.GaussianRho(wInf, sigmaCount)
+			if err != nil {
+				return nil, err
+			}
+			entry = accounting.Entry{
+				Kind: accounting.KindGaussian, Mechanism: p.cfg.Mechanism,
+				Eps: p.cfg.Epsilon, Delta: p.cfg.Delta, Rho: float64(p.k) * rhoCoord,
+			}
+		} else {
+			// Count-level per-coordinate scale is σ = k·W∞max/ε (ε/k
+			// per cell, composed); the released values are relative
+			// frequencies (counts / n), so the scale divides by n
+			// alongside them.
+			scale := score.Sigma / float64(p.n)
+			if err := core.ValidateNoiseScale(scale, score.Sigma, p.cfg.Epsilon); err != nil {
+				return nil, err
+			}
+			lap, err := noise.Laplace(scale)
+			if err != nil {
+				return nil, err
+			}
+			report.Histogram = noise.AddVec(exact, lap, rng)
+			report.NoiseScale = scale
+			report.Sigma = score.Sigma
+			report.Noise = NoiseLaplace
+		}
+		report.Model = &p.chain
 		report.Kantorovich = &KantorovichReport{
 			Cell: score.Node,
-			WInf: math.Max(score.Sigma*p.cfg.Epsilon/float64(p.k), score.Influence),
+			WInf: wInf,
 			W1:   score.Influence,
 		}
 	default: // MechMQMExact, MechMQMApprox — Prepare validated the name
@@ -375,10 +510,44 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 		report.Histogram = laplace.AddNoise(exact, scale, rng)
 		report.NoiseScale = scale
 		report.Sigma = score.Sigma
+		report.Noise = NoiseLaplace
 		report.ActiveQuilt = fmt.Sprintf("%v @ node %d", score.Quilt, score.Node)
 		report.Model = &p.chain
 	}
+	if err := p.account(report, entry); err != nil {
+		return nil, err
+	}
 	return report, nil
+}
+
+// account records the finished release into cfg.Accountant and fills
+// the report's Accounting block. It runs after the noise is drawn and
+// never touches the rng, so accounted and unaccounted releases are
+// bit-identical for a fixed seed.
+func (p *Prepared) account(report *Report, entry accounting.Entry) error {
+	led := p.cfg.Accountant
+	if led == nil {
+		return nil
+	}
+	if err := led.Add(entry); err != nil {
+		return err
+	}
+	rdp, err := led.Epsilon(led.Delta())
+	if err != nil {
+		return err
+	}
+	report.Accounting = &AccountingReport{
+		Accountant:    p.cfg.AccountantName,
+		Kind:          entry.Kind,
+		Rho:           entry.Rho,
+		Curve:         accounting.EntryCurve(entry, accounting.ReportAlphas),
+		Releases:      led.Count(),
+		LinearEpsilon: led.LinearEpsilon(),
+		DeltaSum:      led.DeltaSum(),
+		Delta:         led.Delta(),
+		RDPEpsilon:    rdp,
+	}
+	return nil
 }
 
 // snapshotCache fills the report's cache block from cfg.Cache,

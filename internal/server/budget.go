@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -58,17 +59,23 @@ func (b *budget) acquire(ctx context.Context, want int) (int, error) {
 	return g, nil
 }
 
-// release returns a grant to the pool and wakes waiters.
+// release returns a grant to the pool and wakes waiters. Returning
+// more workers than were ever granted is a double-release accounting
+// bug in a handler; clamping it silently would mask the bug (and let
+// the semaphore oversubscribe the host on the next acquire), so it
+// panics instead.
 func (b *budget) release(n int) {
 	if n <= 0 {
 		return
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.avail += n
-	if b.avail > b.total {
-		b.avail = b.total
+	outstanding := b.total - b.avail
+	if n > outstanding {
+		panic(fmt.Sprintf("server: budget released %d workers but only %d were granted (double release)",
+			n, outstanding))
 	}
+	b.avail += n
 	b.cond.Broadcast()
 }
 

@@ -93,6 +93,39 @@ func TestBudgetContextCancel(t *testing.T) {
 	}
 }
 
+// TestBudgetDoubleReleasePanics: returning more workers than were
+// granted is a handler accounting bug and must fail loudly, not be
+// clamped into silence.
+func TestBudgetDoubleReleasePanics(t *testing.T) {
+	b := newBudget(4)
+	g, err := b.acquire(context.Background(), 2)
+	if err != nil || g != 2 {
+		t.Fatalf("acquire(2) = (%d, %v)", g, err)
+	}
+	b.release(g) // legitimate
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double release did not panic")
+			}
+		}()
+		b.release(g) // the same grant again: avail would exceed total
+	}()
+	// A single extra worker over the grant must panic too.
+	g, err = b.acquire(context.Background(), 3)
+	if err != nil || g != 3 {
+		t.Fatalf("acquire(3) = (%d, %v)", g, err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-release did not panic")
+			}
+		}()
+		b.release(g + 1)
+	}()
+}
+
 func TestBudgetDefaultsToGOMAXPROCS(t *testing.T) {
 	b := newBudget(0)
 	if b.total != runtime.GOMAXPROCS(0) {

@@ -7,41 +7,92 @@ import (
 	"os"
 	"path/filepath"
 
+	"pufferfish/internal/accounting"
 	"pufferfish/internal/core"
 	"pufferfish/internal/release"
 )
 
-// LoadCacheFile reads a score-cache snapshot written by SaveCacheFile
-// and returns a warmed cache ready for Config.Cache, so a restarted
-// pufferd skips the cold start. A missing file is not an error: it
-// returns a fresh empty cache (first boot).
-func LoadCacheFile(path string) (*release.ScoreCache, error) {
+// snapshotFile is the pufferd -cache-file layout since the accounting
+// ledger landed: the score-cache snapshot next to the named accountant
+// sessions, so a restart resumes both the warm scores and the
+// cumulative privacy budgets. Older files that are a bare
+// core.CacheSnapshot (top-level "version"/"scores" keys) still load —
+// they simply carry no accountants.
+type snapshotFile struct {
+	Cache       core.CacheSnapshot             `json:"cache"`
+	Accountants map[string]accounting.Snapshot `json:"accountants,omitempty"`
+}
+
+// LoadSnapshotFile reads a snapshot written by SaveSnapshotFile (or a
+// pre-accounting cache-only file) and returns a warmed cache plus the
+// restored accountant sessions, ready for Config. A missing file is
+// not an error: it returns a fresh empty cache and no accountants
+// (first boot).
+func LoadSnapshotFile(path string) (*release.ScoreCache, map[string]*accounting.Ledger, error) {
 	cache := release.NewScoreCache()
 	blob, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return cache, nil
+		return cache, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("server: read cache file: %w", err)
+		return nil, nil, fmt.Errorf("server: read cache file: %w", err)
 	}
-	var snap core.CacheSnapshot
-	if err := json.Unmarshal(blob, &snap); err != nil {
-		return nil, fmt.Errorf("server: parse cache file %s: %w", path, err)
+	var sf snapshotFile
+	if err := json.Unmarshal(blob, &sf); err != nil {
+		return nil, nil, fmt.Errorf("server: parse cache file %s: %w", path, err)
 	}
-	if err := cache.Restore(snap); err != nil {
-		return nil, fmt.Errorf("server: restore cache file %s: %w", path, err)
+	if sf.Cache.Version == 0 {
+		// Legacy layout: the whole file is the cache snapshot.
+		if err := json.Unmarshal(blob, &sf.Cache); err != nil {
+			return nil, nil, fmt.Errorf("server: parse cache file %s: %w", path, err)
+		}
+		sf.Accountants = nil
 	}
-	return cache, nil
+	if err := cache.Restore(sf.Cache); err != nil {
+		return nil, nil, fmt.Errorf("server: restore cache file %s: %w", path, err)
+	}
+	var accountants map[string]*accounting.Ledger
+	if len(sf.Accountants) > 0 {
+		accountants = make(map[string]*accounting.Ledger, len(sf.Accountants))
+		for name, snap := range sf.Accountants {
+			led, err := accounting.Restore(snap)
+			if err != nil {
+				return nil, nil, fmt.Errorf("server: restore accountant %q from %s: %w", name, path, err)
+			}
+			accountants[name] = led
+		}
+	}
+	return cache, accountants, nil
 }
 
-// SaveCacheFile writes the cache's snapshot as JSON, atomically (temp
-// file + rename), so a crash mid-write can never truncate a snapshot
-// a future boot would trust.
-func SaveCacheFile(path string, cache *release.ScoreCache) error {
-	blob, err := json.MarshalIndent(cache.Snapshot(), "", "  ")
+// SaveSnapshotFile writes the cache and the accountant sessions as one
+// JSON snapshot, atomically (temp file + rename), so a crash mid-write
+// can never truncate a snapshot a future boot would trust.
+func SaveSnapshotFile(path string, cache *release.ScoreCache, accountants map[string]accounting.Snapshot) error {
+	blob, err := json.MarshalIndent(snapshotFile{
+		Cache:       cache.Snapshot(),
+		Accountants: accountants,
+	}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("server: marshal cache snapshot: %w", err)
 	}
+	return writeFileAtomic(path, blob)
+}
+
+// LoadCacheFile is LoadSnapshotFile without the accountant sessions,
+// kept for callers that only care about the warm score cache.
+func LoadCacheFile(path string) (*release.ScoreCache, error) {
+	cache, _, err := LoadSnapshotFile(path)
+	return cache, err
+}
+
+// SaveCacheFile writes a cache-only snapshot (no accountants).
+func SaveCacheFile(path string, cache *release.ScoreCache) error {
+	return SaveSnapshotFile(path, cache, nil)
+}
+
+// writeFileAtomic writes blob via a synced temp file + rename.
+func writeFileAtomic(path string, blob []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("server: write cache file: %w", err)

@@ -24,10 +24,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"pufferfish/internal/accounting"
 	"pufferfish/internal/core"
 	"pufferfish/internal/kantorovich"
 	"pufferfish/internal/release"
@@ -53,6 +56,10 @@ type Config struct {
 	// Cache is the shared score cache; nil constructs a fresh one.
 	// Passing a pre-warmed cache lets a restart skip the cold start.
 	Cache *release.ScoreCache
+	// Accountants pre-seeds the named accountant sessions (restored
+	// from a pufferd snapshot); nil starts with none. Sessions are
+	// created on demand when a request names a new accountant.
+	Accountants map[string]*accounting.Ledger
 }
 
 // Server carries the shared state of the serving layer. Create one
@@ -68,6 +75,13 @@ type Server struct {
 	// are fixed at construction (one per supported mechanism), so the
 	// map itself is read-only and the values are atomics.
 	byMech map[string]*atomic.Int64
+
+	// accountants holds the named Rényi ledger sessions, created on
+	// first use and kept across requests (and, through the pufferd
+	// snapshot, across restarts). amu guards the map only — each
+	// Ledger is internally synchronized.
+	amu         sync.Mutex
+	accountants map[string]*accounting.Ledger
 
 	// scoringHook, when set, runs after Prepare and before scoring on
 	// every release request. Tests use it to hold a request in flight
@@ -85,12 +99,58 @@ func New(cfg Config) *Server {
 	for _, m := range mechanisms {
 		byMech[m] = new(atomic.Int64)
 	}
-	return &Server{
-		cache:   cache,
-		budget:  newBudget(cfg.Workers),
-		started: time.Now(),
-		byMech:  byMech,
+	accountants := make(map[string]*accounting.Ledger, len(cfg.Accountants))
+	for name, led := range cfg.Accountants {
+		if led != nil {
+			accountants[name] = led
+		}
 	}
+	return &Server{
+		cache:       cache,
+		budget:      newBudget(cfg.Workers),
+		started:     time.Now(),
+		byMech:      byMech,
+		accountants: accountants,
+	}
+}
+
+// maxAccountantSessions bounds the named-session map: sessions are
+// never pruned (they are durable privacy budgets), so without a cap a
+// client could grow server memory and the persisted snapshot without
+// bound by minting fresh names.
+const maxAccountantSessions = 1024
+
+// accountantFor returns the named ledger session, creating it at the
+// default δ on first use. Callers resolve sessions only for requests
+// that already passed Prepare validation, so a rejected request can
+// never mint one.
+func (s *Server) accountantFor(name string) (*accounting.Ledger, error) {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	led, ok := s.accountants[name]
+	if !ok {
+		if len(s.accountants) >= maxAccountantSessions {
+			return nil, fmt.Errorf("accountant session limit (%d) reached; reuse an existing session name", maxAccountantSessions)
+		}
+		led = accounting.NewLedger(accounting.DefaultDelta)
+		s.accountants[name] = led
+	}
+	return led, nil
+}
+
+// AccountantSnapshots captures every named accountant session for
+// persistence, keyed by session name.
+func (s *Server) AccountantSnapshots() map[string]accounting.Snapshot {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	if len(s.accountants) == 0 {
+		return nil
+	}
+	out := make(map[string]accounting.Snapshot, len(s.accountants))
+	for name, led := range s.accountants {
+		out[name] = led.Snapshot()
+	}
+	return out
 }
 
 // Cache returns the server's shared score cache.
@@ -113,14 +173,24 @@ func (s *Server) Handler() http.Handler {
 // the request's worker ask, granted subject to the global budget (the
 // released values are identical at every grant).
 type ReleaseRequest struct {
-	Sessions    [][]int `json:"sessions,omitempty"`
-	Series      string  `json:"series,omitempty"`
-	Epsilon     float64 `json:"epsilon"`
-	K           int     `json:"k,omitempty"`
-	Mechanism   string  `json:"mechanism"`
+	Sessions  [][]int `json:"sessions,omitempty"`
+	Series    string  `json:"series,omitempty"`
+	Epsilon   float64 `json:"epsilon"`
+	Delta     float64 `json:"delta,omitempty"`
+	K         int     `json:"k,omitempty"`
+	Mechanism string  `json:"mechanism"`
+	// Noise selects the additive backend for the kantorovich
+	// mechanism: "laplace" (default) or "gaussian" (requires delta).
+	Noise       string  `json:"noise,omitempty"`
 	Smoothing   float64 `json:"smoothing,omitempty"`
 	Seed        uint64  `json:"seed,omitempty"`
 	Parallelism int     `json:"parallelism,omitempty"`
+	// Accountant names a server-side Rényi ledger session. All
+	// releases naming the same session share one cumulative budget,
+	// surfaced on GET /v1/stats and persisted in the pufferd snapshot;
+	// the response's accounting block reports the session's (ε, δ)
+	// after this release. Empty means unaccounted.
+	Accountant string `json:"accountant,omitempty"`
 }
 
 // BatchRequest is the JSON body of POST /v1/release/batch. The
@@ -156,6 +226,19 @@ type Stats struct {
 		Budget int `json:"budget"`
 		InUse  int `json:"in_use"`
 	} `json:"workers"`
+	// Accountants surfaces every named Rényi ledger session: its
+	// release count and its cumulative budget, the RDP-optimized ε at
+	// the session's δ next to the linear Theorem 4.4 bound.
+	Accountants map[string]AccountantStats `json:"accountants,omitempty"`
+}
+
+// AccountantStats is one named accountant session's /v1/stats entry.
+type AccountantStats struct {
+	Releases      int     `json:"releases"`
+	LinearEpsilon float64 `json:"linear_epsilon"`
+	RDPEpsilon    float64 `json:"rdp_epsilon"`
+	Delta         float64 `json:"delta"`
+	DeltaSum      float64 `json:"delta_sum,omitempty"`
 }
 
 // sessions extracts the parsed sessions from the request body.
@@ -173,11 +256,14 @@ func (r *ReleaseRequest) sessions() ([][]int, error) {
 }
 
 // config maps the request onto release.Config with the shared cache.
+// The accountant session is attached separately, after validation.
 func (r *ReleaseRequest) config(cache *release.ScoreCache) release.Config {
 	return release.Config{
 		Epsilon:     r.Epsilon,
+		Delta:       r.Delta,
 		K:           r.K,
 		Mechanism:   r.Mechanism,
+		Noise:       r.Noise,
 		Smoothing:   r.Smoothing,
 		Seed:        r.Seed,
 		Parallelism: r.Parallelism,
@@ -185,13 +271,27 @@ func (r *ReleaseRequest) config(cache *release.ScoreCache) release.Config {
 	}
 }
 
-// prepare parses and validates one request.
+// prepare parses and validates one request. The named accountant
+// session is resolved (and, on first use, created) only once the
+// request is known to be valid, so failed requests can neither mint
+// garbage sessions nor bloat the persisted snapshot.
 func (s *Server) prepare(req *ReleaseRequest) (*release.Prepared, error) {
 	sessions, err := req.sessions()
 	if err != nil {
 		return nil, err
 	}
-	return release.Prepare(sessions, req.config(s.cache))
+	p, err := release.Prepare(sessions, req.config(s.cache))
+	if err != nil {
+		return nil, err
+	}
+	if req.Accountant != "" {
+		led, err := s.accountantFor(req.Accountant)
+		if err != nil {
+			return nil, err
+		}
+		p.SetAccountant(led, req.Accountant)
+	}
+	return p, nil
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
@@ -280,6 +380,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, p := range prepared {
 		report, err := p.Finish(scores[i])
 		if err != nil {
+			// Earlier members of the batch already charged their
+			// accountant sessions. That is deliberate: their noisy
+			// histograms were computed, and privacy accounting charges
+			// at computation, not delivery — under-counting on a
+			// partial failure would be the unsafe direction. A client
+			// retrying a failed batch with the same session pays again.
 			httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("request %d: %w", i, err))
 			return
 		}
@@ -387,6 +493,32 @@ func (s *Server) Stats() Stats {
 	st.Cache.Entries = s.cache.Len()
 	st.Workers.Budget = s.budget.total
 	st.Workers.InUse = s.budget.inUse()
+	s.amu.Lock()
+	names := make([]string, 0, len(s.accountants))
+	for name := range s.accountants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		st.Accountants = make(map[string]AccountantStats, len(names))
+	}
+	leds := make([]*accounting.Ledger, len(names))
+	for i, name := range names {
+		leds[i] = s.accountants[name]
+	}
+	s.amu.Unlock()
+	// Epsilon conversions run outside amu: they take each ledger's own
+	// lock and can do an α-grid scan on a cold memo.
+	for i, name := range names {
+		led := leds[i]
+		st.Accountants[name] = AccountantStats{
+			Releases:      led.Count(),
+			LinearEpsilon: led.LinearEpsilon(),
+			RDPEpsilon:    led.TotalEpsilon(),
+			Delta:         led.Delta(),
+			DeltaSum:      led.DeltaSum(),
+		}
+	}
 	return st
 }
 

@@ -13,8 +13,10 @@
 //   - mechanisms (this file): Wasserstein, MQMExact, MQMApprox, the
 //     Kantorovich/exponential-mechanism subsystem (per-cell transport
 //     profiles, exponential mechanism, Laplace/Gaussian additive
-//     noise), the generic Bayesian-network mechanism, composition,
-//     robustness, baselines, and the analytic privacy verifier;
+//     noise), the Rényi accounting ledger and pluggable composition
+//     accountants, the generic Bayesian-network mechanism,
+//     composition, robustness, baselines, and the analytic privacy
+//     verifier;
 //   - chain.go: Markov chains and distribution classes Θ;
 //   - query.go: L1-Lipschitz queries;
 //   - data.go: the flu / physical-activity / electricity substrates
@@ -26,6 +28,7 @@ package pufferfish
 import (
 	"math/rand/v2"
 
+	"pufferfish/internal/accounting"
 	"pufferfish/internal/bayes"
 	"pufferfish/internal/core"
 	"pufferfish/internal/dist"
@@ -314,6 +317,48 @@ func NewExactComposition(class Class, opt ExactOptions) *Composition {
 
 // NewApproxComposition returns a composition manager using MQMApprox.
 func NewApproxComposition(class Class) *Composition { return core.NewApproxComposition(class) }
+
+// Accountant tracks the cumulative privacy loss of a composition: the
+// pluggable policy behind Composition.TotalEpsilon.
+type Accountant = core.Accountant
+
+// LinearAccountant is the Theorem 4.4 accountant (K·max_k ε_k),
+// Composition's default.
+type LinearAccountant = core.LinearAccountant
+
+// Ledger is the Rényi/zCDP privacy ledger (Pierquin et al., "Rényi
+// Pufferfish Privacy"): per-release Rényi curves composed additively
+// in α-divergence and converted to an (ε, δ) statement on demand —
+// quadratically tighter than linear accounting over many Gaussian
+// releases, and never worse than the applicable linear bound. It
+// satisfies Accountant, so it plugs into Composition.WithAccountant.
+type Ledger = accounting.Ledger
+
+// LedgerEntry is one recorded release of a Ledger.
+type LedgerEntry = accounting.Entry
+
+// CurvePoint is one (α, ε_α) sample of a Rényi curve.
+type CurvePoint = accounting.CurvePoint
+
+// LedgerSnapshot is the JSON image of a Ledger for persistence.
+type LedgerSnapshot = accounting.Snapshot
+
+// DefaultAccountingDelta is the δ ledgers report at when unconfigured.
+const DefaultAccountingDelta = accounting.DefaultDelta
+
+// NewLedger returns an empty accounting ledger whose headline
+// TotalEpsilon reports ε at the given δ (δ <= 0 selects
+// DefaultAccountingDelta).
+func NewLedger(delta float64) *Ledger { return accounting.NewLedger(delta) }
+
+// RestoreLedger rebuilds a ledger from a snapshot, re-validating every
+// entry.
+func RestoreLedger(s LedgerSnapshot) (*Ledger, error) { return accounting.Restore(s) }
+
+// GaussianRho is the per-coordinate zCDP parameter ρ = W∞²/(2σ²) of a
+// Gaussian release under the shift-reduction bound — what a release
+// feeds the Ledger.
+func GaussianRho(wInf, sigma float64) (float64, error) { return noise.GaussianRho(wInf, sigma) }
 
 // BeliefInstance feeds Theorem 2.4's robustness computation.
 type BeliefInstance = core.BeliefInstance
