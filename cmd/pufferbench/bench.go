@@ -35,9 +35,18 @@ type benchEntry struct {
 
 // benchReport is the machine-readable perf snapshot tracked across PRs.
 type benchReport struct {
-	GoMaxProcs int          `json:"go_max_procs"`
-	Quick      bool         `json:"quick"`
-	Benchmarks []benchEntry `json:"benchmarks"`
+	GoMaxProcs int `json:"go_max_procs"`
+	// RequestedProcs echoes the -procs flag (0 = runtime default); CI
+	// lanes pin it so a report says which configuration produced it.
+	RequestedProcs int  `json:"requested_procs,omitempty"`
+	Quick          bool `json:"quick"`
+	// ParallelMeasurementValid is false when the run had a single
+	// effective CPU: the serial/parallel pairs then measure scheduler
+	// overhead, not parallel speedup, and speedup_vs_serial must not be
+	// read as a parallelism result. The checkparallel gate refuses such
+	// reports.
+	ParallelMeasurementValid bool         `json:"parallel_measurement_valid"`
+	Benchmarks               []benchEntry `json:"benchmarks"`
 	// Accounting records the privacy-budget outcome of the repeated
 	// Gaussian-release workload: the Rényi ledger's (ε, δ) next to the
 	// linear Theorem 4.4 bound it tightens. The bench fails when the
@@ -63,7 +72,10 @@ type accountingSummary struct {
 // sub-benchmarks so `go test -bench` and this command track the same
 // quantities; the serial/parallel workload names are shared with
 // BENCH_1.json so `pufferbench compare` can track the trajectory.
-func runBench(quick bool, out string) error {
+func runBench(quick bool, out string, procs int) error {
+	if procs > 0 {
+		runtime.GOMAXPROCS(procs)
+	}
 	exactT, approxT, wassT, powT := 2000, 2000, 36, 50_000
 	compT, compReleases, batchT := 2000, 100, 500
 	kantT, kantReleases := 100, 12
@@ -102,6 +114,10 @@ func runBench(quick bool, out string) error {
 	if err != nil {
 		return err
 	}
+	powClassT1, err := markov.NewSingleton(powChain, powT+1)
+	if err != nil {
+		return err
+	}
 
 	kantClass, err := markov.NewFinite([]markov.Chain{markov.BinaryChain(0.5, 0.85, 0.8)}, kantT)
 	if err != nil {
@@ -137,7 +153,15 @@ func runBench(quick bool, out string) error {
 		}},
 	}
 
-	report := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Quick: quick}
+	report := benchReport{
+		GoMaxProcs:               runtime.GOMAXPROCS(0),
+		RequestedProcs:           procs,
+		Quick:                    quick,
+		ParallelMeasurementValid: runtime.GOMAXPROCS(0) > 1,
+	}
+	if !report.ParallelMeasurementValid {
+		fmt.Println("warning: GOMAXPROCS=1 — serial/parallel pairs measure scheduler overhead, not speedup; parallel_measurement_valid=false")
+	}
 	for _, c := range cases {
 		var runErr error
 		measure := func(parallelism int) testing.BenchmarkResult {
@@ -265,6 +289,20 @@ func runBench(quick bool, out string) error {
 		return err
 	}
 
+	// Incremental-length workload: the streaming regime where a model
+	// already scored at length T is re-scored at T+1 as an observation
+	// arrives. The cold baseline rebuilds every influence table from
+	// scratch; the incremental variant scores against a cache warmed at
+	// length T, so only table rows the longer chain newly needs are
+	// computed. Per-iteration ε jitter (≤ 1 part in 10⁹) keeps the
+	// score-level fingerprint memo from short-circuiting the scorer, so
+	// the pair measures the table layer, not the memo.
+	incCache := core.NewScoreCache()
+	if _, err := incCache.ExactScore(powClass, 1, core.ExactOptions{Parallelism: 1}); err != nil {
+		return err
+	}
+	incIter := 0
+
 	pairs := []struct {
 		name              string
 		baseline, variant string
@@ -281,6 +319,18 @@ func runBench(quick bool, out string) error {
 		{"CompositionRepeatedRelease", "uncached", "cached",
 			func() error { return compositionLoop(nil) },
 			func() error { return compositionLoop(core.NewScoreCache()) },
+		},
+		{"ExactScoreIncremental", "cold", "extend",
+			func() error {
+				_, err := core.ExactScore(powClassT1, 1, core.ExactOptions{Parallelism: 1})
+				return err
+			},
+			func() error {
+				incIter++
+				eps := 1 + float64(incIter%1024)*1e-12
+				_, err := incCache.ExactScore(powClassT1, eps, core.ExactOptions{Parallelism: 1})
+				return err
+			},
 		},
 		{"ScoreBatchDup8", "individual", "batch",
 			func() error {

@@ -64,6 +64,46 @@ func runCompare(oldPath, newPath string, tol float64) error {
 	return nil
 }
 
+// runCheckParallel is the CI multi-core gate. It loads a bench report
+// and fails unless (a) the run was taken with more than one effective
+// CPU — parallel_measurement_valid — and (b) the best speedup_vs_serial
+// across the serial/parallel pairs reaches min. Single-core hosts must
+// never pass: their "speedups" are scheduler noise, and a gate that
+// accepted them would certify parallelism that was never measured.
+func runCheckParallel(path string, min float64) error {
+	rep, err := readBenchReport(path)
+	if err != nil {
+		return err
+	}
+	if !rep.ParallelMeasurementValid {
+		return fmt.Errorf("checkparallel: %s: parallel_measurement_valid=false (go_max_procs=%d) — rerun with -procs > 1 on a multi-core host",
+			path, rep.GoMaxProcs)
+	}
+	best, bestName, pairs := 0.0, "", 0
+	for _, e := range rep.Benchmarks {
+		if e.SpeedupVsSerial == 0 {
+			continue
+		}
+		if err := checkNsPerOp(path, e.Name, e.NsPerOp); err != nil {
+			return err
+		}
+		pairs++
+		if e.SpeedupVsSerial > best {
+			best, bestName = e.SpeedupVsSerial, e.Name
+		}
+		fmt.Printf("%-36s %6.2fx vs serial\n", e.Name, e.SpeedupVsSerial)
+	}
+	if pairs == 0 {
+		return fmt.Errorf("checkparallel: %s: no serial/parallel pairs in report", path)
+	}
+	if best < min {
+		return fmt.Errorf("checkparallel: %s: best speedup_vs_serial %.2fx (%s) below required %.2fx",
+			path, best, bestName, min)
+	}
+	fmt.Printf("checkparallel: ok — %s reaches %.2fx (≥ %.2fx) at GOMAXPROCS=%d\n", bestName, best, min, rep.GoMaxProcs)
+	return nil
+}
+
 // checkNsPerOp rejects measurements no real benchmark produces.
 func checkNsPerOp(path, name string, ns float64) error {
 	if !(ns > 0) || math.IsInf(ns, 1) {

@@ -9,8 +9,9 @@
 //	pufferbench table2   [flags]          # Table 2
 //	pufferbench table3   [flags]          # Table 3
 //	pufferbench all      [flags]          # everything above
-//	pufferbench bench    [flags]          # scoring-engine micro-benchmarks → BENCH_4.json
+//	pufferbench bench    [flags]          # scoring-engine micro-benchmarks → BENCH_5.json
 //	pufferbench compare OLD NEW [-tol F]  # fail on ns/op regressions between two reports
+//	pufferbench checkparallel REPORT      # fail unless a report shows real multi-core speedup
 //	pufferbench serve    [flags]          # serving-layer load smoke (in-process pufferd)
 //
 // Every table/figure command accepts -quick for a reduced-size run
@@ -19,12 +20,18 @@
 // count (0 = all CPUs, 1 = serial; results are identical either way).
 // The activity commands additionally accept -cache to memoize quilt
 // scores across the run (results identical either way). The bench
-// command accepts -quick and -o only: it always measures each workload
-// at both parallelism 1 and all-CPUs, so -parallel does not apply.
+// command accepts -quick, -o, and -procs: it always measures each
+// workload at both parallelism 1 and all-CPUs, so -parallel does not
+// apply, but -procs pins GOMAXPROCS for the whole run (recorded in the
+// report; a GOMAXPROCS=1 run is marked parallel_measurement_valid:
+// false because its serial/parallel pairs cannot show real speedup).
 // compare exits non-zero when any benchmark present in both reports
 // regressed in ns/op by more than -tol (default 0.15); corrupt reports
 // (non-positive or non-finite ns/op on a shared benchmark) are an
-// explicit error, never a silent pass. serve starts an in-process
+// explicit error, never a silent pass. checkparallel is the CI
+// multi-core gate: it fails unless the report was taken with
+// GOMAXPROCS > 1 and at least one sweep workload's speedup_vs_serial
+// meets -min (default 1.05). serve starts an in-process
 // release server, drives concurrent warm-cache traffic over one
 // model (-parallel bounds the server's global worker budget), and
 // fails unless every response is bit-identical to release.Run and the
@@ -52,8 +59,10 @@ func main() {
 	csv := fs.Bool("csv", false, "plot-ready CSV output (fig4top only)")
 	parallel := fs.Int("parallel", 0, "scoring-engine workers (0 = all CPUs, 1 = serial)")
 	useCache := fs.Bool("cache", false, "memoize quilt scores across the run (activity commands; results identical either way)")
-	benchOut := fs.String("o", "BENCH_4.json", "output path (bench only)")
+	benchOut := fs.String("o", "BENCH_5.json", "output path (bench only)")
+	procs := fs.Int("procs", 0, "pin GOMAXPROCS for the run (bench only; 0 = runtime default)")
 	tol := fs.Float64("tol", 0.15, "allowed ns/op regression fraction (compare only)")
+	minSpeedup := fs.Float64("min", 1.05, "required best speedup_vs_serial (checkparallel only)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -79,7 +88,7 @@ func main() {
 	case "all":
 		err = runAll(*quick, *seed, *trials, *parallel, cache)
 	case "bench":
-		err = runBench(*quick, *benchOut)
+		err = runBench(*quick, *benchOut, *procs)
 	case "serve":
 		err = runServe(*quick, *seed, *parallel)
 	case "compare":
@@ -89,6 +98,13 @@ func main() {
 			os.Exit(2)
 		}
 		err = runCompare(args[0], args[1], *tol)
+	case "checkparallel":
+		args := fs.Args()
+		if len(args) != 1 {
+			usage()
+			os.Exit(2)
+		}
+		err = runCheckParallel(args[0], *minSpeedup)
 	default:
 		usage()
 		os.Exit(2)
@@ -101,8 +117,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pufferbench <examples|fig4top|fig4bottom|table1|table2|table3|all> [-quick] [-seed N] [-trials N] [-parallel N] [-cache]
-       pufferbench bench [-quick] [-o FILE]
+       pufferbench bench [-quick] [-o FILE] [-procs N]
        pufferbench compare [-tol F] OLD.json NEW.json
+       pufferbench checkparallel [-min F] REPORT.json
        pufferbench serve [-quick] [-seed N] [-parallel N]`)
 }
 

@@ -58,6 +58,38 @@ func (ib influenceBound) bound(q ChainQuilt) float64 {
 	}
 }
 
+// sideTable memoizes sideTerm(t) for t = 1…ℓ. The closed-form sweep
+// evaluates the same ≤ ℓ distinct side terms for every (node, quilt)
+// pair, so one exp+log per distinct t replaces two transcendentals per
+// candidate quilt — the bound evaluation becomes a table add.
+type sideTable struct {
+	side []float64 // side[t-1] = sideTerm(t)
+}
+
+func newSideTable(ib influenceBound, ell int) sideTable {
+	s := make([]float64, ell)
+	for t := 1; t <= ell; t++ {
+		s[t-1] = ib.sideTerm(t)
+	}
+	return sideTable{side: s}
+}
+
+// bound is influenceBound.bound served from the table; quilt offsets
+// are ≤ ℓ by the sweep's loop bounds. The addition order matches the
+// direct form exactly, so the scores are bit-identical.
+func (st sideTable) bound(q ChainQuilt) float64 {
+	switch {
+	case q.Trivial():
+		return 0
+	case q.A > 0 && q.B > 0:
+		return st.side[q.B-1] + 2*st.side[q.A-1]
+	case q.A > 0:
+		return 2 * st.side[q.A-1]
+	default:
+		return st.side[q.B-1]
+	}
+}
+
 // aStar returns a* = 2·⌈log((e^{ε/6}+1)/(e^{ε/6}−1)·(1/π^min))/g⌉
 // from Lemma 4.9.
 func (ib influenceBound) aStar(eps float64) int {
@@ -109,6 +141,7 @@ func ApproxScore(class markov.Class, eps float64, opt ApproxOptions) (ChainScore
 		ell = T
 	}
 
+	st := newSideTable(ib, ell)
 	if !opt.ForceFullSweep {
 		// Lemma 4.9 / Lemma C.4 fast path: whenever the middle node's
 		// optimal quilt is an interior two-sided quilt, σ_max equals
@@ -116,7 +149,7 @@ func ApproxScore(class markov.Class, eps float64, opt ApproxOptions) (ChainScore
 		// Lemma C.4's replacement argument applies for any T, and
 		// Lemma 4.9 guarantees the condition holds once T ≥ 8a*).
 		mid := (T + 1) / 2
-		sigma, quilt, infl := approxNodeScore(ib, mid, T, ell, eps)
+		sigma, quilt, infl := approxNodeScore(st, mid, T, ell, eps)
 		if quilt.A > 0 && quilt.B > 0 {
 			return ChainScore{Sigma: sigma, Node: mid, Quilt: quilt, Influence: infl, Ell: ell}, nil
 		}
@@ -129,7 +162,7 @@ func ApproxScore(class markov.Class, eps float64, opt ApproxOptions) (ChainScore
 		func(start, end int) ChainScore {
 			local := ChainScore{Sigma: math.Inf(-1), Ell: ell}
 			for i := start + 1; i <= end; i++ { // nodes are 1-based
-				sigma, quilt, infl := approxNodeScore(ib, i, T, ell, eps)
+				sigma, quilt, infl := approxNodeScore(st, i, T, ell, eps)
 				if sigma > local.Sigma {
 					local = ChainScore{Sigma: sigma, Node: i, Quilt: quilt, Influence: infl, Ell: ell}
 				}
@@ -141,32 +174,49 @@ func ApproxScore(class markov.Class, eps float64, opt ApproxOptions) (ChainScore
 }
 
 // approxNodeScore returns σ_i = min over Lemma 4.6 quilts with
-// card(X_N) ≤ ℓ (plus trivial) of the bound-based score.
-func approxNodeScore(ib influenceBound, i, T, ell int, eps float64) (float64, ChainQuilt, float64) {
-	bestSigma := math.Inf(1)
-	var bestQuilt ChainQuilt
-	var bestInfl float64
-	consider := func(q ChainQuilt) {
-		card := q.CardN(i, T)
-		if !q.Trivial() && card > ell {
-			return
-		}
-		infl := ib.bound(q)
-		if s := quiltScore(card, infl, eps); s < bestSigma {
-			bestSigma = s
-			bestQuilt = q
-			bestInfl = infl
-		}
-	}
-	consider(ChainQuilt{})
+// card(X_N) ≤ ℓ (plus trivial) of the bound-based score. Like the
+// exact scorer it prunes on the card/ε score floor (every bound is
+// ≥ 0, so a quilt scores at least card/ε): pruned quilts provably
+// score ≥ the running minimum and ties keep the earlier quilt, so the
+// selected triple matches the exhaustive loop's exactly.
+func approxNodeScore(st sideTable, i, T, ell int, eps float64) (float64, ChainQuilt, float64) {
+	// Trivial quilt (bound 0, score T/ε) seeds the minimum.
+	bestSigma := quiltScore(T, 0, eps)
+	bestQuilt := ChainQuilt{}
+	bestInfl := 0.0
 	for a := 1; a <= i-1 && a <= ell; a++ {
-		consider(ChainQuilt{A: a})
+		// Both remaining card floors grow with a; once neither can beat
+		// the incumbent, stop.
+		if float64(a)/eps >= bestSigma && float64(T-i+a)/eps >= bestSigma {
+			break
+		}
+		if card := T - i + a; card <= ell && float64(card)/eps < bestSigma {
+			infl := 2 * st.side[a-1] // left-only quilt {X_{i−a}}
+			if s := quiltScore(card, infl, eps); s < bestSigma {
+				bestSigma, bestQuilt, bestInfl = s, ChainQuilt{A: a}, infl
+			}
+		}
+		sa2 := 2 * st.side[a-1]
 		for b := 1; b <= T-i && a+b-1 <= ell; b++ {
-			consider(ChainQuilt{A: a, B: b})
+			card := a + b - 1
+			if float64(card)/eps >= bestSigma {
+				break // card grows with b
+			}
+			infl := st.side[b-1] + sa2
+			if s := quiltScore(card, infl, eps); s < bestSigma {
+				bestSigma, bestQuilt, bestInfl = s, ChainQuilt{A: a, B: b}, infl
+			}
 		}
 	}
 	for b := 1; b <= T-i && i+b-1 <= ell; b++ {
-		consider(ChainQuilt{B: b})
+		card := i + b - 1
+		if float64(card)/eps >= bestSigma {
+			break // card grows with b
+		}
+		infl := st.side[b-1] // right-only quilt {X_{i+b}}
+		if s := quiltScore(card, infl, eps); s < bestSigma {
+			bestSigma, bestQuilt, bestInfl = s, ChainQuilt{B: b}, infl
+		}
 	}
 	return bestSigma, bestQuilt, bestInfl
 }

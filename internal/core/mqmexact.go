@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"pufferfish/internal/floats"
 	"pufferfish/internal/markov"
@@ -180,48 +181,53 @@ func maxChainScore(acc, v ChainScore) ChainScore {
 // exactScorer holds the per-θ dynamic-programming tables of
 // Section 4.4.1: fwd[j][x*k+x'] = max_y log P^j(x,y)/P^j(x',y) and
 // bwd[j][x*k+x'] = max_y log P^j(y,x)/P^j(y,x'), plus node marginals.
+// The tables are views into the persistent per-matrix
+// matrix.InfluenceCache, which evaluates them in the log domain
+// (log p − log q instead of log(p/q)) from an element-wise log table of
+// each power — O(k²) transcendentals per power instead of O(k³).
+//
+// Error bound for the log-domain kernel: for finite entries both
+// evaluations round the same real number log(p/q) with |p, q| > 0, and
+//
+//	|fl(fl(log p) − fl(log q)) − log(p/q)| ≤ u·(1 + |log p| + |log q|) + O(u²)
+//
+// with u = 2⁻⁵³ unit roundoff (one rounding per log, one per subtract),
+// while the direct kernel satisfies |fl(log(fl(p/q))) − log(p/q)| ≤
+// u·(1 + |log(p/q)|) + O(u²). Both are within B = 2u·(1 + 2·L) of the
+// exact value, where L = max |log| of any positive matrix entry (or
+// marginal), so the two kernels differ by at most 2B per table entry.
+// An influence is a max over pairs of a sum of at most three table
+// entries (t1 + bwd + fwd), the max is 1-Lipschitz in sup-norm, and
+// ±Inf entries agree exactly by construction, hence
+//
+//	|influence_new − influence_old| ≤ 6B = 12u·(1 + 2L),
+//
+// a few ulps of the stored logs. The kernel-accuracy tests
+// (mqmexact_kernel_test.go) pin this margin on every substrate and
+// additionally assert the released influence never drops below the
+// direct kernel's value by more than the margin, so the noise scale
+// stays conservative up to provable rounding error.
 type exactScorer struct {
-	T, k     int
-	allInits bool
-	fwd, bwd [][]float64 // index j−1
-	marg     [][]float64 // node marginals (1-based node i → marg[i−1])
+	T, k           int
+	allInits       bool
+	fwd, bwd       [][]float64 // index j−1, views into the InfluenceCache
+	fwdArg, bwdArg []int32     // per-row off-diagonal argmax (prune probes)
+	marg           [][]float64 // node marginals (1-based node i → marg[i−1])
 }
 
 func newExactScorer(theta markov.Chain, T, k, maxPow int, allInits bool, pool sched.Pool, pcs *powerCacheSet) *exactScorer {
 	sc := &exactScorer{T: T, k: k, allInits: allInits}
-	// The powers P^1 … P^maxPow are a sequential recurrence, so the
-	// cache builds them serially (in-place, two allocations for the
-	// whole table); the per-power max-ratio extraction is embarrassingly
-	// parallel and fans across the pool, each worker writing disjoint
-	// slab rows. The cache comes from the shared set, so θ with equal
-	// transition matrices (within a class or across a batch) build the
-	// power table once.
-	pc := pcs.get(theta.P)
-	pc.Grow(maxPow)
-	sc.fwd = make([][]float64, maxPow)
-	sc.bwd = make([][]float64, maxPow)
-	slab := make([]float64, 2*maxPow*k*k)
-	for j := 0; j < maxPow; j++ {
-		sc.fwd[j] = slab[(2*j)*k*k : (2*j+1)*k*k]
-		sc.bwd[j] = slab[(2*j+1)*k*k : (2*j+2)*k*k]
-	}
-	pool.ForEach(maxPow, func(jm1 int) {
-		pj := pc.Pow(jm1 + 1)
-		f, b := sc.fwd[jm1], sc.bwd[jm1]
-		for x := 0; x < k; x++ {
-			for xp := 0; xp < k; xp++ {
-				fbest, bbest := math.Inf(-1), math.Inf(-1)
-				for y := 0; y < k; y++ {
-					fbest = math.Max(fbest, logRatio(pj.At(x, y), pj.At(xp, y)))
-					bbest = math.Max(bbest, logRatio(pj.At(y, x), pj.At(y, xp)))
-				}
-				f[x*k+xp] = fbest
-				b[x*k+xp] = bbest
-			}
-		}
-	})
+	// Derived tables come from the shared per-matrix set, so θ with
+	// equal transition matrices (within a class, across a batch, or
+	// across releases through a persistent ScoreCache) build each power
+	// row once; scoring T+1 after T only computes the new rows. The
+	// power recurrence itself is sequential; the per-power row builds
+	// fan across the pool.
+	tab := pcs.tables(theta.P)
+	tab.ic.Grow(maxPow, pool)
+	sc.fwd, sc.bwd, sc.fwdArg, sc.bwdArg = tab.ic.Tables(maxPow)
 	if !allInits {
-		sc.marg = theta.Marginals(T)
+		sc.marg = tab.marginals(theta, T)
 	}
 	return sc
 }
@@ -265,6 +271,12 @@ func (sc *exactScorer) term1(i, x, xp int) (float64, bool) {
 // influence returns the exact max-influence e_{θ}(X_Q | X_i) of quilt
 // (a, b) on node i via decomposition (5). ok=false means node i has at
 // most one admissible value, hence nothing to protect.
+//
+// This is the reference evaluation; nodeScore runs the equivalent fused
+// kernel (fillT1 + maxSum over contiguous slabs) instead. The only
+// arithmetic difference is term1's log(m[x']/m[x]) versus the fused
+// path's log m[x'] − log m[x], covered by the error bound documented on
+// exactScorer. Tests use this form to cross-check the fused sweep.
 func (sc *exactScorer) influence(i int, q ChainQuilt, eps float64) (infl float64, ok bool) {
 	if q.Trivial() {
 		// Still require at least two admissible secrets at node i.
@@ -328,44 +340,254 @@ func (sc *exactScorer) hasPair(i int) bool {
 	return count >= 2
 }
 
+// fillT1 builds the per-node pair slabs the fused influence kernel
+// consumes: t1[x*k+x'] is the marginal log-ratio term of decomposition
+// (5) — log m_i(x') − log m_i(x), or the Appendix C.4 backward
+// supremum when the class pairs all initial distributions — and
+// adm[x*k+x'] is 0 for admissible ordered pairs. Diagonal and
+// inadmissible entries are −Inf in both, so a fused max-add sweep skips
+// them for free (−Inf and NaN sums never win a `>` fold). The −Inf
+// must be explicit: computing log m(x') − log m(x) at an inadmissible
+// pair with m(x) = 0 < m(x') would manufacture a spurious +Inf.
+func (sc *exactScorer) fillT1(i int, t1, adm []float64) {
+	k := sc.k
+	ninf := math.Inf(-1)
+	if sc.allInits {
+		for p := range adm {
+			adm[p] = 0
+		}
+		for x := 0; x < k; x++ {
+			adm[x*k+x] = ninf
+		}
+		if i == 1 {
+			// The initial distribution itself is the marginal; the
+			// supremum of log q(x')/q(x) over the open simplex is +Inf.
+			// No left quilt exists at i = 1 (a ≤ i−1 = 0), so t1 is
+			// never read; fill it consistently anyway.
+			for p := range t1 {
+				t1[p] = math.Inf(1)
+			}
+			for x := 0; x < k; x++ {
+				t1[x*k+x] = ninf
+			}
+			return
+		}
+		row := sc.bwd[i-2] // t1(x, x') = bwd^{i−1}[x'*k+x] (transposed)
+		for x := 0; x < k; x++ {
+			trow := t1[x*k : (x+1)*k]
+			for xp := range trow {
+				trow[xp] = row[xp*k+x]
+			}
+			trow[x] = ninf
+		}
+		return
+	}
+	m := sc.marg[i-1]
+	lm := t1[:k] // reuse the slab head as log-marginal scratch; t1 is filled below
+	for x, mx := range m {
+		if mx > 0 {
+			lm[x] = math.Log(mx)
+		} else {
+			lm[x] = math.NaN()
+		}
+	}
+	// Fill back-to-front so lm (aliased to t1[:k]) is consumed before
+	// row 0 overwrites it; row x only reads lm, never earlier t1 rows.
+	for x := k - 1; x >= 0; x-- {
+		lx := lm[x]
+		trow := t1[x*k : (x+1)*k]
+		arow := adm[x*k : (x+1)*k]
+		if math.IsNaN(lx) {
+			for p := range trow {
+				trow[p] = ninf
+				arow[p] = ninf
+			}
+			continue
+		}
+		for xp := range trow {
+			lxp := lm[xp]
+			if math.IsNaN(lxp) {
+				trow[xp] = ninf
+				arow[xp] = ninf
+				continue
+			}
+			trow[xp] = lxp - lx
+			arow[xp] = 0
+		}
+		trow[x] = ninf
+		arow[x] = ninf
+	}
+}
+
+// maxSum2 returns max_p a[p]+b[p] with a `>` fold, so NaN and −Inf
+// entries (inadmissible pairs, zero-probability transitions) never win.
+func maxSum2(a, b []float64) float64 {
+	best := math.Inf(-1)
+	b = b[:len(a)]
+	for p, ap := range a {
+		if v := ap + b[p]; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// maxSum3 is maxSum2 over three slabs: the full decomposition-(5) sum
+// t1 + bwd + fwd, folded left-to-right exactly like the reference
+// influence loop.
+func maxSum3(a, b, c []float64) float64 {
+	best := math.Inf(-1)
+	b = b[:len(a)]
+	c = c[:len(a)]
+	for p, ap := range a {
+		if v := ap + b[p] + c[p]; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// prunable reports whether every quilt with the given card and
+// influence ≥ lb scores at least bestSigma, so the full pair sweep can
+// be skipped without changing the selected minimizer: the quilt score
+// card/(ε − infl) is increasing in infl (and +Inf from ε up), influence
+// is clamped at ≥ 0, and the incumbent wins ties. lb may be −Inf (no
+// information — prunes on card alone) or NaN (never prunes).
+func prunable(card int, lb, eps, bestSigma float64) bool {
+	if lb >= eps {
+		return true // score is +Inf regardless of the exact influence
+	}
+	if lb < 0 {
+		lb = 0
+	}
+	return float64(card)/(eps-lb) >= bestSigma
+}
+
+// fold is a NaN-safe max accumulator for the O(1) influence
+// lower-bound probes.
+func fold(best, v float64) float64 {
+	if v > best {
+		return v
+	}
+	return best
+}
+
+// pairBufPool recycles the per-node t1/adm slabs across nodeScore
+// calls (the sweep runs T of them, concurrently across chunks).
+var pairBufPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getPairBuf(n int) []float64 {
+	bp := pairBufPool.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	return (*bp)[:n]
+}
+
+func putPairBuf(b []float64) {
+	pairBufPool.Put(&b)
+}
+
 // nodeScore returns σ_i = min over the Lemma 4.6 quilts with
 // card(X_N) ≤ ℓ (plus trivial) of the quilt score, with the active
-// quilt and its influence.
+// quilt and its influence. It is the fused, pruned equivalent of
+// looping sc.influence over every quilt: per candidate it first tries
+// two O(1) lower-bound probes (the sum at each table row's argmax pair)
+// and the card/ε floor, and only runs the O(k²) max-add sweep for
+// quilts that can still beat the incumbent. Pruned quilts provably
+// score ≥ the running minimum, and ties keep the earlier quilt, so the
+// selected (σ, quilt, influence) triple is identical to the exhaustive
+// loop's.
 func (sc *exactScorer) nodeScore(i, ell int, eps float64) (float64, ChainQuilt, float64) {
 	T := sc.T
 	if !sc.hasPair(i) {
 		return 0, ChainQuilt{}, 0
 	}
-	bestSigma := math.Inf(1)
-	var bestQuilt ChainQuilt
-	var bestInfl float64
-	consider := func(q ChainQuilt) {
-		card := q.CardN(i, T)
-		if !q.Trivial() && card > ell {
-			return
-		}
-		infl, ok := sc.influence(i, q, eps)
-		if !ok {
-			return
-		}
-		if s := quiltScore(card, infl, eps); s < bestSigma {
-			bestSigma = s
-			bestQuilt = q
-			bestInfl = infl
-		}
+	if sc.k < 2 {
+		// A single-state space has no ordered pair to protect: only the
+		// trivial quilt has a defined influence (zero).
+		return quiltScore(T, 0, eps), ChainQuilt{}, 0
 	}
-	consider(ChainQuilt{}) // trivial: score T/ε
-	for a := 1; a <= i-1; a++ {
-		consider(ChainQuilt{A: a}) // card T−i+a
+	k := sc.k
+	kk := k * k
+	buf := getPairBuf(2 * kk)
+	defer putPairBuf(buf)
+	t1, adm := buf[:kk], buf[kk:]
+	sc.fillT1(i, t1, adm)
+
+	// The trivial quilt (influence 0, score T/ε) seeds the minimum.
+	bestSigma := quiltScore(T, 0, eps)
+	bestQuilt := ChainQuilt{}
+	bestInfl := 0.0
+	// a is clamped to the table length min(ℓ, T−1): a left-only quilt
+	// needs card = T−i+a ≤ ℓ (so a ≤ ℓ − (T−i) ≤ ℓ) and a two-sided one
+	// a+b−1 ≤ ℓ, so no quilt with a longer left arm can fit — the old
+	// exhaustive loop merely spun past them without evaluating.
+	for a := 1; a <= i-1 && a <= len(sc.bwd); a++ {
+		// Both remaining card floors grow with a: once neither the
+		// left-only card (T−i+a) nor the smallest two-sided card (a, at
+		// b = 1) can beat the incumbent, no larger a can either.
+		if float64(a)/eps >= bestSigma && float64(T-i+a)/eps >= bestSigma {
+			break
+		}
+		bRow := sc.bwd[a-1]
+		ba := int(sc.bwdArg[a-1])
+		if card := T - i + a; card <= ell { // left-only quilt {X_{i−a}}
+			lb := fold(math.Inf(-1), t1[ba]+bRow[ba])
+			if !prunable(card, lb, eps, bestSigma) {
+				v := maxSum2(t1, bRow)
+				if v < 0 {
+					v = 0
+				}
+				if s := quiltScore(card, v, eps); s < bestSigma {
+					bestSigma, bestQuilt, bestInfl = s, ChainQuilt{A: a}, v
+				}
+			}
+		}
 		for b := 1; b <= T-i && a+b-1 <= ell; b++ {
-			consider(ChainQuilt{A: a, B: b})
+			card := a + b - 1
+			if float64(card)/eps >= bestSigma {
+				break // card grows with b
+			}
+			fRow := sc.fwd[b-1]
+			fa := int(sc.fwdArg[b-1])
+			lb := fold(math.Inf(-1), t1[ba]+bRow[ba]+fRow[ba])
+			lb = fold(lb, t1[fa]+bRow[fa]+fRow[fa])
+			if prunable(card, lb, eps, bestSigma) {
+				continue
+			}
+			v := maxSum3(t1, bRow, fRow)
+			if v < 0 {
+				v = 0
+			}
+			if s := quiltScore(card, v, eps); s < bestSigma {
+				bestSigma, bestQuilt, bestInfl = s, ChainQuilt{A: a, B: b}, v
+			}
 		}
 		if T-i+a > ell && a+1-1 > ell {
 			break // neither one-sided nor two-sided can fit anymore
 		}
 	}
 	for b := 1; b <= T-i && i+b-1 <= ell; b++ {
-		consider(ChainQuilt{B: b})
+		card := i + b - 1
+		if float64(card)/eps >= bestSigma {
+			break // card grows with b
+		}
+		fRow := sc.fwd[b-1]
+		fa := int(sc.fwdArg[b-1])
+		lb := fold(math.Inf(-1), adm[fa]+fRow[fa])
+		if prunable(card, lb, eps, bestSigma) {
+			continue
+		}
+		// Right-only quilt {X_{i+b}}: a pure forward kernel ratio over
+		// admissible pairs (adm is 0 there, −Inf elsewhere).
+		v := maxSum2(adm, fRow)
+		if v < 0 {
+			v = 0
+		}
+		if s := quiltScore(card, v, eps); s < bestSigma {
+			bestSigma, bestQuilt, bestInfl = s, ChainQuilt{B: b}, v
+		}
 	}
 	return bestSigma, bestQuilt, bestInfl
 }

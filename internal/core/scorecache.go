@@ -76,14 +76,41 @@ type ScoreCache struct {
 	m            map[scoreKey]ChainScore
 	cells        map[cellKey]CellScore
 	hits, misses atomic.Int64
+	// tables holds the per-transition-matrix derived tables (powers,
+	// log-domain influence rows, marginal prefixes) that survive across
+	// ExactScore/ScoreBatch calls, so repeated releases and multi-length
+	// profiles over the same fitted model extend tables incrementally
+	// instead of rebuilding them. Not persisted: the tables are derived
+	// data, rebuilt (and re-verified against the matrices) on demand.
+	tables *powerCacheSet
 }
 
 // NewScoreCache returns an empty cache.
 func NewScoreCache() *ScoreCache {
 	return &ScoreCache{
-		m:     make(map[scoreKey]ChainScore),
-		cells: make(map[cellKey]CellScore),
+		m:      make(map[scoreKey]ChainScore),
+		cells:  make(map[cellKey]CellScore),
+		tables: newPowerCacheSet(),
 	}
+}
+
+// TableStats returns the influence-table cache's counters (zero for a
+// nil cache).
+func (sc *ScoreCache) TableStats() TableCacheStats {
+	if sc == nil {
+		return TableCacheStats{}
+	}
+	return sc.tables.stats()
+}
+
+// tableSet returns the cache's persistent table set, or a fresh
+// call-scoped set when the cache is nil (so batch callers still share
+// tables within the call).
+func (sc *ScoreCache) tableSet() *powerCacheSet {
+	if sc == nil || sc.tables == nil {
+		return newPowerCacheSet()
+	}
+	return sc.tables
 }
 
 // Stats returns the hit/miss counters (zero for a nil cache).
@@ -180,7 +207,10 @@ func (sc *ScoreCache) ExactScore(class markov.Class, eps float64, opt ExactOptio
 	if s, ok := sc.lookup(key); ok {
 		return s, nil
 	}
-	s, err := ExactScore(class, eps, opt)
+	// Miss: score through the cache's persistent table set, so the next
+	// score over the same matrix (same or grown length, different ε)
+	// reuses the influence tables instead of rebuilding them.
+	s, err := exactScoreWith(class, eps, opt, sched.New(opt.Parallelism), sc.tableSet())
 	if err != nil {
 		return s, err
 	}
@@ -224,43 +254,192 @@ func (sc *ScoreCache) ApproxScoreMulti(class markov.Class, eps float64, opt Appr
 	})
 }
 
-// powerCacheSet shares matrix.PowerCache tables across θ (and across
-// batch classes) with equal transition matrices: per-user empirical
-// chains and init-gridded classes repeat the same P, and the power
-// table is the dominant per-θ setup cost. Buckets are keyed by a
-// 64-bit matrix hash but verified with full equality, so a hash
-// collision costs one comparison, never a wrong table. A nil set
-// degrades to private caches.
+// powerCacheSet shares the per-transition-matrix derived tables across
+// θ (and across batch classes, and — when owned by a ScoreCache —
+// across releases) with equal transition matrices: per-user empirical
+// chains and init-gridded classes repeat the same P, and those tables
+// are the dominant per-θ setup cost. Buckets are keyed by a 64-bit
+// matrix hash but verified with full equality, so a hash collision
+// costs one comparison, never a wrong table. A nil set degrades to
+// private caches.
 type powerCacheSet struct {
-	mu sync.Mutex
-	m  map[uint64][]powerCacheEntry
+	mu      sync.Mutex
+	m       map[uint64][]*matrixTables
+	entries int
+	// hits/misses count matrix-level lookups, ScoreCache-style: a hit
+	// means the scorer found resident tables to extend or reuse instead
+	// of building from scratch. Surfaced via ScoreCache.TableStats and
+	// pufferd /v1/stats.
+	hits, misses atomic.Int64
 }
 
-type powerCacheEntry struct {
+// matrixTables bundles every derived table the exact scorer keeps per
+// transition matrix: the raw power cache, the log-domain influence
+// tables over those powers, and per-initial-distribution marginal
+// prefixes. All three grow monotonically and in place, so a persistent
+// set makes repeated or length-incremented scoring (T then T+1) pay
+// only for the new rows.
+type matrixTables struct {
 	p  *matrix.Dense
 	pc *matrix.PowerCache
+	ic *matrix.InfluenceCache
+
+	mu    sync.Mutex
+	margs []*margTable
+}
+
+// margTable is one cached marginal prefix: the node marginals of a
+// chain (P, init) up to the longest length scored so far. Rows are
+// produced by exactly the recurrence markov.Chain.Marginals runs, one
+// VecMulInto per new node, so an extended table is bit-for-bit the
+// table a fresh computation would build regardless of how growth was
+// batched.
+type margTable struct {
+	init []float64
+	mu   sync.Mutex
+	rows [][]float64
+}
+
+const (
+	// margCacheMaxFloats bounds one resident marginal prefix (T·k
+	// floats ≈ 8·T·k bytes); longer chains compute marginals per call
+	// instead of pinning tens of MB per initial distribution.
+	margCacheMaxFloats = 1 << 22
+	// maxMargInits bounds the cached initial distributions per matrix
+	// (initial-distribution grids can be wide).
+	maxMargInits = 64
+	// maxTableMatrices bounds the number of matrices with resident
+	// derived tables in one set; past it, new matrices get private
+	// tables that die with the call, so a server streaming unboundedly
+	// many distinct models cannot grow the cache without limit.
+	maxTableMatrices = 256
+)
+
+func newMatrixTables(p *matrix.Dense) *matrixTables {
+	pc := matrix.NewPowerCache(p)
+	return &matrixTables{p: p, pc: pc, ic: matrix.NewInfluenceCache(pc)}
 }
 
 func newPowerCacheSet() *powerCacheSet {
-	return &powerCacheSet{m: make(map[uint64][]powerCacheEntry)}
+	return &powerCacheSet{m: make(map[uint64][]*matrixTables)}
 }
 
-// get returns the shared cache for p, creating it on first sight.
-func (s *powerCacheSet) get(p *matrix.Dense) *matrix.PowerCache {
+// tables returns the shared derived tables for p, creating them on
+// first sight.
+func (s *powerCacheSet) tables(p *matrix.Dense) *matrixTables {
 	if s == nil {
-		return matrix.NewPowerCache(p)
+		return newMatrixTables(p)
 	}
 	key := matrixKey(p)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, e := range s.m[key] {
 		if e.p == p || e.p.Equal(p) {
-			return e.pc
+			s.hits.Add(1)
+			return e
 		}
 	}
-	pc := matrix.NewPowerCache(p)
-	s.m[key] = append(s.m[key], powerCacheEntry{p: p, pc: pc})
-	return pc
+	s.misses.Add(1)
+	e := newMatrixTables(p)
+	if s.entries < maxTableMatrices {
+		s.entries++
+		s.m[key] = append(s.m[key], e)
+	}
+	return e
+}
+
+// marginals returns the node marginals of theta up to T, serving them
+// from (and extending) the per-init cached prefix when the table is
+// small enough to keep resident.
+func (t *matrixTables) marginals(theta markov.Chain, T int) [][]float64 {
+	if T*len(theta.Init) > margCacheMaxFloats {
+		return theta.Marginals(T)
+	}
+	t.mu.Lock()
+	var mt *margTable
+	for _, c := range t.margs {
+		if equalExactly(c.init, theta.Init) {
+			mt = c
+			break
+		}
+	}
+	if mt == nil {
+		if len(t.margs) >= maxMargInits {
+			t.mu.Unlock()
+			return theta.Marginals(T)
+		}
+		init := make([]float64, len(theta.Init))
+		copy(init, theta.Init)
+		mt = &margTable{init: init}
+		t.margs = append(t.margs, mt)
+	}
+	t.mu.Unlock()
+	return mt.grow(theta, T)
+}
+
+// grow extends the prefix to T rows and returns the first T (stable
+// row views; rows are immutable once built).
+func (mt *margTable) grow(theta markov.Chain, T int) [][]float64 {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	have := len(mt.rows)
+	if have >= T {
+		return mt.rows[:T:T]
+	}
+	k := len(mt.init)
+	slab := make([]float64, (T-have)*k)
+	for t := have; t < T; t++ {
+		row := slab[(t-have)*k : (t-have+1)*k : (t-have+1)*k]
+		if t == 0 {
+			copy(row, mt.init)
+		} else {
+			theta.P.VecMulInto(row, mt.rows[t-1])
+		}
+		mt.rows = append(mt.rows, row)
+	}
+	return mt.rows[:T:T]
+}
+
+// equalExactly reports element-wise == equality (no tolerance — the
+// cached marginal rows must be bit-identical to a fresh computation,
+// so only exactly equal initial distributions may share a prefix).
+func equalExactly(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TableCacheStats reports the influence-table cache's traffic.
+// Hits/Misses count matrix-level lookups (a hit reuses or extends
+// resident tables); Matrices is the resident matrix count and Powers
+// the total influence-table rows cached across them.
+type TableCacheStats struct {
+	Hits, Misses int64
+	Matrices     int
+	Powers       int
+}
+
+// stats snapshots the set's counters.
+func (s *powerCacheSet) stats() TableCacheStats {
+	if s == nil {
+		return TableCacheStats{}
+	}
+	st := TableCacheStats{Hits: s.hits.Load(), Misses: s.misses.Load()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.Matrices = s.entries
+	for _, bucket := range s.m {
+		for _, e := range bucket {
+			st.Powers += e.ic.Len()
+		}
+	}
+	return st
 }
 
 // ScoreBatch computes ExactScore for every class through one worker-
@@ -327,7 +506,7 @@ func scoreBatch(cache *ScoreCache, classes []markov.Class, parallelism int,
 	}
 	if len(need) > 0 {
 		errs := make([]error, len(need))
-		pcs := newPowerCacheSet()
+		pcs := cache.tableSet()
 		outer, inner := sched.New(parallelism).Split(len(need))
 		outer.ForEach(len(need), func(i int) {
 			g := need[i]

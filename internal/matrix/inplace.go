@@ -9,6 +9,7 @@ package matrix
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 )
 
 // MulInto computes dst = a·b in place. dst must have dimensions
@@ -24,7 +25,7 @@ func MulInto(dst, a, b *Dense) *Dense {
 	if dst.rows != a.rows || dst.cols != b.cols {
 		panic(fmt.Sprintf("matrix: MulInto destination is %d×%d, want %d×%d", dst.rows, dst.cols, a.rows, b.cols))
 	}
-	if sameData(dst, a) || sameData(dst, b) {
+	if overlaps(dst, a) || overlaps(dst, b) {
 		panic("matrix: MulInto destination aliases an operand")
 	}
 	if a.rows >= blockedMinDim && a.cols >= blockedMinDim && b.cols >= blockedMinDim {
@@ -101,8 +102,23 @@ func (m *Dense) CopyFrom(src *Dense) {
 	copy(m.data, src.data)
 }
 
-func sameData(a, b *Dense) bool {
-	return len(a.data) > 0 && len(b.data) > 0 && &a.data[0] == &b.data[0]
+// overlaps reports whether the two matrices' element storage shares any
+// backing-array cells. Comparing only the heads (&a.data[0]) would miss
+// matrices carved out of one slab at different offsets — e.g. a
+// destination view starting inside an operand's range — so the check
+// compares the full [start, start+len) extents. Pointers are compared
+// as uintptrs only (never dereferenced through), which is valid here
+// because both slices are live for the duration of the call.
+func overlaps(a, b *Dense) bool {
+	if len(a.data) == 0 || len(b.data) == 0 {
+		return false
+	}
+	const sz = unsafe.Sizeof(float64(0))
+	as := uintptr(unsafe.Pointer(unsafe.SliceData(a.data)))
+	ae := as + uintptr(len(a.data))*sz
+	bs := uintptr(unsafe.Pointer(unsafe.SliceData(b.data)))
+	be := bs + uintptr(len(b.data))*sz
+	return as < be && bs < ae
 }
 
 // scratchPool recycles Dense values across Pow calls and other

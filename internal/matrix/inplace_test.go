@@ -175,6 +175,99 @@ func TestPowerCacheConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestMulIntoOverlapDetection: aliasing is rejected by backing-array
+// extent, not just head pointer — offset views into one slab used to
+// slip past a head-only check and silently corrupt the product.
+func TestMulIntoOverlapDetection(t *testing.T) {
+	slab := make([]float64, 12)
+	for i := range slab {
+		slab[i] = float64(i%3) + 0.5
+	}
+	a := &Dense{rows: 2, cols: 2, data: slab[0:4]}
+	dst := &Dense{rows: 2, cols: 2, data: slab[2:6]} // overlaps a's tail
+	b := randomDense(2, 2, rand.New(rand.NewPCG(17, 18)))
+	for name, fn := range map[string]func(){
+		"dst overlaps a": func() { MulInto(dst, a, b) },
+		"dst overlaps b": func() { MulInto(dst, b, a) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Disjoint views carved from one slab are exactly what PowerCache
+	// growth produces; those must pass.
+	c := &Dense{rows: 2, cols: 2, data: slab[4:8]}
+	d := &Dense{rows: 2, cols: 2, data: slab[8:12]}
+	MulInto(d, c, b)
+	densesEqual(t, d, c.Mul(b), "disjoint slab views")
+}
+
+// TestPowZeroSharedIdentity: Pow(0) returns one shared read-only
+// identity — the same instance every call, allocation-free once built.
+func TestPowZeroSharedIdentity(t *testing.T) {
+	pc := NewPowerCache(randomDense(4, 4, rand.New(rand.NewPCG(19, 20))))
+	id := pc.Pow(0)
+	densesEqual(t, id, Identity(4), "Pow(0)")
+	if pc.Pow(0) != id {
+		t.Error("Pow(0) returned a different instance on repeat")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = pc.Pow(0) }); allocs != 0 {
+		t.Errorf("Pow(0) allocates %.1f objects per call after the first", allocs)
+	}
+}
+
+// TestPowerCacheGrowPowInterleaved: concurrent Grow batches — both
+// single-step T→T+1→T+2 and big jumps — racing with Pow readers. Any
+// interleaving must publish powers bit-identical to sequential
+// one-step growth (each power depends only on its predecessor, so
+// batching cannot change the association order); -race validates the
+// locking.
+func TestPowerCacheGrowPowInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	m := randomDense(3, 3, rng)
+	const maxN = 40
+	want := seqPowers(m, maxN)
+	pc := NewPowerCache(m)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 30; it++ {
+				switch g % 3 {
+				case 0: // single-step incremental growth
+					n := 1 + it%(maxN-2)
+					pc.Grow(n)
+					pc.Grow(n + 1)
+					pc.Grow(n + 2)
+				case 1: // big-batch growth
+					pc.Grow(1 + (g*30+it)%maxN)
+				default: // reader
+					n := 1 + (g*30+it)%maxN
+					got := pc.Pow(n)
+					for i := 0; i < 3; i++ {
+						for j := 0; j < 3; j++ {
+							if got.At(i, j) != want[n].At(i, j) {
+								t.Errorf("interleaved Pow(%d) mismatch at (%d,%d)", n, i, j)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for n := 1; n <= maxN; n++ {
+		densesEqual(t, pc.Pow(n), want[n], "final powers")
+	}
+}
+
 func TestGetScratchDims(t *testing.T) {
 	d := GetScratch(3, 4)
 	r, c := d.Dims()

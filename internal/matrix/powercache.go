@@ -3,6 +3,7 @@ package matrix
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PowerCache memoizes the consecutive powers P, P², …, Pⁿ of a square
@@ -20,6 +21,10 @@ type PowerCache struct {
 	mu     sync.RWMutex
 	p      *Dense
 	powers []*Dense // powers[i] = P^(i+1), views into slabs
+	// id is the lazily built P⁰ = I, shared across Pow(0) calls (it is
+	// the same for every power table of dimension k, but a per-cache
+	// copy keeps the cache self-contained). Read-only once published.
+	id atomic.Pointer[Dense]
 }
 
 // NewPowerCache returns an empty cache for the square matrix p.
@@ -77,7 +82,16 @@ func (pc *PowerCache) Pow(n int) *Dense {
 		panic("matrix: PowerCache negative power")
 	}
 	if n == 0 {
-		return Identity(pc.p.rows)
+		// One shared read-only identity per cache instead of a fresh
+		// Identity(k) allocation on every call.
+		if id := pc.id.Load(); id != nil {
+			return id
+		}
+		id := Identity(pc.p.rows)
+		// A concurrent caller may have published first; either value is
+		// identical, so keep whichever won.
+		pc.id.CompareAndSwap(nil, id)
+		return pc.id.Load()
 	}
 	pc.mu.RLock()
 	if n <= len(pc.powers) {

@@ -102,6 +102,10 @@ type ScoreCache = core.ScoreCache
 // NewScoreCache returns an empty score cache.
 func NewScoreCache() *ScoreCache { return core.NewScoreCache() }
 
+// TableCacheStats re-exports the influence-table layer's counters so
+// the server can surface them in /v1/stats.
+type TableCacheStats = core.TableCacheStats
+
 // Report is the JSON-serializable release record.
 type Report struct {
 	Mechanism string  `json:"mechanism"`

@@ -222,6 +222,18 @@ type Stats struct {
 		Misses  int64 `json:"misses"`
 		Entries int   `json:"entries"`
 	} `json:"cache"`
+	// InfluenceTables is the per-transition-matrix influence-table
+	// layer beneath the score cache: a hit means a request reused
+	// another's warmed log-ratio tables (so growing a chain by one
+	// observation re-scores nearly for free), Matrices counts distinct
+	// transition matrices held, and Powers the total cached table rows
+	// across them.
+	InfluenceTables struct {
+		Hits     int64 `json:"hits"`
+		Misses   int64 `json:"misses"`
+		Matrices int   `json:"matrices"`
+		Powers   int   `json:"powers"`
+	} `json:"influence_tables"`
 	Workers struct {
 		Budget int `json:"budget"`
 		InUse  int `json:"in_use"`
@@ -491,6 +503,11 @@ func (s *Server) Stats() Stats {
 	st.Cache.Hits = cs.Hits
 	st.Cache.Misses = cs.Misses
 	st.Cache.Entries = s.cache.Len()
+	ts := s.cache.TableStats()
+	st.InfluenceTables.Hits = ts.Hits
+	st.InfluenceTables.Misses = ts.Misses
+	st.InfluenceTables.Matrices = ts.Matrices
+	st.InfluenceTables.Powers = ts.Powers
 	st.Workers.Budget = s.budget.total
 	st.Workers.InUse = s.budget.inUse()
 	s.amu.Lock()

@@ -433,6 +433,31 @@ func TestStatsShape(t *testing.T) {
 	}
 }
 
+// TestInfluenceTableStats: /v1/stats surfaces the per-matrix
+// influence-table layer beneath the score cache. Two exact-scored
+// releases over one model at different ε miss the score cache twice
+// (ε is part of the score fingerprint) but share the matrix's warmed
+// log-ratio tables, so the block must show exactly one table miss, at
+// least one hit, one matrix, and a nonzero cached power count.
+func TestInfluenceTableStats(t *testing.T) {
+	sessions := sampleSessions(t)
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, eps := range []float64{1, 1.5} {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/release",
+			ReleaseRequest{Sessions: sessions, Epsilon: eps, Mechanism: release.MechMQMExact, Smoothing: 0.5, Seed: 7})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ε=%g: status %d: %s", eps, resp.StatusCode, body)
+		}
+	}
+	st := getStats(t, ts.Client(), ts.URL)
+	it := st.InfluenceTables
+	if it.Misses != 1 || it.Hits < 1 || it.Matrices != 1 || it.Powers < 1 {
+		t.Errorf("influence table stats after two ε over one model: %+v", it)
+	}
+}
+
 // TestPreWarmedCache: a server constructed around an existing cache
 // starts warm — the restart story for long-lived deployments.
 func TestPreWarmedCache(t *testing.T) {

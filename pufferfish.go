@@ -152,6 +152,12 @@ type ScoreCache = core.ScoreCache
 // CacheStats reports a ScoreCache's hit/miss counters.
 type CacheStats = core.CacheStats
 
+// TableCacheStats reports the per-transition-matrix influence-table
+// layer beneath a ScoreCache: hits/misses of the shared table lookup,
+// the number of distinct matrices held, and the total cached power
+// rows across them. Read it with (*ScoreCache).TableStats.
+type TableCacheStats = core.TableCacheStats
+
 // NewScoreCache returns an empty score cache.
 func NewScoreCache() *ScoreCache { return core.NewScoreCache() }
 
