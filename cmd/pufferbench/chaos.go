@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"pufferfish/internal/release"
+	"pufferfish/internal/server"
+)
+
+// chaosSeries is the observation stream every chaos release uses; the
+// warm-cache assertion depends on all rounds sharing one model.
+const chaosSeries = "0 1 0 1 1 0 1 0 0 1 1 0 1 0 1 1 0 0 1 0"
+
+// runChaos is the crash-recovery smoke: it runs a real pufferd binary
+// with a WAL, drives accountant traffic, kills the process with
+// SIGKILL mid-traffic, restarts it, and asserts the recovered budget
+// accounting dominates the spend of every release whose response was
+// actually received — the charge-ahead invariant, end to end through
+// a real filesystem and a real dead process. It also asserts the warm
+// cache survives each restart and finishes with a clean SIGTERM cycle.
+func runChaos(quick bool, pufferdPath string) error {
+	if pufferdPath == "" {
+		return errors.New("chaos: -pufferd PATH to a built pufferd binary is required")
+	}
+	if _, err := exec.LookPath(pufferdPath); err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "pufferchaos")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "snapshot.json")
+	wal := filepath.Join(dir, "accounting.wal")
+	killRounds, perRound := 3, 24
+	if quick {
+		killRounds, perRound = 1, 10
+	}
+
+	// delivered tracks, per session, how many releases and how much ε
+	// this client actually received a 200 for. The invariant under
+	// test: after any crash, pufferd's accounted state is ≥ this.
+	delivered := map[string]int{}
+	spentEps := map[string]float64{}
+
+	// Cycle 0 (clean): seed the snapshot — one scoring release warms
+	// the cache, a couple of accountant charges seed the ledgers.
+	proc, base, err := startPufferd(pufferdPath, snap, wal)
+	if err != nil {
+		return err
+	}
+	warm := server.ReleaseRequest{
+		Series: chaosSeries, Epsilon: 1, Mechanism: release.MechMQMExact,
+		Smoothing: 0.5, Seed: 7, Accountant: "chaos-a",
+	}
+	if _, err := chaosPost(base, warm); err != nil {
+		proc.Process.Kill() //nolint:errcheck // already failing
+		return fmt.Errorf("chaos: warm release: %w", err)
+	}
+	delivered["chaos-a"]++
+	spentEps["chaos-a"] += 1
+	if err := stopPufferd(proc); err != nil {
+		return fmt.Errorf("chaos: clean shutdown of the warm cycle: %w", err)
+	}
+
+	// Kill rounds: boot (asserting recovery dominates everything
+	// delivered so far), drive releases, SIGKILL mid-traffic.
+	for round := 1; round <= killRounds; round++ {
+		proc, base, err = startPufferd(pufferdPath, snap, wal)
+		if err != nil {
+			return fmt.Errorf("chaos: round %d restart: %w", round, err)
+		}
+		if err := assertRecovered(base, delivered, spentEps); err != nil {
+			proc.Process.Kill() //nolint:errcheck // already failing
+			return fmt.Errorf("chaos: round %d: %w", round, err)
+		}
+
+		// Drive traffic from a goroutine; the main goroutine SIGKILLs
+		// the server after half the round's releases have landed, so
+		// the kill genuinely races in-flight requests.
+		landed := make(chan struct{}, perRound)
+		trafficDone := make(chan struct{})
+		go func() {
+			defer close(trafficDone)
+			for i := 0; i < perRound; i++ {
+				sess := "chaos-a"
+				eps := 0.5
+				if i%2 == 1 {
+					sess, eps = "chaos-b", 0.25
+				}
+				req := server.ReleaseRequest{
+					Series: chaosSeries, Epsilon: eps, Mechanism: release.MechDP,
+					Seed: uint64(round*1000 + i), Accountant: sess,
+				}
+				if _, err := chaosPost(base, req); err != nil {
+					return // the kill landed; undelivered by definition
+				}
+				delivered[sess]++
+				spentEps[sess] += eps
+				landed <- struct{}{}
+			}
+		}()
+		for got := 0; got < perRound/2; {
+			select {
+			case <-landed:
+				got++
+			case <-trafficDone:
+				got = perRound // whole round landed before the kill
+			}
+		}
+		if err := proc.Process.Kill(); err != nil {
+			return fmt.Errorf("chaos: round %d kill: %w", round, err)
+		}
+		<-trafficDone
+		if err := proc.Wait(); err == nil {
+			return fmt.Errorf("chaos: round %d: pufferd exited cleanly despite SIGKILL", round)
+		}
+	}
+
+	// Final cycle: recovery after the last kill, then a clean SIGTERM
+	// exit proving the checkpoint path still works on the journal the
+	// kills left behind.
+	proc, base, err = startPufferd(pufferdPath, snap, wal)
+	if err != nil {
+		return fmt.Errorf("chaos: final restart: %w", err)
+	}
+	if err := assertRecovered(base, delivered, spentEps); err != nil {
+		proc.Process.Kill() //nolint:errcheck // already failing
+		return fmt.Errorf("chaos: final: %w", err)
+	}
+	if err := stopPufferd(proc); err != nil {
+		return fmt.Errorf("chaos: final clean shutdown: %w", err)
+	}
+
+	total, totalEps := 0, 0.0
+	for sess, n := range delivered {
+		total += n
+		totalEps += spentEps[sess]
+	}
+	fmt.Printf("chaos: %d kill -9 rounds survived; %d delivered releases (Σε = %g) all accounted after every recovery; warm cache intact\n",
+		killRounds, total, totalEps)
+	return nil
+}
+
+// startPufferd launches the binary with a WAL on a fresh port and
+// waits until /v1/stats answers.
+func startPufferd(path, snap, wal string) (*exec.Cmd, string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	cmd := exec.Command(path, "-addr", addr, "-cache-file", snap, "-wal", wal, "-drain", "10s")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/stats")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, base, nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	cmd.Process.Kill() //nolint:errcheck // already failing
+	return nil, "", fmt.Errorf("chaos: pufferd at %s never became ready", addr)
+}
+
+// stopPufferd sends SIGTERM and requires a clean (exit 0) drain.
+func stopPufferd(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	return cmd.Wait()
+}
+
+// chaosPost posts one release and returns the body only for a fully
+// received 200 — the definition of "noise actually delivered".
+func chaosPost(base string, req server.ReleaseRequest) ([]byte, error) {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/release", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, out)
+	}
+	return out, nil
+}
+
+// assertRecovered checks a freshly restarted pufferd against the
+// client's view: every session must account at least the releases and
+// ε the client actually received, and the warm cache must have loaded
+// (zero cache-restore errors — a restore failure aborts pufferd's
+// boot, so reaching /v1/stats with entries is the proof).
+func assertRecovered(base string, delivered map[string]int, spentEps map[string]float64) error {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var st server.Stats
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("parse /v1/stats: %w", err)
+	}
+	if st.Cache.Entries == 0 {
+		return errors.New("warm cache did not survive the restart")
+	}
+	if st.WAL == nil {
+		return errors.New("stats report no WAL on a -wal boot")
+	}
+	for sess, n := range delivered {
+		acct, ok := st.Accountants[sess]
+		if !ok {
+			return fmt.Errorf("session %q (%d delivered releases) lost in recovery", sess, n)
+		}
+		if acct.Releases < n {
+			return fmt.Errorf("session %q under-accounted: %d releases recovered, %d delivered",
+				sess, acct.Releases, n)
+		}
+		// For these pure-DP charges the linear bound K·max ε is exact
+		// composition, so it must dominate the ε actually spent.
+		if acct.LinearEpsilon < spentEps[sess] {
+			return fmt.Errorf("session %q under-accounted: ε %g recovered, %g spent",
+				sess, acct.LinearEpsilon, spentEps[sess])
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@
 //	pufferbench compare OLD NEW [-tol F]  # fail on ns/op regressions between two reports
 //	pufferbench checkparallel REPORT      # fail unless a report shows real multi-core speedup
 //	pufferbench serve    [flags]          # serving-layer load smoke (in-process pufferd)
+//	pufferbench chaos -pufferd PATH       # crash-recovery smoke (kill -9 a real pufferd)
 //
 // Every table/figure command accepts -quick for a reduced-size run
 // (minutes → seconds) that exercises identical code paths, -seed for
@@ -35,7 +36,11 @@
 // release server, drives concurrent warm-cache traffic over one
 // model (-parallel bounds the server's global worker budget), and
 // fails unless every response is bit-identical to release.Run and the
-// shared cache reports hits.
+// shared cache reports hits. chaos runs a real pufferd binary
+// (-pufferd PATH) with an accounting WAL, repeatedly kill -9s it
+// mid-traffic, and fails unless every restart recovers a privacy
+// budget at least as large as the spend of the releases actually
+// delivered, with the warm cache intact (-quick shrinks the rounds).
 package main
 
 import (
@@ -63,6 +68,7 @@ func main() {
 	procs := fs.Int("procs", 0, "pin GOMAXPROCS for the run (bench only; 0 = runtime default)")
 	tol := fs.Float64("tol", 0.15, "allowed ns/op regression fraction (compare only)")
 	minSpeedup := fs.Float64("min", 1.05, "required best speedup_vs_serial (checkparallel only)")
+	pufferdBin := fs.String("pufferd", "", "path to a built pufferd binary (chaos only)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -91,6 +97,8 @@ func main() {
 		err = runBench(*quick, *benchOut, *procs)
 	case "serve":
 		err = runServe(*quick, *seed, *parallel)
+	case "chaos":
+		err = runChaos(*quick, *pufferdBin)
 	case "compare":
 		args := fs.Args()
 		if len(args) != 2 {
@@ -120,7 +128,8 @@ func usage() {
        pufferbench bench [-quick] [-o FILE] [-procs N]
        pufferbench compare [-tol F] OLD.json NEW.json
        pufferbench checkparallel [-min F] REPORT.json
-       pufferbench serve [-quick] [-seed N] [-parallel N]`)
+       pufferbench serve [-quick] [-seed N] [-parallel N]
+       pufferbench chaos -pufferd PATH [-quick]`)
 }
 
 func runExamples() error {

@@ -8,7 +8,9 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pufferfish/internal/floats"
@@ -17,13 +19,63 @@ import (
 	"pufferfish/internal/server"
 )
 
+// shedRetries counts the load client's encounters with 429 load
+// shedding: sheds is responses refused with a full queue, retries is
+// the follow-up attempts made after honoring Retry-After.
+type shedRetries struct {
+	sheds   atomic.Int64
+	retries atomic.Int64
+}
+
+// postRetry posts body and, on a 429 shed, backs off and retries: it
+// honors the server's Retry-After header as the floor wait and adds
+// a random jitter that grows with the attempt, so a herd of shed
+// clients does not return in lockstep and re-shed each other.
+func postRetry(client *http.Client, url string, body any, sr *shedRetries) ([]byte, error) {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	const maxAttempts = 10
+	for attempt := 1; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return nil, err
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < maxAttempts {
+			sr.sheds.Add(1)
+			sr.retries.Add(1)
+			floor := 50 * time.Millisecond
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+				floor = time.Duration(secs) * time.Second
+			}
+			jitter := time.Duration(rand.Int64N(int64(50*time.Millisecond) * int64(attempt)))
+			time.Sleep(floor + jitter)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("serve: %s: status %d: %s", url, resp.StatusCode, out)
+		}
+		return out, nil
+	}
+}
+
 // runServe is the serving-layer load smoke: it starts an in-process
 // pufferd (internal/server) instance, drives concurrent release
 // traffic over one stable model — the warmed-cache regime the server
 // exists for — and fails unless every response is bit-identical to the
 // equivalent one-shot release.Run and the shared cache reports hits.
-// It finishes with a batch call exercising the deduped scoring path
-// and prints throughput plus the /v1/stats counters.
+// The server runs with a bounded scoring queue and the load client
+// retries shed (429) requests with jittered backoff, so the smoke also
+// exercises the load-shedding path end to end; a dedicated one-worker
+// burst asserts sheds actually occur and every shed request still
+// completes. It finishes with a batch call exercising the deduped
+// scoring path and prints throughput plus the /v1/stats counters.
 func runServe(quick bool, seed uint64, parallel int) error {
 	nSessions, sessionLen, requests := 6, 400, 32
 	if quick {
@@ -36,9 +88,12 @@ func runServe(quick bool, seed uint64, parallel int) error {
 		sessions[i] = truth.Sample(sessionLen, rng)
 	}
 
-	s := server.New(server.Config{Workers: parallel})
+	// A bounded queue makes the smoke exercise real load shedding on
+	// small worker budgets; the retrying client below absorbs it.
+	s := server.New(server.Config{Workers: parallel, MaxQueue: 4})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	var sr shedRetries
 
 	mechanisms := release.Mechanisms()
 	golden := make(map[string]*release.Report, len(mechanisms))
@@ -51,23 +106,7 @@ func runServe(quick bool, seed uint64, parallel int) error {
 	}
 
 	post := func(path string, body any) ([]byte, error) {
-		blob, err := json.Marshal(body)
-		if err != nil {
-			return nil, err
-		}
-		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(blob))
-		if err != nil {
-			return nil, err
-		}
-		defer resp.Body.Close()
-		out, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("serve: %s: status %d: %s", path, resp.StatusCode, out)
-		}
-		return out, nil
+		return postRetry(ts.Client(), ts.URL+path, body, &sr)
 	}
 	checkReport := func(blob []byte, mech string) error {
 		var got release.Report
@@ -135,17 +174,60 @@ func runServe(quick bool, seed uint64, parallel int) error {
 		return fmt.Errorf("serve: warm batch re-scored the model (misses %d -> %d)", preBatch.Misses, misses)
 	}
 
+	// Shed-retry check: the scoring engine is fast enough that organic
+	// queue overflow cannot be forced deterministically, so a shedding
+	// front deterministically 429s the first two attempts (the first
+	// advertising Retry-After: 1). The retrying client must wait out
+	// the advertised second, come back, and land the release.
+	var fronted atomic.Int64
+	shedFront := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/release" {
+			switch fronted.Add(1) {
+			case 1:
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "shed", http.StatusTooManyRequests)
+				return
+			case 2:
+				w.Header().Set("Retry-After", "0")
+				http.Error(w, "shed", http.StatusTooManyRequests)
+				return
+			}
+		}
+		s.Handler().ServeHTTP(w, r)
+	}))
+	defer shedFront.Close()
+	var burstSR shedRetries
+	shedStart := time.Now()
+	blob, err = postRetry(shedFront.Client(), shedFront.URL+"/v1/release", server.ReleaseRequest{
+		Sessions: sessions, Epsilon: 1, Mechanism: release.MechMQMExact, Smoothing: 0.5, Seed: seed,
+	}, &burstSR)
+	if err != nil {
+		return fmt.Errorf("serve: shed retry: %w", err)
+	}
+	if err := checkReport(blob, release.MechMQMExact); err != nil {
+		return fmt.Errorf("serve: shed retry: %w", err)
+	}
+	if got := burstSR.sheds.Load(); got != 2 {
+		return fmt.Errorf("serve: shed front refused 2 attempts, client saw %d", got)
+	}
+	if waited := time.Since(shedStart); waited < time.Second {
+		return fmt.Errorf("serve: client ignored Retry-After: 1 (came back after %v)", waited)
+	}
+
 	st := s.Stats()
 	if st.Cache.Hits == 0 {
 		return fmt.Errorf("serve: repeated releases over one model produced no cache hits: %+v", st.Cache)
 	}
 	// Traffic-mix assertion: the per-mechanism counters must account
-	// for exactly the requests this smoke drove (round-robin singles
-	// plus one batch member each).
+	// for exactly the requests this smoke drove (round-robin singles,
+	// one batch member each, one mqm-exact through the shed front).
 	for i, mech := range mechanisms {
 		want := int64(requests/len(mechanisms) + 1) // +1 from the batch
 		if i < requests%len(mechanisms) {
 			want++
+		}
+		if mech == release.MechMQMExact {
+			want++ // the shed-retry release above
 		}
 		if got := st.ReleasesByMechanism[mech]; got != want {
 			return fmt.Errorf("serve: stats report %d %s releases, drove %d", got, mech, want)
@@ -156,5 +238,7 @@ func runServe(quick bool, seed uint64, parallel int) error {
 		float64(requests)/elapsed.Seconds())
 	fmt.Printf("serve: all responses bit-identical to release.Run; cache %d hits / %d misses (%d entries), worker budget %d\n",
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Workers.Budget)
+	fmt.Printf("serve: load shedding — main traffic %d shed / %d retried (server shed_total %d); shed front %d shed / %d retried, release landed after honoring Retry-After\n",
+		sr.sheds.Load(), sr.retries.Load(), st.ShedTotal, burstSR.sheds.Load(), burstSR.retries.Load())
 	return nil
 }

@@ -2,7 +2,9 @@
 // cache shared across every request, a global scoring-worker budget,
 // and the internal/server HTTP surface.
 //
-//	pufferd -addr :8080 -workers 0 -drain 30s -cache-file cache.json
+//	pufferd -addr :8080 -workers 0 -drain 30s -cache-file cache.json \
+//	        -wal cache.wal -ceiling-eps 10 -ceiling-delta 1e-6 \
+//	        -request-timeout 30s -max-accountants 1024 -max-queue 64
 //
 //	POST /v1/release        one release (privrelease semantics)
 //	POST /v1/release/batch  many releases, batched scoring
@@ -17,6 +19,21 @@
 // startup and snapshotted back after the drain, so a restart serves
 // its first requests warm and resumes every cumulative privacy budget
 // where it left off.
+//
+// Durability and budget enforcement:
+//
+//   - -wal FILE (requires -cache-file) journals every accountant charge
+//     to an fsync'd write-ahead log *before* the noisy histogram leaves
+//     the process. After any crash — kill -9 included — the next boot
+//     replays the journal over the snapshot, so the recovered budget is
+//     never less than the privacy actually spent. Shutdown checkpoints
+//     the snapshot and truncates the journal behind it.
+//   - -ceiling-eps/-ceiling-delta install a hard (ε, δ) ceiling on
+//     every accountant session; a release that would push a session
+//     past it is refused with 403 before any scoring work runs.
+//   - -request-timeout bounds each request end to end; -max-queue
+//     sheds excess queued scoring work with 429 + Retry-After; and
+//     -max-accountants caps the session map with 403 past the limit.
 package main
 
 import (
@@ -32,6 +49,7 @@ import (
 	"time"
 
 	"pufferfish/internal/accounting"
+	"pufferfish/internal/faultfs"
 	"pufferfish/internal/server"
 )
 
@@ -40,20 +58,50 @@ func main() {
 	workers := flag.Int("workers", 0, "global scoring-worker budget shared by all requests (0 = all CPUs)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight releases")
 	cacheFile := flag.String("cache-file", "", "score-cache snapshot: pre-warm at startup, save after the shutdown drain")
+	walFile := flag.String("wal", "", "accounting write-ahead journal: every charge is fsync'd before its noise is released, and replayed over the snapshot at boot (requires -cache-file)")
+	ceilingEps := flag.Float64("ceiling-eps", 0, "hard per-session ε budget ceiling; releases that would breach it are refused with 403 (0 = no ceiling)")
+	ceilingDelta := flag.Float64("ceiling-delta", 0, "δ at which -ceiling-eps is enforced (0 = the ledger's headline δ)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline propagated through prepare/score/finish; expiry answers 503 (0 = none)")
+	maxAccountants := flag.Int("max-accountants", 0, "cap on distinct accountant sessions; requests minting more are refused with 403 (0 = default 1024)")
+	maxQueue := flag.Int("max-queue", 0, "bound on requests queued for scoring workers; excess is shed with 429 + Retry-After (0 = unbounded)")
 	flag.Parse()
 
-	var cache *server.Cache
-	var accountants map[string]*accounting.Ledger
-	if *cacheFile != "" {
-		var err error
-		cache, accountants, err = server.LoadSnapshotFile(*cacheFile)
+	if *walFile != "" && *cacheFile == "" {
+		fatal(errors.New("-wal requires -cache-file (the journal is truncated against the snapshot)"))
+	}
+	if *ceilingDelta != 0 && *ceilingEps == 0 {
+		fatal(errors.New("-ceiling-delta without -ceiling-eps: set the ε ceiling the δ applies to"))
+	}
+
+	cfg := server.Config{
+		Workers:        *workers,
+		CeilingEps:     *ceilingEps,
+		CeilingDelta:   *ceilingDelta,
+		RequestTimeout: *requestTimeout,
+		MaxAccountants: *maxAccountants,
+		MaxQueue:       *maxQueue,
+	}
+	switch {
+	case *walFile != "":
+		st, err := server.OpenDurable(faultfs.OS, faultfs.WallClock{}, *cacheFile, *walFile)
 		if err != nil {
 			fatal(err)
 		}
+		cfg.Cache, cfg.Accountants, cfg.WAL = st.Cache, st.Accountants, st.WAL
+		log.Printf("pufferd: durable state restored: cache %s (%d entries), wal %s (%d records replayed, torn tail: %v, %d accountant sessions)",
+			*cacheFile, st.Cache.Len(), *walFile, st.Replayed, st.Torn, len(st.Accountants))
+	case *cacheFile != "":
+		var err error
+		var accountants map[string]*accounting.Ledger
+		cfg.Cache, accountants, err = server.LoadSnapshotFile(*cacheFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Accountants = accountants
 		log.Printf("pufferd: cache file %s restored (%d entries, %d accountant sessions)",
-			*cacheFile, cache.Len(), len(accountants))
+			*cacheFile, cfg.Cache.Len(), len(accountants))
 	}
-	s := server.New(server.Config{Workers: *workers, Cache: cache, Accountants: accountants})
+	s := server.New(cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
@@ -89,9 +137,19 @@ func main() {
 	// Save the snapshot even on a drain timeout: every memoized entry
 	// is deterministic and valid regardless of how the drain ended,
 	// and discarding a warm cache exactly when the server was busiest
-	// would defeat the persistence feature.
+	// would defeat the persistence feature. With a WAL the save is a
+	// checkpoint: snapshot first, then truncate the journal behind it.
 	if *cacheFile != "" {
-		if err := server.SaveSnapshotFile(*cacheFile, s.Cache(), s.AccountantSnapshots()); err != nil {
+		var err error
+		if *walFile != "" {
+			err = server.Checkpoint(faultfs.OS, *cacheFile, s, cfg.WAL)
+			if cerr := cfg.WAL.Close(); err == nil {
+				err = cerr
+			}
+		} else {
+			err = server.SaveSnapshotFile(*cacheFile, s.Cache(), s.AccountantSnapshots())
+		}
+		if err != nil {
 			if drainErr != nil {
 				log.Printf("pufferd: drain: %v", drainErr)
 			}

@@ -58,6 +58,7 @@
 package accounting
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -103,6 +104,11 @@ func (e Entry) EpsAlpha(alpha float64) float64 {
 		return math.Min(e.Eps, alpha*e.Eps*e.Eps/2)
 	}
 }
+
+// Validate rejects entries that no release path could have produced —
+// the guard Restore and the WAL replay share so corrupted or
+// hand-edited persistence can never plant impossible accounting state.
+func (e Entry) Validate() error { return e.validate() }
 
 // validate rejects entries that no release path could have produced.
 func (e Entry) validate() error {
@@ -166,6 +172,31 @@ var defaultAlphas = func() []float64 {
 	return as
 }()
 
+// ErrCeilingExceeded marks a charge refused by a budget ceiling: the
+// release, had it been recorded, would have pushed the ledger's
+// cumulative ε past the configured maximum. Callers match it with
+// errors.Is to map the refusal onto a distinct status (the serving
+// layer returns 403, never 500: the request was understood and is
+// permanently refused — retrying cannot help).
+var ErrCeilingExceeded = errors.New("accounting: budget ceiling exceeded")
+
+// ErrJournal marks a charge refused because the write-ahead journal
+// could not make it durable. The safe direction: a charge that cannot
+// be journaled is not applied and the release must not go out.
+var ErrJournal = errors.New("accounting: journal append failed")
+
+// Journal is the write-ahead hook a Ledger charges through. Append
+// must make (session, entry) durable — fsync'd — before returning;
+// the ledger mutates its state only after Append succeeds, so a crash
+// at any point can over-count spend but never under-count it (the
+// charge-ahead invariant). Applied(seq) acknowledges that the
+// in-memory state now reflects the appended record; journals use it
+// to track the low-water sequence a snapshot may safely truncate to.
+type Journal interface {
+	Append(session string, e Entry) (seq uint64, err error)
+	Applied(seq uint64)
+}
+
 // Ledger accumulates per-release Rényi curves and answers (ε, δ)
 // queries against the running total. The zero value is not usable;
 // construct with NewLedger.
@@ -183,6 +214,19 @@ type Ledger struct {
 	maxEps   float64
 	deltaSum float64
 	memo     map[float64]float64 // δ → optimized ε, cleared on Add
+
+	// ceilEps/ceilDelta, when ceilEps > 0, are the hard budget
+	// ceiling: Add refuses (ErrCeilingExceeded) any entry that would
+	// push Epsilon(ceilDelta) past ceilEps. The check runs before the
+	// journal append and before any mutation, so a refused release is
+	// never charged anywhere.
+	ceilEps   float64
+	ceilDelta float64
+
+	// journal, when set, receives every entry before it is applied
+	// (charge-ahead; see Journal). session labels the records.
+	journal Journal
+	session string
 }
 
 // NewLedger returns an empty ledger whose headline TotalEpsilon
@@ -198,14 +242,121 @@ func NewLedger(delta float64) *Ledger {
 	}
 }
 
-// Add records one release. Invalid entries are rejected before any
-// state changes, so a ledger never holds a partially applied release.
+// SetCeiling installs a hard budget ceiling: every later Add (and
+// CheckCharge) refuses entries that would push the cumulative
+// Epsilon(delta) past eps. eps = 0 clears the ceiling; delta <= 0
+// selects the ledger's headline δ. Installing a ceiling the ledger
+// already exceeds is not an error — it simply refuses all further
+// charges, which is exactly what a restored-after-crash session that
+// overshot its budget must do.
+func (l *Ledger) SetCeiling(eps, delta float64) error {
+	if eps == 0 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.ceilEps, l.ceilDelta = 0, 0
+		return nil
+	}
+	if !(eps > 0) || math.IsInf(eps, 1) {
+		return fmt.Errorf("accounting: invalid ceiling ε = %v", eps)
+	}
+	if delta <= 0 {
+		delta = l.delta
+	}
+	if !(delta > 0 && delta < 1) {
+		return fmt.Errorf("accounting: invalid ceiling δ = %v", delta)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ceilEps, l.ceilDelta = eps, delta
+	return nil
+}
+
+// Ceiling returns the configured ceiling (0, 0 when none).
+func (l *Ledger) Ceiling() (eps, delta float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ceilEps, l.ceilDelta
+}
+
+// SetJournal routes every subsequent charge through the write-ahead
+// journal under the given session label (see Journal). It must be
+// installed before the ledger starts taking live traffic — typically
+// right after construction or Restore.
+func (l *Ledger) SetJournal(j Journal, session string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.journal = j
+	l.session = session
+}
+
+// CheckCharge simulates recording the given entries on top of the
+// current state and reports ErrCeilingExceeded if the result would
+// breach the ceiling (nil when no ceiling is set). It never mutates
+// the ledger — the serving layer runs it before any scoring work so a
+// doomed release is refused before it costs anything. Concurrent
+// charges can still win the race between CheckCharge and Add; Add
+// re-checks authoritatively.
+func (l *Ledger) CheckCharge(entries ...Entry) error {
+	for _, e := range entries {
+		if err := e.validate(); err != nil {
+			return err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.checkCeilingLocked(entries...)
+}
+
+// checkCeilingLocked simulates entries against the ceiling without
+// mutating state.
+func (l *Ledger) checkCeilingLocked(entries ...Entry) error {
+	if !(l.ceilEps > 0) {
+		return nil
+	}
+	cand := make([]float64, len(defaultAlphas))
+	copy(cand, l.epsAlpha)
+	n, maxEps, deltaSum := len(l.entries), l.maxEps, l.deltaSum
+	for _, e := range entries {
+		for i, a := range defaultAlphas {
+			cand[i] += e.EpsAlpha(a)
+		}
+		if e.Eps > maxEps {
+			maxEps = e.Eps
+		}
+		deltaSum += e.Delta
+		n++
+	}
+	if eps := epsilonOf(cand, n, maxEps, deltaSum, l.ceilDelta); eps > l.ceilEps {
+		return fmt.Errorf("%w: charge would raise ε(δ=%g) to %g over ceiling %g (%d releases recorded)",
+			ErrCeilingExceeded, l.ceilDelta, eps, l.ceilEps, len(l.entries))
+	}
+	return nil
+}
+
+// Add records one release. Invalid entries and entries over the
+// configured ceiling are rejected before any state changes — and
+// before the journal append — so a ledger never holds (or journals) a
+// partially applied or refused release. When a journal is installed,
+// the entry is made durable first and the in-memory state mutates
+// only after the append succeeds: a crash between the two over-counts
+// the spend on replay, never under-counts it.
 func (l *Ledger) Add(e Entry) error {
 	if err := e.validate(); err != nil {
 		return err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.checkCeilingLocked(e); err != nil {
+		return err
+	}
+	var seq uint64
+	if l.journal != nil {
+		var err error
+		seq, err = l.journal.Append(l.session, e)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
 	l.entries = append(l.entries, e)
 	for i, a := range defaultAlphas {
 		l.epsAlpha[i] += e.EpsAlpha(a)
@@ -215,6 +366,9 @@ func (l *Ledger) Add(e Entry) error {
 	}
 	l.deltaSum += e.Delta
 	clear(l.memo)
+	if l.journal != nil {
+		l.journal.Applied(seq)
+	}
 	return nil
 }
 
@@ -316,18 +470,30 @@ func (l *Ledger) Epsilon(delta float64) (float64, error) {
 	if eps, ok := l.memo[delta]; ok {
 		return eps, nil
 	}
+	eps := epsilonOf(l.epsAlpha, len(l.entries), l.maxEps, l.deltaSum, delta)
+	l.memo[delta] = eps
+	return eps, nil
+}
+
+// epsilonOf is the (ε, δ) conversion over an explicit curve state: the
+// α-grid minimum of ε_α + log(1/δ)/(α−1), capped by the linear bound
+// n·maxEps whenever its δ budget (deltaSum) fits under delta. Shared
+// by Epsilon and the ceiling simulation so both answer identically.
+func epsilonOf(epsAlpha []float64, n int, maxEps, deltaSum, delta float64) float64 {
+	if n == 0 {
+		return 0
+	}
 	logInvDelta := math.Log(1 / delta)
 	eps := math.Inf(1)
 	for i, a := range defaultAlphas {
-		if v := l.epsAlpha[i] + logInvDelta/(a-1); v < eps {
+		if v := epsAlpha[i] + logInvDelta/(a-1); v < eps {
 			eps = v
 		}
 	}
-	if l.deltaSum <= delta {
-		eps = math.Min(eps, l.linearLocked())
+	if deltaSum <= delta {
+		eps = math.Min(eps, float64(n)*maxEps)
 	}
-	l.memo[delta] = eps
-	return eps, nil
+	return eps
 }
 
 // TotalEpsilon reports Epsilon at the ledger's headline δ, satisfying

@@ -1,0 +1,447 @@
+// Package wal is the append-only write-ahead journal beneath the
+// accounting ledgers: the durability layer that makes cumulative
+// privacy spend survive kill -9, OOM, and power loss.
+//
+// # Why a WAL
+//
+// The pufferd snapshot is written only at clean shutdown. Without a
+// journal, a crash silently forgets every release since boot and the
+// restarted server under-reports privacy spend — the one failure mode
+// a privacy system must never have. The WAL closes the hole with the
+// charge-ahead invariant: a record is appended and fsync'd *before*
+// the ledger mutates and long before the noisy histogram leaves the
+// process. A crash at any point can therefore only over-count spend
+// on replay (a record whose response never went out), never
+// under-count it.
+//
+// # Format
+//
+// A WAL file is an 8-byte magic header followed by framed records:
+//
+//	"PFWAL01\n"
+//	repeat: uint32 LE payload length | uint32 LE CRC-32C of payload |
+//	        payload (JSON Record)
+//
+// Each Append is a single Write of one whole frame followed by Sync.
+// Records carry a strictly increasing sequence number; the snapshot
+// stores the low-water sequence it includes, so replay after a crash
+// between snapshot and rotation skips exactly the records the
+// snapshot already holds (duplicate replay cannot double-count).
+//
+// # Recovery rules
+//
+//   - A truncated or torn tail frame (short header, short payload,
+//     CRC mismatch, or garbage at the end) is dropped: the append's
+//     fsync never completed, so by charge-ahead ordering the response
+//     it guarded was never sent, and dropping it cannot under-count.
+//   - Corruption *followed by more valid frames* cannot be produced
+//     by crashed appends — it means the file was damaged or edited.
+//     Recovery fails loudly and the server refuses to start, because
+//     skipping a damaged record would silently under-account.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pufferfish/internal/accounting"
+	"pufferfish/internal/faultfs"
+)
+
+// magic identifies (and versions) a WAL file.
+const magic = "PFWAL01\n"
+
+// maxPayload bounds a record frame; an accounting entry is a few
+// hundred bytes, so anything near this is corruption, not data.
+const maxPayload = 1 << 20
+
+// frameHeader is payload length + CRC-32C.
+const frameHeader = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a WAL that cannot be trusted: damage in the middle
+// of the file with valid records after it. Recovery refuses to
+// proceed — see the package comment.
+var ErrCorrupt = errors.New("wal: corrupt journal")
+
+// Record is one journaled charge.
+type Record struct {
+	// Seq is the strictly increasing record sequence, global across
+	// sessions and preserved across rotations.
+	Seq uint64 `json:"seq"`
+	// Time is a wall-clock audit stamp (UnixNano); it does not affect
+	// replay.
+	Time int64 `json:"time,omitempty"`
+	// Session names the accountant session charged.
+	Session string `json:"session"`
+	// Entry is the ledger entry exactly as the session recorded it.
+	Entry accounting.Entry `json:"entry"`
+}
+
+// Writer is an open WAL accepting appends. It implements
+// accounting.Journal, so it plugs directly into Ledger.SetJournal.
+type Writer struct {
+	mu    sync.Mutex
+	fsys  faultfs.FS
+	clock faultfs.Clock
+	path  string
+	f     faultfs.File
+	buf   []byte
+
+	lastSeq     uint64
+	outstanding map[uint64]struct{} // appended, not yet Applied
+	appends     int64
+}
+
+// RecoverResult is what Recover found on disk.
+type RecoverResult struct {
+	// Records are the valid journal records, in order.
+	Records []Record
+	// Torn reports that a torn/truncated tail frame was dropped.
+	Torn bool
+	// DroppedBytes is the size of the dropped tail (0 when clean).
+	DroppedBytes int
+}
+
+// Recover replays the WAL at path (a missing file is an empty
+// journal), repairs a torn tail by rewriting the valid prefix, and
+// returns an open Writer positioned after the last valid record.
+// lastSeq seeds the sequence counter when the journal is empty (the
+// snapshot's low-water mark); otherwise the last record's sequence
+// wins if larger. Mid-file corruption returns ErrCorrupt and no
+// Writer.
+func Recover(fsys faultfs.FS, clock faultfs.Clock, path string, lastSeq uint64) (*Writer, *RecoverResult, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if clock == nil {
+		clock = faultfs.WallClock{}
+	}
+	res := &RecoverResult{}
+	blob, err := fsys.ReadFile(path)
+	exists := true
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		exists = false
+		blob = nil
+	}
+	validLen := 0
+	if exists {
+		var records []Record
+		records, validLen, err = parse(blob, path)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Records = records
+		res.Torn = validLen < len(blob)
+		res.DroppedBytes = len(blob) - validLen
+		if n := len(records); n > 0 && records[n-1].Seq > lastSeq {
+			lastSeq = records[n-1].Seq
+		}
+	}
+	w := &Writer{
+		fsys: fsys, clock: clock, path: path,
+		lastSeq:     lastSeq,
+		outstanding: map[uint64]struct{}{},
+	}
+	switch {
+	case !exists:
+		// Fresh journal: start it atomically.
+		if err := w.reset(nil); err != nil {
+			return nil, nil, err
+		}
+	case res.Torn || validLen < len(magic):
+		// Drop the torn tail (or the torn header of a journal that
+		// crashed at birth) by rewriting the valid records into a
+		// fresh file swapped in atomically; appending after garbage
+		// would poison every future recovery.
+		if err := w.reset(res.Records); err != nil {
+			return nil, nil, err
+		}
+	default:
+		f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+		}
+		w.f = f
+	}
+	return w, res, nil
+}
+
+// parse walks the frames of blob, returning the valid records and the
+// byte length of the valid prefix. Mid-file corruption (a bad frame
+// with a valid frame somewhere after it) is ErrCorrupt.
+func parse(blob []byte, path string) ([]Record, int, error) {
+	if len(blob) < len(magic) {
+		// Shorter than the header: a journal that crashed at birth.
+		// A strict prefix of the magic (including empty) is the torn
+		// header; anything else is not a WAL at all.
+		if string(blob) == magic[:len(blob)] {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	if string(blob[:len(magic)]) != magic {
+		return nil, 0, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	var records []Record
+	off := len(magic)
+	var lastSeq uint64
+	for off < len(blob) {
+		rec, n, ok := parseFrame(blob[off:])
+		if !ok {
+			break
+		}
+		if rec.Seq <= lastSeq {
+			// Sequence must be strictly increasing; a regression is
+			// structural damage, not a torn tail.
+			return nil, 0, fmt.Errorf("%w: %s: sequence %d after %d at offset %d",
+				ErrCorrupt, path, rec.Seq, lastSeq, off)
+		}
+		lastSeq = rec.Seq
+		records = append(records, rec)
+		off += n
+	}
+	if off < len(blob) {
+		// Bad frame. If any complete valid frame parses anywhere in
+		// the remainder, this is mid-file damage, not a torn append.
+		rest := blob[off:]
+		for i := 1; i+frameHeader <= len(rest); i++ {
+			if _, _, ok := parseFrame(rest[i:]); ok {
+				return nil, 0, fmt.Errorf("%w: %s: damaged frame at offset %d with valid records after it",
+					ErrCorrupt, path, off)
+			}
+		}
+	}
+	return records, off, nil
+}
+
+// parseFrame decodes one frame from the head of b, returning the
+// record, the frame's total size, and whether it was valid.
+func parseFrame(b []byte) (Record, int, bool) {
+	var rec Record
+	if len(b) < frameHeader {
+		return rec, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(b[0:4])
+	crc := binary.LittleEndian.Uint32(b[4:8])
+	if plen == 0 || plen > maxPayload || frameHeader+int(plen) > len(b) {
+		return rec, 0, false
+	}
+	payload := b[frameHeader : frameHeader+int(plen)]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return rec, 0, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, 0, false
+	}
+	if err := rec.Entry.Validate(); err != nil || rec.Seq == 0 {
+		return rec, 0, false
+	}
+	return rec, frameHeader + int(plen), true
+}
+
+// frame encodes one record into buf (reused across appends).
+func (w *Writer) frame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: marshal record: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("wal: record of %d bytes exceeds the frame limit", len(payload))
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(payload)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.Checksum(payload, castagnoli))
+	w.buf = append(w.buf, payload...)
+	return w.buf, nil
+}
+
+// Append journals one charge: frame, write, fsync. It returns only
+// after the record is durable — the accounting.Journal contract the
+// charge-ahead invariant rests on.
+func (w *Writer) Append(session string, e accounting.Entry) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, errors.New("wal: writer is closed")
+	}
+	rec := Record{
+		Seq:     w.lastSeq + 1,
+		Time:    w.clock.Now().UnixNano(),
+		Session: session,
+		Entry:   e,
+	}
+	frame, err := w.frame(rec)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		// The file now may hold a torn frame; recovery truncates it.
+		// Appending more after a failed write would risk mid-file
+		// garbage, so the writer shuts itself down.
+		w.closeLocked()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.closeLocked()
+		return 0, fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.lastSeq = rec.Seq
+	w.outstanding[rec.Seq] = struct{}{}
+	w.appends++
+	return rec.Seq, nil
+}
+
+// Applied acknowledges that the in-memory ledger state reflects the
+// record (accounting.Journal).
+func (w *Writer) Applied(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.outstanding, seq)
+}
+
+// LowWater returns the highest sequence S such that every record with
+// seq ≤ S has been Applied — the only sequence a snapshot may safely
+// claim to include. With appends in flight it trails LastSeq, so a
+// racing snapshot over-counts on replay rather than under-counts.
+func (w *Writer) LowWater() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	low := w.lastSeq
+	for seq := range w.outstanding {
+		if seq-1 < low {
+			low = seq - 1
+		}
+	}
+	return low
+}
+
+// LastSeq returns the sequence of the newest durable record.
+func (w *Writer) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// Appends returns the number of records appended by this writer since
+// open (stats; replayed records are not included).
+func (w *Writer) Appends() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appends
+}
+
+// Path returns the journal's file path.
+func (w *Writer) Path() string { return w.path }
+
+// Rotate truncates the journal after a snapshot: records with
+// seq ≤ keepAfter (the snapshot's low-water mark) are dropped and any
+// newer records are carried into a fresh file, swapped in atomically
+// (temp + rename + parent-directory fsync). A crash at any point
+// leaves either the old journal (replay dedups by sequence against
+// the snapshot) or the new one — never a torn mixture.
+func (w *Writer) Rotate(keepAfter uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("wal: writer is closed")
+	}
+	blob, err := w.fsys.ReadFile(w.path)
+	if err != nil {
+		return fmt.Errorf("wal: rotate read: %w", err)
+	}
+	records, _, err := parse(blob, w.path)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	var keep []Record
+	for _, rec := range records {
+		if rec.Seq > keepAfter {
+			keep = append(keep, rec)
+		}
+	}
+	return w.resetLocked(keep)
+}
+
+// reset writes a fresh journal holding records and reopens the writer
+// on it (atomic swap).
+func (w *Writer) reset(records []Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.resetLocked(records)
+}
+
+func (w *Writer) resetLocked(records []Record) error {
+	w.closeLocked()
+	tmp := w.path + ".tmp"
+	f, err := w.fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	write := func() error {
+		if _, err := f.Write([]byte(magic)); err != nil {
+			return err
+		}
+		for _, rec := range records {
+			frame, err := w.frame(rec)
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write(frame); err != nil {
+				return err
+			}
+		}
+		return f.Sync()
+	}
+	if err := write(); err != nil {
+		f.Close()
+		w.fsys.Remove(tmp)
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		w.fsys.Remove(tmp)
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if err := w.fsys.Rename(tmp, w.path); err != nil {
+		w.fsys.Remove(tmp)
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	// Sync the parent directory so the swap itself survives a crash;
+	// without it the rename can roll back and resurrect dropped
+	// records — an over-count, but a needless one.
+	if err := w.fsys.SyncDir(filepath.Dir(w.path)); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	nf, err := w.fsys.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reset reopen: %w", err)
+	}
+	w.f = nf
+	return nil
+}
+
+func (w *Writer) closeLocked() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
+// Close releases the file handle; further appends fail.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closeLocked()
+	return nil
+}

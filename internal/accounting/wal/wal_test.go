@@ -1,0 +1,346 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"testing"
+	"time"
+
+	"pufferfish/internal/accounting"
+	"pufferfish/internal/faultfs"
+)
+
+const walPath = "/d/ledger.wal"
+
+func testClock() *faultfs.FixedClock {
+	return &faultfs.FixedClock{At: time.Unix(1700000000, 0), Step: time.Millisecond}
+}
+
+func mustRecover(t *testing.T, fsys faultfs.FS, lastSeq uint64) (*Writer, *RecoverResult) {
+	t.Helper()
+	w, res, err := Recover(fsys, testClock(), walPath, lastSeq)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return w, res
+}
+
+func append3(t *testing.T, w *Writer) {
+	t.Helper()
+	for i, e := range []accounting.Entry{
+		{Kind: accounting.KindPure, Mechanism: "mqm-exact", Eps: 1},
+		{Kind: accounting.KindGaussian, Mechanism: "kantorovich", Eps: 0.5, Delta: 1e-5, Rho: 0.01},
+		{Kind: accounting.KindPure, Mechanism: "dp", Eps: 2},
+	} {
+		seq, err := w.Append("s", e)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		w.Applied(seq)
+	}
+}
+
+// TestAppendReplayRoundTrip: records come back exactly, in order,
+// with strictly increasing sequences, after a crash that loses
+// nothing (every append fsyncs before returning).
+func TestAppendReplayRoundTrip(t *testing.T) {
+	c := faultfs.NewCrashFS()
+	w, res := mustRecover(t, c, 0)
+	if len(res.Records) != 0 || res.Torn {
+		t.Fatalf("fresh journal: %+v", res)
+	}
+	append3(t, w)
+	if w.LastSeq() != 3 || w.LowWater() != 3 {
+		t.Fatalf("seq %d, low water %d", w.LastSeq(), w.LowWater())
+	}
+
+	c.Crash()
+	c.Restart()
+	w2, res2 := mustRecover(t, c, 0)
+	defer w2.Close()
+	if len(res2.Records) != 3 || res2.Torn {
+		t.Fatalf("after crash: %d records, torn %v", len(res2.Records), res2.Torn)
+	}
+	for i, rec := range res2.Records {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+		if rec.Time == 0 {
+			t.Fatalf("record %d missing audit timestamp", i)
+		}
+	}
+	if res2.Records[1].Entry.Rho != 0.01 || res2.Records[2].Entry.Eps != 2 {
+		t.Fatalf("entries mangled: %+v", res2.Records)
+	}
+	// The recovered writer continues the sequence.
+	seq, err := w2.Append("s", accounting.Entry{Kind: accounting.KindPure, Eps: 1})
+	if err != nil || seq != 4 {
+		t.Fatalf("post-recovery append: seq %d, %v", seq, err)
+	}
+}
+
+// TestTruncatedTail: a record cut anywhere — short header, short
+// payload — is dropped and the rest recovered; the file is repaired
+// so future appends stay parseable.
+func TestTruncatedTail(t *testing.T) {
+	for _, cut := range []int{1, 4, 9, 12} { // into header and into payload
+		c := faultfs.NewCrashFS()
+		w, _ := mustRecover(t, c, 0)
+		append3(t, w)
+		w.Close()
+		blob, err := c.ReadFile(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find the last frame's start to cut inside it.
+		lastStart := frameStart(t, blob, 2)
+		trunc := blob[:lastStart+cut]
+		writeRaw(t, c, walPath, trunc)
+
+		w2, res := mustRecover(t, c, 0)
+		if len(res.Records) != 2 || !res.Torn || res.DroppedBytes != cut {
+			t.Fatalf("cut %d: %d records, torn %v, dropped %d",
+				cut, len(res.Records), res.Torn, res.DroppedBytes)
+		}
+		// Appends after the repair recover cleanly again.
+		if _, err := w2.Append("s", accounting.Entry{Kind: accounting.KindPure, Eps: 1}); err != nil {
+			t.Fatalf("cut %d: append after repair: %v", cut, err)
+		}
+		w2.Close()
+		_, res3 := mustRecover(t, c, 0)
+		if len(res3.Records) != 3 || res3.Torn {
+			t.Fatalf("cut %d: re-recovery: %d records, torn %v", cut, len(res3.Records), res3.Torn)
+		}
+	}
+}
+
+// TestTornMidRecordWrite: a crash torn halfway through an append
+// (faultfs makes the torn prefix durable — the worst writeback case)
+// loses exactly that record and nothing else.
+func TestTornMidRecordWrite(t *testing.T) {
+	c := faultfs.NewCrashFS()
+	w, _ := mustRecover(t, c, 0)
+	append3(t, w)
+	c.FailAt(faultfs.OpWrite, 1, faultfs.ModeCrash)
+	if _, err := w.Append("s", accounting.Entry{Kind: accounting.KindPure, Eps: 9}); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("append during crash: %v", err)
+	}
+	c.Restart()
+	w2, res := mustRecover(t, c, 0)
+	defer w2.Close()
+	if len(res.Records) != 3 || !res.Torn {
+		t.Fatalf("after torn append: %d records, torn %v", len(res.Records), res.Torn)
+	}
+	for _, rec := range res.Records {
+		if rec.Entry.Eps == 9 {
+			t.Fatal("torn record replayed")
+		}
+	}
+}
+
+// TestCRCMismatch: a flipped payload byte in the tail frame is
+// dropped like any torn write; the same flip mid-file — with valid
+// records after it — fails loudly with ErrCorrupt, because silently
+// skipping a damaged record would under-account.
+func TestCRCMismatch(t *testing.T) {
+	c := faultfs.NewCrashFS()
+	w, _ := mustRecover(t, c, 0)
+	append3(t, w)
+	w.Close()
+	blob, _ := c.ReadFile(walPath)
+
+	// Tail flip: inside the last record's payload.
+	tail := append([]byte(nil), blob...)
+	tail[frameStart(t, blob, 2)+frameHeader+3] ^= 0xff
+	writeRaw(t, c, walPath, tail)
+	_, res := mustRecover(t, c, 0)
+	if len(res.Records) != 2 || !res.Torn {
+		t.Fatalf("tail CRC flip: %d records, torn %v", len(res.Records), res.Torn)
+	}
+
+	// Mid-file flip: inside the first record, valid frames after it.
+	mid := append([]byte(nil), blob...)
+	mid[frameStart(t, blob, 0)+frameHeader+3] ^= 0xff
+	writeRaw(t, c, walPath, mid)
+	if _, _, err := Recover(c, testClock(), walPath, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file corruption: %v", err)
+	}
+
+	// Non-WAL garbage fails loudly too.
+	writeRaw(t, c, walPath, []byte("{\"not\": \"a wal\"}"))
+	if _, _, err := Recover(c, testClock(), walPath, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage file: %v", err)
+	}
+}
+
+// TestDuplicateReplayAfterSnapshotRotate: the snapshot + rotate
+// protocol dedupes by sequence. A crash *between* snapshot and rotate
+// leaves the full journal next to a snapshot that already includes
+// it; replaying only seq > snapshot.walSeq recovers exactly the
+// post-snapshot records, and never drops one that raced the cut.
+func TestDuplicateReplayAfterSnapshotRotate(t *testing.T) {
+	c := faultfs.NewCrashFS()
+	w, _ := mustRecover(t, c, 0)
+	append3(t, w)
+
+	// "Snapshot" at low water 3, then crash before Rotate: the
+	// journal still holds seq 1..3.
+	snapSeq := w.LowWater()
+	c.Crash()
+	c.Restart()
+	w2, res := mustRecover(t, c, snapSeq)
+	replayed := 0
+	for _, rec := range res.Records {
+		if rec.Seq > snapSeq {
+			replayed++
+		}
+	}
+	if replayed != 0 {
+		t.Fatalf("records ≤ snapshot seq replayed: %d", replayed)
+	}
+	// Recovery seeded with the snapshot seq continues numbering past
+	// both the snapshot and the journal.
+	seq, err := w2.Append("s", accounting.Entry{Kind: accounting.KindPure, Eps: 1})
+	if err != nil || seq != 4 {
+		t.Fatalf("append after dedup: seq %d, %v", seq, err)
+	}
+
+	// Now the rotate completes: seq ≤ 3 dropped, 4 carried forward.
+	if err := w2.Rotate(snapSeq); err != nil {
+		t.Fatal(err)
+	}
+	seq5, err := w2.Append("s", accounting.Entry{Kind: accounting.KindPure, Eps: 1})
+	if err != nil || seq5 != 5 {
+		t.Fatalf("append after rotate: seq %d, %v", seq5, err)
+	}
+	w2.Close()
+	_, res2 := mustRecover(t, c, snapSeq)
+	if len(res2.Records) != 2 || res2.Records[0].Seq != 4 || res2.Records[1].Seq != 5 {
+		t.Fatalf("rotated journal: %+v", res2.Records)
+	}
+}
+
+// TestRotateCrashPoints: sweeping a crash into every filesystem
+// operation of Rotate always leaves a journal that either still holds
+// all records or holds exactly the carried set — recovery plus
+// sequence dedup never loses a post-snapshot record at any point.
+func TestRotateCrashPoints(t *testing.T) {
+	// Count the ops of a clean rotate.
+	prep := func() (*faultfs.CrashFS, *Writer) {
+		c := faultfs.NewCrashFS()
+		w, _ := mustRecover(t, c, 0)
+		append3(t, w)
+		return c, w
+	}
+	c0, w0 := prep()
+	before := c0.Ops()
+	if err := w0.Rotate(2); err != nil {
+		t.Fatal(err)
+	}
+	total := c0.Ops() - before
+
+	for n := 1; n <= total; n++ {
+		c, w := prep()
+		c.CrashAtOp(n)  // counted from arming: n ops into the rotate
+		_ = w.Rotate(2) // may fail — that's the point
+		c.Restart()
+		_, res, err := Recover(c, testClock(), walPath, 2)
+		if err != nil {
+			t.Fatalf("crash at rotate op %d: recovery failed: %v", n, err)
+		}
+		// Seq 3 (the record past the snapshot cut) must survive.
+		found := false
+		for _, rec := range res.Records {
+			if rec.Seq == 3 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("crash at rotate op %d lost the post-snapshot record: %+v", n, res.Records)
+		}
+	}
+}
+
+// TestLowWaterWithOutstanding: an appended-but-unapplied record keeps
+// the low-water mark below it, so a racing snapshot can only
+// over-count.
+func TestLowWaterWithOutstanding(t *testing.T) {
+	c := faultfs.NewCrashFS()
+	w, _ := mustRecover(t, c, 0)
+	defer w.Close()
+	e := accounting.Entry{Kind: accounting.KindPure, Eps: 1}
+	s1, _ := w.Append("a", e)
+	w.Applied(s1)
+	s2, err := w.Append("a", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.LowWater() != s2-1 {
+		t.Fatalf("low water %d with seq %d outstanding", w.LowWater(), s2)
+	}
+	w.Applied(s2)
+	if w.LowWater() != s2 {
+		t.Fatalf("low water %d after apply", w.LowWater())
+	}
+}
+
+// TestInvalidEntriesNeverReplay: a frame whose payload validates the
+// CRC but holds an impossible accounting entry (hand-crafted) is
+// rejected as damage, not replayed into a ledger.
+func TestInvalidEntriesNeverReplay(t *testing.T) {
+	c := faultfs.NewCrashFS()
+	w, _ := mustRecover(t, c, 0)
+	seq, _ := w.Append("s", accounting.Entry{Kind: accounting.KindPure, Eps: 1})
+	w.Applied(seq)
+	w.Close()
+
+	// Craft a frame with a negative ε and a valid CRC, append raw.
+	blob, _ := c.ReadFile(walPath)
+	payload := []byte(`{"seq":2,"session":"s","entry":{"kind":"pure","eps":-1}}`)
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32Of(payload))
+	frame = append(frame, payload...)
+	writeRaw(t, c, walPath, append(append([]byte(nil), blob...), frame...))
+
+	_, res := mustRecover(t, c, 0)
+	if len(res.Records) != 1 || !res.Torn {
+		t.Fatalf("invalid entry handled as: %d records, torn %v", len(res.Records), res.Torn)
+	}
+}
+
+// frameStart returns the byte offset of the idx-th frame (0-based).
+func frameStart(t *testing.T, blob []byte, idx int) int {
+	t.Helper()
+	off := len(magic)
+	for i := 0; i < idx; i++ {
+		if off+frameHeader > len(blob) {
+			t.Fatalf("frame %d out of range", idx)
+		}
+		plen := int(binary.LittleEndian.Uint32(blob[off : off+4]))
+		off += frameHeader + plen
+	}
+	return off
+}
+
+func writeRaw(t *testing.T, c *faultfs.CrashFS, name string, blob []byte) {
+	t.Helper()
+	f, err := c.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func crc32Of(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
+}

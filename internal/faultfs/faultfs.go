@@ -1,0 +1,555 @@
+// Package faultfs is the filesystem and clock seam beneath the
+// durability-critical code (the accounting WAL and the pufferd
+// snapshot writer). Production code goes through the FS interface so
+// tests can substitute CrashFS, an in-memory filesystem with *crash
+// semantics*: data written but not fsynced is lost on a simulated
+// crash, a created or renamed directory entry is lost unless its
+// parent directory was fsynced, and any operation can be scripted to
+// fail, tear, or crash the "machine" mid-way. That is exactly the
+// failure model a privacy ledger must survive without ever
+// under-counting spend, and it cannot be exercised against a real
+// disk from a unit test.
+package faultfs
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// File is the handle surface the WAL and snapshot writers need.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes written data to stable storage (fsync). Without it,
+	// a crash may lose any or all bytes written since the last Sync.
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations durability code performs.
+// Implementations: OS (the real filesystem) and CrashFS (in-memory,
+// crash-semantics, fault-injectable).
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the flag
+	// subset the callers use (O_CREATE|O_TRUNC|O_WRONLY and
+	// O_CREATE|O_APPEND|O_WRONLY).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making its entries (file
+	// creations, renames, removals) durable. A rename without a
+	// following SyncDir can roll back on crash.
+	SyncDir(dir string) error
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// Clock is the time seam next to FS: WAL records carry an audit
+// timestamp, and tests want it deterministic.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock is the real clock.
+type WallClock struct{}
+
+// Now returns time.Now().
+func (WallClock) Now() time.Time { return time.Now() }
+
+// FixedClock is a test clock advancing by Step per Now call.
+type FixedClock struct {
+	mu   sync.Mutex
+	At   time.Time
+	Step time.Duration
+}
+
+// Now returns the current fake time and advances it by Step.
+func (c *FixedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.At
+	c.At = c.At.Add(c.Step)
+	return t
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Rename(o, n string) error             { return os.Rename(o, n) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) {
+	return os.Stat(name)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Some filesystems refuse fsync on directories; that is not a
+	// durability hole we can fix, so only real sync failures surface.
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Op identifies an operation class for fault scripting.
+type Op int
+
+const (
+	OpOpen Op = iota
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpSyncDir
+	OpRead
+	// OpAny matches every operation; used with CrashFS.CrashAtOp to
+	// sweep crash points exhaustively.
+	OpAny
+)
+
+var opNames = map[Op]string{
+	OpOpen: "open", OpWrite: "write", OpSync: "sync", OpClose: "close",
+	OpRename: "rename", OpRemove: "remove", OpSyncDir: "syncdir",
+	OpRead: "read", OpAny: "any",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Mode selects what happens when a scripted fault fires.
+type Mode int
+
+const (
+	// ModeErr fails the operation with no effect.
+	ModeErr Mode = iota
+	// ModeTorn applies the first half of a write (rounded down, at
+	// least one byte when the write is non-empty) and then fails —
+	// a torn sector. Non-write operations degrade to ModeErr.
+	ModeTorn
+	// ModeCrash applies the torn partial effect and then crashes the
+	// filesystem: unsynced data is dropped and every subsequent
+	// operation fails with ErrCrashed.
+	ModeCrash
+)
+
+// ErrCrashed is returned by every operation on a crashed CrashFS.
+var ErrCrashed = fmt.Errorf("faultfs: filesystem crashed")
+
+// ErrInjected is the scripted failure error.
+var ErrInjected = fmt.Errorf("faultfs: injected fault")
+
+// inode models one file: its current (page-cache) content and the
+// content known durable via Sync.
+type inode struct {
+	visible []byte
+	durable []byte
+	synced  bool // Sync was called at least once
+}
+
+// CrashFS is an in-memory FS with crash semantics. The zero value is
+// not usable; construct with NewCrashFS.
+//
+// Durability model (deliberately the strict POSIX reading):
+//   - File contents become durable only at Sync; a crash reverts a
+//     file to its last-synced bytes.
+//   - Directory entries (creation, rename, removal) become durable
+//     only at SyncDir of the parent; a crash reverts the namespace to
+//     its last-SyncDir state, while inode contents keep whatever Sync
+//     made durable — so a synced temp file renamed without SyncDir
+//     reappears under its temp name after a crash.
+type CrashFS struct {
+	mu sync.Mutex
+	// visible is the live namespace; durableDir the namespace image a
+	// crash reverts to. Both map full path → inode (shared pointers:
+	// rename moves the inode, contents durability stays per-inode).
+	visible    map[string]*inode
+	durableDir map[string]*inode
+	crashed    bool
+	gen        int // bumped on every crash; stale handles check it
+
+	ops     int // total operation count, for CrashAtOp sweeps
+	faults  []*fault
+	opCount map[Op]int
+}
+
+type fault struct {
+	op    Op
+	at    int // fires when opCount[op] reaches this value
+	mode  Mode
+	fired bool
+}
+
+// NewCrashFS returns an empty crash-semantics filesystem.
+func NewCrashFS() *CrashFS {
+	return &CrashFS{
+		visible:    map[string]*inode{},
+		durableDir: map[string]*inode{},
+		opCount:    map[Op]int{},
+	}
+}
+
+// FailAt schedules the n-th operation of class op (1-based, counted
+// from the moment of arming) to fail with the given mode. Multiple
+// faults may be armed; each fires once.
+func (c *CrashFS) FailAt(op Op, n int, mode Mode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = append(c.faults, &fault{op: op, at: c.opCount[op] + n, mode: mode})
+}
+
+// CrashAtOp arms a ModeCrash fault at the n-th operation of any
+// class — the exhaustive-sweep hook: run a scenario once to count ops,
+// then re-run it crashing at every 1..N.
+func (c *CrashFS) CrashAtOp(n int) { c.FailAt(OpAny, n, ModeCrash) }
+
+// Ops returns the number of operations performed so far.
+func (c *CrashFS) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Crash simulates power loss: unsynced file data and undurable
+// directory entries are dropped, and every subsequent operation on
+// this FS or its open handles fails with ErrCrashed until Restart.
+func (c *CrashFS) Crash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashLocked()
+}
+
+func (c *CrashFS) crashLocked() {
+	c.crashed = true
+	c.gen++
+	next := make(map[string]*inode, len(c.durableDir))
+	for name, ino := range c.durableDir {
+		if !ino.synced {
+			// Created, never synced, but its dir entry was synced: the
+			// file exists with indeterminate content; model the loss
+			// case (empty) — the one recovery must tolerate.
+			next[name] = &inode{}
+			continue
+		}
+		next[name] = &inode{
+			visible: append([]byte(nil), ino.durable...),
+			durable: append([]byte(nil), ino.durable...),
+			synced:  true,
+		}
+	}
+	c.visible = next
+	c.durableDir = map[string]*inode{}
+	for name, ino := range next {
+		c.durableDir[name] = ino
+	}
+}
+
+// Restart clears the crashed flag so "the next boot" can read the
+// surviving state. Open handles from before the crash stay dead.
+func (c *CrashFS) Restart() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed = false
+}
+
+// Files lists the visible file names, sorted (test helper).
+func (c *CrashFS) Files() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.visible))
+	for name := range c.visible {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// step charges one operation, returning the fired fault mode if a
+// scripted fault matches (nil otherwise) — called with mu held.
+func (c *CrashFS) step(op Op) (*fault, error) {
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	c.ops++
+	c.opCount[op]++
+	c.opCount[OpAny]++
+	for _, f := range c.faults {
+		if f.fired {
+			continue
+		}
+		if (f.op == op || f.op == OpAny) && c.opCount[f.op] == f.at {
+			f.fired = true
+			return f, nil
+		}
+	}
+	return nil, nil
+}
+
+type crashFile struct {
+	fs     *CrashFS
+	name   string
+	ino    *inode
+	gen    int // CrashFS generation at open; a crash orphans the handle
+	closed bool
+}
+
+// stale reports whether the handle predates a crash — called with
+// fs.mu held. A stale handle fails every operation with ErrCrashed
+// even after Restart, like a real fd into a lost page cache.
+func (f *crashFile) stale() bool { return f.gen != f.fs.gen }
+
+// OpenFile supports the create/truncate and create/append flag
+// combinations the durability code uses.
+func (c *CrashFS) OpenFile(name string, flag int, _ fs.FileMode) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, err := c.step(OpOpen)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil {
+		if f.mode == ModeCrash {
+			c.crashLocked()
+			return nil, ErrCrashed
+		}
+		return nil, fmt.Errorf("%w: open %s", ErrInjected, name)
+	}
+	ino, ok := c.visible[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		ino = &inode{}
+		c.visible[name] = ino
+	case flag&os.O_TRUNC != 0:
+		ino.visible = nil
+	}
+	return &crashFile{fs: c, name: name, ino: ino, gen: c.gen}, nil
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	c := f.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f.stale() {
+		return 0, ErrCrashed
+	}
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	ft, err := c.step(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if ft != nil {
+		switch ft.mode {
+		case ModeErr:
+			return 0, fmt.Errorf("%w: write %s", ErrInjected, f.name)
+		case ModeTorn, ModeCrash:
+			n := len(p) / 2
+			if n == 0 && len(p) > 0 {
+				n = 1
+			}
+			f.ino.visible = append(f.ino.visible, p[:n]...)
+			if ft.mode == ModeCrash {
+				// A crash mid-write may persist the torn prefix even
+				// without a Sync (the page was being written back):
+				// surface the worst case for recovery code by making
+				// the torn prefix durable.
+				f.ino.durable = append([]byte(nil), f.ino.visible...)
+				f.ino.synced = true
+				c.crashLocked()
+				return n, ErrCrashed
+			}
+			return n, fmt.Errorf("%w: torn write %s", ErrInjected, f.name)
+		}
+	}
+	f.ino.visible = append(f.ino.visible, p...)
+	return len(p), nil
+}
+
+func (f *crashFile) Sync() error {
+	c := f.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f.stale() {
+		return ErrCrashed
+	}
+	if f.closed {
+		return fs.ErrClosed
+	}
+	ft, err := c.step(OpSync)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.mode == ModeCrash {
+			c.crashLocked()
+			return ErrCrashed
+		}
+		return fmt.Errorf("%w: sync %s", ErrInjected, f.name)
+	}
+	f.ino.durable = append([]byte(nil), f.ino.visible...)
+	f.ino.synced = true
+	return nil
+}
+
+func (f *crashFile) Close() error {
+	c := f.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f.stale() {
+		return ErrCrashed
+	}
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.closed = true
+	ft, err := c.step(OpClose)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.mode == ModeCrash {
+			c.crashLocked()
+			return ErrCrashed
+		}
+		return fmt.Errorf("%w: close %s", ErrInjected, f.name)
+	}
+	return nil
+}
+
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ft, err := c.step(OpRead)
+	if err != nil {
+		return nil, err
+	}
+	if ft != nil {
+		if ft.mode == ModeCrash {
+			c.crashLocked()
+			return nil, ErrCrashed
+		}
+		return nil, fmt.Errorf("%w: read %s", ErrInjected, name)
+	}
+	ino, ok := c.visible[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), ino.visible...), nil
+}
+
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ft, err := c.step(OpRename)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.mode == ModeCrash {
+			c.crashLocked()
+			return ErrCrashed
+		}
+		return fmt.Errorf("%w: rename %s", ErrInjected, oldpath)
+	}
+	ino, ok := c.visible[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(c.visible, oldpath)
+	c.visible[newpath] = ino
+	return nil
+}
+
+func (c *CrashFS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ft, err := c.step(OpRemove)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.mode == ModeCrash {
+			c.crashLocked()
+			return ErrCrashed
+		}
+		return fmt.Errorf("%w: remove %s", ErrInjected, name)
+	}
+	if _, ok := c.visible[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(c.visible, name)
+	return nil
+}
+
+// SyncDir makes the current directory entries under dir durable: the
+// crash image's namespace for that directory becomes the visible one.
+func (c *CrashFS) SyncDir(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ft, err := c.step(OpSyncDir)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.mode == ModeCrash {
+			c.crashLocked()
+			return ErrCrashed
+		}
+		return fmt.Errorf("%w: syncdir %s", ErrInjected, dir)
+	}
+	dir = filepath.Clean(dir)
+	for name := range c.durableDir {
+		if filepath.Dir(name) == dir {
+			delete(c.durableDir, name)
+		}
+	}
+	for name, ino := range c.visible {
+		if filepath.Dir(name) == dir {
+			c.durableDir[name] = ino
+		}
+	}
+	return nil
+}
+
+func (c *CrashFS) Stat(name string) (fs.FileInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	ino, ok := c.visible[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+	}
+	return memInfo{name: filepath.Base(name), size: int64(len(ino.visible))}, nil
+}
+
+type memInfo struct {
+	name string
+	size int64
+}
+
+func (m memInfo) Name() string       { return m.name }
+func (m memInfo) Size() int64        { return m.size }
+func (m memInfo) Mode() fs.FileMode  { return 0o644 }
+func (m memInfo) ModTime() time.Time { return time.Time{} }
+func (m memInfo) IsDir() bool        { return false }
+func (m memInfo) Sys() any           { return nil }

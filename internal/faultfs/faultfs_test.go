@@ -1,0 +1,204 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"testing"
+)
+
+func write(t *testing.T, c *CrashFS, name string, blob []byte, sync bool) {
+	t.Helper()
+	f, err := c.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashDropsUnsyncedData: written-but-unsynced bytes do not
+// survive a crash; synced bytes do (given a durable directory entry).
+func TestCrashDropsUnsyncedData(t *testing.T) {
+	c := NewCrashFS()
+	write(t, c, "/d/a", []byte("synced"), true)
+	if err := c.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.OpenFile("/d/a", os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" and not")); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash()
+	c.Restart()
+	got, err := c.ReadFile("/d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "synced" {
+		t.Fatalf("after crash: %q", got)
+	}
+	// The pre-crash handle is dead even after restart.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle write: %v", err)
+	}
+}
+
+// TestCrashDropsUndurableDirEntries: a synced file whose directory
+// entry was never synced vanishes; a rename without SyncDir rolls
+// back to the temp name — the exact failure the snapshot writer's
+// parent-directory fsync exists to prevent.
+func TestCrashDropsUndurableDirEntries(t *testing.T) {
+	c := NewCrashFS()
+	write(t, c, "/d/a.tmp", []byte("v1"), true)
+	c.Crash()
+	c.Restart()
+	if _, err := c.ReadFile("/d/a.tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("undurable entry survived: %v", err)
+	}
+
+	// Now: synced temp with a durable entry + rename, no SyncDir →
+	// crash rolls the namespace back: the file reappears under the
+	// temp name, nothing at the target.
+	write(t, c, "/d/c.tmp", []byte("v3"), true)
+	if err := c.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/d/c.tmp", "/d/c"); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash()
+	c.Restart()
+	if _, err := c.ReadFile("/d/c"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("unsynced rename survived: %v", err)
+	}
+	got, err := c.ReadFile("/d/c.tmp")
+	if err != nil || string(got) != "v3" {
+		t.Fatalf("temp file after rollback: %q, %v", got, err)
+	}
+
+	// With SyncDir after the rename, the target survives.
+	write(t, c, "/d/e.tmp", []byte("v4"), true)
+	if err := c.Rename("/d/e.tmp", "/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash()
+	c.Restart()
+	got, err = c.ReadFile("/d/e")
+	if err != nil || string(got) != "v4" {
+		t.Fatalf("durable rename lost: %q, %v", got, err)
+	}
+}
+
+// TestTornWrite: a ModeTorn fault applies a strict prefix and fails;
+// ModeCrash makes the torn prefix durable (worst-case writeback).
+func TestTornWrite(t *testing.T) {
+	c := NewCrashFS()
+	write(t, c, "/d/a", []byte("base|"), true)
+	if err := c.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	c.FailAt(OpWrite, 1, ModeTorn)
+	f, err := c.OpenFile("/d/a", os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) || n != 4 {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	got, _ := c.ReadFile("/d/a")
+	if string(got) != "base|abcd" {
+		t.Fatalf("visible after torn write: %q", got)
+	}
+
+	c2 := NewCrashFS()
+	write(t, c2, "/d/a", []byte("base|"), true)
+	if err := c2.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	c2.FailAt(OpWrite, 1, ModeCrash)
+	f2, err := c2.OpenFile("/d/a", os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("abcdefgh")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write: %v", err)
+	}
+	c2.Restart()
+	got, err = c2.ReadFile("/d/a")
+	if err != nil || string(got) != "base|abcd" {
+		t.Fatalf("durable torn prefix: %q, %v", got, err)
+	}
+}
+
+// TestCrashAtOpSweep: the op counter is stable across identical
+// scenario replays, so CrashAtOp(n) for n = 1..Ops() visits every
+// crash point exactly once.
+func TestCrashAtOpSweep(t *testing.T) {
+	scenario := func(c *CrashFS) error {
+		f, err := c.OpenFile("/d/x", os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("hello")); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return c.SyncDir("/d")
+	}
+	clean := NewCrashFS()
+	if err := scenario(clean); err != nil {
+		t.Fatal(err)
+	}
+	total := clean.Ops()
+	if total != 5 {
+		t.Fatalf("scenario ops = %d, want 5", total)
+	}
+	for n := 1; n <= total; n++ {
+		c := NewCrashFS()
+		c.CrashAtOp(n)
+		if err := scenario(c); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash point %d not hit: %v", n, err)
+		}
+		c.Restart()
+		// Invariant at every crash point: the file either does not
+		// exist or holds a prefix of the written data.
+		got, err := c.ReadFile("/d/x")
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("crash point %d: %v", n, err)
+		}
+		if err == nil && string(got) != "hello"[:len(got)] {
+			t.Fatalf("crash point %d: non-prefix content %q", n, got)
+		}
+	}
+}
+
+// TestFixedClock: deterministic, monotonic.
+func TestFixedClock(t *testing.T) {
+	c := &FixedClock{Step: 1}
+	t0, t1 := c.Now(), c.Now()
+	if !t1.After(t0) {
+		t.Fatalf("clock not advancing: %v, %v", t0, t1)
+	}
+}

@@ -1,0 +1,76 @@
+package release
+
+import (
+	"context"
+	"testing"
+
+	"pufferfish/internal/accounting"
+	"pufferfish/internal/core"
+)
+
+// TestPlannedEntryMatchesCharge: for every mechanism and noise backend
+// the entry PlannedEntry computes before scoring equals — bit for
+// bit — the entry Finish actually charges into the ledger. This is
+// what lets the server refuse a ceiling-exceeding release before any
+// scoring work with no risk of the pre-check and the charge drifting
+// apart.
+func TestPlannedEntryMatchesCharge(t *testing.T) {
+	cases := []Config{
+		{Epsilon: 1, Mechanism: MechMQMExact, Smoothing: 0.5, Seed: 3},
+		{Epsilon: 0.7, Mechanism: MechMQMApprox, Smoothing: 0.5, Seed: 3},
+		{Epsilon: 2, Mechanism: MechDP, Seed: 3},
+		{Epsilon: 2, Mechanism: MechGroupDP, Seed: 3},
+		{Epsilon: 1, Mechanism: MechKantorovich, Smoothing: 0.5, Seed: 3},
+		{Epsilon: 0.9, Delta: 1e-6, Mechanism: MechKantorovich, Noise: NoiseGaussian, Smoothing: 0.5, Seed: 3},
+	}
+	for _, cfg := range cases {
+		led := accounting.NewLedger(1e-5)
+		cfg.Accountant = led
+		p, err := Prepare(gaussSessions(), cfg)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", cfg.Mechanism, cfg.Noise, err)
+		}
+		planned, err := p.PlannedEntry()
+		if err != nil {
+			t.Fatalf("%s/%s: planned entry: %v", cfg.Mechanism, cfg.Noise, err)
+		}
+		score, err := p.Score(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Finish(score); err != nil {
+			t.Fatal(err)
+		}
+		charged := led.Entries()
+		if len(charged) != 1 {
+			t.Fatalf("%s/%s: %d entries charged", cfg.Mechanism, cfg.Noise, len(charged))
+		}
+		if charged[0] != planned {
+			t.Errorf("%s/%s: planned %+v != charged %+v", cfg.Mechanism, cfg.Noise, planned, charged[0])
+		}
+	}
+}
+
+// TestPrepareFinishContext: an expired deadline stops the pipeline at
+// the stage boundaries — before Prepare does any work, and before
+// Finish charges the ledger or draws noise.
+func TestPrepareFinishContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Epsilon: 1, Mechanism: MechDP, Seed: 1}
+	if _, err := PrepareContext(ctx, gaussSessions(), cfg); err != context.Canceled {
+		t.Fatalf("PrepareContext on a dead context: %v", err)
+	}
+	led := accounting.NewLedger(1e-5)
+	cfg.Accountant = led
+	p, err := Prepare(gaussSessions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.FinishContext(ctx, core.ChainScore{}); err != context.Canceled {
+		t.Fatalf("FinishContext on a dead context: %v", err)
+	}
+	if led.Count() != 0 {
+		t.Fatalf("cancelled Finish charged the ledger: %d entries", led.Count())
+	}
+}

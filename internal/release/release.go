@@ -251,6 +251,16 @@ type Prepared struct {
 	class    markov.Class // quilt mechanisms only
 }
 
+// PrepareContext is Prepare with a cancellation check up front, so a
+// request whose deadline already passed does no parsing or model
+// fitting at all.
+func PrepareContext(ctx context.Context, sessions [][]int, cfg Config) (*Prepared, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Prepare(sessions, cfg)
+}
+
 // Prepare validates cfg and sessions, infers the state space, and fits
 // the empirical chain for the quilt mechanisms.
 func Prepare(sessions [][]int, cfg Config) (*Prepared, error) {
@@ -381,6 +391,46 @@ func (p *Prepared) SetAccountant(led *accounting.Ledger, name string) {
 	p.cfg.AccountantName = name
 }
 
+// PlannedEntry returns the exact accounting entry Finish will charge
+// for this release, before any scoring work runs — the hook a serving
+// layer uses to refuse a budget-exceeding release up front via
+// Ledger.CheckCharge. The Laplace paths charge a pure-ε entry that
+// depends only on validated config. The Gaussian Kantorovich entry's
+// ρ looks like it needs the scored W∞, but W∞ cancels: σ scales
+// linearly in W∞, so ρ = W∞²/(2σ²) is a function of (ε, δ, k) alone.
+// Finish computes its charge through the same helper, so the planned
+// and charged entries are equal bit for bit.
+func (p *Prepared) PlannedEntry() (accounting.Entry, error) {
+	if p.cfg.Mechanism == MechKantorovich && p.cfg.Noise == NoiseGaussian {
+		rho, err := gaussianEntryRho(p.cfg.Epsilon, p.cfg.Delta, p.k)
+		if err != nil {
+			return accounting.Entry{}, err
+		}
+		return accounting.Entry{
+			Kind: accounting.KindGaussian, Mechanism: p.cfg.Mechanism,
+			Eps: p.cfg.Epsilon, Delta: p.cfg.Delta, Rho: rho,
+		}, nil
+	}
+	return accounting.Entry{
+		Kind: accounting.KindPure, Mechanism: p.cfg.Mechanism, Eps: p.cfg.Epsilon,
+	}, nil
+}
+
+// gaussianEntryRho is the zCDP charge of a Gaussian Kantorovich
+// release: per-coordinate ρ at the unit shift bound (W∞ cancels
+// against the σ calibration), summed over the k cells.
+func gaussianEntryRho(eps, delta float64, k int) (float64, error) {
+	sigmaUnit, err := kantorovich.GaussianCountScale(1, eps, delta, k)
+	if err != nil {
+		return 0, err
+	}
+	rhoCoord, err := noise.GaussianRho(1, sigmaUnit)
+	if err != nil {
+		return 0, err
+	}
+	return float64(k) * rhoCoord, nil
+}
+
 // Score computes the mechanism's chain score, consulting cfg.Cache
 // (whose methods degrade to the direct scorers when nil). ctx is
 // checked before the sweep starts; a sweep already running is never
@@ -400,6 +450,17 @@ func (p *Prepared) Score(ctx context.Context) (core.ChainScore, error) {
 		return kantorovich.ScoreMulti(p.cfg.Cache, p.class, p.cfg.Epsilon, kantorovich.Options{Parallelism: p.cfg.Parallelism}, p.lengths)
 	}
 	return p.cfg.Cache.ApproxScoreMulti(p.class, p.cfg.Epsilon, core.ApproxOptions{Parallelism: p.cfg.Parallelism}, p.lengths)
+}
+
+// FinishContext is Finish with a cancellation check first — the last
+// point a release can be abandoned. Past it the charge is recorded and
+// the noisy histogram exists, so cancellation must not interrupt:
+// Finish itself never checks the context.
+func (p *Prepared) FinishContext(ctx context.Context, score core.ChainScore) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.Finish(score)
 }
 
 // Finish adds the mechanism's noise and assembles the report. For the
@@ -468,15 +529,12 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 			report.Sigma = sigmaCount
 			report.Noise = NoiseGaussian
 			report.Delta = p.cfg.Delta
-			// ρ per coordinate under the count-level shift bound W∞max,
-			// summed over the k cells.
-			rhoCoord, err := noise.GaussianRho(wInf, sigmaCount)
+			// The charge goes through the same W∞-free helper as
+			// PlannedEntry, so a pre-scoring ceiling check and the
+			// actual charge can never disagree.
+			entry, err = p.PlannedEntry()
 			if err != nil {
 				return nil, err
-			}
-			entry = accounting.Entry{
-				Kind: accounting.KindGaussian, Mechanism: p.cfg.Mechanism,
-				Eps: p.cfg.Epsilon, Delta: p.cfg.Delta, Rho: float64(p.k) * rhoCoord,
 			}
 		} else {
 			// Count-level per-coordinate scale is σ = k·W∞max/ε (ε/k
@@ -574,7 +632,7 @@ func Run(sessions [][]int, cfg Config) (*Report, error) {
 // context cancelled before scoring starts aborts the release, while a
 // scoring sweep already in flight drains to completion.
 func RunContext(ctx context.Context, sessions [][]int, cfg Config) (*Report, error) {
-	p, err := Prepare(sessions, cfg)
+	p, err := PrepareContext(ctx, sessions, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -582,8 +640,5 @@ func RunContext(ctx context.Context, sessions [][]int, cfg Config) (*Report, err
 	if err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return p.Finish(score)
+	return p.FinishContext(ctx, score)
 }

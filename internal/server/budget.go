@@ -2,10 +2,16 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 )
+
+// errShed marks an acquire refused because the waiter queue was full;
+// handlers map it to 429 + Retry-After so well-behaved clients back
+// off instead of deepening the pile-up.
+var errShed = errors.New("server: scoring queue is full; retry later")
 
 // budget is the process-wide scoring-worker semaphore. Each release
 // request asks for a parallelism and is granted what the host can
@@ -19,20 +25,27 @@ type budget struct {
 	cond  *sync.Cond
 	total int
 	avail int
+	// maxQueue bounds the number of goroutines blocked in acquire
+	// (0 = unbounded); waiting is the current count. When the queue is
+	// full a saturated acquire returns errShed immediately instead of
+	// joining the pile — bounded load shedding beats unbounded latency.
+	maxQueue int
+	waiting  int
 }
 
-func newBudget(total int) *budget {
+func newBudget(total, maxQueue int) *budget {
 	if total <= 0 {
 		total = runtime.GOMAXPROCS(0)
 	}
-	b := &budget{total: total, avail: total}
+	b := &budget{total: total, avail: total, maxQueue: maxQueue}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
 // acquire blocks until at least one worker is free or ctx is done, and
-// grants min(want, free); want <= 0 asks for everything free. The
-// caller must release the grant.
+// grants min(want, free); want <= 0 asks for everything free. When the
+// pool is saturated and maxQueue waiters are already queued it returns
+// errShed without blocking. The caller must release the grant.
 func (b *budget) acquire(ctx context.Context, want int) (int, error) {
 	if want <= 0 || want > b.total {
 		want = b.total
@@ -45,12 +58,18 @@ func (b *budget) acquire(ctx context.Context, want int) (int, error) {
 	defer stop()
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.avail == 0 && b.maxQueue > 0 && b.waiting >= b.maxQueue {
+		return 0, errShed
+	}
+	b.waiting++
 	for b.avail == 0 {
 		if err := ctx.Err(); err != nil {
+			b.waiting--
 			return 0, err
 		}
 		b.cond.Wait()
 	}
+	b.waiting--
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}

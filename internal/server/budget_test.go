@@ -8,7 +8,7 @@ import (
 )
 
 func TestBudgetGrants(t *testing.T) {
-	b := newBudget(4)
+	b := newBudget(4, 0)
 	ctx := context.Background()
 
 	g, err := b.acquire(ctx, 0) // unbounded ask takes everything free
@@ -65,7 +65,7 @@ func TestBudgetGrants(t *testing.T) {
 }
 
 func TestBudgetContextCancel(t *testing.T) {
-	b := newBudget(1)
+	b := newBudget(1, 0)
 	g, err := b.acquire(context.Background(), 1)
 	if err != nil || g != 1 {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestBudgetContextCancel(t *testing.T) {
 // granted is a handler accounting bug and must fail loudly, not be
 // clamped into silence.
 func TestBudgetDoubleReleasePanics(t *testing.T) {
-	b := newBudget(4)
+	b := newBudget(4, 0)
 	g, err := b.acquire(context.Background(), 2)
 	if err != nil || g != 2 {
 		t.Fatalf("acquire(2) = (%d, %v)", g, err)
@@ -127,7 +127,7 @@ func TestBudgetDoubleReleasePanics(t *testing.T) {
 }
 
 func TestBudgetDefaultsToGOMAXPROCS(t *testing.T) {
-	b := newBudget(0)
+	b := newBudget(0, 0)
 	if b.total != runtime.GOMAXPROCS(0) {
 		t.Errorf("total = %d, want GOMAXPROCS %d", b.total, runtime.GOMAXPROCS(0))
 	}

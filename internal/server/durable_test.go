@@ -1,0 +1,255 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"pufferfish/internal/accounting"
+	"pufferfish/internal/faultfs"
+	"pufferfish/internal/release"
+)
+
+const (
+	snapPath = "/data/snapshot.json"
+	dwalPath = "/data/accounting.wal"
+)
+
+// deltaGrid is the report grid the crash-safety property is asserted
+// on: at every δ here, the recovered cumulative ε must dominate the
+// spend of the releases that were actually delivered.
+var deltaGrid = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3}
+
+func durClock() *faultfs.FixedClock {
+	return &faultfs.FixedClock{At: time.Unix(1700000000, 0), Step: time.Millisecond}
+}
+
+// bootDurable opens the durable state and builds a server on it.
+func bootDurable(t *testing.T, c *faultfs.CrashFS) (*Server, *DurableState) {
+	t.Helper()
+	st, err := OpenDurable(c, durClock(), snapPath, dwalPath)
+	if err != nil {
+		t.Fatalf("open durable state: %v", err)
+	}
+	s := New(Config{Cache: st.Cache, Accountants: st.Accountants, WAL: st.WAL})
+	return s, st
+}
+
+// driveScenario replays the fixed request sequence against a freshly
+// booted server, returning the entries of every release whose noisy
+// histogram was actually returned (HTTP 200), keyed by session. A
+// request failing (because the injected crash killed the journal) is
+// recorded as undelivered — exactly the accounting outcome the
+// charge-ahead invariant is allowed to over-count.
+func driveScenario(t *testing.T, c *faultfs.CrashFS, s *Server) map[string][]accounting.Entry {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	delivered := map[string][]accounting.Entry{}
+
+	reqs := []ReleaseRequest{
+		{Series: accountantSeries, Epsilon: 0.5, Mechanism: release.MechMQMExact, Smoothing: 0.5, Seed: 1, Accountant: "a"},
+		{Series: accountantSeries, Epsilon: 0.5, Delta: 1e-6, Mechanism: release.MechKantorovich,
+			Noise: release.NoiseGaussian, Smoothing: 0.5, Seed: 2, Accountant: "a"},
+		{Series: accountantSeries, Epsilon: 1, Mechanism: release.MechDP, Seed: 3, Accountant: "b"},
+		{Series: accountantSeries, Epsilon: 0.25, Mechanism: release.MechDP, Seed: 4, Accountant: "a"},
+	}
+	checkpointAfter := 1 // run a Checkpoint mid-scenario: snapshot + rotate crash points
+	for i, req := range reqs {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/release", req)
+		if resp.StatusCode == http.StatusOK {
+			var report release.Report
+			mustUnmarshal(t, body, &report)
+			if report.Accounting == nil {
+				t.Fatalf("request %d: delivered release without accounting block", i)
+			}
+			e := accounting.Entry{Kind: report.Accounting.Kind, Mechanism: req.Mechanism, Eps: req.Epsilon}
+			if e.Kind == accounting.KindGaussian {
+				e.Delta, e.Rho = req.Delta, report.Accounting.Rho
+			}
+			delivered[req.Accountant] = append(delivered[req.Accountant], e)
+		}
+		if i == checkpointAfter {
+			// Errors are expected when the sweep crashes inside the
+			// checkpoint; the invariant check below is what matters.
+			_ = Checkpoint(c, snapPath, s, s.wal)
+		}
+	}
+	return delivered
+}
+
+// assertRecoveredDominates checks the crash-safety property: for every
+// session, the recovered ledger's ε at every δ on the grid is at least
+// the ε of the releases that were actually delivered.
+func assertRecoveredDominates(t *testing.T, tag string, recovered map[string]*accounting.Ledger, delivered map[string][]accounting.Entry) {
+	t.Helper()
+	for session, entries := range delivered {
+		led, ok := recovered[session]
+		if !ok {
+			t.Fatalf("%s: session %q delivered %d releases but was not recovered", tag, session, len(entries))
+		}
+		want := accounting.NewLedger(accounting.DefaultDelta)
+		for _, e := range entries {
+			if err := want.Add(e); err != nil {
+				t.Fatalf("%s: rebuild delivered ledger: %v", tag, err)
+			}
+		}
+		if led.Count() < want.Count() {
+			t.Fatalf("%s: session %q recovered %d releases, delivered %d",
+				tag, session, led.Count(), want.Count())
+		}
+		for _, delta := range deltaGrid {
+			got, err := led.Epsilon(delta)
+			if err != nil {
+				t.Fatalf("%s: recovered ε(%g): %v", tag, delta, err)
+			}
+			min, err := want.Epsilon(delta)
+			if err != nil {
+				t.Fatalf("%s: delivered ε(%g): %v", tag, delta, err)
+			}
+			// Strict ≥: both sides are computed by the same code over
+			// supersets/subsets of the same entries, so no float slack
+			// is needed — a superset's curve dominates pointwise.
+			if got < min {
+				t.Fatalf("%s: session %q under-accounted: recovered ε(δ=%g) = %v < delivered %v",
+					tag, session, delta, got, min)
+			}
+		}
+	}
+}
+
+// TestDurableRoundTrip: a clean boot → traffic → checkpoint → crash →
+// reboot cycle recovers exactly the accounted state: nothing torn,
+// post-checkpoint records replayed, warm cache loaded, and the
+// recovered spend dominating the delivered spend at every δ.
+func TestDurableRoundTrip(t *testing.T) {
+	c := faultfs.NewCrashFS()
+	s, st := bootDurable(t, c)
+	if st.Replayed != 0 || st.Torn {
+		t.Fatalf("fresh boot: %+v", st)
+	}
+	delivered := driveScenario(t, c, s)
+	if n := len(delivered["a"]) + len(delivered["b"]); n != 4 {
+		t.Fatalf("clean run delivered %d/4 releases", n)
+	}
+	if stats := s.Stats(); stats.WAL == nil || stats.WAL.Appends != 4 {
+		t.Fatalf("wal stats: %+v", stats.WAL)
+	}
+
+	c.Crash()
+	c.Restart()
+	s2, st2 := bootDurable(t, c)
+	// The checkpoint ran after release 1 (sequence 2 was mid-flight on
+	// session "a" when the snapshot cut), so at least the two
+	// post-checkpoint records replay from the journal.
+	if st2.Replayed == 0 {
+		t.Fatalf("no journal records replayed: %+v", st2)
+	}
+	if st2.Torn {
+		t.Fatal("clean shutdown left a torn journal")
+	}
+	assertRecoveredDominates(t, "round trip", s2.accountants, delivered)
+	// The checkpoint-time warm cache survived the crash.
+	if s2.Cache().Len() == 0 {
+		t.Fatal("cache not restored")
+	}
+}
+
+// TestLegacySnapshotNextToWAL: a pre-accounting cache-only snapshot
+// file (bare core.CacheSnapshot, no wal_seq) sitting next to a journal
+// replays the WHOLE journal — with no low-water mark to trust, the only
+// safe direction is to over-count every journaled charge.
+func TestLegacySnapshotNextToWAL(t *testing.T) {
+	c := faultfs.NewCrashFS()
+	s, _ := bootDurable(t, c)
+	delivered := driveScenario(t, c, s)
+	if n := len(delivered["a"]) + len(delivered["b"]); n != 4 {
+		t.Fatalf("clean run delivered %d/4 releases", n)
+	}
+	// Overwrite the snapshot with a legacy cache-only file: what an
+	// operator upgrading from a pre-WAL pufferd would have on disk.
+	blob := []byte(`{"version": 1, "scores": []}` + "\n")
+	f, err := c.OpenFile(snapPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncDir("/data"); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Crash()
+	c.Restart()
+	st, err := OpenDurable(c, durClock(), snapPath, dwalPath)
+	if err != nil {
+		t.Fatalf("recovery over legacy snapshot: %v", err)
+	}
+	defer st.WAL.Close()
+	// The mid-scenario checkpoint rotated records 1–2 out of the
+	// journal, so the legacy boot replays the two post-checkpoint
+	// records — and, with no wal_seq to skip by, every record it finds.
+	if st.Replayed == 0 {
+		t.Fatal("legacy snapshot replayed nothing from the journal")
+	}
+	post := map[string][]accounting.Entry{}
+	for sess, entries := range delivered {
+		for i, e := range entries {
+			// Sessions "a" delivered 3 releases (indices 0–2), "b" one.
+			// Releases after the checkpoint (a's last, b's only) must be
+			// recovered from the journal alone.
+			if (sess == "a" && i >= 2) || sess == "b" {
+				post[sess] = append(post[sess], e)
+			}
+		}
+	}
+	assertRecoveredDominates(t, "legacy snapshot", st.Accountants, post)
+}
+
+// TestCrashPointSweep is the fault-injection acceptance test: a crash
+// injected at EVERY filesystem operation of the traffic scenario —
+// mid-WAL-append, mid-snapshot, mid-rotate — must leave a state from
+// which recovery (a) succeeds, and (b) accounts at least the spend of
+// every release whose noise was actually returned, at every δ on the
+// report grid.
+func TestCrashPointSweep(t *testing.T) {
+	// First, count the filesystem operations of a clean scenario.
+	clean := faultfs.NewCrashFS()
+	sClean, _ := bootDurable(t, clean)
+	base := clean.Ops()
+	driveScenario(t, clean, sClean)
+	total := clean.Ops() - base
+	if total < 10 {
+		t.Fatalf("scenario only performs %d fs ops; sweep would be vacuous", total)
+	}
+
+	for n := 1; n <= total; n++ {
+		c := faultfs.NewCrashFS()
+		s, _ := bootDurable(t, c)
+		c.CrashAtOp(n)
+		delivered := driveScenario(t, c, s)
+
+		c.Restart()
+		st, err := OpenDurable(c, durClock(), snapPath, dwalPath)
+		if err != nil {
+			t.Fatalf("crash at op %d: recovery failed: %v", n, err)
+		}
+		recovered := st.Accountants
+		if recovered == nil {
+			recovered = map[string]*accounting.Ledger{}
+		}
+		tag := fmt.Sprintf("crash at op %d", n)
+		assertRecoveredDominates(t, tag, recovered, delivered)
+		st.WAL.Close()
+	}
+}

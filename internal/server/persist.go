@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
 	"pufferfish/internal/accounting"
 	"pufferfish/internal/core"
+	"pufferfish/internal/faultfs"
 	"pufferfish/internal/release"
 )
 
@@ -17,10 +19,15 @@ import (
 // sessions, so a restart resumes both the warm scores and the
 // cumulative privacy budgets. Older files that are a bare
 // core.CacheSnapshot (top-level "version"/"scores" keys) still load —
-// they simply carry no accountants.
+// they simply carry no accountants. WalSeq ties the snapshot to the
+// accounting journal: every WAL record with seq ≤ WalSeq is already
+// folded into the Accountants ledgers, so recovery replays only the
+// records after it (and a crash between snapshot and WAL rotation
+// cannot double-count).
 type snapshotFile struct {
 	Cache       core.CacheSnapshot             `json:"cache"`
 	Accountants map[string]accounting.Snapshot `json:"accountants,omitempty"`
+	WalSeq      uint64                         `json:"wal_seq,omitempty"`
 }
 
 // LoadSnapshotFile reads a snapshot written by SaveSnapshotFile (or a
@@ -29,27 +36,36 @@ type snapshotFile struct {
 // not an error: it returns a fresh empty cache and no accountants
 // (first boot).
 func LoadSnapshotFile(path string) (*release.ScoreCache, map[string]*accounting.Ledger, error) {
+	cache, accountants, _, err := LoadSnapshotFS(faultfs.OS, path)
+	return cache, accountants, err
+}
+
+// LoadSnapshotFS is LoadSnapshotFile against an explicit filesystem
+// (the fault-injection seam), also returning the snapshot's WAL
+// low-water sequence for journal replay.
+func LoadSnapshotFS(fsys faultfs.FS, path string) (*release.ScoreCache, map[string]*accounting.Ledger, uint64, error) {
 	cache := release.NewScoreCache()
-	blob, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return cache, nil, nil
+	blob, err := fsys.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return cache, nil, 0, nil
 	}
 	if err != nil {
-		return nil, nil, fmt.Errorf("server: read cache file: %w", err)
+		return nil, nil, 0, fmt.Errorf("server: read cache file: %w", err)
 	}
 	var sf snapshotFile
 	if err := json.Unmarshal(blob, &sf); err != nil {
-		return nil, nil, fmt.Errorf("server: parse cache file %s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("server: parse cache file %s: %w", path, err)
 	}
 	if sf.Cache.Version == 0 {
 		// Legacy layout: the whole file is the cache snapshot.
 		if err := json.Unmarshal(blob, &sf.Cache); err != nil {
-			return nil, nil, fmt.Errorf("server: parse cache file %s: %w", path, err)
+			return nil, nil, 0, fmt.Errorf("server: parse cache file %s: %w", path, err)
 		}
 		sf.Accountants = nil
+		sf.WalSeq = 0
 	}
 	if err := cache.Restore(sf.Cache); err != nil {
-		return nil, nil, fmt.Errorf("server: restore cache file %s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("server: restore cache file %s: %w", path, err)
 	}
 	var accountants map[string]*accounting.Ledger
 	if len(sf.Accountants) > 0 {
@@ -57,26 +73,37 @@ func LoadSnapshotFile(path string) (*release.ScoreCache, map[string]*accounting.
 		for name, snap := range sf.Accountants {
 			led, err := accounting.Restore(snap)
 			if err != nil {
-				return nil, nil, fmt.Errorf("server: restore accountant %q from %s: %w", name, path, err)
+				return nil, nil, 0, fmt.Errorf("server: restore accountant %q from %s: %w", name, path, err)
 			}
 			accountants[name] = led
 		}
 	}
-	return cache, accountants, nil
+	return cache, accountants, sf.WalSeq, nil
 }
 
 // SaveSnapshotFile writes the cache and the accountant sessions as one
-// JSON snapshot, atomically (temp file + rename), so a crash mid-write
-// can never truncate a snapshot a future boot would trust.
+// JSON snapshot, atomically (temp file + rename + parent-directory
+// fsync), so a crash mid-write can never truncate a snapshot a future
+// boot would trust.
 func SaveSnapshotFile(path string, cache *release.ScoreCache, accountants map[string]accounting.Snapshot) error {
+	return SaveSnapshotFS(faultfs.OS, path, cache, accountants, 0)
+}
+
+// SaveSnapshotFS is SaveSnapshotFile against an explicit filesystem,
+// recording walSeq as the journal low-water mark the snapshot folds
+// in. Callers pairing the snapshot with a WAL must pass the journal's
+// LowWater() taken *before* the accountant snapshots, so an append
+// racing the save replays as an over-count, never an under-count.
+func SaveSnapshotFS(fsys faultfs.FS, path string, cache *release.ScoreCache, accountants map[string]accounting.Snapshot, walSeq uint64) error {
 	blob, err := json.MarshalIndent(snapshotFile{
 		Cache:       cache.Snapshot(),
 		Accountants: accountants,
+		WalSeq:      walSeq,
 	}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("server: marshal cache snapshot: %w", err)
 	}
-	return writeFileAtomic(path, blob)
+	return writeFileAtomic(fsys, path, blob)
 }
 
 // LoadCacheFile is LoadSnapshotFile without the accountant sessions,
@@ -91,27 +118,38 @@ func SaveCacheFile(path string, cache *release.ScoreCache) error {
 	return SaveSnapshotFile(path, cache, nil)
 }
 
-// writeFileAtomic writes blob via a synced temp file + rename.
-func writeFileAtomic(path string, blob []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+// writeFileAtomic writes blob via a synced temp file + rename + parent
+// directory fsync.
+func writeFileAtomic(fsys faultfs.FS, path string, blob []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("server: write cache file: %w", err)
 	}
-	_, werr := tmp.Write(append(blob, '\n'))
+	_, werr := f.Write(append(blob, '\n'))
 	// Flush to disk before the rename: an unsynced rename can survive
 	// a crash with empty data blocks, and a truncated snapshot blocks
 	// the next boot (load failures are deliberately fatal).
 	if werr == nil {
-		werr = tmp.Sync()
+		werr = f.Sync()
 	}
-	cerr := tmp.Close()
+	cerr := f.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp) //nolint:errcheck // best-effort cleanup
 		return fmt.Errorf("server: write cache file: %w", errors.Join(werr, cerr))
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp) //nolint:errcheck // best-effort cleanup
 		return fmt.Errorf("server: write cache file: %w", err)
+	}
+	// Fsync the parent directory after the rename: the rename itself is
+	// a directory-entry update, and on a crash before the directory
+	// metadata reaches disk the swap can roll back to the old snapshot
+	// (or, for a first write, to no file at all). The data blocks were
+	// synced above, so after this the new snapshot is the one a reboot
+	// sees.
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("server: write cache file: sync dir: %w", err)
 	}
 	return nil
 }

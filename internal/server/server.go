@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"pufferfish/internal/accounting"
+	"pufferfish/internal/accounting/wal"
 	"pufferfish/internal/core"
 	"pufferfish/internal/kantorovich"
 	"pufferfish/internal/release"
@@ -60,6 +61,35 @@ type Config struct {
 	// from a pufferd snapshot); nil starts with none. Sessions are
 	// created on demand when a request names a new accountant.
 	Accountants map[string]*accounting.Ledger
+	// CeilingEps, when > 0, installs a hard (CeilingEps, CeilingDelta)
+	// budget ceiling on every accountant session, pre-seeded and
+	// created alike: a release that would push a session past it is
+	// refused with 403 before any scoring work, and the refusal is
+	// counted in /v1/stats. CeilingDelta ≤ 0 means the ledger's own
+	// headline δ. Invalid parameters (ε < 0, δ ≥ 1) panic at
+	// construction — a server that silently dropped its configured
+	// ceiling would be worse than one that refuses to start.
+	CeilingEps   float64
+	CeilingDelta float64
+	// MaxAccountants caps the named-session map (sessions are durable
+	// privacy budgets and never pruned); 0 means the 1024 default. A
+	// request naming a fresh session past the cap is refused with 403
+	// and counted in /v1/stats.
+	MaxAccountants int
+	// MaxQueue bounds the number of requests allowed to wait for a
+	// scoring worker; when the queue is full further scoring requests
+	// are shed with 429 + Retry-After instead of piling up. 0 means
+	// unbounded waiting (the pre-shedding behavior).
+	MaxQueue int
+	// RequestTimeout bounds each request's processing from decode to
+	// finish; a request past its deadline aborts at the next stage
+	// boundary with 503. 0 means no server-imposed deadline.
+	RequestTimeout time.Duration
+	// WAL, when set, journals every accountant charge before the
+	// ledger mutates (and before any noise leaves the process), making
+	// cumulative spend crash-safe. The server binds it to every
+	// session; pufferd owns recovery and rotation.
+	WAL *wal.Writer
 }
 
 // Server carries the shared state of the serving layer. Create one
@@ -83,6 +113,19 @@ type Server struct {
 	amu         sync.Mutex
 	accountants map[string]*accounting.Ledger
 
+	// Robustness knobs, fixed at construction (see Config).
+	maxAccountants int
+	ceilEps        float64
+	ceilDelta      float64
+	timeout        time.Duration
+	wal            *wal.Writer
+
+	// Refusal counters, surfaced in /v1/stats so operators (and the
+	// chaos/ceiling smokes) can see enforcement happening.
+	budgetRefusals  atomic.Int64
+	sessionRefusals atomic.Int64
+	shedTotal       atomic.Int64
+
 	// scoringHook, when set, runs after Prepare and before scoring on
 	// every release request. Tests use it to hold a request in flight
 	// deterministically.
@@ -99,26 +142,72 @@ func New(cfg Config) *Server {
 	for _, m := range mechanisms {
 		byMech[m] = new(atomic.Int64)
 	}
-	accountants := make(map[string]*accounting.Ledger, len(cfg.Accountants))
+	s := &Server{
+		cache:          cache,
+		budget:         newBudget(cfg.Workers, cfg.MaxQueue),
+		started:        time.Now(),
+		byMech:         byMech,
+		maxAccountants: cfg.MaxAccountants,
+		ceilEps:        cfg.CeilingEps,
+		ceilDelta:      cfg.CeilingDelta,
+		timeout:        cfg.RequestTimeout,
+		wal:            cfg.WAL,
+	}
+	if s.maxAccountants <= 0 {
+		s.maxAccountants = maxAccountantSessions
+	}
+	s.accountants = make(map[string]*accounting.Ledger, len(cfg.Accountants))
 	for name, led := range cfg.Accountants {
 		if led != nil {
-			accountants[name] = led
+			// Restored sessions get the same journal and ceiling as
+			// fresh ones. A restored session already past the ceiling
+			// is legal (SetCeiling never errors for it): it simply
+			// refuses every further charge.
+			if err := s.bindLedger(led, name); err != nil {
+				panic("server: invalid budget ceiling config: " + err.Error())
+			}
+			s.accountants[name] = led
 		}
 	}
-	return &Server{
-		cache:       cache,
-		budget:      newBudget(cfg.Workers),
-		started:     time.Now(),
-		byMech:      byMech,
-		accountants: accountants,
+	if s.ceilEps == 0 && s.ceilDelta != 0 {
+		panic("server: budget ceiling δ set without an ε ceiling")
 	}
+	if s.ceilEps != 0 {
+		// Validate the ceiling parameters even when no session was
+		// restored, so a misconfigured server fails at boot, not at the
+		// first charge it was supposed to refuse.
+		probe := accounting.NewLedger(accounting.DefaultDelta)
+		if err := probe.SetCeiling(s.ceilEps, s.ceilDelta); err != nil {
+			panic("server: invalid budget ceiling config: " + err.Error())
+		}
+	}
+	return s
 }
 
-// maxAccountantSessions bounds the named-session map: sessions are
-// never pruned (they are durable privacy budgets), so without a cap a
-// client could grow server memory and the persisted snapshot without
-// bound by minting fresh names.
+// bindLedger attaches the server-wide journal and budget ceiling to a
+// session ledger; every ledger entering s.accountants passes through
+// it, so no session can dodge enforcement or durability.
+func (s *Server) bindLedger(led *accounting.Ledger, name string) error {
+	if s.wal != nil {
+		led.SetJournal(s.wal, name)
+	}
+	if s.ceilEps != 0 {
+		return led.SetCeiling(s.ceilEps, s.ceilDelta)
+	}
+	return nil
+}
+
+// maxAccountantSessions is the default bound on the named-session map
+// (Config.MaxAccountants overrides it): sessions are never pruned
+// (they are durable privacy budgets), so without a cap a client could
+// grow server memory and the persisted snapshot without bound by
+// minting fresh names.
 const maxAccountantSessions = 1024
+
+// errSessionLimit marks a refusal to mint a new accountant session;
+// handlers map it to 403 (the name is understood, the server will not
+// create it — retrying cannot help) rather than a generic 400.
+var errSessionLimit = errors.New("accountant session limit reached")
 
 // accountantFor returns the named ledger session, creating it at the
 // default δ on first use. Callers resolve sessions only for requests
@@ -129,10 +218,16 @@ func (s *Server) accountantFor(name string) (*accounting.Ledger, error) {
 	defer s.amu.Unlock()
 	led, ok := s.accountants[name]
 	if !ok {
-		if len(s.accountants) >= maxAccountantSessions {
-			return nil, fmt.Errorf("accountant session limit (%d) reached; reuse an existing session name", maxAccountantSessions)
+		if len(s.accountants) >= s.maxAccountants {
+			s.sessionRefusals.Add(1)
+			return nil, fmt.Errorf("%w (%d); reuse an existing session name", errSessionLimit, s.maxAccountants)
 		}
 		led = accounting.NewLedger(accounting.DefaultDelta)
+		// bindLedger cannot fail here: New validated the ceiling
+		// parameters at construction.
+		if err := s.bindLedger(led, name); err != nil {
+			return nil, err
+		}
 		s.accountants[name] = led
 	}
 	return led, nil
@@ -238,10 +333,32 @@ type Stats struct {
 		Budget int `json:"budget"`
 		InUse  int `json:"in_use"`
 	} `json:"workers"`
+	// BudgetRefusals counts releases refused because they would push
+	// an accountant session past its configured (ε, δ) ceiling —
+	// enforcement working, not an error.
+	BudgetRefusals int64 `json:"budget_refusals"`
+	// SessionRefusals counts requests refused because minting their
+	// accountant session would exceed the session cap.
+	SessionRefusals int64 `json:"session_refusals"`
+	// ShedTotal counts scoring requests shed with 429 because the
+	// worker queue was full.
+	ShedTotal int64 `json:"shed_total"`
+	// WAL reports the accounting journal when one is configured.
+	WAL *WALStats `json:"wal,omitempty"`
 	// Accountants surfaces every named Rényi ledger session: its
 	// release count and its cumulative budget, the RDP-optimized ε at
 	// the session's δ next to the linear Theorem 4.4 bound.
 	Accountants map[string]AccountantStats `json:"accountants,omitempty"`
+}
+
+// WALStats is the /v1/stats view of the accounting journal.
+type WALStats struct {
+	Path string `json:"path"`
+	// LastSeq is the newest durable record's sequence number.
+	LastSeq uint64 `json:"last_seq"`
+	// Appends counts records journaled since this process opened the
+	// WAL (replayed records are not included).
+	Appends int64 `json:"appends"`
 }
 
 // AccountantStats is one named accountant session's /v1/stats entry.
@@ -286,24 +403,58 @@ func (r *ReleaseRequest) config(cache *release.ScoreCache) release.Config {
 // prepare parses and validates one request. The named accountant
 // session is resolved (and, on first use, created) only once the
 // request is known to be valid, so failed requests can neither mint
-// garbage sessions nor bloat the persisted snapshot.
-func (s *Server) prepare(req *ReleaseRequest) (*release.Prepared, error) {
+// garbage sessions nor bloat the persisted snapshot. The resolved
+// ledger (nil when unaccounted) is returned so handlers can run the
+// pre-scoring ceiling check.
+func (s *Server) prepare(ctx context.Context, req *ReleaseRequest) (*release.Prepared, *accounting.Ledger, error) {
 	sessions, err := req.sessions()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	p, err := release.Prepare(sessions, req.config(s.cache))
+	p, err := release.PrepareContext(ctx, sessions, req.config(s.cache))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var led *accounting.Ledger
 	if req.Accountant != "" {
-		led, err := s.accountantFor(req.Accountant)
+		led, err = s.accountantFor(req.Accountant)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p.SetAccountant(led, req.Accountant)
 	}
-	return p, nil
+	return p, led, nil
+}
+
+// requestContext derives the handler context, applying the configured
+// request timeout so the deadline propagates through every pipeline
+// stage (budget wait, scoring, finish).
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// checkCeiling runs the pre-scoring budget check for one prepared
+// request: the exact entry Finish will charge is simulated against
+// the session's ceiling, so a doomed release is refused before any
+// scoring work. led may be nil (unaccounted request).
+func (s *Server) checkCeiling(p *release.Prepared, led *accounting.Ledger) error {
+	if led == nil {
+		return nil
+	}
+	planned, err := p.PlannedEntry()
+	if err != nil {
+		return err
+	}
+	if err := led.CheckCharge(planned); err != nil {
+		if errors.Is(err, accounting.ErrCeilingExceeded) {
+			s.budgetRefusals.Add(1)
+		}
+		return err
+	}
+	return nil
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
@@ -311,14 +462,20 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	defer s.inFlight.Add(-1)
 	s.requests.Add(1)
 
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	var req ReleaseRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := s.prepare(&req)
+	p, led, err := s.prepare(ctx, &req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, prepareErrStatus(err), err)
+		return
+	}
+	if err := s.checkCeiling(p, led); err != nil {
+		httpError(w, chargeErrStatus(err), err)
 		return
 	}
 	if s.scoringHook != nil {
@@ -326,27 +483,82 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	var score core.ChainScore
 	if p.NeedsScore() {
-		grant, err := s.budget.acquire(r.Context(), req.Parallelism)
+		grant, err := s.budget.acquire(ctx, req.Parallelism)
 		if err != nil {
-			httpError(w, http.StatusServiceUnavailable, err)
+			s.acquireError(w, err)
 			return
 		}
 		p.SetParallelism(grant)
-		score, err = p.Score(r.Context())
+		score, err = p.Score(ctx)
 		s.budget.release(grant)
 		if err != nil {
 			httpError(w, scoreErrStatus(err), err)
 			return
 		}
 	}
-	report, err := p.Finish(score)
+	report, err := p.FinishContext(ctx, score)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		httpError(w, s.finishErrStatus(err), err)
 		return
 	}
 	s.releases.Add(1)
 	s.countRelease(p.Mechanism())
 	writeJSON(w, report)
+}
+
+// acquireError writes a failed budget wait: a shed request gets 429
+// with Retry-After (the queue was full; backing off helps), a
+// cancelled or timed-out wait 503.
+func (s *Server) acquireError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errShed) {
+		s.shedTotal.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, err)
+}
+
+// prepareErrStatus classifies a prepare failure: refusing to mint a
+// session is enforcement (403), a dead context is the request's
+// deadline (503), everything else is a bad request.
+func prepareErrStatus(err error) int {
+	switch {
+	case errors.Is(err, errSessionLimit):
+		return http.StatusForbidden
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// chargeErrStatus classifies a refused charge: past the ceiling is a
+// hard 403 — the request was understood and is permanently refused;
+// retrying cannot help, which is exactly what distinguishes it from
+// 429 (shed; retry later) and 503 (deadline; maybe retry).
+func chargeErrStatus(err error) int {
+	if errors.Is(err, accounting.ErrCeilingExceeded) {
+		return http.StatusForbidden
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// finishErrStatus classifies a Finish failure, counting ceiling races
+// (a concurrent charge on the same session won between CheckCharge
+// and Add) as budget refusals.
+func (s *Server) finishErrStatus(err error) int {
+	switch {
+	case errors.Is(err, accounting.ErrCeilingExceeded):
+		s.budgetRefusals.Add(1)
+		return http.StatusForbidden
+	case errors.Is(err, accounting.ErrJournal):
+		// The journal could not make the charge durable, so the charge
+		// did not happen and no data was released: a server-side fault.
+		return http.StatusInternalServerError
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // countRelease bumps the per-mechanism counter; mech was validated by
@@ -362,6 +574,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.inFlight.Add(-1)
 	s.requests.Add(1)
 
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	var batch BatchRequest
 	if err := decodeJSON(w, r, &batch); err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -372,19 +586,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	prepared := make([]*release.Prepared, len(batch.Requests))
+	ledgers := make([]*accounting.Ledger, len(batch.Requests))
 	for i := range batch.Requests {
-		p, err := s.prepare(&batch.Requests[i])
+		p, led, err := s.prepare(ctx, &batch.Requests[i])
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+			httpError(w, prepareErrStatus(err), fmt.Errorf("request %d: %w", i, err))
 			return
 		}
 		prepared[i] = p
+		ledgers[i] = led
+	}
+	if err := s.checkBatchCeilings(prepared, ledgers); err != nil {
+		httpError(w, chargeErrStatus(err), err)
+		return
 	}
 	if s.scoringHook != nil {
 		s.scoringHook()
 	}
-	scores, status, err := s.scoreBatch(r, batch.Requests, prepared)
+	scores, status, err := s.scoreBatch(ctx, batch.Requests, prepared)
 	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
 		httpError(w, status, err)
 		return
 	}
@@ -398,7 +621,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// at computation, not delivery — under-counting on a
 			// partial failure would be the unsafe direction. A client
 			// retrying a failed batch with the same session pays again.
-			httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("request %d: %w", i, err))
+			httpError(w, s.finishErrStatus(err), fmt.Errorf("request %d: %w", i, err))
 			return
 		}
 		resp.Reports[i] = report
@@ -410,12 +633,39 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// checkBatchCeilings runs the pre-scoring budget check for a whole
+// batch, cumulatively per session: a batch whose members individually
+// fit the ceiling but jointly breach it is refused up front, because
+// Finish would charge them in sequence and strand the batch half-way.
+func (s *Server) checkBatchCeilings(prepared []*release.Prepared, ledgers []*accounting.Ledger) error {
+	planned := map[*accounting.Ledger][]accounting.Entry{}
+	for i, led := range ledgers {
+		if led == nil {
+			continue
+		}
+		e, err := prepared[i].PlannedEntry()
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		planned[led] = append(planned[led], e)
+	}
+	for led, entries := range planned {
+		if err := led.CheckCharge(entries...); err != nil {
+			if errors.Is(err, accounting.ErrCeilingExceeded) {
+				s.budgetRefusals.Add(1)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
 // scoreBatch computes the quilt scores of every prepared request that
 // needs one, grouped by (mechanism, ε) and routed through the batched
 // multi-length scorers so identical fitted models dedupe across
 // requests. One worker grant covers the whole batch: the engine fans
 // each group across a single pool of the granted size.
-func (s *Server) scoreBatch(r *http.Request, reqs []ReleaseRequest, prepared []*release.Prepared) ([]core.ChainScore, int, error) {
+func (s *Server) scoreBatch(ctx context.Context, reqs []ReleaseRequest, prepared []*release.Prepared) ([]core.ChainScore, int, error) {
 	scores := make([]core.ChainScore, len(prepared))
 	type groupKey struct {
 		mechanism string
@@ -439,12 +689,16 @@ func (s *Server) scoreBatch(r *http.Request, reqs []ReleaseRequest, prepared []*
 	if len(groups) == 0 {
 		return scores, 0, nil
 	}
-	grant, err := s.budget.acquire(r.Context(), want)
+	grant, err := s.budget.acquire(ctx, want)
 	if err != nil {
+		if errors.Is(err, errShed) {
+			s.shedTotal.Add(1)
+			return nil, http.StatusTooManyRequests, err
+		}
 		return nil, http.StatusServiceUnavailable, err
 	}
 	defer s.budget.release(grant)
-	if err := r.Context().Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, http.StatusServiceUnavailable, err
 	}
 	for key, members := range groups {
@@ -510,6 +764,16 @@ func (s *Server) Stats() Stats {
 	st.InfluenceTables.Powers = ts.Powers
 	st.Workers.Budget = s.budget.total
 	st.Workers.InUse = s.budget.inUse()
+	st.BudgetRefusals = s.budgetRefusals.Load()
+	st.SessionRefusals = s.sessionRefusals.Load()
+	st.ShedTotal = s.shedTotal.Load()
+	if s.wal != nil {
+		st.WAL = &WALStats{
+			Path:    s.wal.Path(),
+			LastSeq: s.wal.LastSeq(),
+			Appends: s.wal.Appends(),
+		}
+	}
 	s.amu.Lock()
 	names := make([]string, 0, len(s.accountants))
 	for name := range s.accountants {

@@ -361,6 +361,22 @@ func NewLedger(delta float64) *Ledger { return accounting.NewLedger(delta) }
 // entry.
 func RestoreLedger(s LedgerSnapshot) (*Ledger, error) { return accounting.Restore(s) }
 
+// ErrCeilingExceeded marks a charge refused because it would push a
+// ledger past its hard (ε, δ) ceiling (Ledger.SetCeiling). The ledger
+// is left untouched; callers can surface the refusal as a distinct
+// budget-exhausted condition rather than a generic failure.
+var ErrCeilingExceeded = accounting.ErrCeilingExceeded
+
+// ErrLedgerJournal marks a charge aborted because its write-ahead
+// journal append failed: nothing was released and nothing was charged.
+var ErrLedgerJournal = accounting.ErrJournal
+
+// LedgerJournal is the write-ahead hook a Ledger calls *before*
+// mutating on Add, so a crash can only ever over-count spend, never
+// under-count it. The accounting/wal package provides the durable
+// CRC-framed implementation pufferd uses.
+type LedgerJournal = accounting.Journal
+
 // GaussianRho is the per-coordinate zCDP parameter ρ = W∞²/(2σ²) of a
 // Gaussian release under the shift-reduction bound — what a release
 // feeds the Ledger.
