@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"pufferfish/internal/accounting"
+	"pufferfish/internal/bayes"
 	"pufferfish/internal/release"
 )
 
@@ -33,6 +34,8 @@ func main() {
 	smoothing := flag.Float64("smoothing", 0.5, "additive smoothing for the empirical chain")
 	seed := flag.Uint64("seed", 0, "noise seed (0 = nondeterministic is NOT offered; 0 is a valid fixed seed)")
 	in := flag.String("in", "", "input file (default stdin)")
+	substrate := flag.String("substrate", "", "secret model kind: chain (default; fits an empirical Markov chain) or network (needs -network)")
+	networkFile := flag.String("network", "", "JSON file with a polytree Bayesian network ([{\"name\", \"card\", \"parents\", \"cpt\"}, ...]); the input must be one session with one observation per node")
 	parallel := flag.Int("parallel", 0, "scoring-engine workers (0 = all CPUs, 1 = serial; release identical either way)")
 	cacheFlag := flag.Bool("cache", false, "memoize quilt scores by (model fingerprint, ε); release identical either way, report gains a cache stats block")
 	flag.Parse()
@@ -58,12 +61,24 @@ func main() {
 	if *account {
 		ledger = accounting.NewLedger(*accountDelta)
 	}
+	var network *bayes.Network
+	if *networkFile != "" {
+		blob, err := os.ReadFile(*networkFile)
+		if err != nil {
+			fatal(err)
+		}
+		if network, err = bayes.ParseJSON(blob); err != nil {
+			fatal(err)
+		}
+	}
 	report, err := release.Run(sessions, release.Config{
 		Epsilon:     *eps,
 		Delta:       *delta,
 		K:           *k,
 		Mechanism:   *mech,
 		Noise:       *noiseKind,
+		Substrate:   *substrate,
+		Network:     network,
 		Smoothing:   *smoothing,
 		Seed:        *seed,
 		Parallelism: *parallel,

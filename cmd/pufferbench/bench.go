@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pufferfish/internal/accounting"
+	"pufferfish/internal/bayes"
 	"pufferfish/internal/core"
 	"pufferfish/internal/kantorovich"
 	"pufferfish/internal/markov"
@@ -79,10 +80,12 @@ func runBench(quick bool, out string, procs int) error {
 	exactT, approxT, wassT, powT := 2000, 2000, 36, 50_000
 	compT, compReleases, batchT := 2000, 100, 500
 	kantT, kantReleases := 100, 12
+	treeN, treeReleases := 24, 8
 	if quick {
 		exactT, approxT, wassT, powT = 500, 500, 18, 10_000
 		compT, batchT = 500, 200
 		kantT, kantReleases = 50, 6
+		treeN, treeReleases = 12, 4
 	}
 
 	chain, err := markov.BinaryChain(0.5, 0.9, 0.85).StationaryChain()
@@ -262,6 +265,40 @@ func runBench(quick bool, out string, procs int) error {
 		return nil
 	}
 
+	// Tree-substrate workload: repeated Bayesian-network releases over
+	// one stable household polytree (node i's parent is (i−1)/2),
+	// cold vs sharing the score cache's cell-profile table — the
+	// pufferd regime for network-substrate requests.
+	treeNodes := make([]bayes.Node, treeN)
+	treeNodes[0] = bayes.Node{Card: 2, CPT: []float64{0.8, 0.2}}
+	for i := 1; i < treeN; i++ {
+		treeNodes[i] = bayes.Node{
+			Card: 2, Parents: []int{(i - 1) / 2},
+			CPT: []float64{0.9, 0.1, 0.35, 0.65},
+		}
+	}
+	treeNet, err := bayes.New(treeNodes)
+	if err != nil {
+		return err
+	}
+	treeSession := make([]int, treeN)
+	for i := range treeSession {
+		treeSession[i] = i % 2
+	}
+	treeLoop := func(cache *core.ScoreCache) error {
+		for i := 0; i < treeReleases; i++ {
+			_, err := release.Run([][]int{treeSession}, release.Config{
+				Epsilon: 1, Mechanism: release.MechKantorovich,
+				Substrate: release.SubstrateNetwork, Network: treeNet,
+				Seed: uint64(i), Cache: cache,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	// Rényi-accounting workload: the repeated-release regime with the
 	// Gaussian backend over one stable model, accounted vs not. The
 	// pair measures the ledger's release-time overhead (it must be in
@@ -315,6 +352,10 @@ func runBench(quick bool, out string, procs int) error {
 		{"KantorovichRepeatedRelease", "uncached", "cached",
 			func() error { return kantorovichLoop(nil) },
 			func() error { return kantorovichLoop(core.NewScoreCache()) },
+		},
+		{"KantorovichTreeSubstrate", "cold", "cached",
+			func() error { return treeLoop(nil) },
+			func() error { return treeLoop(core.NewScoreCache()) },
 		},
 		{"CompositionRepeatedRelease", "uncached", "cached",
 			func() error { return compositionLoop(nil) },

@@ -1,0 +1,45 @@
+package bayes
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// NodeJSON is the wire form of one network node. It mirrors Node with
+// lowercase keys so release configs, server requests, and CLI network
+// files share one schema:
+//
+//	{"name": "X1", "card": 2, "parents": [], "cpt": [0.4, 0.6]}
+type NodeJSON struct {
+	Name    string    `json:"name"`
+	Card    int       `json:"card"`
+	Parents []int     `json:"parents,omitempty"`
+	CPT     []float64 `json:"cpt"`
+}
+
+// ParseJSON decodes a network from its wire form — a JSON array of
+// NodeJSON objects — and validates it through New, so a decoded
+// network carries the same guarantees as one built in process.
+func ParseJSON(data []byte) (*Network, error) {
+	var raw []NodeJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("bayes: parsing network JSON: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("bayes: network JSON has no nodes")
+	}
+	nodes := make([]Node, len(raw))
+	for i, nj := range raw {
+		nodes[i] = Node{Name: nj.Name, Card: nj.Card, Parents: nj.Parents, CPT: nj.CPT}
+	}
+	return New(nodes)
+}
+
+// MarshalJSON renders the network in the ParseJSON wire form.
+func (nw *Network) MarshalJSON() ([]byte, error) {
+	out := make([]NodeJSON, len(nw.nodes))
+	for i, nd := range nw.nodes {
+		out[i] = NodeJSON{Name: nd.Name, Card: nd.Card, Parents: nd.Parents, CPT: nd.CPT}
+	}
+	return json.Marshal(out)
+}

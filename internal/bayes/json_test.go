@@ -1,0 +1,60 @@
+package bayes
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONRoundTrip: marshal → parse reproduces the network and the
+// round-tripped copy answers queries identically.
+func TestJSONRoundTrip(t *testing.T) {
+	nw := MustNew([]Node{
+		{Name: "root", Card: 2, CPT: []float64{0.3, 0.7}},
+		{Name: "leaf", Card: 2, Parents: []int{0}, CPT: []float64{0.9, 0.1, 0.2, 0.8}},
+	})
+	data, err := json.Marshal(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatalf("ParseJSON: %v", err)
+	}
+	if back.N() != nw.N() || back.Name(1) != "leaf" || back.Card(0) != 2 {
+		t.Fatalf("round trip changed structure: %d nodes", back.N())
+	}
+	d1, err := nw.CountDistGiven([]int{0, 1}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := back.CountDistGiven([]int{0, 1}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Len() != d2.Len() {
+		t.Fatalf("round trip changed the count distribution: %d vs %d atoms", d1.Len(), d2.Len())
+	}
+	for i := 0; i < d1.Len(); i++ {
+		x1, p1 := d1.Atom(i)
+		x2, p2 := d2.Atom(i)
+		if x1 != x2 || p1 != p2 {
+			t.Errorf("atom %d: (%v, %v) vs (%v, %v)", i, x1, p1, x2, p2)
+		}
+	}
+}
+
+// TestParseJSONRejects: malformed payloads fail with clear errors and
+// invalid networks are refused by the same validation as New.
+func TestParseJSONRejects(t *testing.T) {
+	if _, err := ParseJSON([]byte(`{"not": "an array"}`)); err == nil || !strings.Contains(err.Error(), "parsing network JSON") {
+		t.Errorf("non-array payload: err = %v", err)
+	}
+	if _, err := ParseJSON([]byte(`[]`)); err == nil || !strings.Contains(err.Error(), "no nodes") {
+		t.Errorf("empty array: err = %v", err)
+	}
+	bad := `[{"name": "A", "card": 2, "cpt": [0.5, 0.6]}]`
+	if _, err := ParseJSON([]byte(bad)); err == nil || !strings.Contains(err.Error(), "probability vector") {
+		t.Errorf("invalid CPT: err = %v", err)
+	}
+}

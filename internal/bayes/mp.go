@@ -1,0 +1,389 @@
+package bayes
+
+import (
+	"errors"
+	"fmt"
+
+	"pufferfish/internal/dist"
+)
+
+// ErrNotPolytree marks networks whose undirected skeleton contains a
+// cycle: the exact message-passing routines below are only correct on
+// polytrees (directed graphs whose skeleton is a forest), so they
+// refuse such inputs instead of returning silently wrong numbers.
+// Loopy networks remain serviceable through the enumeration routines
+// (Marginal, MaxInfluence), which are exact on any DAG.
+var ErrNotPolytree = errors.New("bayes: network is not a polytree")
+
+// Polytree reports whether the network is a polytree — its undirected
+// skeleton (one edge per parent-child arc) is a forest. It returns nil
+// for polytrees and an ErrNotPolytree-wrapped error naming the arc
+// that closes a cycle otherwise.
+func (nw *Network) Polytree() error {
+	n := len(nw.nodes)
+	root := make([]int, n)
+	for i := range root {
+		root[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for root[x] != x {
+			root[x] = root[root[x]]
+			x = root[x]
+		}
+		return x
+	}
+	for i, nd := range nw.nodes {
+		for _, p := range nd.Parents {
+			ri, rp := find(i), find(p)
+			if ri == rp {
+				return fmt.Errorf("%w: arc %d→%d closes an undirected cycle", ErrNotPolytree, p, i)
+			}
+			root[ri] = rp
+		}
+	}
+	return nil
+}
+
+// components groups the nodes into skeleton-connected components,
+// each sorted ascending, ordered by smallest member.
+func (nw *Network) components() [][]int {
+	n := len(nw.nodes)
+	adj := make([][]int, n)
+	for i, nd := range nw.nodes {
+		for _, p := range nd.Parents {
+			adj[i] = append(adj[i], p)
+			adj[p] = append(adj[p], i)
+		}
+	}
+	seen := make([]bool, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, u := range adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// mpMsg is one sum-augmented message of the factor-graph belief
+// propagation: vals[x*width + s] is the joint probability mass of the
+// message's subtree taking an assignment consistent with the message
+// variable at value x whose weight sum over the subtree's count
+// variables is s + count·wMin. Marginal queries (no weights) use
+// width 1 and count 0 throughout, so one engine serves both.
+type mpMsg struct {
+	vals  []float64
+	width int
+	count int
+}
+
+// mpEngine runs exact belief propagation on the factor graph of a
+// polytree (one factor per node, scope {node} ∪ parents; the factor
+// graph of a polytree is a tree, so a single inward pass per query is
+// exact). Message order is deterministic — factors ascending, scope in
+// (node, parents...) order — so results are bit-identical run to run.
+type mpEngine struct {
+	nw         *Network
+	w          []int // nil for marginal queries
+	wMin, span int   // weight range (span = wMax − wMin; 0 when w == nil)
+	cond       int   // conditioning node, −1 for none
+	condState  int
+	varFactors [][]int // variable → factors whose scope contains it
+}
+
+func newMPEngine(nw *Network, w []int, cond, condState int) *mpEngine {
+	e := &mpEngine{nw: nw, w: w, cond: cond, condState: condState}
+	if w != nil {
+		e.wMin = w[0]
+		wMax := w[0]
+		for _, v := range w[1:] {
+			if v < e.wMin {
+				e.wMin = v
+			}
+			if v > wMax {
+				wMax = v
+			}
+		}
+		e.span = wMax - e.wMin
+	}
+	n := nw.N()
+	e.varFactors = make([][]int, n)
+	for f, nd := range nw.nodes {
+		e.varFactors[f] = append(e.varFactors[f], f)
+		for _, p := range nd.Parents {
+			e.varFactors[p] = append(e.varFactors[p], f)
+		}
+	}
+	return e
+}
+
+// width is the s-axis length of a message covering count weighted
+// variables.
+func (e *mpEngine) width(count int) int { return count*e.span + 1 }
+
+// varMsg returns µ_{v→from}: v's own weight atom combined (by
+// convolution over the sum axis) with the messages of every adjacent
+// factor except from. from = −1 reads the root message.
+func (e *mpEngine) varMsg(v, from int) mpMsg {
+	card := e.nw.nodes[v].Card
+	count := 0
+	if e.w != nil {
+		count = 1
+	}
+	m := mpMsg{count: count, width: e.width(count)}
+	m.vals = make([]float64, card*m.width)
+	for x := 0; x < card; x++ {
+		if v == e.cond && x != e.condState {
+			continue
+		}
+		s := 0
+		if e.w != nil {
+			s = e.w[x] - e.wMin
+		}
+		m.vals[x*m.width+s] = 1
+	}
+	for _, g := range e.varFactors[v] {
+		if g == from {
+			continue
+		}
+		m = mulConv(m, e.factorMsg(g, v), card)
+	}
+	return m
+}
+
+// mulConv multiplies two messages over the same variable: pointwise in
+// x, convolution along the sum axis.
+func mulConv(a, b mpMsg, card int) mpMsg {
+	out := mpMsg{count: a.count + b.count, width: a.width + b.width - 1}
+	out.vals = make([]float64, card*out.width)
+	for x := 0; x < card; x++ {
+		ar := a.vals[x*a.width : (x+1)*a.width]
+		br := b.vals[x*b.width : (x+1)*b.width]
+		or := out.vals[x*out.width : (x+1)*out.width]
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			for j, bv := range br {
+				or[i+j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// factorMsg returns µ_{f→to}: the factor's CPT folded with the
+// messages of its other scope variables, enumerated jointly (scope
+// sizes are 1 + parent count — small on the tree-structured networks
+// this targets).
+func (e *mpEngine) factorMsg(f, to int) mpMsg {
+	nd := e.nw.nodes[f]
+	scope := make([]int, 0, 1+len(nd.Parents))
+	scope = append(scope, f)
+	scope = append(scope, nd.Parents...)
+	others := make([]int, 0, len(scope))
+	for _, u := range scope {
+		if u != to {
+			others = append(others, u)
+		}
+	}
+	msgs := make([]mpMsg, len(others))
+	count := 0
+	for i, u := range others {
+		msgs[i] = e.varMsg(u, f)
+		count += msgs[i].count
+	}
+	cardTo := e.nw.nodes[to].Card
+	out := mpMsg{count: count, width: e.width(count)}
+	out.vals = make([]float64, cardTo*out.width)
+	assign := make([]int, e.nw.N())
+	for {
+		// Convolve the selected rows of the other variables' messages.
+		conv := []float64{1}
+		for i, u := range others {
+			m := msgs[i]
+			row := m.vals[assign[u]*m.width : (assign[u]+1)*m.width]
+			next := make([]float64, len(conv)+m.width-1)
+			for i2, cv := range conv {
+				if cv == 0 {
+					continue
+				}
+				for j, rv := range row {
+					next[i2+j] += cv * rv
+				}
+			}
+			conv = next
+		}
+		for xt := 0; xt < cardTo; xt++ {
+			assign[to] = xt
+			p := e.nw.CondProb(f, assign[f], assign)
+			if p == 0 {
+				continue
+			}
+			row := out.vals[xt*out.width : (xt+1)*out.width]
+			for s, v := range conv {
+				row[s] += p * v
+			}
+		}
+		// Mixed-radix increment over the other variables.
+		i := len(others) - 1
+		for ; i >= 0; i-- {
+			u := others[i]
+			assign[u]++
+			if assign[u] < e.nw.nodes[u].Card {
+				break
+			}
+			assign[u] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// MarginalsMP returns every node's marginal distribution, computed
+// exactly by message passing — O(n) messages per node instead of the
+// exponential joint enumeration of NodeMarginal, so it scales to
+// polytrees far past maxJointSize. Non-polytree networks return
+// ErrNotPolytree.
+func (nw *Network) MarginalsMP() ([][]float64, error) {
+	if err := nw.Polytree(); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, nw.N())
+	for j := range nw.nodes {
+		e := newMPEngine(nw, nil, -1, 0)
+		m := e.varMsg(j, -1)
+		row := make([]float64, nw.nodes[j].Card)
+		var total float64
+		for x := range row {
+			row[x] = m.vals[x]
+			total += row[x]
+		}
+		for x := range row {
+			row[x] /= total
+		}
+		out[j] = row
+	}
+	return out, nil
+}
+
+// CountDist returns the exact distribution of N = Σ_i w[X_i] over the
+// network's nodes, by sum-augmented message passing (polytrees only).
+func (nw *Network) CountDist(w []int) (dist.Discrete, error) {
+	return nw.CountDistGiven(w, -1, 0)
+}
+
+// CountDistGiven returns the exact distribution of N = Σ_i w[X_i]
+// conditioned on X_cond = condState, where cond is a 0-based node
+// index; cond == −1 means no conditioning. All nodes must share one
+// cardinality (the count query's weight vector indexes values), the
+// network must be a polytree (ErrNotPolytree otherwise), and a
+// zero-probability conditioning event is an error.
+//
+// This is the distribution oracle the network Substrate feeds to the
+// count-distribution → W∞ → noise pipeline: the polytree analogue of
+// markov.Chain.CountDistGiven, running in O(n · card^(maxParents+1) ·
+// range²) instead of joint enumeration.
+func (nw *Network) CountDistGiven(w []int, cond, condState int) (dist.Discrete, error) {
+	n := nw.N()
+	card := nw.nodes[0].Card
+	for i, nd := range nw.nodes {
+		if nd.Card != card {
+			return dist.Discrete{}, fmt.Errorf("bayes: count query needs uniform cardinality; node %d has %d states, want %d", i, nd.Card, card)
+		}
+	}
+	if len(w) != card {
+		return dist.Discrete{}, fmt.Errorf("bayes: weight vector has length %d, want %d", len(w), card)
+	}
+	if cond < -1 || cond >= n {
+		return dist.Discrete{}, fmt.Errorf("bayes: conditioning index %d outside [-1,%d)", cond, n)
+	}
+	if cond >= 0 && (condState < 0 || condState >= card) {
+		return dist.Discrete{}, fmt.Errorf("bayes: conditioning state %d outside [0,%d)", condState, card)
+	}
+	if err := nw.Polytree(); err != nil {
+		return dist.Discrete{}, err
+	}
+	e := newMPEngine(nw, w, cond, condState)
+	// Each skeleton component contributes an independent sum; the full
+	// distribution is their convolution. The conditioned component is
+	// read at the evidence value, the rest summed over their root.
+	total := []float64{1}
+	for _, comp := range nw.components() {
+		rootVar := comp[0]
+		inComp := false
+		for _, v := range comp {
+			if v == cond {
+				inComp = true
+				break
+			}
+		}
+		if inComp {
+			rootVar = cond
+		}
+		m := e.varMsg(rootVar, -1)
+		vec := make([]float64, m.width)
+		if inComp {
+			copy(vec, m.vals[condState*m.width:(condState+1)*m.width])
+		} else {
+			cardRoot := nw.nodes[rootVar].Card
+			for x := 0; x < cardRoot; x++ {
+				for s, v := range m.vals[x*m.width : (x+1)*m.width] {
+					vec[s] += v
+				}
+			}
+		}
+		next := make([]float64, len(total)+len(vec)-1)
+		for i, tv := range total {
+			if tv == 0 {
+				continue
+			}
+			for j, vv := range vec {
+				next[i+j] += tv * vv
+			}
+		}
+		total = next
+	}
+	var mass float64
+	for _, v := range total {
+		mass += v
+	}
+	if mass <= 1e-300 {
+		return dist.Discrete{}, fmt.Errorf("bayes: conditioning event X_%d=%d has probability zero", cond, condState)
+	}
+	atoms := 0
+	for _, p := range total {
+		if p > 0 {
+			atoms++
+		}
+	}
+	buf := make([]float64, 2*atoms)
+	xs, ps := buf[:atoms:atoms], buf[atoms:]
+	i := 0
+	for s, p := range total {
+		if p <= 0 {
+			continue
+		}
+		xs[i] = float64(s + n*e.wMin)
+		ps[i] = p / mass
+		i++
+	}
+	return dist.FromSorted(xs, ps)
+}

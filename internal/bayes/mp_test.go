@@ -1,0 +1,235 @@
+package bayes
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pufferfish/internal/markov"
+)
+
+// randomPolytree builds a random polytree (possibly a forest) on n
+// nodes of uniform cardinality card: a random undirected tree skeleton
+// with an occasional edge dropped (forests are legal polytrees), each
+// kept edge oriented at random, and strictly positive random CPTs.
+func randomPolytree(r *rand.Rand, n, card int) *Network {
+	parents := make([][]int, n)
+	for i := 1; i < n; i++ {
+		if r.Float64() < 0.15 {
+			continue // leave i in its own component
+		}
+		j := r.IntN(i)
+		if r.Float64() < 0.5 {
+			parents[i] = append(parents[i], j)
+		} else {
+			parents[j] = append(parents[j], i)
+		}
+	}
+	nodes := make([]Node, n)
+	for i := 0; i < n; i++ {
+		rows := 1
+		for range parents[i] {
+			rows *= card
+		}
+		cpt := make([]float64, rows*card)
+		for rIdx := 0; rIdx < rows; rIdx++ {
+			row := cpt[rIdx*card : (rIdx+1)*card]
+			var tot float64
+			for v := range row {
+				row[v] = 0.05 + r.Float64()
+				tot += row[v]
+			}
+			for v := range row {
+				row[v] /= tot
+			}
+		}
+		nodes[i] = Node{Name: "n", Card: card, Parents: parents[i], CPT: cpt}
+	}
+	return MustNew(nodes)
+}
+
+// TestMarginalsMPMatchesEnumeration: on random polytrees, the
+// message-passing marginals agree with brute-force joint enumeration.
+func TestMarginalsMPMatchesEnumeration(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 271))
+		n := 2 + r.IntN(6)
+		card := 2 + r.IntN(2)
+		nw := randomPolytree(r, n, card)
+		mp, err := nw.MarginalsMP()
+		if err != nil {
+			t.Logf("seed %d: MarginalsMP: %v", seed, err)
+			return false
+		}
+		for i := 0; i < n; i++ {
+			want, err := nw.NodeMarginal(i)
+			if err != nil {
+				t.Logf("seed %d: NodeMarginal(%d): %v", seed, i, err)
+				return false
+			}
+			for x := range want {
+				if math.Abs(mp[i][x]-want[x]) > 1e-9 {
+					t.Logf("seed %d: node %d state %d: mp %v, enum %v", seed, i, x, mp[i][x], want[x])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCountDistGivenMatchesEnumeration: on random polytrees with
+// random integer weights and a random conditioning event, the
+// sum-augmented message passing reproduces the brute-force conditional
+// distribution of Σ_i w[X_i] atom for atom.
+func TestCountDistGivenMatchesEnumeration(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 443))
+		n := 2 + r.IntN(6)
+		card := 2 + r.IntN(2)
+		nw := randomPolytree(r, n, card)
+		w := make([]int, card)
+		for v := range w {
+			w[v] = r.IntN(5) - 2
+		}
+		cond, condState := -1, 0
+		if r.Float64() < 0.7 {
+			cond = r.IntN(n)
+			condState = r.IntN(card)
+		}
+		sums := map[int]float64{}
+		var condMass float64
+		err := nw.Enumerate(func(assign []int, p float64) bool {
+			if cond >= 0 && assign[cond] != condState {
+				return true
+			}
+			s := 0
+			for _, v := range assign {
+				s += w[v]
+			}
+			sums[s] += p
+			condMass += p
+			return true
+		})
+		if err != nil {
+			t.Logf("seed %d: Enumerate: %v", seed, err)
+			return false
+		}
+		d, err := nw.CountDistGiven(w, cond, condState)
+		if err != nil {
+			t.Logf("seed %d: CountDistGiven: %v", seed, err)
+			return false
+		}
+		if d.Len() != len(sums) {
+			t.Logf("seed %d: %d atoms, enumeration found %d sums", seed, d.Len(), len(sums))
+			return false
+		}
+		for i := 0; i < d.Len(); i++ {
+			x, p := d.Atom(i)
+			want := sums[int(x)] / condMass
+			if math.Abs(p-want) > 1e-9 {
+				t.Logf("seed %d: P(F=%v) = %v, enum %v", seed, x, p, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCountDistGivenMatchesChain: FromChain networks agree with the
+// chain's own forward dynamic program at every conditioning position,
+// with the 0-based/−1 network convention mapped onto the chain's
+// 1-based/0 one.
+func TestCountDistGivenMatchesChain(t *testing.T) {
+	const T = 7
+	chain := markov.BinaryChain(0.3, 0.8, 0.6)
+	nw, err := FromChain(chain, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []int{0, 1}
+	for cond := -1; cond < T; cond++ {
+		for condState := 0; condState < 2; condState++ {
+			if cond == -1 && condState > 0 {
+				continue
+			}
+			got, err := nw.CountDistGiven(w, cond, condState)
+			if err != nil {
+				t.Fatalf("network cond=%d state=%d: %v", cond, condState, err)
+			}
+			want, err := chain.CountDistGiven(T, w, cond+1, condState)
+			if err != nil {
+				t.Fatalf("chain cond=%d state=%d: %v", cond, condState, err)
+			}
+			if got.Len() != want.Len() {
+				t.Fatalf("cond=%d state=%d: %d atoms vs chain's %d", cond, condState, got.Len(), want.Len())
+			}
+			for i := 0; i < got.Len(); i++ {
+				gx, gp := got.Atom(i)
+				wx, wp := want.Atom(i)
+				if gx != wx || math.Abs(gp-wp) > 1e-12 {
+					t.Errorf("cond=%d state=%d atom %d: (%v, %v) vs chain (%v, %v)", cond, condState, i, gx, gp, wx, wp)
+				}
+			}
+		}
+	}
+}
+
+// TestPolytreeRejection: the diamond A→B, A→C, B→D, C→D is a DAG but
+// not a polytree; every message-passing entry point must refuse it
+// with ErrNotPolytree.
+func TestPolytreeRejection(t *testing.T) {
+	diamond := MustNew([]Node{
+		{Name: "A", Card: 2, CPT: []float64{0.4, 0.6}},
+		{Name: "B", Card: 2, Parents: []int{0}, CPT: []float64{0.7, 0.3, 0.2, 0.8}},
+		{Name: "C", Card: 2, Parents: []int{0}, CPT: []float64{0.6, 0.4, 0.1, 0.9}},
+		{Name: "D", Card: 2, Parents: []int{1, 2}, CPT: []float64{
+			0.5, 0.5, 0.3, 0.7, 0.8, 0.2, 0.25, 0.75,
+		}},
+	})
+	if err := diamond.Polytree(); !errors.Is(err, ErrNotPolytree) {
+		t.Fatalf("Polytree() = %v, want ErrNotPolytree", err)
+	}
+	if _, err := diamond.MarginalsMP(); !errors.Is(err, ErrNotPolytree) {
+		t.Errorf("MarginalsMP() error = %v, want ErrNotPolytree", err)
+	}
+	if _, err := diamond.CountDistGiven([]int{0, 1}, -1, 0); !errors.Is(err, ErrNotPolytree) {
+		t.Errorf("CountDistGiven error = %v, want ErrNotPolytree", err)
+	}
+}
+
+// TestCountDistGivenValidation covers the remaining refusal paths:
+// zero-probability evidence, mixed cardinalities, and a wrong-length
+// weight vector.
+func TestCountDistGivenValidation(t *testing.T) {
+	point := MustNew([]Node{{Name: "A", Card: 2, CPT: []float64{1, 0}}})
+	if _, err := point.CountDistGiven([]int{0, 1}, 0, 1); err == nil || !strings.Contains(err.Error(), "probability zero") {
+		t.Errorf("zero-probability evidence: err = %v", err)
+	}
+	mixed := MustNew([]Node{
+		{Name: "A", Card: 2, CPT: []float64{0.5, 0.5}},
+		{Name: "B", Card: 3, Parents: []int{0}, CPT: []float64{0.2, 0.3, 0.5, 0.4, 0.4, 0.2}},
+	})
+	if _, err := mixed.CountDistGiven([]int{0, 1}, -1, 0); err == nil || !strings.Contains(err.Error(), "cardinality") {
+		t.Errorf("mixed cardinality: err = %v", err)
+	}
+	uniform := MustNew([]Node{{Name: "A", Card: 2, CPT: []float64{0.5, 0.5}}})
+	if _, err := uniform.CountDistGiven([]int{0, 1, 2}, -1, 0); err == nil || !strings.Contains(err.Error(), "weight vector") {
+		t.Errorf("weight length: err = %v", err)
+	}
+	if _, err := uniform.CountDistGiven([]int{0, 1}, 3, 0); err == nil {
+		t.Error("out-of-range conditioning index accepted")
+	}
+	if _, err := uniform.CountDistGiven([]int{0, 1}, 0, 5); err == nil {
+		t.Error("out-of-range conditioning state accepted")
+	}
+}

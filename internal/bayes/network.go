@@ -139,6 +139,11 @@ func (nw *Network) Parents(i int) []int { return nw.nodes[i].Parents }
 // Name returns the label of node i.
 func (nw *Network) Name(i int) string { return nw.nodes[i].Name }
 
+// CPT returns node i's conditional probability table (not a copy;
+// treat as read-only), indexed as documented on Node.CPT. Substrate
+// fingerprinting streams it canonically.
+func (nw *Network) CPT(i int) []float64 { return nw.nodes[i].CPT }
+
 // Children returns the child indices of node i.
 func (nw *Network) Children(i int) []int {
 	var out []int

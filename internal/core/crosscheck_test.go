@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pufferfish/internal/activity"
+	"pufferfish/internal/bayes"
+	"pufferfish/internal/markov"
+)
+
+// chainQuiltSets builds, for every node of a chain-shaped network, the
+// explicit Lemma 4.6 candidate family the chain-specialized scorer
+// sweeps: left-only quilts {X_{i−a}}, two-sided quilts
+// {X_{i−a}, X_{i+b}}, and right-only quilts {X_{i+b}} (indices
+// 0-based; the trivial quilt is added by the instantiation).
+func chainQuiltSets(t *testing.T, nw *bayes.Network) [][]bayes.Quilt {
+	t.Helper()
+	T := nw.N()
+	sets := make([][]bayes.Quilt, T)
+	for i := 0; i < T; i++ {
+		var qs []bayes.Quilt
+		add := func(q []int) {
+			quilt, err := nw.QuiltFor(i, q)
+			if err != nil {
+				t.Fatalf("QuiltFor(%d, %v): %v", i, q, err)
+			}
+			qs = append(qs, quilt)
+		}
+		for a := 1; a <= i; a++ {
+			add([]int{i - a})
+			for b := 1; i+b < T; b++ {
+				add([]int{i - a, i + b})
+			}
+		}
+		for b := 1; i+b < T; b++ {
+			add([]int{i + b})
+		}
+		sets[i] = qs
+	}
+	return sets
+}
+
+// crossCheckClass scores one chain class both ways — the specialized
+// MQMExact sweep (log-domain kernel dynamic programs) and the generic
+// Algorithm 2 over the FromChain networks with the same quilt family
+// (joint-enumeration max-influences) — and requires the σ_max values
+// to agree to floating-point accuracy. This is the golden cross-check
+// promised in bayes.FromChain's contract.
+func crossCheckClass(t *testing.T, name string, class markov.Class, epsilons []float64) {
+	t.Helper()
+	T := class.T()
+	chains := class.Chains()
+	nets := make([]*bayes.Network, len(chains))
+	for ti, theta := range chains {
+		nw, err := bayes.FromChain(theta, T)
+		if err != nil {
+			t.Fatalf("%s: FromChain θ%d: %v", name, ti, err)
+		}
+		nets[ti] = nw
+	}
+	inst := &BayesInstantiation{Networks: nets, QuiltSets: chainQuiltSets(t, nets[0])}
+	for _, eps := range epsilons {
+		exact, err := ExactScore(class, eps, ExactOptions{MaxWidth: T, ForceFullSweep: true, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s ε=%v: ExactScore: %v", name, eps, err)
+		}
+		detail, err := QuiltScoreBayes(inst, eps)
+		if err != nil {
+			t.Fatalf("%s ε=%v: QuiltScoreBayes: %v", name, eps, err)
+		}
+		if rel := math.Abs(detail.Sigma-exact.Sigma) / exact.Sigma; rel > 1e-9 {
+			t.Errorf("%s ε=%v: generic σ_max %v vs chain-specialized %v (rel %v)",
+				name, eps, detail.Sigma, exact.Sigma, rel)
+		}
+		// The active quilt's nearby-set cardinality must reconstruct the
+		// generic score from its own influence — a structural sanity
+		// check that the agreement is not coincidental.
+		if want := float64(detail.Active.CardN()) / (eps - detail.Influence); math.Abs(want-detail.Sigma) > 1e-9*detail.Sigma {
+			t.Errorf("%s ε=%v: detail inconsistent: card %d, influence %v, σ %v",
+				name, eps, detail.Active.CardN(), detail.Influence, detail.Sigma)
+		}
+	}
+}
+
+// TestGenericQuiltMatchesMQMExactFig4: the Figure 4 synthetic binary
+// substrate — the gridded interval of two-state chains — scored as
+// Bayesian networks through Algorithm 2 agrees with the
+// chain-specialized Algorithm 3. The grid is wrapped in a Finite class
+// (not BinaryInterval itself) because a network fixes its root's
+// initial distribution, while BinaryInterval pairs every transition
+// matrix with *all* initial distributions (Appendix C.4): the two
+// scorers must see the same Θ for the σ values to be comparable.
+func TestGenericQuiltMatchesMQMExactFig4(t *testing.T) {
+	grid := (&markov.BinaryInterval{Alpha: 0.2, Beta: 0.8, Len: 8, GridN: 3}).Chains()
+	class, err := markov.NewFinite(grid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossCheckClass(t, "fig4", class, []float64{0.5, 1, 5})
+}
+
+// TestGenericQuiltMatchesMQMExactActivity: the Section 5.3 activity
+// substrate (four-state cohort chain, singleton class) agrees across
+// the two scorers at a length small enough for joint enumeration.
+func TestGenericQuiltMatchesMQMExactActivity(t *testing.T) {
+	chain, err := activity.DefaultProfile(activity.Cyclists).TrueChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := markov.NewSingleton(chain, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossCheckClass(t, "activity", class, []float64{1, 3})
+}

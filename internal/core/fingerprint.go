@@ -8,14 +8,17 @@ import (
 	"pufferfish/internal/matrix"
 )
 
-// Fingerprint is a canonical 128-bit identity for a markov.Class: a
-// hash of everything a ChainScore depends on besides (ε, options) —
-// the chain length T, the state count, the AllInitialDistributions
-// flag, and every representative chain's initial distribution and
-// transition matrix, in Chains() order (order matters: the scorer's
-// first-maximizer tie-breaking is order dependent). Two classes with
-// equal fingerprints score identically, so the ScoreCache and
-// ScoreBatch key on it.
+// Fingerprint is a canonical 128-bit identity for a Substrate: a hash
+// of the substrate's kind tag followed by everything a score depends
+// on besides (ε, options) — for a chain class that is the chain length
+// T, the state count, the AllInitialDistributions flag, and every
+// representative chain's initial distribution and transition matrix,
+// in Chains() order (order matters: the scorer's first-maximizer
+// tie-breaking is order dependent). Two substrates with equal
+// fingerprints score identically, so the ScoreCache and ScoreBatch key
+// on it. The leading kind tag domain-separates the substrate families:
+// a chain and a network whose canonical bytes coincide still hash
+// apart.
 //
 // The two words are independent FNV-1a streams over the same canonical
 // bytes, so an accidental collision needs both 64-bit hashes to
@@ -59,49 +62,81 @@ func (h *fpHash) floats(vs []float64) {
 	}
 }
 
+// str feeds a length-prefixed string — the substrate kind tag — into
+// both streams byte by byte.
+func (h *fpHash) str(s string) {
+	h.word(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		b := uint64(s[i])
+		h.lo = (h.lo ^ b) * fnvPrime64
+		h.hi = (h.hi ^ b) * fnvPrime64
+	}
+}
+
 func (h *fpHash) sum() Fingerprint { return Fingerprint{Hi: h.hi, Lo: h.lo} }
 
-// ClassFingerprint computes the canonical fingerprint of a class. It
+// FingerprintWriter receives a substrate's canonical fingerprint bytes
+// as a stream of words, so implementations outside this package can
+// fingerprint without materializing a byte slice. The writer is an
+// *fpHash in practice; every value fed is mixed into both FNV streams
+// in order.
+type FingerprintWriter interface {
+	// Word mixes one 64-bit word (counts, dimensions, flags).
+	Word(v uint64)
+	// Float mixes one float64 by its IEEE-754 bit pattern.
+	Float(v float64)
+	// Floats mixes a length-prefixed float64 slice.
+	Floats(vs []float64)
+}
+
+// Word implements FingerprintWriter.
+func (h *fpHash) Word(v uint64) { h.word(v) }
+
+// Float implements FingerprintWriter.
+func (h *fpHash) Float(v float64) { h.float(v) }
+
+// Floats implements FingerprintWriter.
+func (h *fpHash) Floats(vs []float64) { h.floats(vs) }
+
+// SubstrateFingerprint computes the canonical fingerprint of any
+// substrate: the kind tag first (domain separation), then the
+// substrate's own canonical byte stream.
+func SubstrateFingerprint(s Substrate) Fingerprint {
+	h := newFpHash()
+	h.str(s.Kind())
+	s.WriteFingerprint(&h)
+	return h.sum()
+}
+
+// ClassFingerprint computes the canonical fingerprint of a chain
+// class: SubstrateFingerprint of its ClassSubstrate view. It
 // enumerates Chains() once; for grid classes (BinaryInterval) the
 // fingerprint therefore reflects the effective grid, exactly like the
 // scorers do.
 func ClassFingerprint(class markov.Class) Fingerprint {
-	h := newFpHash()
-	h.word(uint64(class.K()))
-	h.word(uint64(class.T()))
-	if class.AllInitialDistributions() {
-		h.word(1)
-	} else {
-		h.word(0)
-	}
-	chains := class.Chains()
-	h.word(uint64(len(chains)))
-	for _, c := range chains {
-		hashChain(&h, c)
-	}
-	return h.sum()
+	return SubstrateFingerprint(NewClassSubstrate(class))
 }
 
 // ChainFingerprint computes the fingerprint of a single chain (initial
 // distribution plus transition matrix).
 func ChainFingerprint(c markov.Chain) Fingerprint {
 	h := newFpHash()
-	hashChain(&h, c)
+	writeChain(&h, c)
 	return h.sum()
 }
 
-func hashChain(h *fpHash, c markov.Chain) {
-	h.floats(c.Init)
-	hashMatrix(h, c.P)
+func writeChain(w FingerprintWriter, c markov.Chain) {
+	w.Floats(c.Init)
+	writeMatrix(w, c.P)
 }
 
-func hashMatrix(h *fpHash, m *matrix.Dense) {
+func writeMatrix(w FingerprintWriter, m *matrix.Dense) {
 	rows, cols := m.Dims()
-	h.word(uint64(rows))
-	h.word(uint64(cols))
+	w.Word(uint64(rows))
+	w.Word(uint64(cols))
 	for i := 0; i < rows; i++ {
 		for _, v := range m.RawRow(i) {
-			h.float(v)
+			w.Float(v)
 		}
 	}
 }
@@ -111,6 +146,6 @@ func hashMatrix(h *fpHash, m *matrix.Dense) {
 // comparison, never correctness.
 func matrixKey(m *matrix.Dense) uint64 {
 	h := newFpHash()
-	hashMatrix(&h, m)
+	writeMatrix(&h, m)
 	return h.lo
 }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"pufferfish/internal/markov"
+	"pufferfish/internal/matrix"
+)
+
+// The pinned values below were captured from the chain-specialized
+// scorers immediately before the Substrate refactor. They freeze the
+// full result — σ, active node, quilt, influence, ℓ, and the
+// Wasserstein worst-pair label — at parallelism 1 and N, so any change
+// to the scoring pipeline that is not bit-identical fails loudly.
+
+func goldenGridClass() markov.Class {
+	return &markov.BinaryInterval{Alpha: 0.2, Beta: 0.45, Len: 40, GridN: 3}
+}
+
+func goldenFiniteClass(t *testing.T) markov.Class {
+	t.Helper()
+	class, err := markov.NewFinite([]markov.Chain{
+		markov.MustNew([]float64{0.5, 0.3, 0.2}, matrix.FromRows([][]float64{
+			{0.7, 0.2, 0.1}, {0.15, 0.7, 0.15}, {0.1, 0.25, 0.65},
+		})),
+		markov.MustNew([]float64{0.25, 0.35, 0.4}, matrix.FromRows([][]float64{
+			{0.6, 0.3, 0.1}, {0.2, 0.6, 0.2}, {0.05, 0.35, 0.6},
+		})),
+	}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return class
+}
+
+func goldenSingleton(t *testing.T) markov.Class {
+	t.Helper()
+	class, err := markov.NewSingleton(markov.BinaryChain(0.3, 0.8, 0.6), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return class
+}
+
+func checkGoldenScore(t *testing.T, name string, got ChainScore, want ChainScore) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s: score drifted from pre-refactor golden:\n got  %+v\n want %+v", name, got, want)
+	}
+}
+
+func TestGoldenScoresEveryParallelism(t *testing.T) {
+	grid := goldenGridClass()
+	finite := goldenFiniteClass(t)
+	single := goldenSingleton(t)
+	for _, par := range []int{1, 0} {
+		s, err := ExactScore(grid, 1.2, ExactOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("ExactScore(grid) p=%d: %v", par, err)
+		}
+		checkGoldenScore(t, "ExactScore(grid)", s, ChainScore{
+			Sigma: 10.81303224430358, Node: 8, Quilt: ChainQuilt{A: 5, B: 5},
+			Influence: 0.36767102911939475, Ell: 20,
+		})
+
+		s, err = ExactScore(finite, 0.9, ExactOptions{MaxWidth: 6, Parallelism: par})
+		if err != nil {
+			t.Fatalf("ExactScore(finite) p=%d: %v", par, err)
+		}
+		checkGoldenScore(t, "ExactScore(finite, width 6)", s, ChainScore{
+			Sigma: 27.777777777777779, Node: 5, Quilt: ChainQuilt{}, Influence: 0, Ell: 6,
+		})
+
+		s, err = ExactScore(finite, 0.9, ExactOptions{ForceFullSweep: true, Parallelism: par})
+		if err != nil {
+			t.Fatalf("ExactScore(finite, full) p=%d: %v", par, err)
+		}
+		checkGoldenScore(t, "ExactScore(finite, full sweep)", s, ChainScore{
+			Sigma: 17.466682011033978, Node: 17, Quilt: ChainQuilt{A: 6, B: 7},
+			Influence: 0.21297770278182138, Ell: 25,
+		})
+
+		s, err = ApproxScore(grid, 1.2, ApproxOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("ApproxScore(grid) p=%d: %v", par, err)
+		}
+		checkGoldenScore(t, "ApproxScore(grid)", s, ChainScore{
+			Sigma: 20.103989689585074, Node: 20, Quilt: ChainQuilt{A: 11, B: 9},
+			Influence: 0.25491396019552265, Ell: 40,
+		})
+
+		w, worst, err := WassersteinScaleOpt(
+			ChainCountInstance{Class: single, W: []int{0, 1}, Parallelism: par},
+			WassersteinOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("WassersteinScaleOpt p=%d: %v", par, err)
+		}
+		if w != 3 || worst.Label != "X2: 0 vs 1 @ θ1" {
+			t.Errorf("WassersteinScaleOpt p=%d drifted: w=%v label=%q, want w=3 label=%q",
+				par, w, worst.Label, "X2: 0 vs 1 @ θ1")
+		}
+	}
+}

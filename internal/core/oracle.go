@@ -1,11 +1,7 @@
 package core
 
 import (
-	"fmt"
-	"strconv"
-
 	"pufferfish/internal/markov"
-	"pufferfish/internal/sched"
 )
 
 // ChainCountInstance is a ready-made WassersteinInstance for the
@@ -16,7 +12,9 @@ import (
 // programming.
 //
 // It makes Algorithm 1 runnable on any (small) chain class and powers
-// the Theorem 3.3 comparison against group differential privacy.
+// the Theorem 3.3 comparison against group differential privacy. It is
+// the chain-shaped view of the generic CountInstance: the pair list is
+// bit-identical to CountInstance over NewClassSubstrate(Class).
 type ChainCountInstance struct {
 	Class markov.Class
 	// W are per-state integer weights; the indicator of a state makes
@@ -28,102 +26,13 @@ type ChainCountInstance struct {
 	Parallelism int
 }
 
-// pairJob is one admissible (θ, node, a, b) secret pair whose two
-// conditional distributions remain to be computed.
-type pairJob struct {
-	theta   markov.Chain
-	ti      int
-	i, a, b int
-}
-
-// label renders the pair's diagnostic label with a single allocation
-// (fmt.Sprintf boxes every argument, which dominated the pair sweep's
-// allocation count).
-func (j pairJob) label() string {
-	var arr [40]byte
-	b := arr[:0]
-	b = append(b, 'X')
-	b = strconv.AppendInt(b, int64(j.i), 10)
-	b = append(b, ": "...)
-	b = strconv.AppendInt(b, int64(j.a), 10)
-	b = append(b, " vs "...)
-	b = strconv.AppendInt(b, int64(j.b), 10)
-	b = append(b, " @ θ"...)
-	b = strconv.AppendInt(b, int64(j.ti+1), 10)
-	return string(b)
-}
-
-// ConditionalPairs implements WassersteinInstance. Secret values with
-// zero probability under a θ are skipped per Definition 2.1.
-//
-// The admissible pairs are enumerated serially (marginal checks are
-// cheap), then the O(T·k²·range) conditional dynamic programs — the
-// dominant cost — fan across the pool, each job writing its own slot,
-// so the resulting list is deterministic.
+// ConditionalPairs implements WassersteinInstance by delegating to the
+// generic substrate path. Secret values with zero probability under a
+// θ are skipped per Definition 2.1.
 func (c ChainCountInstance) ConditionalPairs() ([]DistributionPair, error) {
-	T := c.Class.T()
-	k := c.Class.K()
-	if len(c.W) != k {
-		return nil, fmt.Errorf("core: weight vector has length %d, want %d", len(c.W), k)
-	}
-	// Two passes over the (cheap) marginal admissibility checks: the
-	// first counts so the job list is allocated exactly once.
-	chains := c.Class.Chains()
-	margs := make([][][]float64, len(chains))
-	nJobs := 0
-	for ti, theta := range chains {
-		marg := theta.Marginals(T)
-		margs[ti] = marg
-		for i := 1; i <= T; i++ {
-			for a := 0; a < k; a++ {
-				if marg[i-1][a] <= 0 {
-					continue
-				}
-				for b := a + 1; b < k; b++ {
-					if marg[i-1][b] > 0 {
-						nJobs++
-					}
-				}
-			}
-		}
-	}
-	jobs := make([]pairJob, 0, nJobs)
-	for ti, theta := range chains {
-		marg := margs[ti]
-		for i := 1; i <= T; i++ {
-			for a := 0; a < k; a++ {
-				if marg[i-1][a] <= 0 {
-					continue
-				}
-				for b := a + 1; b < k; b++ {
-					if marg[i-1][b] <= 0 {
-						continue
-					}
-					jobs = append(jobs, pairJob{theta: theta, ti: ti, i: i, a: a, b: b})
-				}
-			}
-		}
-	}
-	pairs := make([]DistributionPair, len(jobs))
-	errs := make([]error, len(jobs))
-	sched.New(c.Parallelism).ForEach(len(jobs), func(j int) {
-		job := jobs[j]
-		mu, err := job.theta.CountDistGiven(T, c.W, job.i, job.a)
-		if err != nil {
-			errs[j] = err
-			return
-		}
-		nu, err := job.theta.CountDistGiven(T, c.W, job.i, job.b)
-		if err != nil {
-			errs[j] = err
-			return
-		}
-		pairs[j] = DistributionPair{Mu: mu, Nu: nu, Label: job.label()}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return pairs, nil
+	return CountInstance{
+		Substrate:   NewClassSubstrate(c.Class),
+		W:           c.W,
+		Parallelism: c.Parallelism,
+	}.ConditionalPairs()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -22,8 +23,19 @@ type CacheSnapshot struct {
 }
 
 // snapshotVersion guards the format; Restore rejects snapshots written
-// by an incompatible future layout instead of silently mis-keying.
-const snapshotVersion = 1
+// by an incompatible layout instead of silently mis-keying. Version 2
+// introduced substrate kind tags into the fingerprint domain: every
+// fingerprint changed value, so version-1 entries would never be hit
+// (and a stale hit would be unsound); they are rejected as legacy.
+const snapshotVersion = 2
+
+// ErrLegacySnapshot marks a snapshot written by an older format
+// version. Entries under an old fingerprint domain cannot be merged,
+// but the condition is expected across upgrades, so callers holding a
+// snapshot file that also carries non-cache state (the server's
+// accountant ledgers) match on it with errors.Is and degrade to a cold
+// score cache instead of failing the load.
+var ErrLegacySnapshot = errors.New("core: cache snapshot from a previous format version")
 
 // ScoreEntry is one (key, ChainScore) pair of the quilt-score table.
 type ScoreEntry struct {
@@ -91,7 +103,10 @@ func (sc *ScoreCache) Restore(snap CacheSnapshot) error {
 	if sc == nil {
 		return fmt.Errorf("core: cannot restore into a nil ScoreCache")
 	}
-	if snap.Version != snapshotVersion {
+	if snap.Version < snapshotVersion {
+		return fmt.Errorf("%w (version %d, want %d)", ErrLegacySnapshot, snap.Version, snapshotVersion)
+	}
+	if snap.Version > snapshotVersion {
 		return fmt.Errorf("core: cache snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
 	for i, e := range snap.Scores {

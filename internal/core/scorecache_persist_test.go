@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
 	"testing"
 
@@ -142,5 +143,34 @@ func TestCacheSnapshotRestoreRejectsBadInput(t *testing.T) {
 	}
 	if snap := nilCache.Snapshot(); len(snap.Scores) != 0 || len(snap.Cells) != 0 {
 		t.Error("nil cache snapshot not empty")
+	}
+}
+
+// TestCacheSnapshotLegacyVersion: a version-1 snapshot (pre kind-tag
+// fingerprint domain) is refused with ErrLegacySnapshot — even when
+// its entries are individually well-formed — so loaders can detect the
+// expected across-upgrade case and restart cold, while a snapshot from
+// a future version fails with a non-legacy error.
+func TestCacheSnapshotLegacyVersion(t *testing.T) {
+	legacy := CacheSnapshot{
+		Version: 1,
+		Scores: []ScoreEntry{
+			{FpHi: 7, FpLo: 9, Eps: 1, Sigma: 2, Node: 1, Influence: 0.5},
+		},
+		Cells: []CellScoreEntry{
+			{FpHi: 7, FpLo: 9, Cell: 0, Profile: CellScore{WInf: 1, W1: 0.5, Pairs: 3}},
+		},
+	}
+	cache := NewScoreCache()
+	err := cache.Restore(legacy)
+	if !errors.Is(err, ErrLegacySnapshot) {
+		t.Fatalf("legacy restore error = %v, want ErrLegacySnapshot", err)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("legacy entries merged: %d resident", cache.Len())
+	}
+	future := CacheSnapshot{Version: snapshotVersion + 1}
+	if err := NewScoreCache().Restore(future); err == nil || errors.Is(err, ErrLegacySnapshot) {
+		t.Errorf("future version error = %v, want a non-legacy rejection", err)
 	}
 }

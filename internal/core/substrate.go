@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"pufferfish/internal/dist"
+	"pufferfish/internal/markov"
+	"pufferfish/internal/sched"
+)
+
+// Substrate kind tags. The tag domain-separates fingerprints: a chain
+// and a network that happened to serialize to identical canonical
+// bytes can never share a ScoreCache entry.
+const (
+	SubstrateChain   = "chain"
+	SubstrateNetwork = "network"
+)
+
+// Substrate is the correlation model underneath a Pufferfish
+// instantiation (S, Q, Θ) for count queries over positions 1…Len():
+// the secrets are all position values, the pairs all same-position
+// value pairs with positive probability, and the scalar query is
+// F(X) = Σ_pos w[X_pos] with integer per-value weights.
+//
+// It is the seam between the scoring pipeline and the model family:
+// the Wasserstein sweep, the Kantorovich cell profiles, and the
+// fingerprint-keyed ScoreCache all consume this interface, so a new
+// correlation structure plugs into caching, accounting, and serving by
+// implementing it. markov.Class chains (ClassSubstrate) and
+// tree/polytree bayes.Network classes (NetworkSubstrate) are the two
+// implementations.
+type Substrate interface {
+	// Kind is the substrate's domain-separation tag, one of the
+	// Substrate* constants. SubstrateFingerprint mixes it into the
+	// fingerprint before any canonical bytes.
+	Kind() string
+	// K is the per-position cardinality: values live in {0, …, K−1}
+	// and the histogram query has K cells.
+	K() int
+	// Len is the number of positions (chain nodes, network nodes).
+	Len() int
+	// SecretPairs enumerates the admissible secret pairs in canonical
+	// order (θ-major, then position, then value pair) — the order is
+	// part of the contract: sweeps keep first maximizers, so it
+	// determines which pair a diagnostic label names.
+	SecretPairs() ([]SecretSpec, error)
+	// CountDistGiven returns the exact conditional distribution of
+	// F(X) = Σ_pos w[X_pos] given X_pos = val under distribution
+	// theta (an index into the substrate's Θ). pos is 1-based; pos = 0
+	// means no conditioning. It errors when the conditioning event has
+	// probability zero.
+	CountDistGiven(theta int, w []int, pos, val int) (dist.Discrete, error)
+	// WriteFingerprint streams the substrate's canonical fingerprint
+	// bytes — everything scores depend on besides (ε, options) — into
+	// w. Implementations must not write the kind tag;
+	// SubstrateFingerprint prepends it.
+	WriteFingerprint(w FingerprintWriter)
+}
+
+// SecretSpec is one admissible secret pair of a substrate: under the
+// Theta-th distribution, position Pos (1-based) takes value A or value
+// B (A < B), both with positive marginal probability.
+type SecretSpec struct {
+	Theta, Pos, A, B int
+}
+
+// label renders the pair's diagnostic label ("X3: 0 vs 1 @ θ2", θ
+// 1-based) with a single allocation (fmt.Sprintf boxes every argument,
+// which dominated the pair sweep's allocation count).
+func (sp SecretSpec) label() string {
+	var arr [40]byte
+	b := arr[:0]
+	b = append(b, 'X')
+	b = strconv.AppendInt(b, int64(sp.Pos), 10)
+	b = append(b, ": "...)
+	b = strconv.AppendInt(b, int64(sp.A), 10)
+	b = append(b, " vs "...)
+	b = strconv.AppendInt(b, int64(sp.B), 10)
+	b = append(b, " @ θ"...)
+	b = strconv.AppendInt(b, int64(sp.Theta+1), 10)
+	return string(b)
+}
+
+// CountInstance is the generic WassersteinInstance of a substrate: it
+// makes Algorithm 1 (and the Kantorovich cell profiles) runnable on
+// anything implementing Substrate, with the same enumeration order,
+// labels, and parallel fan as the historical chain-only path — scores
+// through it are bit-identical to the pre-Substrate pipeline.
+type CountInstance struct {
+	Substrate Substrate
+	// W are per-value integer weights; the indicator of a value makes
+	// F that value's occupancy count.
+	W []int
+	// Parallelism bounds the worker count of the conditional-
+	// distribution fan: 0 uses every CPU, 1 runs strictly serial. The
+	// pair list is identical (same order, same distributions) at every
+	// setting.
+	Parallelism int
+}
+
+// ConditionalPairs implements WassersteinInstance. Secret values with
+// zero probability are skipped per Definition 2.1 (the substrate's
+// SecretPairs contract); the O(expensive) conditional distribution
+// computations — the dominant cost — fan across the pool, each job
+// writing its own slot, so the resulting list is deterministic.
+func (c CountInstance) ConditionalPairs() ([]DistributionPair, error) {
+	if len(c.W) != c.Substrate.K() {
+		return nil, fmt.Errorf("core: weight vector has length %d, want %d", len(c.W), c.Substrate.K())
+	}
+	specs, err := c.Substrate.SecretPairs()
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]DistributionPair, len(specs))
+	errs := make([]error, len(specs))
+	sched.New(c.Parallelism).ForEach(len(specs), func(j int) {
+		sp := specs[j]
+		mu, err := c.Substrate.CountDistGiven(sp.Theta, c.W, sp.Pos, sp.A)
+		if err != nil {
+			errs[j] = err
+			return
+		}
+		nu, err := c.Substrate.CountDistGiven(sp.Theta, c.W, sp.Pos, sp.B)
+		if err != nil {
+			errs[j] = err
+			return
+		}
+		pairs[j] = DistributionPair{Mu: mu, Nu: nu, Label: sp.label()}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pairs, nil
+}
+
+// ClassSubstrate adapts a markov.Class to the Substrate interface —
+// the historical chain pipeline expressed through the generic seam.
+// Chains() is snapshotted at construction so grid classes do not
+// rebuild their grid per conditional distribution.
+type ClassSubstrate struct {
+	class  markov.Class
+	chains []markov.Chain
+}
+
+// NewClassSubstrate wraps a chain class as a Substrate.
+func NewClassSubstrate(class markov.Class) *ClassSubstrate {
+	return &ClassSubstrate{class: class, chains: class.Chains()}
+}
+
+// Kind implements Substrate.
+func (s *ClassSubstrate) Kind() string { return SubstrateChain }
+
+// K implements Substrate.
+func (s *ClassSubstrate) K() int { return s.class.K() }
+
+// Len implements Substrate: the chain length T.
+func (s *ClassSubstrate) Len() int { return s.class.T() }
+
+// Class returns the wrapped chain class.
+func (s *ClassSubstrate) Class() markov.Class { return s.class }
+
+// SecretPairs implements Substrate: all (θ, node, a, b) with both
+// marginals positive, enumerated θ-major in Chains() order. Two passes
+// over the (cheap) marginal admissibility checks: the first counts so
+// the spec list is allocated exactly once.
+func (s *ClassSubstrate) SecretPairs() ([]SecretSpec, error) {
+	T := s.class.T()
+	k := s.class.K()
+	margs := make([][][]float64, len(s.chains))
+	nSpecs := 0
+	for ti, theta := range s.chains {
+		marg := theta.Marginals(T)
+		margs[ti] = marg
+		for i := 1; i <= T; i++ {
+			for a := 0; a < k; a++ {
+				if marg[i-1][a] <= 0 {
+					continue
+				}
+				for b := a + 1; b < k; b++ {
+					if marg[i-1][b] > 0 {
+						nSpecs++
+					}
+				}
+			}
+		}
+	}
+	specs := make([]SecretSpec, 0, nSpecs)
+	for ti := range s.chains {
+		marg := margs[ti]
+		for i := 1; i <= T; i++ {
+			for a := 0; a < k; a++ {
+				if marg[i-1][a] <= 0 {
+					continue
+				}
+				for b := a + 1; b < k; b++ {
+					if marg[i-1][b] <= 0 {
+						continue
+					}
+					specs = append(specs, SecretSpec{Theta: ti, Pos: i, A: a, B: b})
+				}
+			}
+		}
+	}
+	return specs, nil
+}
+
+// CountDistGiven implements Substrate via the chain's forward dynamic
+// program.
+func (s *ClassSubstrate) CountDistGiven(theta int, w []int, pos, val int) (dist.Discrete, error) {
+	if theta < 0 || theta >= len(s.chains) {
+		return dist.Discrete{}, fmt.Errorf("core: θ index %d outside [0,%d)", theta, len(s.chains))
+	}
+	return s.chains[theta].CountDistGiven(s.class.T(), w, pos, val)
+}
+
+// WriteFingerprint implements Substrate: the chain length T, the state
+// count, the AllInitialDistributions flag, and every representative
+// chain's initial distribution and transition matrix, in Chains()
+// order (order matters: the scorer's first-maximizer tie-breaking is
+// order dependent).
+func (s *ClassSubstrate) WriteFingerprint(w FingerprintWriter) {
+	w.Word(uint64(s.class.K()))
+	w.Word(uint64(s.class.T()))
+	if s.class.AllInitialDistributions() {
+		w.Word(1)
+	} else {
+		w.Word(0)
+	}
+	w.Word(uint64(len(s.chains)))
+	for _, c := range s.chains {
+		writeChain(w, c)
+	}
+}

@@ -1,0 +1,37 @@
+package kantorovich
+
+import (
+	"testing"
+
+	"pufferfish/internal/core"
+	"pufferfish/internal/markov"
+)
+
+// Pinned immediately before the Substrate refactor: the Kantorovich
+// score and worst-cell transport profile of a fixed singleton class,
+// at parallelism 1 and N. Any non-bit-identical change to the pair
+// enumeration, the dynamic programs, or the distance sweeps fails here.
+func TestGoldenKantorovichEveryParallelism(t *testing.T) {
+	class, err := markov.NewSingleton(markov.BinaryChain(0.3, 0.8, 0.6), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 0} {
+		s, err := Score(nil, class, 0.7, Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("Score p=%d: %v", par, err)
+		}
+		want := core.ChainScore{Sigma: 8.5714285714285712, Node: 0, Influence: 2.337963037304668}
+		if s != want {
+			t.Errorf("Score p=%d drifted from pre-refactor golden:\n got  %+v\n want %+v", par, s, want)
+		}
+		p, err := CellProfile(nil, class, 0, Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("CellProfile p=%d: %v", par, err)
+		}
+		wantCell := core.CellScore{WInf: 3, W1: 2.337963037304668, Label: "X2: 0 vs 1 @ θ1", Pairs: 12}
+		if p != wantCell {
+			t.Errorf("CellProfile p=%d drifted from pre-refactor golden:\n got  %+v\n want %+v", par, p, wantCell)
+		}
+	}
+}

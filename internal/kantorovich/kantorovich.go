@@ -125,19 +125,31 @@ func CellProfile(cache *core.ScoreCache, class markov.Class, cell int, opt Optio
 	if err := validate(class); err != nil {
 		return core.CellScore{}, err
 	}
-	if cell < 0 || cell >= class.K() {
-		return core.CellScore{}, fmt.Errorf("kantorovich: cell %d outside [0,%d)", cell, class.K())
-	}
-	return cellProfile(cache, class, core.ClassFingerprint(class), cell, sched.New(opt.Parallelism))
+	sub := core.NewClassSubstrate(class)
+	return CellProfileSubstrate(cache, sub, cell, opt)
 }
 
-func cellProfile(cache *core.ScoreCache, class markov.Class, fp core.Fingerprint, cell int, pool sched.Pool) (core.CellScore, error) {
+// CellProfileSubstrate is CellProfile for any Substrate — the network
+// classes route here. Profiles are memoized under the substrate's
+// kind-tagged fingerprint, so a chain and a network can never share an
+// entry.
+func CellProfileSubstrate(cache *core.ScoreCache, sub core.Substrate, cell int, opt Options) (core.CellScore, error) {
+	if err := validateSubstrate(sub); err != nil {
+		return core.CellScore{}, err
+	}
+	if cell < 0 || cell >= sub.K() {
+		return core.CellScore{}, fmt.Errorf("kantorovich: cell %d outside [0,%d)", cell, sub.K())
+	}
+	return cellProfile(cache, sub, core.SubstrateFingerprint(sub), cell, sched.New(opt.Parallelism))
+}
+
+func cellProfile(cache *core.ScoreCache, sub core.Substrate, fp core.Fingerprint, cell int, pool sched.Pool) (core.CellScore, error) {
 	if p, ok := cache.LookupCell(fp, cell); ok {
 		return p, nil
 	}
-	w := make([]int, class.K())
+	w := make([]int, sub.K())
 	w[cell] = 1
-	inst := core.ChainCountInstance{Class: class, W: w, Parallelism: pool.Workers()}
+	inst := core.CountInstance{Substrate: sub, W: w, Parallelism: pool.Workers()}
 	pairs, err := inst.ConditionalPairs()
 	if err != nil {
 		return core.CellScore{}, err
@@ -167,15 +179,31 @@ func Score(cache *core.ScoreCache, class markov.Class, eps float64, opt Options)
 	if err := validate(class); err != nil {
 		return core.ChainScore{}, err
 	}
-	return scoreWith(cache, class, core.ClassFingerprint(class), eps, sched.New(opt.Parallelism))
+	sub := core.NewClassSubstrate(class)
+	return scoreWith(cache, sub, core.SubstrateFingerprint(sub), eps, sched.New(opt.Parallelism))
 }
 
-func scoreWith(cache *core.ScoreCache, class markov.Class, fp core.Fingerprint, eps float64, pool sched.Pool) (core.ChainScore, error) {
-	k := class.K()
+// ScoreSubstrate is Score for any Substrate: the same per-cell
+// profiles and σ = k·max_a W∞(a)/ε calibration, with the conditional
+// count distributions supplied by the substrate (a chain's dynamic
+// program, a polytree's message passing). This is the serving path for
+// Bayesian-network releases.
+func ScoreSubstrate(cache *core.ScoreCache, sub core.Substrate, eps float64, opt Options) (core.ChainScore, error) {
+	if err := validateEps(eps); err != nil {
+		return core.ChainScore{}, err
+	}
+	if err := validateSubstrate(sub); err != nil {
+		return core.ChainScore{}, err
+	}
+	return scoreWith(cache, sub, core.SubstrateFingerprint(sub), eps, sched.New(opt.Parallelism))
+}
+
+func scoreWith(cache *core.ScoreCache, sub core.Substrate, fp core.Fingerprint, eps float64, pool sched.Pool) (core.ChainScore, error) {
+	k := sub.K()
 	var worst core.CellScore
 	worstCell := -1
 	for cell := 0; cell < k; cell++ {
-		p, err := cellProfile(cache, class, fp, cell, pool)
+		p, err := cellProfile(cache, sub, fp, cell, pool)
 		if err != nil {
 			return core.ChainScore{}, err
 		}
@@ -235,8 +263,8 @@ func ScoreMulti(cache *core.ScoreCache, class markov.Class, eps float64, opt Opt
 	pool := sched.New(opt.Parallelism)
 	var best core.ChainScore
 	for i, l := range distinct {
-		lc := core.WithLength(class, l)
-		sc, err := scoreWith(cache, lc, core.ClassFingerprint(lc), eps, pool)
+		sub := core.NewClassSubstrate(core.WithLength(class, l))
+		sc, err := scoreWith(cache, sub, core.SubstrateFingerprint(sub), eps, pool)
 		if err != nil {
 			return core.ChainScore{}, err
 		}
@@ -262,8 +290,8 @@ func ScoreBatch(cache *core.ScoreCache, specs []core.MultiSpec, eps float64, opt
 		return nil, err
 	}
 	type job struct {
-		class markov.Class
-		fp    core.Fingerprint
+		sub core.Substrate
+		fp  core.Fingerprint
 	}
 	var jobs []job
 	fpToJob := map[core.Fingerprint]int{}
@@ -277,13 +305,13 @@ func ScoreBatch(cache *core.ScoreCache, specs []core.MultiSpec, eps float64, opt
 			return nil, fmt.Errorf("kantorovich: spec %d: %w", i, err)
 		}
 		for _, l := range distinct {
-			lc := core.WithLength(spec.Class, l)
-			fp := core.ClassFingerprint(lc)
+			sub := core.NewClassSubstrate(core.WithLength(spec.Class, l))
+			fp := core.SubstrateFingerprint(sub)
 			j, ok := fpToJob[fp]
 			if !ok {
 				j = len(jobs)
 				fpToJob[fp] = j
-				jobs = append(jobs, job{class: lc, fp: fp})
+				jobs = append(jobs, job{sub: sub, fp: fp})
 			}
 			jobsOf[i] = append(jobsOf[i], j)
 		}
@@ -292,7 +320,7 @@ func ScoreBatch(cache *core.ScoreCache, specs []core.MultiSpec, eps float64, opt
 	errs := make([]error, len(jobs))
 	outer, inner := sched.New(opt.Parallelism).Split(len(jobs))
 	outer.ForEach(len(jobs), func(j int) {
-		res[j], errs[j] = scoreWith(cache, jobs[j].class, jobs[j].fp, eps, inner)
+		res[j], errs[j] = scoreWith(cache, jobs[j].sub, jobs[j].fp, eps, inner)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -367,6 +395,19 @@ func validate(class markov.Class) error {
 	}
 	if class.K() < 2 {
 		return fmt.Errorf("kantorovich: state space needs at least 2 states, got %d", class.K())
+	}
+	return nil
+}
+
+func validateSubstrate(sub core.Substrate) error {
+	if sub == nil {
+		return errors.New("kantorovich: nil substrate")
+	}
+	if sub.Len() < 1 {
+		return fmt.Errorf("kantorovich: substrate length %d < 1", sub.Len())
+	}
+	if sub.K() < 2 {
+		return fmt.Errorf("kantorovich: state space needs at least 2 states, got %d", sub.K())
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"pufferfish/internal/accounting"
+	"pufferfish/internal/bayes"
 	"pufferfish/internal/core"
 	"pufferfish/internal/kantorovich"
 	"pufferfish/internal/laplace"
@@ -51,6 +52,19 @@ const (
 	NoiseGaussian = "gaussian"
 )
 
+// Substrate kinds accepted by Config.Substrate.
+const (
+	SubstrateChain   = "chain"
+	SubstrateNetwork = "network"
+)
+
+// Substrates returns every substrate kind Prepare accepts, in a stable
+// order — the source of truth for the serving layer's per-substrate
+// counters, mirroring Mechanisms.
+func Substrates() []string {
+	return []string{SubstrateChain, SubstrateNetwork}
+}
+
 // Config selects the release parameters.
 type Config struct {
 	// Epsilon is the Pufferfish/DP privacy parameter.
@@ -63,6 +77,19 @@ type Config struct {
 	K int
 	// Mechanism is one of the Mech* constants.
 	Mechanism string
+	// Substrate selects the secret model: "" or "chain" fits an
+	// empirical Markov chain from the data (the classic pipeline);
+	// "network" scores the Bayesian network in Network through the
+	// generic substrate pipeline instead of fitting anything. The
+	// network substrate is Kantorovich-only: the quilt mechanisms'
+	// chain-specialized dynamic programs have no network analogue here.
+	Substrate string
+	// Network is the secret model for Substrate == "network": a
+	// polytree Bayesian network with one node per observation and a
+	// uniform state cardinality (the release's k). The data must be a
+	// single session of exactly N() observations — observation t is the
+	// realized value of node t.
+	Network *bayes.Network
 	// Noise selects the additive backend for MechKantorovich: ""
 	// or "laplace" releases with per-coordinate Laplace noise at
 	// k·W∞max/ε (pure ε), "gaussian" with per-coordinate Gaussian
@@ -108,7 +135,10 @@ type TableCacheStats = core.TableCacheStats
 
 // Report is the JSON-serializable release record.
 type Report struct {
-	Mechanism string  `json:"mechanism"`
+	Mechanism string `json:"mechanism"`
+	// Substrate is the secret model kind the release was scored under
+	// ("chain" or "network").
+	Substrate string  `json:"substrate"`
 	Epsilon   float64 `json:"epsilon"`
 	// Delta is the δ of the (ε, δ) guarantee (Gaussian noise only).
 	Delta        float64 `json:"delta,omitempty"`
@@ -247,8 +277,9 @@ type Prepared struct {
 	k        int
 	n        int
 	longest  int
-	chain    markov.Chain // quilt mechanisms only
-	class    markov.Class // quilt mechanisms only
+	chain    markov.Chain   // chain substrate, scored mechanisms only
+	class    markov.Class   // chain substrate, scored mechanisms only
+	sub      core.Substrate // network substrate only
 }
 
 // PrepareContext is Prepare with a cancellation check up front, so a
@@ -292,6 +323,23 @@ func Prepare(sessions [][]int, cfg Config) (*Prepared, error) {
 	if cfg.K != 0 && cfg.K < 2 {
 		return nil, fmt.Errorf("release: configured k = %d, but a state space needs at least 2 states (0 infers from data)", cfg.K)
 	}
+	switch cfg.Substrate {
+	case "", SubstrateChain:
+		if cfg.Network != nil {
+			return nil, fmt.Errorf("release: network model set without substrate %q", SubstrateNetwork)
+		}
+	case SubstrateNetwork:
+		if cfg.Network == nil {
+			return nil, fmt.Errorf("release: substrate %q needs a network model", SubstrateNetwork)
+		}
+		if cfg.Mechanism != MechKantorovich {
+			return nil, fmt.Errorf("release: substrate %q supports only mechanism %s (the quilt mechanisms are chain-specialized)",
+				SubstrateNetwork, MechKantorovich)
+		}
+	default:
+		return nil, fmt.Errorf("release: unknown substrate %q (want %s)",
+			cfg.Substrate, strings.Join(Substrates(), "|"))
+	}
 	if len(sessions) == 0 {
 		return nil, errors.New("release: no data")
 	}
@@ -322,6 +370,27 @@ func Prepare(sessions [][]int, cfg Config) (*Prepared, error) {
 	if k < 2 {
 		k = 2
 	}
+	var sub core.Substrate
+	if cfg.Substrate == SubstrateNetwork {
+		// The network is the authority on the state space and the
+		// series shape: one session, one observation per node.
+		s, err := core.NewNetworkSubstrate([]*bayes.Network{cfg.Network})
+		if err != nil {
+			return nil, err
+		}
+		if len(sessions) != 1 || longest != s.Len() {
+			return nil, fmt.Errorf("release: substrate %q needs exactly one session of %d observations (one per network node), got %d session(s) totalling %d",
+				SubstrateNetwork, s.Len(), len(sessions), n)
+		}
+		if cfg.K != 0 && cfg.K != s.K() {
+			return nil, fmt.Errorf("release: configured k = %d, but the network's cardinality is %d", cfg.K, s.K())
+		}
+		if k > s.K() {
+			return nil, fmt.Errorf("release: data has states up to %d, but the network's cardinality is %d", k-1, s.K())
+		}
+		k = s.K()
+		sub = s
+	}
 	flat := make([]int, 0, n)
 	for _, s := range sessions {
 		flat = append(flat, s...)
@@ -334,8 +403,9 @@ func Prepare(sessions [][]int, cfg Config) (*Prepared, error) {
 		k:        k,
 		n:        n,
 		longest:  longest,
+		sub:      sub,
 	}
-	if p.NeedsScore() {
+	if p.NeedsScore() && sub == nil {
 		chain, err := markov.EstimateStationary(sessions, k, cfg.Smoothing)
 		if err != nil {
 			return nil, err
@@ -362,9 +432,20 @@ func (p *Prepared) NeedsScore() bool {
 	return false
 }
 
-// Class returns the fitted model class (nil for the DP baselines). It
-// is the MultiSpec input for batched scoring.
+// Class returns the fitted model class (nil for the DP baselines and
+// for network-substrate releases, which carry no chain model). It is
+// the MultiSpec input for batched scoring.
 func (p *Prepared) Class() markov.Class { return p.class }
+
+// SubstrateKind returns the validated substrate kind ("chain" or
+// "network") — the key a serving layer uses for per-substrate traffic
+// counters.
+func (p *Prepared) SubstrateKind() string {
+	if p.sub != nil {
+		return SubstrateNetwork
+	}
+	return SubstrateChain
+}
 
 // Lengths returns the session-length multiset, aligned with the
 // sessions passed to Prepare.
@@ -447,6 +528,9 @@ func (p *Prepared) Score(ctx context.Context) (core.ChainScore, error) {
 	case MechMQMExact:
 		return p.cfg.Cache.ExactScoreMulti(p.class, p.cfg.Epsilon, core.ExactOptions{Parallelism: p.cfg.Parallelism}, p.lengths)
 	case MechKantorovich:
+		if p.sub != nil {
+			return kantorovich.ScoreSubstrate(p.cfg.Cache, p.sub, p.cfg.Epsilon, kantorovich.Options{Parallelism: p.cfg.Parallelism})
+		}
 		return kantorovich.ScoreMulti(p.cfg.Cache, p.class, p.cfg.Epsilon, kantorovich.Options{Parallelism: p.cfg.Parallelism}, p.lengths)
 	}
 	return p.cfg.Cache.ApproxScoreMulti(p.class, p.cfg.Epsilon, core.ApproxOptions{Parallelism: p.cfg.Parallelism}, p.lengths)
@@ -471,6 +555,7 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 	rng := rand.New(rand.NewPCG(p.cfg.Seed, 0x7f4a7c15))
 	report := &Report{
 		Mechanism:    p.cfg.Mechanism,
+		Substrate:    p.SubstrateKind(),
 		Epsilon:      p.cfg.Epsilon,
 		K:            p.k,
 		Observations: p.n,
@@ -554,7 +639,9 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 			report.Sigma = score.Sigma
 			report.Noise = NoiseLaplace
 		}
-		report.Model = &p.chain
+		if p.sub == nil {
+			report.Model = &p.chain // network releases carry no chain model
+		}
 		report.Kantorovich = &KantorovichReport{
 			Cell: score.Node,
 			WInf: wInf,

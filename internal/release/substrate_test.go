@@ -1,0 +1,147 @@
+package release
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pufferfish/internal/accounting"
+	"pufferfish/internal/bayes"
+)
+
+// epidemicTree is a small household-infection polytree: node 0 is the
+// index case, nodes 1–2 its contacts, nodes 3–4 contacts of node 1.
+// Binary states (healthy/infected), spread probability 0.65.
+func epidemicTree(t *testing.T) *bayes.Network {
+	t.Helper()
+	spread := []float64{0.9, 0.1, 0.35, 0.65}
+	nw, err := bayes.New([]bayes.Node{
+		{Name: "p0", Card: 2, CPT: []float64{0.8, 0.2}},
+		{Name: "p1", Card: 2, Parents: []int{0}, CPT: spread},
+		{Name: "p2", Card: 2, Parents: []int{0}, CPT: spread},
+		{Name: "p3", Card: 2, Parents: []int{1}, CPT: spread},
+		{Name: "p4", Card: 2, Parents: []int{1}, CPT: spread},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestNetworkSubstrateRelease: a Bayesian-network release runs the
+// full Kantorovich pipeline — substrate scoring, cache reuse, noise,
+// report assembly — end to end.
+func TestNetworkSubstrateRelease(t *testing.T) {
+	nw := epidemicTree(t)
+	cache := NewScoreCache()
+	cfg := Config{
+		Epsilon: 1, Mechanism: MechKantorovich,
+		Substrate: SubstrateNetwork, Network: nw,
+		Seed: 42, Cache: cache,
+	}
+	sessions := [][]int{{0, 1, 0, 1, 1}}
+	rep, err := Run(sessions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Substrate != SubstrateNetwork || rep.Mechanism != MechKantorovich {
+		t.Fatalf("report tags: substrate %q mechanism %q", rep.Substrate, rep.Mechanism)
+	}
+	if rep.Model != nil {
+		t.Error("network release carries a chain model")
+	}
+	if rep.Kantorovich == nil {
+		t.Fatal("network release missing transport diagnostics")
+	}
+	if rep.K != 2 || len(rep.Histogram) != 2 || rep.Observations != 5 {
+		t.Fatalf("shape: k=%d hist=%d n=%d", rep.K, len(rep.Histogram), rep.Observations)
+	}
+	// σ = k·W∞/ε, released at the count level divided by n.
+	wantSigma := 2 * rep.Kantorovich.WInf / cfg.Epsilon
+	if math.Abs(rep.Sigma-wantSigma) > 1e-12*wantSigma {
+		t.Errorf("σ = %v, want k·W∞/ε = %v", rep.Sigma, wantSigma)
+	}
+	if math.Abs(rep.NoiseScale-rep.Sigma/5) > 1e-15 {
+		t.Errorf("noise scale %v, want σ/n = %v", rep.NoiseScale, rep.Sigma/5)
+	}
+	if rep.Cache == nil || rep.Cache.Misses != 2 || rep.Cache.Hits != 0 {
+		t.Fatalf("cold run cache block: %+v", rep.Cache)
+	}
+
+	// A second run over the same network is fully cache-served and
+	// bit-identical for the same seed.
+	rep2, err := Run(sessions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Cache.Hits != 2 || rep2.Cache.Misses != 2 {
+		t.Fatalf("warm run cache block: %+v", rep2.Cache)
+	}
+	for i := range rep.Histogram {
+		if rep.Histogram[i] != rep2.Histogram[i] {
+			t.Fatalf("cell %d: %v != %v across cache-warm replay", i, rep.Histogram[i], rep2.Histogram[i])
+		}
+	}
+}
+
+// TestNetworkSubstrateGaussianAccounting: the Gaussian noise backend
+// and the Rényi ledger work unchanged under the network substrate.
+func TestNetworkSubstrateGaussianAccounting(t *testing.T) {
+	rep, err := Run([][]int{{0, 1, 0, 1, 1}}, Config{
+		Epsilon: 1, Delta: 1e-5, Noise: NoiseGaussian,
+		Mechanism: MechKantorovich, Substrate: SubstrateNetwork,
+		Network: epidemicTree(t), Seed: 7, Accountant: accounting.NewLedger(1e-5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accounting == nil || rep.Accounting.Kind != "gaussian" || rep.Accounting.Releases != 1 {
+		t.Fatalf("accounting block: %+v", rep.Accounting)
+	}
+	if !(rep.Accounting.Rho > 0) {
+		t.Errorf("ρ = %v, want > 0", rep.Accounting.Rho)
+	}
+}
+
+// TestNetworkSubstrateValidation: malformed substrate configs are
+// rejected with messages naming the constraint.
+func TestNetworkSubstrateValidation(t *testing.T) {
+	nw := epidemicTree(t)
+	ok := [][]int{{0, 1, 0, 1, 1}}
+	cases := []struct {
+		name     string
+		sessions [][]int
+		cfg      Config
+		want     string
+	}{
+		{"missing network", ok,
+			Config{Epsilon: 1, Mechanism: MechKantorovich, Substrate: SubstrateNetwork},
+			"needs a network model"},
+		{"network without substrate", ok,
+			Config{Epsilon: 1, Mechanism: MechKantorovich, Network: nw},
+			"without substrate"},
+		{"unknown substrate", ok,
+			Config{Epsilon: 1, Mechanism: MechKantorovich, Substrate: "tree", Network: nw},
+			"unknown substrate"},
+		{"quilt mechanism", ok,
+			Config{Epsilon: 1, Mechanism: MechMQMExact, Smoothing: 0.5, Substrate: SubstrateNetwork, Network: nw},
+			"supports only mechanism"},
+		{"short session", [][]int{{0, 1}},
+			Config{Epsilon: 1, Mechanism: MechKantorovich, Substrate: SubstrateNetwork, Network: nw},
+			"one session of 5 observations"},
+		{"split sessions", [][]int{{0, 1, 0}, {1, 1}},
+			Config{Epsilon: 1, Mechanism: MechKantorovich, Substrate: SubstrateNetwork, Network: nw},
+			"one session of 5 observations"},
+		{"state out of range", [][]int{{0, 1, 0, 1, 2}},
+			Config{Epsilon: 1, Mechanism: MechKantorovich, Substrate: SubstrateNetwork, Network: nw},
+			"cardinality is 2"},
+		{"k mismatch", ok,
+			Config{Epsilon: 1, K: 3, Mechanism: MechKantorovich, Substrate: SubstrateNetwork, Network: nw},
+			"cardinality is 2"},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.sessions, tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

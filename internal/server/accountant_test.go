@@ -191,10 +191,14 @@ func TestAccountantSessionPersistenceRoundTrip(t *testing.T) {
 	}
 }
 
-// TestSnapshotFileLegacyFormat: a pre-accounting cache-only snapshot
-// (bare core.CacheSnapshot at top level) still loads, with no
-// accountant sessions.
+// TestSnapshotFileLegacyFormat: snapshots from before the current
+// cache format still load without failing the boot. Version-1 cache
+// entries live in the pre-kind-tag fingerprint domain, so they are
+// dropped (cold cache) — but accountant ledgers, which carry
+// cumulative privacy spend, are always kept.
 func TestSnapshotFileLegacyFormat(t *testing.T) {
+	// Pre-accounting bare-cache layout, version 1: loads cold, no
+	// sessions.
 	path := filepath.Join(t.TempDir(), "legacy.json")
 	legacy := []byte(`{"version": 1, "scores": [{"fp_hi": 1, "fp_lo": 2, "eps": 1, "exact": true,
 		"sigma": 12.5, "node": 3, "quilt_a": 1, "quilt_b": 1, "influence": 0.25, "ell": 2}]}`)
@@ -205,8 +209,27 @@ func TestSnapshotFileLegacyFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cache.Len() != 1 || accountants != nil {
-		t.Fatalf("legacy load: %d entries, %d sessions", cache.Len(), len(accountants))
+	if cache.Len() != 0 || accountants != nil {
+		t.Fatalf("legacy bare load: %d entries, %d sessions, want cold and none", cache.Len(), len(accountants))
+	}
+	// Version-1 cache inside a full snapshot file: the cache starts
+	// cold but the accountant budgets survive the upgrade.
+	path2 := filepath.Join(t.TempDir(), "legacy2.json")
+	withAcct := []byte(`{"cache": {"version": 1, "scores": [{"fp_hi": 1, "fp_lo": 2, "eps": 1, "exact": true,
+		"sigma": 12.5, "node": 3, "quilt_a": 1, "quilt_b": 1, "influence": 0.25, "ell": 2}]},
+		"accountants": {"a": {"delta": 1e-5, "entries": [{"kind": "gaussian", "eps": 1, "delta": 1e-5, "rho": 0.5}]}}}`)
+	if err := os.WriteFile(path2, withAcct, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cache, accountants, err = LoadSnapshotFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("legacy cache entries merged: %d resident", cache.Len())
+	}
+	if len(accountants) != 1 || accountants["a"] == nil {
+		t.Fatalf("accountants lost across legacy upgrade: %v", accountants)
 	}
 }
 

@@ -65,7 +65,15 @@ func LoadSnapshotFS(fsys faultfs.FS, path string) (*release.ScoreCache, map[stri
 		sf.WalSeq = 0
 	}
 	if err := cache.Restore(sf.Cache); err != nil {
-		return nil, nil, 0, fmt.Errorf("server: restore cache file %s: %w", path, err)
+		// A legacy-version cache (pre kind-tag fingerprints) is expected
+		// across upgrades: its entries are keyed in a dead fingerprint
+		// domain, so start the score cache cold — but never discard the
+		// accountants, which carry cumulative privacy spend a restart
+		// must not forget. Restore rejects before merging, so the cache
+		// is still empty here.
+		if !errors.Is(err, core.ErrLegacySnapshot) {
+			return nil, nil, 0, fmt.Errorf("server: restore cache file %s: %w", path, err)
+		}
 	}
 	var accountants map[string]*accounting.Ledger
 	if len(sf.Accountants) > 0 {

@@ -32,6 +32,7 @@ import (
 
 	"pufferfish/internal/accounting"
 	"pufferfish/internal/accounting/wal"
+	"pufferfish/internal/bayes"
 	"pufferfish/internal/core"
 	"pufferfish/internal/kantorovich"
 	"pufferfish/internal/release"
@@ -42,6 +43,11 @@ import (
 // traffic mix, and a mechanism added to internal/release gains a
 // counter automatically.
 var mechanisms = release.Mechanisms()
+
+// substrates is the canonical substrate-kind list; like mechanisms, it
+// pins the per-substrate counter keys so new kinds surface in
+// /v1/stats automatically.
+var substrates = release.Substrates()
 
 // Cache re-exports the shared score cache type so cmd/pufferd can
 // thread a pre-warmed (or to-be-persisted) cache without importing
@@ -103,8 +109,10 @@ type Server struct {
 	releases atomic.Int64
 	// byMech counts successful releases per mechanism name; the keys
 	// are fixed at construction (one per supported mechanism), so the
-	// map itself is read-only and the values are atomics.
-	byMech map[string]*atomic.Int64
+	// map itself is read-only and the values are atomics. bySubstrate
+	// is the same breakdown per substrate kind.
+	byMech      map[string]*atomic.Int64
+	bySubstrate map[string]*atomic.Int64
 
 	// accountants holds the named Rényi ledger sessions, created on
 	// first use and kept across requests (and, through the pufferd
@@ -142,11 +150,16 @@ func New(cfg Config) *Server {
 	for _, m := range mechanisms {
 		byMech[m] = new(atomic.Int64)
 	}
+	bySubstrate := make(map[string]*atomic.Int64, len(substrates))
+	for _, sub := range substrates {
+		bySubstrate[sub] = new(atomic.Int64)
+	}
 	s := &Server{
 		cache:          cache,
 		budget:         newBudget(cfg.Workers, cfg.MaxQueue),
 		started:        time.Now(),
 		byMech:         byMech,
+		bySubstrate:    bySubstrate,
 		maxAccountants: cfg.MaxAccountants,
 		ceilEps:        cfg.CeilingEps,
 		ceilDelta:      cfg.CeilingDelta,
@@ -276,10 +289,18 @@ type ReleaseRequest struct {
 	Mechanism string  `json:"mechanism"`
 	// Noise selects the additive backend for the kantorovich
 	// mechanism: "laplace" (default) or "gaussian" (requires delta).
-	Noise       string  `json:"noise,omitempty"`
-	Smoothing   float64 `json:"smoothing,omitempty"`
-	Seed        uint64  `json:"seed,omitempty"`
-	Parallelism int     `json:"parallelism,omitempty"`
+	Noise string `json:"noise,omitempty"`
+	// Substrate selects the secret model kind: "" or "chain" fits an
+	// empirical Markov chain; "network" scores the Bayesian network
+	// given in Network (kantorovich mechanism only).
+	Substrate string `json:"substrate,omitempty"`
+	// Network is the node list of a polytree Bayesian network (the
+	// bayes JSON codec: [{"name", "card", "parents", "cpt"}, ...]),
+	// required exactly when Substrate is "network".
+	Network     json.RawMessage `json:"network,omitempty"`
+	Smoothing   float64         `json:"smoothing,omitempty"`
+	Seed        uint64          `json:"seed,omitempty"`
+	Parallelism int             `json:"parallelism,omitempty"`
 	// Accountant names a server-side Rényi ledger session. All
 	// releases naming the same session share one cumulative budget,
 	// surfaced on GET /v1/stats and persisted in the pufferd snapshot;
@@ -312,6 +333,9 @@ type Stats struct {
 	// (every supported mechanism is present, zero-valued when unused),
 	// so load smokes can assert the traffic mix they drove.
 	ReleasesByMechanism map[string]int64 `json:"releases_by_mechanism"`
+	// ReleasesBySubstrate breaks ReleasesTotal down per substrate kind
+	// ("chain", "network"), each always present.
+	ReleasesBySubstrate map[string]int64 `json:"releases_by_substrate"`
 	Cache               struct {
 		Hits    int64 `json:"hits"`
 		Misses  int64 `json:"misses"`
@@ -385,19 +409,31 @@ func (r *ReleaseRequest) sessions() ([][]int, error) {
 }
 
 // config maps the request onto release.Config with the shared cache.
-// The accountant session is attached separately, after validation.
-func (r *ReleaseRequest) config(cache *release.ScoreCache) release.Config {
-	return release.Config{
+// The accountant session is attached separately, after validation. A
+// network body that does not parse fails here; whether a network is
+// allowed or required for the substrate kind is release.Prepare's
+// call.
+func (r *ReleaseRequest) config(cache *release.ScoreCache) (release.Config, error) {
+	cfg := release.Config{
 		Epsilon:     r.Epsilon,
 		Delta:       r.Delta,
 		K:           r.K,
 		Mechanism:   r.Mechanism,
 		Noise:       r.Noise,
+		Substrate:   r.Substrate,
 		Smoothing:   r.Smoothing,
 		Seed:        r.Seed,
 		Parallelism: r.Parallelism,
 		Cache:       cache,
 	}
+	if len(r.Network) > 0 {
+		nw, err := bayes.ParseJSON(r.Network)
+		if err != nil {
+			return release.Config{}, err
+		}
+		cfg.Network = nw
+	}
+	return cfg, nil
 }
 
 // prepare parses and validates one request. The named accountant
@@ -411,7 +447,11 @@ func (s *Server) prepare(ctx context.Context, req *ReleaseRequest) (*release.Pre
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err := release.PrepareContext(ctx, sessions, req.config(s.cache))
+	cfg, err := req.config(s.cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := release.PrepareContext(ctx, sessions, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -502,7 +542,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.releases.Add(1)
-	s.countRelease(p.Mechanism())
+	s.countRelease(p.Mechanism(), p.SubstrateKind())
 	writeJSON(w, report)
 }
 
@@ -561,10 +601,13 @@ func (s *Server) finishErrStatus(err error) int {
 	return http.StatusUnprocessableEntity
 }
 
-// countRelease bumps the per-mechanism counter; mech was validated by
-// Prepare, so the lookup never misses.
-func (s *Server) countRelease(mech string) {
+// countRelease bumps the per-mechanism and per-substrate counters;
+// both keys were validated by Prepare, so the lookups never miss.
+func (s *Server) countRelease(mech, substrate string) {
 	if c, ok := s.byMech[mech]; ok {
+		c.Add(1)
+	}
+	if c, ok := s.bySubstrate[substrate]; ok {
 		c.Add(1)
 	}
 }
@@ -628,7 +671,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.releases.Add(int64(len(resp.Reports)))
 	for _, p := range prepared {
-		s.countRelease(p.Mechanism())
+		s.countRelease(p.Mechanism(), p.SubstrateKind())
 	}
 	writeJSON(w, resp)
 }
@@ -672,13 +715,18 @@ func (s *Server) scoreBatch(ctx context.Context, reqs []ReleaseRequest, prepared
 		eps       float64
 	}
 	groups := map[groupKey][]int{}
+	var individual []int // network-substrate members: no Class to dedupe on
 	want := 0
 	for i, p := range prepared {
 		if !p.NeedsScore() {
 			continue
 		}
-		key := groupKey{mechanism: p.Mechanism(), eps: p.Epsilon()}
-		groups[key] = append(groups[key], i)
+		if p.Class() == nil {
+			individual = append(individual, i)
+		} else {
+			key := groupKey{mechanism: p.Mechanism(), eps: p.Epsilon()}
+			groups[key] = append(groups[key], i)
+		}
 		switch ask := reqs[i].Parallelism; {
 		case ask <= 0:
 			want = -1 // one unbounded ask claims everything free
@@ -686,7 +734,7 @@ func (s *Server) scoreBatch(ctx context.Context, reqs []ReleaseRequest, prepared
 			want = ask
 		}
 	}
-	if len(groups) == 0 {
+	if len(groups) == 0 && len(individual) == 0 {
 		return scores, 0, nil
 	}
 	grant, err := s.budget.acquire(ctx, want)
@@ -723,6 +771,17 @@ func (s *Server) scoreBatch(ctx context.Context, reqs []ReleaseRequest, prepared
 			scores[i] = got[j]
 		}
 	}
+	// Network-substrate members score one by one under the same grant:
+	// they carry no markov.Class for the multi-length dedupe, but the
+	// shared cache still serves repeated networks across requests.
+	for _, i := range individual {
+		prepared[i].SetParallelism(grant)
+		got, err := prepared[i].Score(ctx)
+		if err != nil {
+			return nil, scoreErrStatus(err), err
+		}
+		scores[i] = got
+	}
 	return scores, 0, nil
 }
 
@@ -752,6 +811,10 @@ func (s *Server) Stats() Stats {
 	st.ReleasesByMechanism = make(map[string]int64, len(s.byMech))
 	for m, c := range s.byMech {
 		st.ReleasesByMechanism[m] = c.Load()
+	}
+	st.ReleasesBySubstrate = make(map[string]int64, len(s.bySubstrate))
+	for sub, c := range s.bySubstrate {
+		st.ReleasesBySubstrate[sub] = c.Load()
 	}
 	cs := s.cache.Stats()
 	st.Cache.Hits = cs.Hits

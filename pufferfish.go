@@ -293,6 +293,70 @@ func NewNetwork(nodes []NetworkNode) (*Network, error) { return bayes.New(nodes)
 // X_1 → … → X_T.
 func NetworkFromChain(c Chain, T int) (*Network, error) { return bayes.FromChain(c, T) }
 
+// NetworkNodeJSON is the JSON wire form of one network node
+// ({"name", "card", "parents", "cpt"}).
+type NetworkNodeJSON = bayes.NodeJSON
+
+// ParseNetworkJSON builds a validated network from its JSON node list
+// — the format of pufferd's "network" request field and privrelease's
+// -network file.
+func ParseNetworkJSON(data []byte) (*Network, error) { return bayes.ParseJSON(data) }
+
+// Substrate is the correlation model underneath a Pufferfish
+// instantiation for count queries: the seam between the scoring
+// pipeline (Wasserstein sweeps, Kantorovich cell profiles, the
+// fingerprint-keyed ScoreCache) and the model family. Chain classes
+// and polytree Bayesian networks are the built-in implementations.
+type Substrate = core.Substrate
+
+// Substrate kind tags (Substrate.Kind): they domain-separate
+// fingerprints so different model families can never share a cache
+// entry.
+const (
+	SubstrateChain   = core.SubstrateChain
+	SubstrateNetwork = core.SubstrateNetwork
+)
+
+// ClassSubstrate adapts a chain class to the Substrate interface.
+type ClassSubstrate = core.ClassSubstrate
+
+// NewClassSubstrate wraps a chain class as a Substrate; scoring it is
+// bit-identical to the class-based entry points.
+func NewClassSubstrate(class Class) *ClassSubstrate { return core.NewClassSubstrate(class) }
+
+// NetworkSubstrate is the Substrate over one or more polytree Bayesian
+// networks (the class Θ) with uniform node cardinality, computing
+// exact conditional count distributions by message passing.
+type NetworkSubstrate = core.NetworkSubstrate
+
+// NewNetworkSubstrate validates the networks (same shape, uniform
+// cardinality ≥ 2, polytree structure) and builds the substrate.
+func NewNetworkSubstrate(nets []*Network) (*NetworkSubstrate, error) {
+	return core.NewNetworkSubstrate(nets)
+}
+
+// SubstrateFingerprint computes the canonical kind-tagged fingerprint
+// of a substrate. For chain substrates it equals ClassFingerprint of
+// the wrapped class.
+func SubstrateFingerprint(s Substrate) Fingerprint { return core.SubstrateFingerprint(s) }
+
+// CountInstance is the generic WassersteinInstance of a substrate with
+// the count query F = Σ W[X_pos].
+type CountInstance = core.CountInstance
+
+// KantorovichScoreSubstrate is KantorovichScore for any Substrate —
+// the entry point that releases Bayesian-network secrets through the
+// same transport pipeline and cache as chains.
+func KantorovichScoreSubstrate(cache *ScoreCache, sub Substrate, eps float64, opt KantorovichOptions) (ChainScore, error) {
+	return kantorovich.ScoreSubstrate(cache, sub, eps, opt)
+}
+
+// KantorovichCellProfileSubstrate is KantorovichCellProfile for any
+// Substrate.
+func KantorovichCellProfileSubstrate(cache *ScoreCache, sub Substrate, cell int, opt KantorovichOptions) (KantorovichProfile, error) {
+	return kantorovich.CellProfileSubstrate(cache, sub, cell, opt)
+}
+
 // Quilt is a Markov quilt of a Bayesian network (Definition 4.2).
 type Quilt = bayes.Quilt
 
