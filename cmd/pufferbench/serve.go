@@ -15,9 +15,16 @@ import (
 
 	"pufferfish/internal/floats"
 	"pufferfish/internal/markov"
+	"pufferfish/internal/obs"
 	"pufferfish/internal/release"
 	"pufferfish/internal/server"
 )
+
+// fmtSec renders a latency in seconds as a rounded duration for the
+// percentile report.
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
 
 // shedRetries counts the load client's encounters with 429 load
 // shedding: sheds is responses refused with a full queue, retries is
@@ -120,6 +127,15 @@ func runServe(quick bool, seed uint64, parallel int) error {
 		return nil
 	}
 
+	// Per-mechanism client-side latency, measured with the same
+	// histogram type the server's /metrics exposes, so the bench's
+	// percentile math and pufferd's dashboards can never disagree on
+	// bucket semantics.
+	latency := make(map[string]*obs.Histogram, len(mechanisms))
+	for _, mech := range mechanisms {
+		latency[mech] = obs.NewHistogram(nil)
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make([]error, requests)
@@ -128,11 +144,13 @@ func runServe(quick bool, seed uint64, parallel int) error {
 		go func(i int) {
 			defer wg.Done()
 			mech := mechanisms[i%len(mechanisms)]
+			reqStart := time.Now()
 			blob, err := post("/v1/release", server.ReleaseRequest{
 				Sessions: sessions, Epsilon: 1, Mechanism: mech, Smoothing: 0.5,
 				Seed: seed, Parallelism: 1 + i%4,
 			})
 			if err == nil {
+				latency[mech].Observe(time.Since(reqStart).Seconds())
 				err = checkReport(blob, mech)
 			}
 			errs[i] = err
@@ -240,5 +258,11 @@ func runServe(quick bool, seed uint64, parallel int) error {
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Workers.Budget)
 	fmt.Printf("serve: load shedding — main traffic %d shed / %d retried (server shed_total %d); shed front %d shed / %d retried, release landed after honoring Retry-After\n",
 		sr.sheds.Load(), sr.retries.Load(), st.ShedTotal, burstSR.sheds.Load(), burstSR.retries.Load())
+	for _, mech := range mechanisms {
+		snap := latency[mech].Snapshot()
+		fmt.Printf("serve: latency %-12s p50=%s p90=%s p99=%s max=%s (n=%d)\n",
+			mech, fmtSec(snap.Quantile(0.5)), fmtSec(snap.Quantile(0.9)),
+			fmtSec(snap.Quantile(0.99)), fmtSec(snap.Max), snap.Count)
+	}
 	return nil
 }

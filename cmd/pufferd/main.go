@@ -10,6 +10,14 @@
 //	POST /v1/release/batch  many releases, batched scoring
 //	GET  /v1/stats          cache traffic, per-mechanism release
 //	                        counters, worker budget, uptime
+//	GET  /metrics           Prometheus text-format exposition
+//	GET  /v1/traces/recent  newest request traces with per-stage spans
+//
+// Observability flags: -log-format selects text or json structured
+// logs (log/slog) with request-scoped attributes; -slow-request logs
+// requests over the threshold at Warn with per-stage timings;
+// -pprof-addr serves net/http/pprof on a separate listener so the
+// profiling surface is never exposed on the public address.
 //
 // SIGINT/SIGTERM triggers graceful shutdown: listeners close
 // immediately, in-flight releases drain (bounded by -drain), and the
@@ -41,8 +49,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,7 +73,21 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline propagated through prepare/score/finish; expiry answers 503 (0 = none)")
 	maxAccountants := flag.Int("max-accountants", 0, "cap on distinct accountant sessions; requests minting more are refused with 403 (0 = default 1024)")
 	maxQueue := flag.Int("max-queue", 0, "bound on requests queued for scoring workers; excess is shed with 429 + Retry-After (0 = unbounded)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	slowRequest := flag.Duration("slow-request", 0, "log requests slower than this at Warn with per-stage timings (0 = disabled)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener, e.g. localhost:6060 (empty = disabled)")
 	flag.Parse()
+
+	var logHandler slog.Handler
+	switch *logFormat {
+	case "text":
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fatal(fmt.Errorf("-log-format must be text or json, got %q", *logFormat))
+	}
+	logger := slog.New(logHandler)
 
 	if *walFile != "" && *cacheFile == "" {
 		fatal(errors.New("-wal requires -cache-file (the journal is truncated against the snapshot)"))
@@ -80,6 +103,8 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		MaxAccountants: *maxAccountants,
 		MaxQueue:       *maxQueue,
+		Logger:         logger,
+		SlowRequest:    *slowRequest,
 	}
 	switch {
 	case *walFile != "":
@@ -88,8 +113,13 @@ func main() {
 			fatal(err)
 		}
 		cfg.Cache, cfg.Accountants, cfg.WAL = st.Cache, st.Accountants, st.WAL
-		log.Printf("pufferd: durable state restored: cache %s (%d entries), wal %s (%d records replayed, torn tail: %v, %d accountant sessions)",
-			*cacheFile, st.Cache.Len(), *walFile, st.Replayed, st.Torn, len(st.Accountants))
+		logger.Info("durable state restored",
+			slog.String("cache_file", *cacheFile),
+			slog.Int("cache_entries", st.Cache.Len()),
+			slog.String("wal", *walFile),
+			slog.Int("wal_replayed", st.Replayed),
+			slog.Bool("wal_torn_tail", st.Torn),
+			slog.Int("accountant_sessions", len(st.Accountants)))
 	case *cacheFile != "":
 		var err error
 		var accountants map[string]*accounting.Ledger
@@ -98,8 +128,10 @@ func main() {
 			fatal(err)
 		}
 		cfg.Accountants = accountants
-		log.Printf("pufferd: cache file %s restored (%d entries, %d accountant sessions)",
-			*cacheFile, cfg.Cache.Len(), len(accountants))
+		logger.Info("cache file restored",
+			slog.String("cache_file", *cacheFile),
+			slog.Int("cache_entries", cfg.Cache.Len()),
+			slog.Int("accountant_sessions", len(accountants)))
 	}
 	s := server.New(cfg)
 	srv := &http.Server{
@@ -118,9 +150,28 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: the profiling
+		// surface is opt-in and never mounted on the public address.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *pprofAddr))
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				logger.Error("pprof listener failed", slog.String("error", err.Error()))
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("pufferd: listening on %s (workers=%d)", *addr, s.Stats().Workers.Budget)
+		logger.Info("listening",
+			slog.String("addr", *addr),
+			slog.Int("workers", s.Stats().Workers.Budget))
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -130,7 +181,7 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("pufferd: shutting down, draining in-flight releases (up to %s)", *drain)
+	logger.Info("shutting down, draining in-flight releases", slog.Duration("drain", *drain))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	drainErr := srv.Shutdown(shutdownCtx)
@@ -151,19 +202,25 @@ func main() {
 		}
 		if err != nil {
 			if drainErr != nil {
-				log.Printf("pufferd: drain: %v", drainErr)
+				logger.Error("drain failed", slog.String("error", drainErr.Error()))
 			}
 			fatal(err)
 		}
-		log.Printf("pufferd: cache snapshot saved to %s (%d entries, %d accountant sessions)",
-			*cacheFile, s.Cache().Len(), len(s.AccountantSnapshots()))
+		logger.Info("cache snapshot saved",
+			slog.String("cache_file", *cacheFile),
+			slog.Int("cache_entries", s.Cache().Len()),
+			slog.Int("accountant_sessions", len(s.AccountantSnapshots())))
 	}
 	if drainErr != nil {
 		fatal(fmt.Errorf("drain: %w", drainErr))
 	}
 	st := s.Stats()
-	log.Printf("pufferd: clean exit after %.1fs — %d requests, %d releases, cache %d hits / %d misses",
-		st.UptimeSeconds, st.RequestsTotal, st.ReleasesTotal, st.Cache.Hits, st.Cache.Misses)
+	logger.Info("clean exit",
+		slog.Float64("uptime_seconds", st.UptimeSeconds),
+		slog.Int64("requests", st.RequestsTotal),
+		slog.Int64("releases", st.ReleasesTotal),
+		slog.Int64("cache_hits", st.Cache.Hits),
+		slog.Int64("cache_misses", st.Cache.Misses))
 }
 
 func fatal(err error) {

@@ -50,9 +50,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"pufferfish/internal/accounting"
 	"pufferfish/internal/faultfs"
+	"pufferfish/internal/obs"
 )
 
 // magic identifies (and versions) a WAL file.
@@ -99,6 +101,23 @@ type Writer struct {
 	lastSeq     uint64
 	outstanding map[uint64]struct{} // appended, not yet Applied
 	appends     int64
+
+	// appendLat/fsyncLat, when set via Instrument, record per-append
+	// latency: fsyncLat times the Sync alone (the durability cost every
+	// charge pays), appendLat the whole frame write + fsync. Both are
+	// nil-safe no-ops when uninstrumented.
+	appendLat *obs.Histogram
+	fsyncLat  *obs.Histogram
+}
+
+// Instrument attaches latency histograms to the journal: appendLat
+// observes each Append end to end (frame encode + write + fsync),
+// fsyncLat the fsync alone. Pass nil to leave a hook unobserved.
+func (w *Writer) Instrument(appendLat, fsyncLat *obs.Histogram) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.appendLat = appendLat
+	w.fsyncLat = fsyncLat
 }
 
 // RecoverResult is what Recover found on disk.
@@ -286,6 +305,11 @@ func (w *Writer) Append(session string, e accounting.Entry) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Latency is measured with the real clock, not w.clock: the clock
+	// seam exists so fault-injection tests control the *audit stamps*,
+	// while the histograms measure actual wall time spent in the
+	// filesystem.
+	start := time.Now()
 	if _, err := w.f.Write(frame); err != nil {
 		// The file now may hold a torn frame; recovery truncates it.
 		// Appending more after a failed write would risk mid-file
@@ -293,10 +317,14 @@ func (w *Writer) Append(session string, e accounting.Entry) (uint64, error) {
 		w.closeLocked()
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		w.closeLocked()
 		return 0, fmt.Errorf("wal: fsync: %w", err)
 	}
+	now := time.Now()
+	w.fsyncLat.Observe(now.Sub(syncStart).Seconds())
+	w.appendLat.Observe(now.Sub(start).Seconds())
 	w.lastSeq = rec.Seq
 	w.outstanding[rec.Seq] = struct{}{}
 	w.appends++

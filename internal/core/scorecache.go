@@ -114,6 +114,15 @@ func (sc *ScoreCache) tableSet() *powerCacheSet {
 }
 
 // Stats returns the hit/miss counters (zero for a nil cache).
+//
+// Consistency under concurrent traffic: the two counters are
+// independent atomics read without a common lock, so a snapshot taken
+// mid-lookup can be stale by the lookups that landed between the two
+// loads. Both counters are monotone and every lookup increments
+// exactly one of them, so the ratio Hits/(Hits+Misses) computed from
+// one snapshot is always in [0, 1] and converges to the true hit rate
+// as soon as traffic quiesces — good enough for the ratio math the
+// stats endpoints do, without a lock on the scoring hot path.
 func (sc *ScoreCache) Stats() CacheStats {
 	if sc == nil {
 		return CacheStats{}

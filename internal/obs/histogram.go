@@ -1,0 +1,174 @@
+// Package obs is the zero-dependency observability layer shared by the
+// serving stack and the bench tooling: a metrics registry (atomic
+// counters, gauges, and fixed-bucket histograms) with a Prometheus
+// text-format exposition handler, and a lightweight request-scoped
+// span API feeding a bounded in-memory trace ring. Everything here is
+// stdlib-only and safe for concurrent use; the hot-path cost of an
+// Observe or Inc is a couple of atomic operations, so instrumentation
+// never needs to be stripped for performance.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets, in seconds: a roughly
+// log-spaced ladder from 100µs to 10s that covers everything from a
+// cache-hit release (sub-millisecond) to a cold k=51 exact sweep
+// (~100ms) with headroom for pathological requests.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// atomicFloat is a float64 updated with CAS loops so histograms and
+// gauges never take a lock on the observation path.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// max raises the stored value to v if v is larger.
+func (f *atomicFloat) max(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket histogram with atomic counters: the type
+// behind the registry's histogram families and, standalone, behind the
+// pufferbench serve latency report — the bench and the server measure
+// with identical bucket semantics (Prometheus le: an observation lands
+// in the first bucket whose upper bound is ≥ the value). The exact
+// maximum is tracked alongside the buckets so tail percentiles beyond
+// the last finite bound stay meaningful.
+type Histogram struct {
+	bounds []float64       // strictly increasing finite upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomicFloat
+	maxv   atomicFloat
+}
+
+// NewHistogram returns a histogram over the given upper bounds (nil
+// means DefBuckets). Bounds must be finite and strictly increasing.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	for i, b := range own {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: non-finite histogram bound %v", b))
+		}
+		if i > 0 && own[i-1] >= b {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %v", b))
+		}
+	}
+	h := &Histogram{bounds: own, counts: make([]atomic.Uint64, len(own)+1)}
+	h.maxv.Store(math.Inf(-1))
+	return h
+}
+
+// Observe records one value. Nil histograms drop it, so optional
+// instrumentation hooks need no branching at the call site.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// First bucket whose bound is ≥ v (the le contract); everything past
+	// the last finite bound lands in the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.maxv.max(v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Count is
+// derived from the bucket counts (not a separate counter), so a
+// snapshot is always self-consistent: the +Inf cumulative bucket in
+// the exposition equals Count by construction even while observations
+// land concurrently.
+type HistogramSnapshot struct {
+	Bounds []float64 // finite upper bounds
+	Counts []uint64  // per-bucket counts; len(Bounds)+1, last is +Inf
+	Count  uint64    // total observations (sum of Counts)
+	Sum    float64
+	Max    float64 // exact largest observation (0 when empty)
+}
+
+// Snapshot copies the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	if m := h.maxv.Load(); !math.IsInf(m, -1) {
+		s.Max = m
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation within the covering bucket — the same estimate a
+// Prometheus histogram_quantile() gives — except that the open +Inf
+// bucket and q == 1 report the exact tracked maximum instead of an
+// unbounded guess. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < target || c == 0 {
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Max // +Inf bucket: the max is the best finite answer
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		est := lower + (upper-lower)*(target-prev)/float64(c)
+		return math.Min(est, s.Max)
+	}
+	return s.Max
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketSemantics(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// le semantics: a value equal to a bound lands in that bound's
+	// bucket, one ulp above spills into the next.
+	h.Observe(1)
+	h.Observe(math.Nextafter(1, 2))
+	h.Observe(2)
+	h.Observe(4)
+	h.Observe(100) // +Inf bucket
+	s := h.Snapshot()
+	want := []uint64{1, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count %d", s.Count)
+	}
+	if s.Max != 100 {
+		t.Errorf("max %v", s.Max)
+	}
+	if got := 1 + math.Nextafter(1, 2) + 2 + 4 + 100; s.Sum != got {
+		t.Errorf("sum %v want %v", s.Sum, got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	// 100 observations uniform in (0, 0.1]: p50 interpolates inside the
+	// (0.01, 0.1] bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 0.03 || p50 > 0.07 {
+		t.Errorf("p50 = %v, want ≈ 0.05", p50)
+	}
+	if p100 := s.Quantile(1); p100 != s.Max {
+		t.Errorf("p100 = %v, want exact max %v", p100, s.Max)
+	}
+	if q := s.Quantile(0.99); q > s.Max {
+		t.Errorf("p99 %v exceeds max %v", q, s.Max)
+	}
+	// Values beyond the last bound: the +Inf bucket reports the exact max.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(50)
+	if q := h2.Snapshot().Quantile(0.9); q != 50 {
+		t.Errorf("+Inf bucket quantile = %v, want the tracked max 50", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v", q)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) * 0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count %d want %d", s.Count, workers*per)
+	}
+	var cum uint64
+	for _, c := range s.Counts {
+		cum += c
+	}
+	if cum != s.Count {
+		t.Errorf("bucket sum %d != count %d", cum, s.Count)
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	mustPanic(t, "empty", func() { NewHistogram([]float64{}) })
+	mustPanic(t, "unsorted", func() { NewHistogram([]float64{2, 1}) })
+	mustPanic(t, "inf", func() { NewHistogram([]float64{1, math.Inf(1)}) })
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format (version 0.0.4). Unlike the common client
+// libraries there is no process-global registry: each Registry is an
+// independent value, so two servers in one test process never collide.
+//
+// Two collection styles coexist:
+//
+//   - Instrumented families (Counter/Gauge/Histogram) own their series
+//     and are updated on the hot path with atomics.
+//   - Collected families (CounterFunc/GaugeFunc/Collect) read external
+//     state — cache counters, worker budgets, accountant ledgers — at
+//     scrape time, so subsystems that already keep counters are
+//     exposed without double bookkeeping.
+//
+// Exposition is deterministic: families sort by name, series by label
+// values, so the output is golden-testable byte for byte.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name, help, kind string
+	labels           []string
+	buckets          []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+
+	// collect, when set, produces the family's samples at scrape time
+	// and the series map stays empty.
+	collect func(emit func(labelValues []string, value float64))
+}
+
+type series struct {
+	values []string
+	num    atomicFloat
+	hist   *Histogram
+}
+
+func (r *Registry) register(name, help, kind string, labels []string, buckets []float64,
+	collect func(emit func([]string, float64))) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic("obs: duplicate metric family " + name)
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: labels, buckets: buckets,
+		series: make(map[string]*series), collect: collect,
+	}
+	r.families[name] = f
+	return f
+}
+
+// seriesKey joins label values with an unprintable separator so
+// distinct value tuples can never collide.
+func seriesKey(values []string) string { return strings.Join(values, "\x00") }
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		own := make([]string, len(values))
+		copy(own, values)
+		s = &series{values: own}
+		if f.kind == "histogram" {
+			s.hist = NewHistogram(f.buckets)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter registers a counter family with the given label keys.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, "counter", labels, nil, nil)}
+}
+
+// Gauge registers a gauge family with the given label keys.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, "gauge", labels, nil, nil)}
+}
+
+// Histogram registers a histogram family over the given bucket bounds
+// (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, "histogram", labels, buckets, nil)}
+}
+
+// CounterFunc registers an unlabeled counter whose value is read at
+// scrape time — the bridge for subsystems that already keep their own
+// monotone counters (cache hits, WAL appends).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, "counter", nil, nil, func(emit func([]string, float64)) {
+		emit(nil, fn())
+	})
+}
+
+// GaugeFunc registers an unlabeled gauge read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", nil, nil, func(emit func([]string, float64)) {
+		emit(nil, fn())
+	})
+}
+
+// Collect registers a scrape-time family with a dynamic series set:
+// fn is called per scrape and emits one sample per label-value tuple.
+// It is how per-session accountant gauges surface sessions that are
+// minted and named at runtime.
+func (r *Registry) Collect(name, help, kind string, labels []string, fn func(emit func(labelValues []string, value float64))) {
+	if kind != "counter" && kind != "gauge" {
+		panic("obs: Collect supports counter and gauge families, got " + kind)
+	}
+	r.register(name, help, kind, labels, nil, fn)
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{v.f.get(values)} }
+
+// Counter is one monotonically increasing series.
+type Counter struct{ s *series }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.s.num.Add(1) }
+
+// Add adds d (must be ≥ 0; counters only go up).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("obs: counter decremented")
+	}
+	c.s.num.Add(d)
+}
+
+// Value returns the current value.
+func (c *Counter) Value() float64 { return c.s.num.Load() }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{v.f.get(values)} }
+
+// Gauge is one settable series.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.s.num.Store(v) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d float64) { g.s.num.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.s.num.Load() }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).hist }
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes
+// are legal there).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value; +Inf/-Inf spell the exposition
+// forms.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k1="v1",k2="v2"}; extra appends pre-rendered
+// pairs (the histogram le label). Empty label sets render nothing.
+func labelString(keys, values []string, extra ...string) string {
+	if len(keys) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	for i, e := range extra {
+		if i > 0 || len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Expose writes the whole registry in the Prometheus text format.
+func (r *Registry) Expose(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		f.expose(&b)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) expose(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	if f.collect != nil {
+		type sample struct {
+			values []string
+			v      float64
+		}
+		var samples []sample
+		f.collect(func(values []string, v float64) {
+			if len(values) != len(f.labels) {
+				panic(fmt.Sprintf("obs: collected metric %s wants %d label values, got %d",
+					f.name, len(f.labels), len(values)))
+			}
+			samples = append(samples, sample{values: values, v: v})
+		})
+		sort.Slice(samples, func(i, j int) bool {
+			return seriesKey(samples[i].values) < seriesKey(samples[j].values)
+		})
+		for _, s := range samples {
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.values), formatValue(s.v))
+		}
+		return
+	}
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ss := make([]*series, len(keys))
+	for i, k := range keys {
+		ss[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	for _, s := range ss {
+		if f.kind != "histogram" {
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.values), formatValue(s.num.Load()))
+			continue
+		}
+		snap := s.hist.Snapshot()
+		var cum uint64
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			le := `le="` + formatValue(bound) + `"`
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.values, le), cum)
+		}
+		cum += snap.Counts[len(snap.Counts)-1]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.values, `le="+Inf"`), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, s.values), formatValue(snap.Sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, s.values), cum)
+	}
+}
+
+// Handler returns the GET /metrics exposition handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Expose(w) //nolint:errcheck // the scraper went away; nothing to do
+	})
+}

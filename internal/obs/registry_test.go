@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the Prometheus text format byte for byte:
+// HELP/TYPE lines, family and series sort order, label escaping,
+// histogram cumulative buckets with the le label, and the _sum/_count
+// suffixes. A scraper-visible format change must show up here.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("test_requests_total", "Requests by mechanism and status.", "mechanism", "status")
+	c.With("mqm-exact", "200").Add(3)
+	c.With("dp", "403").Inc()
+
+	g := r.Gauge("test_workers", "Workers in use.")
+	g.With().Set(2.5)
+
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 12 })
+
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1}, "stage")
+	hs := h.With("score")
+	hs.Observe(0.05)
+	hs.Observe(0.05)
+	hs.Observe(0.5)
+	hs.Observe(7) // +Inf bucket
+
+	// Label values exercising every escape: backslash, quote, newline.
+	e := r.Counter("test_escapes_total", "Help with a backslash \\ kept.", "session")
+	e.With("we\"ird\\name\n").Inc()
+
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatalf("Expose: %v", err)
+	}
+	want := `# HELP test_escapes_total Help with a backslash \\ kept.
+# TYPE test_escapes_total counter
+test_escapes_total{session="we\"ird\\name\n"} 1
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{stage="score",le="0.1"} 2
+test_latency_seconds_bucket{stage="score",le="1"} 3
+test_latency_seconds_bucket{stage="score",le="+Inf"} 4
+test_latency_seconds_sum{stage="score"} 7.6
+test_latency_seconds_count{stage="score"} 4
+# HELP test_requests_total Requests by mechanism and status.
+# TYPE test_requests_total counter
+test_requests_total{mechanism="dp",status="403"} 1
+test_requests_total{mechanism="mqm-exact",status="200"} 3
+# HELP test_uptime_seconds Uptime.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 12
+# HELP test_workers Workers in use.
+# TYPE test_workers gauge
+test_workers 2.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCollectDynamicSeries(t *testing.T) {
+	r := NewRegistry()
+	sessions := map[string]float64{"alice": 1.5, "bob": 0.25}
+	r.Collect("test_eps", "Per-session spend.", "gauge", []string{"session"},
+		func(emit func([]string, float64)) {
+			for name, eps := range sessions {
+				emit([]string{name}, eps)
+			}
+		})
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_eps Per-session spend.
+# TYPE test_eps gauge
+test_eps{session="alice"} 1.5
+test_eps{session="bob"} 0.25
+`
+	if got := b.String(); got != want {
+		t.Errorf("collect exposition:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// The series set follows the backing state scrape to scrape.
+	sessions["carol"] = 3
+	b.Reset()
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `test_eps{session="carol"} 3`) {
+		t.Errorf("new session missing from rescrape:\n%s", b.String())
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("test_one", "One.", func() float64 { return 1 })
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), "test_one 1") {
+		t.Errorf("body: %s", rec.Body.String())
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "d")
+	mustPanic(t, "duplicate family", func() { r.Gauge("dup", "d") })
+	v := r.Counter("labeled", "l", "a", "b")
+	mustPanic(t, "label arity", func() { v.With("only-one") })
+	mustPanic(t, "counter decrement", func() { v.With("x", "y").Add(-1) })
+	mustPanic(t, "histogram kind in Collect", func() {
+		r.Collect("h", "h", "histogram", nil, func(func([]string, float64)) {})
+	})
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

@@ -25,6 +25,7 @@ import (
 	"pufferfish/internal/laplace"
 	"pufferfish/internal/markov"
 	"pufferfish/internal/noise"
+	"pufferfish/internal/obs"
 	"pufferfish/internal/query"
 )
 
@@ -284,12 +285,16 @@ type Prepared struct {
 
 // PrepareContext is Prepare with a cancellation check up front, so a
 // request whose deadline already passed does no parsing or model
-// fitting at all.
+// fitting at all. When the context carries an obs trace the stage is
+// recorded as a "prepare" span.
 func PrepareContext(ctx context.Context, sessions [][]int, cfg Config) (*Prepared, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return Prepare(sessions, cfg)
+	_, sp := obs.StartSpan(ctx, "prepare")
+	p, err := Prepare(sessions, cfg)
+	sp.EndErr(err)
+	return p, err
 }
 
 // Prepare validates cfg and sessions, infers the state space, and fits
@@ -538,19 +543,28 @@ func (p *Prepared) Score(ctx context.Context) (core.ChainScore, error) {
 
 // FinishContext is Finish with a cancellation check first — the last
 // point a release can be abandoned. Past it the charge is recorded and
-// the noisy histogram exists, so cancellation must not interrupt:
-// Finish itself never checks the context.
+// the noisy histogram exists, so cancellation must not interrupt: the
+// finish stage itself never checks the context. When ctx carries an
+// obs trace, the stage is recorded as "finish"/"noise"/"journal"
+// spans.
 func (p *Prepared) FinishContext(ctx context.Context, score core.ChainScore) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return p.Finish(score)
+	return p.finish(ctx, score)
 }
 
 // Finish adds the mechanism's noise and assembles the report. For the
 // quilt mechanisms score must come from Score (or an equivalent batched
 // computation over Class/Lengths); the DP baselines ignore it.
 func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
+	return p.finish(context.Background(), score)
+}
+
+// finish is the shared Finish body; ctx is consulted only for span
+// recording, never for cancellation.
+func (p *Prepared) finish(ctx context.Context, score core.ChainScore) (*Report, error) {
+	_, fsp := obs.StartSpan(ctx, "finish")
 	q := query.RelFreqHistogram{K: p.k, N: p.n}
 	rng := rand.New(rand.NewPCG(p.cfg.Seed, 0x7f4a7c15))
 	report := &Report{
@@ -563,6 +577,28 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 	}
 	defer p.snapshotCache(report)
 
+	_, nsp := obs.StartSpan(ctx, "noise")
+	entry, err := p.applyNoise(report, score, q, rng)
+	nsp.EndErr(err)
+	if err != nil {
+		fsp.EndErr(err)
+		return nil, err
+	}
+	_, jsp := obs.StartSpan(ctx, "journal")
+	err = p.account(report, entry)
+	jsp.EndErr(err)
+	fsp.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// applyNoise evaluates the query, draws the mechanism's noise into
+// report, and returns the accounting entry the release charges — the
+// "noise" stage of the pipeline, split out of finish so the span
+// boundaries match the stage boundaries exactly.
+func (p *Prepared) applyNoise(report *Report, score core.ChainScore, q query.RelFreqHistogram, rng *rand.Rand) (accounting.Entry, error) {
 	// Every Laplace path is a pure-ε release in the ledger; the
 	// Gaussian branch below replaces this with its Rényi curve entry.
 	entry := accounting.Entry{
@@ -572,21 +608,21 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 	case MechDP:
 		rel, err := core.LaplaceDP(p.flat, q, p.cfg.Epsilon, rng)
 		if err != nil {
-			return nil, err
+			return entry, err
 		}
 		report.Histogram = rel.Values
 		report.NoiseScale = rel.NoiseScale
 	case MechGroupDP:
 		rel, err := core.GroupDP(p.flat, q, p.longest, p.cfg.Epsilon, rng)
 		if err != nil {
-			return nil, err
+			return entry, err
 		}
 		report.Histogram = rel.Values
 		report.NoiseScale = rel.NoiseScale
 	case MechKantorovich:
 		exact, err := q.Evaluate(p.flat)
 		if err != nil {
-			return nil, err
+			return entry, err
 		}
 		// W∞ is reconstructed from σ = k·W∞/ε; the max with W₁ absorbs
 		// the one-ulp rounding of the round trip so the reported ratio
@@ -599,15 +635,15 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 			// path below.
 			sigmaCount, err := kantorovich.GaussianCountScale(wInf, p.cfg.Epsilon, p.cfg.Delta, p.k)
 			if err != nil {
-				return nil, err
+				return entry, err
 			}
 			scale := sigmaCount / float64(p.n)
 			if err := core.ValidateNoiseScale(scale, sigmaCount, p.cfg.Epsilon); err != nil {
-				return nil, err
+				return entry, err
 			}
 			g, err := noise.Gaussian(scale)
 			if err != nil {
-				return nil, err
+				return entry, err
 			}
 			report.Histogram = noise.AddVec(exact, g, rng)
 			report.NoiseScale = scale
@@ -619,7 +655,7 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 			// actual charge can never disagree.
 			entry, err = p.PlannedEntry()
 			if err != nil {
-				return nil, err
+				return entry, err
 			}
 		} else {
 			// Count-level per-coordinate scale is σ = k·W∞max/ε (ε/k
@@ -628,11 +664,11 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 			// alongside them.
 			scale := score.Sigma / float64(p.n)
 			if err := core.ValidateNoiseScale(scale, score.Sigma, p.cfg.Epsilon); err != nil {
-				return nil, err
+				return entry, err
 			}
 			lap, err := noise.Laplace(scale)
 			if err != nil {
-				return nil, err
+				return entry, err
 			}
 			report.Histogram = noise.AddVec(exact, lap, rng)
 			report.NoiseScale = scale
@@ -650,11 +686,11 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 	default: // MechMQMExact, MechMQMApprox — Prepare validated the name
 		exact, err := q.Evaluate(p.flat)
 		if err != nil {
-			return nil, err
+			return entry, err
 		}
 		scale := q.Lipschitz() * score.Sigma
 		if err := core.ValidateNoiseScale(scale, score.Sigma, p.cfg.Epsilon); err != nil {
-			return nil, err
+			return entry, err
 		}
 		report.Histogram = laplace.AddNoise(exact, scale, rng)
 		report.NoiseScale = scale
@@ -663,10 +699,7 @@ func (p *Prepared) Finish(score core.ChainScore) (*Report, error) {
 		report.ActiveQuilt = fmt.Sprintf("%v @ node %d", score.Quilt, score.Node)
 		report.Model = &p.chain
 	}
-	if err := p.account(report, entry); err != nil {
-		return nil, err
-	}
-	return report, nil
+	return entry, nil
 }
 
 // account records the finished release into cfg.Accountant and fills

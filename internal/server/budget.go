@@ -104,3 +104,11 @@ func (b *budget) inUse() int {
 	defer b.mu.Unlock()
 	return b.total - b.avail
 }
+
+// queued returns the number of goroutines blocked in acquire — the
+// wait-queue depth behind the pufferd_workers_queued gauge.
+func (b *budget) queued() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waiting
+}

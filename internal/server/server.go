@@ -23,8 +23,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +37,7 @@ import (
 	"pufferfish/internal/bayes"
 	"pufferfish/internal/core"
 	"pufferfish/internal/kantorovich"
+	"pufferfish/internal/obs"
 	"pufferfish/internal/release"
 )
 
@@ -96,6 +99,15 @@ type Config struct {
 	// cumulative spend crash-safe. The server binds it to every
 	// session; pufferd owns recovery and rotation.
 	WAL *wal.Writer
+	// Logger receives the server's structured request logs (one record
+	// per traced request, slow requests at Warn with per-stage
+	// timings); nil discards them. pufferd passes its slog handler so
+	// server and daemon logs share one sink and format.
+	Logger *slog.Logger
+	// SlowRequest, when > 0, logs any traced request slower than this
+	// at Warn with its trace id and per-stage durations. 0 disables
+	// slow-request logging.
+	SlowRequest time.Duration
 }
 
 // Server carries the shared state of the serving layer. Create one
@@ -138,7 +150,21 @@ type Server struct {
 	// every release request. Tests use it to hold a request in flight
 	// deterministically.
 	scoringHook func()
+
+	// Observability: the per-server metrics registry (no process
+	// globals, so test servers never collide), the hot-path families,
+	// the recent-traces ring, and the structured request logger.
+	reg     *obs.Registry
+	metrics *serverMetrics
+	traces  *obs.TraceRing
+	slow    time.Duration
+	logger  *slog.Logger
 }
+
+// traceRingCapacity bounds GET /v1/traces/recent: enough history to
+// inspect a burst, small enough that the ring is never a memory
+// concern.
+const traceRingCapacity = 256
 
 // New returns a Server with an empty (or the given pre-warmed) cache.
 func New(cfg Config) *Server {
@@ -194,6 +220,17 @@ func New(cfg Config) *Server {
 			panic("server: invalid budget ceiling config: " + err.Error())
 		}
 	}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	s.slow = cfg.SlowRequest
+	s.traces = obs.NewTraceRing(traceRingCapacity)
+	// The metric catalogue registers last: its scrape-time collectors
+	// read the cache, budget, WAL, and accountant map, all of which
+	// must be in place first.
+	s.reg = obs.NewRegistry()
+	s.metrics = newServerMetrics(s, s.reg)
 	return s
 }
 
@@ -267,10 +304,110 @@ func (s *Server) Cache() *release.ScoreCache { return s.cache }
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/release", s.handleRelease)
-	mux.HandleFunc("POST /v1/release/batch", s.handleBatch)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/release", s.instrument("release", true, s.handleRelease))
+	mux.HandleFunc("POST /v1/release/batch", s.instrument("batch", true, s.handleBatch))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", false, s.handleStats))
+	mux.HandleFunc("GET /v1/traces/recent", s.instrument("traces", false, s.handleTraces))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", false, s.reg.Handler().ServeHTTP))
 	return mux
+}
+
+// statusWriter captures the response status code for the request
+// counter, the trace's status attribute, and the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the observability envelope: the
+// request counter and latency histogram for every endpoint, and — for
+// traced endpoints — a fresh obs.Trace on the context whose spans feed
+// the per-stage histograms (successful spans only, so a stage's
+// _count equals its successes), the recent-traces ring, and the
+// structured request log.
+func (s *Server) instrument(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		var tr *obs.Trace
+		if traced {
+			tr = obs.NewTrace(endpoint)
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		}
+		h(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		status := strconv.Itoa(sw.status)
+		s.metrics.requests.With(endpoint, status).Inc()
+		s.metrics.reqDur.With(endpoint).Observe(dur.Seconds())
+		if tr == nil {
+			return
+		}
+		tr.SetAttr("status", status)
+		tr.Finish(dur)
+		for _, sp := range tr.Spans() {
+			if sp.Err == "" {
+				s.metrics.stageDur.With(sp.Name).Observe(sp.Dur.Seconds())
+			}
+		}
+		s.traces.Add(tr)
+		s.logRequest(r, tr, status, dur)
+	}
+}
+
+// logRequest emits the structured per-request log record: every traced
+// request at Info with the trace's attributes (mechanism, substrate,
+// session, status), slow requests at Warn with per-stage durations
+// appended so the offending stage is visible without fetching the
+// trace.
+func (s *Server) logRequest(r *http.Request, tr *obs.Trace, status string, dur time.Duration) {
+	attrs := []slog.Attr{
+		slog.String("trace", tr.ID),
+		slog.String("endpoint", tr.Name),
+		slog.String("status", status),
+		slog.Duration("duration", dur),
+	}
+	for _, a := range tr.Attrs() {
+		if a.Key == "status" {
+			continue // already present from the response
+		}
+		attrs = append(attrs, slog.String(a.Key, a.Value))
+	}
+	level, msg := slog.LevelInfo, "request"
+	if s.slow > 0 && dur > s.slow {
+		level, msg = slog.LevelWarn, "slow request"
+		for _, sp := range tr.Spans() {
+			attrs = append(attrs, slog.Duration("stage_"+sp.Name, sp.Dur))
+		}
+	}
+	s.logger.LogAttrs(r.Context(), level, msg, attrs...)
+}
+
+// TracesResponse is the GET /v1/traces/recent payload: the newest
+// completed request traces, newest first, from a bounded in-memory
+// ring (nothing is persisted; a restart clears it).
+type TracesResponse struct {
+	Traces []obs.TraceSnapshot `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, TracesResponse{Traces: s.traces.Recent()})
 }
 
 // ReleaseRequest is the JSON body of POST /v1/release (and one element
@@ -514,7 +651,16 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		httpError(w, prepareErrStatus(err), err)
 		return
 	}
-	if err := s.checkCeiling(p, led); err != nil {
+	tr := obs.TraceFrom(ctx)
+	tr.SetAttr("mechanism", p.Mechanism())
+	tr.SetAttr("substrate", p.SubstrateKind())
+	if req.Accountant != "" {
+		tr.SetAttr("session", req.Accountant)
+	}
+	_, csp := obs.StartSpan(ctx, "ceiling")
+	err = s.checkCeiling(p, led)
+	csp.EndErr(err)
+	if err != nil {
 		httpError(w, chargeErrStatus(err), err)
 		return
 	}
@@ -523,13 +669,17 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	var score core.ChainScore
 	if p.NeedsScore() {
+		_, wsp := obs.StartSpan(ctx, "wait")
 		grant, err := s.budget.acquire(ctx, req.Parallelism)
+		wsp.EndErr(err)
 		if err != nil {
 			s.acquireError(w, err)
 			return
 		}
 		p.SetParallelism(grant)
+		_, ssp := obs.StartSpan(ctx, "score")
 		score, err = p.Score(ctx)
+		ssp.EndErr(err)
 		s.budget.release(grant)
 		if err != nil {
 			httpError(w, scoreErrStatus(err), err)
@@ -601,8 +751,9 @@ func (s *Server) finishErrStatus(err error) int {
 	return http.StatusUnprocessableEntity
 }
 
-// countRelease bumps the per-mechanism and per-substrate counters;
-// both keys were validated by Prepare, so the lookups never miss.
+// countRelease bumps the per-mechanism and per-substrate counters and
+// the labeled release metric; both keys were validated by Prepare, so
+// the lookups never miss.
 func (s *Server) countRelease(mech, substrate string) {
 	if c, ok := s.byMech[mech]; ok {
 		c.Add(1)
@@ -610,6 +761,7 @@ func (s *Server) countRelease(mech, substrate string) {
 	if c, ok := s.bySubstrate[substrate]; ok {
 		c.Add(1)
 	}
+	s.metrics.releases.With(mech, substrate).Inc()
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -639,7 +791,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		prepared[i] = p
 		ledgers[i] = led
 	}
-	if err := s.checkBatchCeilings(prepared, ledgers); err != nil {
+	obs.TraceFrom(ctx).SetAttr("batch_size", strconv.Itoa(len(batch.Requests)))
+	_, csp := obs.StartSpan(ctx, "ceiling")
+	err := s.checkBatchCeilings(prepared, ledgers)
+	csp.EndErr(err)
+	if err != nil {
 		httpError(w, chargeErrStatus(err), err)
 		return
 	}
@@ -656,7 +812,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchResponse{Reports: make([]*release.Report, len(prepared))}
 	for i, p := range prepared {
-		report, err := p.Finish(scores[i])
+		report, err := p.FinishContext(ctx, scores[i])
 		if err != nil {
 			// Earlier members of the batch already charged their
 			// accountant sessions. That is deliberate: their noisy
@@ -737,7 +893,9 @@ func (s *Server) scoreBatch(ctx context.Context, reqs []ReleaseRequest, prepared
 	if len(groups) == 0 && len(individual) == 0 {
 		return scores, 0, nil
 	}
+	_, wsp := obs.StartSpan(ctx, "wait")
 	grant, err := s.budget.acquire(ctx, want)
+	wsp.EndErr(err)
 	if err != nil {
 		if errors.Is(err, errShed) {
 			s.shedTotal.Add(1)
@@ -749,6 +907,10 @@ func (s *Server) scoreBatch(ctx context.Context, reqs []ReleaseRequest, prepared
 	if err := ctx.Err(); err != nil {
 		return nil, http.StatusServiceUnavailable, err
 	}
+	// One "score" span covers the whole batch's scoring work — the
+	// grouped engine passes dedupe across requests, so per-member
+	// attribution would be fiction.
+	_, ssp := obs.StartSpan(ctx, "score")
 	for key, members := range groups {
 		specs := make([]core.MultiSpec, len(members))
 		for j, i := range members {
@@ -765,6 +927,7 @@ func (s *Server) scoreBatch(ctx context.Context, reqs []ReleaseRequest, prepared
 			got, err = core.ApproxScoreMultiBatch(s.cache, specs, key.eps, core.ApproxOptions{Parallelism: grant})
 		}
 		if err != nil {
+			ssp.EndErr(err)
 			return nil, scoreErrStatus(err), err
 		}
 		for j, i := range members {
@@ -778,10 +941,12 @@ func (s *Server) scoreBatch(ctx context.Context, reqs []ReleaseRequest, prepared
 		prepared[i].SetParallelism(grant)
 		got, err := prepared[i].Score(ctx)
 		if err != nil {
+			ssp.EndErr(err)
 			return nil, scoreErrStatus(err), err
 		}
 		scores[i] = got
 	}
+	ssp.End()
 	return scores, 0, nil
 }
 
@@ -805,9 +970,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Stats() Stats {
 	var st Stats
 	st.UptimeSeconds = time.Since(s.started).Seconds()
-	st.RequestsTotal = s.requests.Load()
-	st.ReleasesTotal = s.releases.Load()
-	st.InFlight = s.inFlight.Load()
+	// The counters are independent atomics, so a scrape during traffic
+	// is inherently a torn read — but handlers write in the fixed order
+	// requests → releases → per-mechanism/per-substrate parts, so
+	// reading in the exact reverse order bounds the tear to one safe
+	// direction: sum(by_mechanism) ≤ releases_total ≤ requests_total in
+	// every snapshot, and ratios computed from one snapshot never
+	// exceed 1. The orderings agree exactly once traffic quiesces.
 	st.ReleasesByMechanism = make(map[string]int64, len(s.byMech))
 	for m, c := range s.byMech {
 		st.ReleasesByMechanism[m] = c.Load()
@@ -816,6 +985,9 @@ func (s *Server) Stats() Stats {
 	for sub, c := range s.bySubstrate {
 		st.ReleasesBySubstrate[sub] = c.Load()
 	}
+	st.ReleasesTotal = s.releases.Load()
+	st.RequestsTotal = s.requests.Load()
+	st.InFlight = s.inFlight.Load()
 	cs := s.cache.Stats()
 	st.Cache.Hits = cs.Hits
 	st.Cache.Misses = cs.Misses
