@@ -1,0 +1,143 @@
+// Command privlint machine-checks the repo's privacy and concurrency
+// invariants (see internal/analysis/privlint). It runs two ways:
+//
+// Standalone, loading and type-checking packages from source:
+//
+//	privlint ./...
+//	privlint -floatcompare=false ./internal/release
+//
+// As a go vet tool, driven by the build system with export data (the
+// unitchecker protocol), which is how CI runs it over every package
+// including test variants:
+//
+//	go vet -vettool=$(pwd)/bin/privlint ./...
+//
+// Exit status: 0 clean, 1 findings (standalone), 2 findings (vet
+// protocol, matching cmd/vet), 3 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pufferfish/internal/analysis/privlint"
+)
+
+const version = "v1.0.0"
+
+func main() {
+	// The go command probes its vet tool before use: -V=full for the
+	// cache key, -flags for the analyzer flag set, then one run per
+	// package with a *.cfg argument. Handle the probes before normal
+	// flag parsing so their exact output stays under our control.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			fmt.Printf("privlint version %s\n", version)
+			return
+		case "-flags", "--flags":
+			printFlagsJSON()
+			return
+		}
+	}
+
+	enabled := map[string]*bool{}
+	for _, a := range privlint.All() {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: privlint [flags] [package patterns]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "       privlint <unit>.cfg  (go vet -vettool protocol)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	// Analyzer selection follows vet semantics: naming any analyzer
+	// flag explicitly true runs only the named ones; explicit false
+	// subtracts from the full suite.
+	explicitTrue := false
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) {
+		if _, ok := enabled[f.Name]; ok {
+			explicit[f.Name] = true
+			if *enabled[f.Name] {
+				explicitTrue = true
+			}
+		}
+	})
+	var analyzers []*privlint.Analyzer
+	for _, a := range privlint.All() {
+		switch {
+		case explicitTrue && explicit[a.Name] && *enabled[a.Name]:
+			analyzers = append(analyzers, a)
+		case !explicitTrue && *enabled[a.Name]:
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && isVetConfig(args[0]) {
+		os.Exit(runVetUnit(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args, analyzers))
+}
+
+func runStandalone(patterns []string, analyzers []*privlint.Analyzer) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privlint:", err)
+		return 3
+	}
+	loader, err := privlint.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privlint:", err)
+		return 3
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privlint:", err)
+		return 3
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := privlint.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "privlint:", err)
+			return 3
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+// printFlagsJSON answers the go command's -flags probe: the JSON list
+// of flags it may forward from the go vet command line.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range privlint.All() {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	fmt.Print("[")
+	for i, f := range out {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Printf("{%q:%q,%q:%v,%q:%q}", "Name", f.Name, "Bool", f.Bool, "Usage", f.Usage)
+	}
+	fmt.Println("]")
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"pufferfish/internal/analysis/privlint"
+)
+
+// vetConfig mirrors the JSON the go command writes for each vet unit
+// (the unitchecker protocol). Fields we do not consume are listed so
+// the decoder documents the full contract.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func isVetConfig(arg string) bool {
+	return strings.HasSuffix(arg, ".cfg")
+}
+
+// runVetUnit analyzes one build unit handed over by go vet: parse the
+// unit's files, type-check against the export data the build already
+// produced, run the suite. Facts are not used by this suite, but the
+// protocol requires the vetx output file to exist for caching, so an
+// empty one is always written.
+func runVetUnit(cfgPath string, analyzers []*privlint.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privlint:", err)
+		return 3
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "privlint: parsing %s: %v\n", cfgPath, err)
+		return 3
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "privlint:", err)
+			return 3
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency unit: only facts were wanted, and we keep none.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "privlint:", err)
+			return 3
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		// The go command resolves each import to the export file of the
+		// exact build the unit was compiled against.
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tcfg := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
+	}
+	if v, _, ok := strings.Cut(cfg.GoVersion, " "); ok || cfg.GoVersion != "" {
+		if strings.HasPrefix(v, "go") {
+			tcfg.GoVersion = v
+		}
+	}
+	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "privlint:", err)
+		return 3
+	}
+
+	pkg := privlint.NewPackage(cfg.ImportPath, fset, files, tpkg, info)
+	diags, err := privlint.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privlint:", err)
+		return 3
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

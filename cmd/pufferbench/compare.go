@@ -81,6 +81,7 @@ func runCheckParallel(path string, min float64) error {
 	}
 	best, bestName, pairs := 0.0, "", 0
 	for _, e := range rep.Benchmarks {
+		//privlint:allow floatcompare zero is the exact not-measured sentinel in the report
 		if e.SpeedupVsSerial == 0 {
 			continue
 		}

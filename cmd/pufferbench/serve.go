@@ -121,6 +121,7 @@ func runServe(quick bool, seed uint64, parallel int) error {
 			return fmt.Errorf("serve: bad report %s: %w", blob, err)
 		}
 		want := golden[mech]
+		//privlint:allow floatcompare smoke check asserts bit-identity with release.Run by contract
 		if !floats.EqSlices(got.Histogram, want.Histogram, 0) || got.Sigma != want.Sigma || got.NoiseScale != want.NoiseScale {
 			return fmt.Errorf("serve: %s response diverges from release.Run (σ %v vs %v)", mech, got.Sigma, want.Sigma)
 		}

@@ -92,6 +92,7 @@ func main() {
 	if *walFile != "" && *cacheFile == "" {
 		fatal(errors.New("-wal requires -cache-file (the journal is truncated against the snapshot)"))
 	}
+	//privlint:allow floatcompare zero is the exact unset sentinel for the ceiling flags
 	if *ceilingDelta != 0 && *ceilingEps == 0 {
 		fatal(errors.New("-ceiling-delta without -ceiling-eps: set the ε ceiling the δ applies to"))
 	}

@@ -114,9 +114,11 @@ func (e Entry) Validate() error { return e.validate() }
 func (e Entry) validate() error {
 	switch e.Kind {
 	case KindPure:
+		//privlint:allow floatcompare zero is the exact unset sentinel for a pure entry
 		if e.Rho != 0 {
 			return fmt.Errorf("accounting: pure entry carries ρ = %v", e.Rho)
 		}
+		//privlint:allow floatcompare zero is the exact unset sentinel for a pure entry
 		if e.Delta != 0 {
 			return fmt.Errorf("accounting: pure entry carries δ = %v", e.Delta)
 		}
@@ -208,25 +210,25 @@ type Journal interface {
 // + fresh ledger) rather than grown forever.
 type Ledger struct {
 	mu       sync.Mutex
-	delta    float64 // headline δ for TotalEpsilon
-	entries  []Entry
-	epsAlpha []float64 // accumulated curve on defaultAlphas
-	maxEps   float64
-	deltaSum float64
-	memo     map[float64]float64 // δ → optimized ε, cleared on Add
+	delta    float64             // headline δ for TotalEpsilon; fixed at construction
+	entries  []Entry             // guarded by mu
+	epsAlpha []float64           // guarded by mu; accumulated curve on defaultAlphas
+	maxEps   float64             // guarded by mu
+	deltaSum float64             // guarded by mu
+	memo     map[float64]float64 // guarded by mu; δ → optimized ε, cleared on Add
 
 	// ceilEps/ceilDelta, when ceilEps > 0, are the hard budget
 	// ceiling: Add refuses (ErrCeilingExceeded) any entry that would
 	// push Epsilon(ceilDelta) past ceilEps. The check runs before the
 	// journal append and before any mutation, so a refused release is
 	// never charged anywhere.
-	ceilEps   float64
-	ceilDelta float64
+	ceilEps   float64 // guarded by mu
+	ceilDelta float64 // guarded by mu
 
 	// journal, when set, receives every entry before it is applied
 	// (charge-ahead; see Journal). session labels the records.
-	journal Journal
-	session string
+	journal Journal // guarded by mu
+	session string  // guarded by mu
 }
 
 // NewLedger returns an empty ledger whose headline TotalEpsilon
@@ -250,6 +252,7 @@ func NewLedger(delta float64) *Ledger {
 // charges, which is exactly what a restored-after-crash session that
 // overshot its budget must do.
 func (l *Ledger) SetCeiling(eps, delta float64) error {
+	//privlint:allow floatcompare eps = 0 is the exact clear-the-ceiling sentinel
 	if eps == 0 {
 		l.mu.Lock()
 		defer l.mu.Unlock()

@@ -95,19 +95,19 @@ type Writer struct {
 	fsys  faultfs.FS
 	clock faultfs.Clock
 	path  string
-	f     faultfs.File
-	buf   []byte
+	f     faultfs.File // guarded by mu
+	buf   []byte       // guarded by mu
 
-	lastSeq     uint64
-	outstanding map[uint64]struct{} // appended, not yet Applied
-	appends     int64
+	lastSeq     uint64              // guarded by mu
+	outstanding map[uint64]struct{} // guarded by mu; appended, not yet Applied
+	appends     int64               // guarded by mu
 
 	// appendLat/fsyncLat, when set via Instrument, record per-append
 	// latency: fsyncLat times the Sync alone (the durability cost every
 	// charge pays), appendLat the whole frame write + fsync. Both are
 	// nil-safe no-ops when uninstrumented.
-	appendLat *obs.Histogram
-	fsyncLat  *obs.Histogram
+	appendLat *obs.Histogram // guarded by mu
+	fsyncLat  *obs.Histogram // guarded by mu
 }
 
 // Instrument attaches latency histograms to the journal: appendLat
@@ -270,8 +270,9 @@ func parseFrame(b []byte) (Record, int, bool) {
 	return rec, frameHeader + int(plen), true
 }
 
-// frame encodes one record into buf (reused across appends).
-func (w *Writer) frame(rec Record) ([]byte, error) {
+// frameLocked encodes one record into buf (reused across appends);
+// the caller must hold w.mu.
+func (w *Writer) frameLocked(rec Record) ([]byte, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return nil, fmt.Errorf("wal: marshal record: %w", err)
@@ -301,7 +302,7 @@ func (w *Writer) Append(session string, e accounting.Entry) (uint64, error) {
 		Session: session,
 		Entry:   e,
 	}
-	frame, err := w.frame(rec)
+	frame, err := w.frameLocked(rec)
 	if err != nil {
 		return 0, err
 	}
@@ -422,7 +423,7 @@ func (w *Writer) resetLocked(records []Record) error {
 			return err
 		}
 		for _, rec := range records {
-			frame, err := w.frame(rec)
+			frame, err := w.frameLocked(rec)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,151 @@
+package privlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AccountedRelease enforces the charge-before-release pipeline shape:
+// the additive-noise samplers (noise.AddVec, Additive.Sample,
+// laplace.AddNoise/Sample/SampleVec, the core DP baselines, the
+// exponential mechanism's Sample) may be called
+//
+//   - inside internal/release only from applyNoise or a function
+//     applyNoise (transitively) calls — the one stage that runs after
+//     the accounting entry is computed and before it is journaled;
+//   - never from internal/server or cmd binaries, whose job is to
+//     route requests into the staged pipeline, not to draw noise.
+//
+// A handler that samples directly produces a release the WAL
+// charge-ahead never saw: a privacy spend with no audit trail.
+var AccountedRelease = &Analyzer{
+	Name: "accountedrelease",
+	Doc: "additive-noise samplers must be reachable only from the staged " +
+		"release.Finish/applyNoise path, never directly from server " +
+		"handlers or cmd binaries",
+	Run: runAccountedRelease,
+}
+
+// noiseRoot is the release-pipeline function from which sampling is
+// legitimate; its transitive intra-package callees inherit the right.
+const noiseRoot = "applyNoise"
+
+// isSampler reports whether fn draws (or adds) additive noise.
+func isSampler(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	suffix := func(s string) bool { return path == s || strings.HasSuffix(path, "/"+s) }
+	switch {
+	case suffix("internal/noise"):
+		return name == "AddVec" || name == "Sample"
+	case suffix("internal/laplace"):
+		return name == "AddNoise" || name == "Sample" || name == "SampleVec"
+	case suffix("internal/core"):
+		return name == "LaplaceDP" || name == "GroupDP"
+	case suffix("internal/kantorovich"):
+		return name == "Sample"
+	}
+	return false
+}
+
+func runAccountedRelease(pass *Pass) error {
+	path := pass.Pkg.Path()
+	var inRelease bool
+	switch {
+	case path == "internal/release" || strings.HasSuffix(path, "/internal/release"):
+		inRelease = true
+	case path == "internal/server" || strings.HasSuffix(path, "/internal/server"),
+		strings.Contains(path+"/", "/cmd/"):
+	default:
+		return nil
+	}
+
+	// Index the package's function declarations by their object so the
+	// intra-package call graph can be walked statically.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	allowed := map[*types.Func]bool{}
+	if inRelease {
+		// Seed with every function named applyNoise, then close over
+		// intra-package callees: a helper applyNoise delegates to is part
+		// of the noise stage.
+		var stack []*types.Func
+		for fn := range decls {
+			if fn.Name() == noiseRoot {
+				allowed[fn] = true
+				stack = append(stack, fn)
+			}
+		}
+		for len(stack) > 0 {
+			fn := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass, call)
+				if callee == nil || callee.Pkg() != pass.Pkg || allowed[callee] {
+					return true
+				}
+				if _, ok := decls[callee]; ok {
+					allowed[callee] = true
+					stack = append(stack, callee)
+				}
+				return true
+			})
+		}
+	}
+
+	for fn, fd := range decls {
+		fn, fd := fn, fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || !isSampler(callee) {
+				return true
+			}
+			if inRelease {
+				if allowed[fn] {
+					return true
+				}
+				pass.Reportf(call.Pos(), "noise sampled in %s, outside the %s pipeline stage; only the staged noise path may draw (it runs after the charge is journaled)", fn.Name(), noiseRoot)
+				return true
+			}
+			pass.Reportf(call.Pos(), "noise sampled directly in %s; the serving layer must go through the staged release pipeline so every draw is accounted", fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call's static callee, nil for indirect calls
+// through plain function values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

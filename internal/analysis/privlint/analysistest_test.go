@@ -1,0 +1,192 @@
+package privlint
+
+// This file is the suite's mini-analysistest: fixtures live under
+// testdata/src/<fixture>/<import/path>/ and carry golang.org/x/tools
+// style "// want `regex`" comments on the lines an analyzer must flag.
+// The harness loads each fixture package through the real Loader (so
+// fixtures can impersonate privacy-path import paths via SrcRoots),
+// runs the analyzers under test, and requires an exact match: every
+// diagnostic must satisfy a want on its line, every want must be hit.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantArgRE extracts one backquoted or double-quoted pattern from the
+// tail of a "// want" comment.
+var wantArgRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// runFixture loads pkgPaths from testdata/src/<fixture> and checks the
+// analyzers' diagnostics against the fixtures' want comments.
+func runFixture(t *testing.T, analyzers []*Analyzer, fixture string, pkgPaths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld.SrcRoots = []string{root}
+	pkgs, err := ld.Load(pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+// collectWants parses the package's "// want" comments into line-keyed
+// expectations.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "// "), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantArgRE.FindAllStringSubmatch(rest, -1)
+				if len(matches) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if m[2] != "" {
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[2], err)
+							continue
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkExpectations requires a one-to-one match between diagnostics
+// and want comments: each diagnostic consumes one matching unmet want
+// on its line.
+func checkExpectations(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	// A want matches a diagnostic on its own line, or on the line
+	// directly above it — the latter so directive-line diagnostics
+	// (whose line cannot carry a second comment) can be asserted from
+	// the code line below.
+	for _, d := range diags {
+		matched := false
+		for _, wantLine := range [...]int{d.Pos.Line, d.Pos.Line + 1} {
+			for _, w := range wants {
+				if w.hit || w.file != d.Pos.Filename || w.line != wantLine {
+					continue
+				}
+				if w.re.MatchString(d.Message) || w.re.MatchString(d.Analyzer+": "+d.Message) {
+					w.hit = true
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func TestNoiseSource(t *testing.T) {
+	runFixture(t, []*Analyzer{NoiseSource}, "noisesource",
+		"example.com/internal/release", "example.com/internal/markov")
+}
+
+func TestAccountedRelease(t *testing.T) {
+	runFixture(t, []*Analyzer{AccountedRelease}, "accountedrelease",
+		"example.com/internal/release", "example.com/internal/server")
+}
+
+func TestGuardedField(t *testing.T) {
+	runFixture(t, []*Analyzer{GuardedField}, "guardedfield",
+		"example.com/a", "example.com/b")
+}
+
+func TestFloatCompare(t *testing.T) {
+	runFixture(t, []*Analyzer{FloatCompare}, "floatcompare", "example.com/f")
+}
+
+func TestCtxPropagate(t *testing.T) {
+	runFixture(t, []*Analyzer{CtxPropagate}, "ctxpropagate", "example.com/c")
+}
+
+// TestSuppressionContract exercises the //privlint:allow escape hatch:
+// malformed directives (no analyzer, unknown analyzer, missing reason)
+// are diagnostics themselves and do not suppress the finding.
+func TestSuppressionContract(t *testing.T) {
+	runFixture(t, []*Analyzer{FloatCompare}, "suppression", "example.com/s")
+}
+
+// TestRepoClean runs the full suite over the whole module, the same
+// gate CI applies: the tree must be free of unacknowledged findings.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load(ld.ModulePath + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package privlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPropagate protects the deadline-propagation chain through the
+// staged release pipeline: an exported function that accepts a
+// context.Context must actually consult it — pass it down, check
+// ctx.Err, select on Done — and must not shadow it by minting a fresh
+// context.Background()/TODO() for downstream calls. A dropped ctx
+// compiles, passes every unit test, and quietly severs the
+// -request-timeout enforcement: a doomed release runs (and charges)
+// to completion instead of aborting at the next stage boundary.
+var CtxPropagate = &Analyzer{
+	Name: "ctxpropagate",
+	Doc: "exported functions taking a context.Context must use it and " +
+		"must not replace it with context.Background/TODO",
+	Run: runCtxPropagate,
+}
+
+func runCtxPropagate(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkCtxFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkCtxFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Find context.Context parameters.
+	var ctxParams []*types.Var
+	dropped := false
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if !isContext(t) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			// Unnamed parameter: the ctx cannot even be referenced.
+			pass.Reportf(field.Pos(), "%s discards its context.Context parameter (unnamed); name it and thread it through the pipeline stages", fd.Name.Name)
+			dropped = true
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(), "%s discards its context.Context parameter; thread it through the pipeline stages so deadlines propagate", fd.Name.Name)
+				dropped = true
+				continue
+			}
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				ctxParams = append(ctxParams, v)
+			}
+		}
+	}
+	if len(ctxParams) == 0 && !dropped {
+		return
+	}
+
+	used := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok {
+				used[v] = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "context" &&
+				(fn.Name() == "Background" || fn.Name() == "TODO") {
+				pass.Reportf(n.Pos(), "%s has a context parameter but derives a fresh context.%s; pass the caller's ctx so cancellation and deadlines propagate", fd.Name.Name, fn.Name())
+			}
+		}
+		return true
+	})
+	for _, v := range ctxParams {
+		if !used[v] {
+			pass.Reportf(v.Pos(), "%s never uses its context.Context parameter %s; thread it through the pipeline stages so deadlines propagate", fd.Name.Name, v.Name())
+		}
+	}
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,48 @@
+package privlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare flags == and != between floating-point operands in
+// non-test code. The repo's correctness story leans on bit-identity —
+// but as a *test* contract (golden comparisons in _test.go files,
+// which this suite exempts wholesale). In production code a float
+// equality is almost always a latent bug: it encodes an assumption
+// about exact arithmetic that a reordered reduction or a different
+// optimization level silently invalidates. The rare legitimate exact
+// comparison (a sentinel the code itself stored, a measure-zero
+// boundary guard) carries a //privlint:allow floatcompare with its
+// justification.
+var FloatCompare = &Analyzer{
+	Name: "floatcompare",
+	Doc: "no ==/!= on floating-point operands outside the bit-identity " +
+		"test suites; justify exact sentinels with //privlint:allow",
+	Run: runFloatCompare,
+}
+
+func runFloatCompare(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.TypesInfo.TypeOf(bin.X)) || isFloat(pass.TypesInfo.TypeOf(bin.Y)) {
+				pass.Reportf(bin.OpPos, "floating-point %s comparison; compare with a tolerance, use math.Signbit/IsNaN helpers, or justify the exact compare with //privlint:allow floatcompare", bin.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,313 @@
+package privlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedField checks the "// guarded by <mu>" field-annotation
+// contract: a struct field carrying the annotation may be read or
+// written only while the named sibling mutex is held in the enclosing
+// function. The check is lexical, not a proof — it is exactly strong
+// enough to catch the torn-read class of regression (a counter read
+// added outside the lock window) while staying predictable:
+//
+//   - an access is "held" when a <base>.<mu>.Lock() or RLock() on the
+//     same base expression precedes it in the function with no
+//     non-deferred Unlock in between;
+//   - functions whose name ends in "Locked" assert that their caller
+//     holds the lock (the repo's existing convention, e.g.
+//     checkCeilingLocked) and are exempt;
+//   - accesses on a value the function itself just constructed from a
+//     composite literal (the not-yet-published receiver inside a
+//     constructor) are exempt.
+//
+// Annotations on fields whose struct has no such mutex sibling are
+// themselves diagnostics, so the contract cannot rot silently.
+// Annotated fields of imported packages are checked too when their
+// source was loaded (standalone privlint mode).
+var GuardedField = &Analyzer{
+	Name: "guardedfield",
+	Doc: "fields annotated \"// guarded by <mu>\" must only be accessed " +
+		"with that mutex held in the enclosing function",
+	Run: runGuardedField,
+}
+
+var guardedByRE = regexp.MustCompile(`(?i)\bguarded by (\w+)\b`)
+
+// guardedInfo is one annotated field: the sibling mutex field that
+// protects it.
+type guardedInfo struct {
+	mutex string
+}
+
+// collectGuarded parses "guarded by" annotations from one package's
+// syntax, reporting malformed ones when report is non-nil (only the
+// defining package reports, so cross-package checks never duplicate).
+func collectGuarded(fset *token.FileSet, files []*ast.File, info *types.Info, report func(token.Pos, string, ...any)) map[*types.Var]guardedInfo {
+	out := map[*types.Var]guardedInfo{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := annotationMutex(field)
+				if mu == "" {
+					continue
+				}
+				if !structHasMutex(st, info, mu) {
+					if report != nil {
+						report(field.Pos(), "field is guarded by %q, but the struct has no sync.Mutex/RWMutex field of that name", mu)
+					}
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						out[v] = guardedInfo{mutex: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// annotationMutex extracts the guarded-by mutex name from a field's
+// doc or line comment, "" when unannotated.
+func annotationMutex(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// structHasMutex reports whether the struct literally declares a
+// field of the given name whose type is sync.Mutex or sync.RWMutex
+// (possibly a pointer).
+func structHasMutex(st *ast.StructType, info *types.Info, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			t := info.TypeOf(field.Type)
+			if t == nil {
+				return false
+			}
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return false
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+				return false
+			}
+			return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+		}
+	}
+	return false
+}
+
+// lockOp is one mutex operation found in a function body.
+type lockOp struct {
+	lock     bool // Lock/RLock vs Unlock/RUnlock
+	deferred bool
+	mutex    string // mutex field name
+	base     string // printed base expression ("s", "b.inner", ...)
+	pos      token.Pos
+}
+
+func runGuardedField(pass *Pass) error {
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, format, args...)
+	}
+	guarded := collectGuarded(pass.Fset, pass.Files, pass.TypesInfo, report)
+
+	// Fold in annotations from directly imported packages whose source
+	// is available (exported guarded fields accessed cross-package).
+	if pass.Imported != nil {
+		for _, imp := range pass.Pkg.Imports() {
+			if dep := pass.Imported(imp.Path()); dep != nil {
+				for v, g := range collectGuarded(dep.Fset, dep.Files, dep.Info, nil) {
+					guarded[v] = g
+				}
+			}
+		}
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+func checkGuardedFunc(pass *Pass, fd *ast.FuncDecl, guarded map[*types.Var]guardedInfo) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	ops := collectLockOps(pass, fd.Body)
+	fresh := freshLocals(pass, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selInfo, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selInfo.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selInfo.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, ok := guarded[v]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(ast.Unparen(sel.X))
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && fresh[obj] {
+				return true // not yet published: constructed in this function
+			}
+		}
+		if !heldAt(ops, g.mutex, base, sel.Pos()) {
+			pass.Reportf(sel.Pos(), "%s.%s is accessed without holding %s.%s (field is guarded by %s); lock it, rename the function *Locked if the caller holds it, or annotate //privlint:allow guardedfield", base, v.Name(), base, g.mutex, g.mutex)
+		}
+		return true
+	})
+}
+
+// collectLockOps gathers every <base>.<mu>.Lock/RLock/Unlock/RUnlock
+// call in the body, noting deferred ones.
+func collectLockOps(pass *Pass, body *ast.BlockStmt) []lockOp {
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		return true
+	})
+	var ops []lockOp
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var lock bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			lock = true
+		case "Unlock", "RUnlock":
+		default:
+			return true
+		}
+		mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ops = append(ops, lockOp{
+			lock:     lock,
+			deferred: deferred[call],
+			mutex:    mu.Sel.Name,
+			base:     types.ExprString(ast.Unparen(mu.X)),
+			pos:      call.Pos(),
+		})
+		return true
+	})
+	return ops
+}
+
+// heldAt replays the lock operations on (base, mutex) that precede
+// pos in source order: the mutex is held when the last effective op
+// was a Lock. Deferred Unlocks run at function exit and never end the
+// window. This is a straight-line approximation — branches that
+// unlock early are out of scope for a lint — and it is conservative
+// in the direction that matters: a path with no Lock before the
+// access is always reported.
+func heldAt(ops []lockOp, mutex, base string, pos token.Pos) bool {
+	held := false
+	for _, op := range ops {
+		if op.pos >= pos || op.mutex != mutex || op.base != base {
+			continue
+		}
+		if op.deferred {
+			continue
+		}
+		held = op.lock
+	}
+	return held
+}
+
+// freshLocals returns local variables initialized from a composite
+// literal, &composite, or new(T) in this function — values that
+// cannot yet be shared with another goroutine at the point they are
+// accessed, which is what makes lock-free constructor initialization
+// sound.
+func freshLocals(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	fresh := map[*types.Var]bool{}
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			fresh[v] = true
+		case *ast.UnaryExpr:
+			if r.Op == token.AND {
+				if _, ok := ast.Unparen(r.X).(*ast.CompositeLit); ok {
+					fresh[v] = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && fn.Name == "new" {
+				if _, isBuiltin := pass.TypesInfo.Uses[fn].(*types.Builtin); isBuiltin {
+					fresh[v] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			mark(as.Lhs[i], as.Rhs[i])
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,333 @@
+package privlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package with its syntax, the unit every
+// analyzer runs over.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	loader *Loader
+}
+
+// imported returns the loaded source package for an import path, nil
+// when the dependency was resolved from export data only.
+func (p *Package) imported(path string) *Package {
+	if p.loader == nil {
+		return nil
+	}
+	return p.loader.pkgs[path]
+}
+
+// NewPackage wraps an externally type-checked package (the go vet
+// -vettool unit, whose dependencies exist only as export data) so
+// RunPackage can analyze it. Cross-package syntax lookups are
+// unavailable in this mode.
+func NewPackage(path string, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Package {
+	return &Package{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}
+}
+
+// Loader type-checks this module's packages from source. Imports that
+// resolve inside the module (or inside SrcRoots, the analysistest
+// fixture mechanism) are loaded recursively from source so analyzers
+// can see their syntax; everything else — the standard library — comes
+// from the toolchain's export data via importer.Default, which needs
+// no network and no GOPATH.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+	// SrcRoots are extra resolution roots searched before the module
+	// mapping: import path p maps to root/p. Analyzer tests point one
+	// at their testdata/src directory so fixtures can impersonate
+	// privacy-path import paths.
+	SrcRoots []string
+
+	ctxt    build.Context
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	// The module is pure Go; disabling cgo keeps go/build from
+	// offering cgo files we could not type-check without running cgo.
+	ctxt.CgoEnabled = false
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		ModulePath: modPath,
+		ModuleDir:  root,
+		ctxt:       ctxt,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+	std, ok := importer.Default().(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("privlint: toolchain importer does not support ImportFrom")
+	}
+	l.std = std
+	return l, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns its
+// directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("privlint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("privlint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load resolves the given patterns ("./...", "./internal/release", a
+// plain directory, or an import path) and type-checks each matched
+// package. Dependencies are loaded as needed but only matches are
+// returned.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		expanded, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range expanded {
+			if !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Import(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// expand turns one pattern into import paths.
+func (l *Loader) expand(pat string) ([]string, error) {
+	rec := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		rec = true
+		pat = rest
+		if pat == "" || pat == "." {
+			pat = "."
+		}
+	}
+	// Map the pattern onto a directory inside the module.
+	var dir string
+	switch {
+	case pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") || filepath.IsAbs(pat):
+		dir = pat
+	case pat == l.ModulePath:
+		dir = l.ModuleDir
+	case strings.HasPrefix(pat, l.ModulePath+"/"):
+		dir = filepath.Join(l.ModuleDir, strings.TrimPrefix(pat, l.ModulePath+"/"))
+	default:
+		// A plain import path that resolves via SrcRoots (fixtures) or
+		// the module mapping is used as-is; otherwise it is a directory.
+		if !rec {
+			if _, ok := l.resolveDir(pat); ok {
+				return []string{pat}, nil
+			}
+		}
+		dir = pat
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !rec {
+		path, err := l.dirToImportPath(abs)
+		if err != nil {
+			return nil, err
+		}
+		return []string{path}, nil
+	}
+	var out []string
+	err = filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != abs && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if _, err := l.ctxt.ImportDir(p, 0); err != nil {
+			return nil // no buildable non-test Go files here
+		}
+		path, err := l.dirToImportPath(p)
+		if err != nil {
+			return err
+		}
+		out = append(out, path)
+		return nil
+	})
+	return out, err
+}
+
+// dirToImportPath maps a directory inside the module to its import
+// path.
+func (l *Loader) dirToImportPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("privlint: %s is outside module %s", dir, l.ModuleDir)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Import loads (or returns the cached) source package for an import
+// path the loader owns.
+func (l *Loader) Import(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.resolveDir(path)
+	if !ok {
+		return nil, fmt.Errorf("privlint: %s does not resolve inside the module or src roots", path)
+	}
+	return l.loadDir(path, dir)
+}
+
+// resolveDir maps an import path to a source directory: SrcRoots
+// first (so test fixtures can impersonate real paths), then the
+// module tree.
+func (l *Loader) resolveDir(path string) (string, bool) {
+	for _, root := range l.SrcRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+	}
+	switch {
+	case path == l.ModulePath:
+		return l.ModuleDir, true
+	case strings.HasPrefix(path, l.ModulePath+"/"):
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/"))), true
+	}
+	return "", false
+}
+
+// loadDir parses and type-checks one directory as one package.
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("privlint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("privlint: %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("privlint: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := types.Config{
+		Importer: (*loaderImporter)(l),
+		Sizes:    types.SizesFor(l.ctxt.Compiler, l.ctxt.GOARCH),
+	}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("privlint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.Fset,
+		Files:  files,
+		Pkg:    tpkg,
+		Info:   info,
+		loader: l,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the Loader to types.ImporterFrom: module and
+// src-root imports load from source, everything else falls through to
+// the toolchain's export data.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.resolveDir(path); ok {
+		pkg, err := l.Import(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

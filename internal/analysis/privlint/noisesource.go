@@ -1,0 +1,102 @@
+package privlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// privacyPathSuffixes marks the packages whose code sits on the
+// privacy path: anything these packages release has (ε, δ) semantics,
+// so every random draw must come from a calibrated sampler. The match
+// is on import-path suffix so analyzer fixtures can impersonate the
+// real layout.
+var privacyPathSuffixes = []string{
+	"internal/release",
+	"internal/server",
+	"internal/kantorovich",
+	"internal/accounting",
+	"internal/accounting/wal",
+}
+
+// isPrivacyPath reports whether an import path is on the privacy path.
+func isPrivacyPath(path string) bool {
+	for _, s := range privacyPathSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand/v2 package-level functions a
+// privacy-path package may call: constructing and seeding a generator
+// to hand to internal/noise or internal/laplace is plumbing, drawing
+// from it is sampling.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewSource":  true, // v1 compatibility; the import itself is flagged
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// NoiseSource flags randomness drawn outside the calibrated samplers
+// on privacy-path packages: any math/rand(/v2) draw — package-level or
+// a method on a generator value — that is not a generator constructor.
+// An ad-hoc rng.ExpFloat64() in release code is exactly the bug class
+// that silently breaks the (ε, δ) guarantee: the draw happens, the
+// ledger never hears about it, and no test can tell the difference.
+var NoiseSource = &Analyzer{
+	Name: "noisesource",
+	Doc: "privacy-path packages may draw noise only through internal/noise " +
+		"and internal/laplace; math/rand draws are flagged (generator " +
+		"construction is allowed, v1 math/rand is rejected outright)",
+	Run: runNoiseSource,
+}
+
+func runNoiseSource(pass *Pass) error {
+	if !isPrivacyPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == "math/rand" {
+				pass.Reportf(imp.Pos(), "import of math/rand (v1) on a privacy path; use math/rand/v2 for generator plumbing and internal/noise for draws")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Recv() == nil {
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(call.Pos(), "noise drawn from %s.%s on a privacy path; draw through internal/noise or internal/laplace samplers", fn.Pkg().Path(), fn.Name())
+				return true
+			}
+			// Every method on a generator value (rand.Rand, rand.Zipf,
+			// rand.Source) produces or perturbs variates.
+			pass.Reportf(call.Pos(), "noise drawn via (%s).%s on a privacy path; draw through internal/noise or internal/laplace samplers", types.TypeString(sig.Recv().Type(), types.RelativeTo(pass.Pkg)), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+// Package privlint is a suite of static analyzers that machine-check
+// the privacy and concurrency invariants this codebase otherwise
+// enforces only by convention and review:
+//
+//   - noisesource: on privacy-path packages, randomness may be drawn
+//     only through the calibrated samplers in internal/noise and
+//     internal/laplace — a stray math/rand draw silently voids the
+//     (ε, δ) guarantee.
+//   - accountedrelease: additive-noise samplers are reachable only
+//     from the staged release.Finish/applyNoise path, never directly
+//     from server handlers — noise that bypasses the pipeline bypasses
+//     the accounting ledger and the WAL charge-ahead.
+//   - guardedfield: struct fields annotated "// guarded by <mu>" are
+//     accessed only with that mutex held in the enclosing function —
+//     the class of torn-read bug fixed in the /v1/stats snapshot path.
+//   - floatcompare: no ==/!= on floating-point operands in non-test
+//     code — bit-identity is a test-suite contract, not a production
+//     control-flow primitive.
+//   - ctxpropagate: exported functions taking a context.Context use
+//     it — a dropped ctx severs the deadline propagation the serving
+//     layer relies on to abort doomed releases before they charge.
+//
+// The suite mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, "// want" test fixtures) but is implemented on the
+// standard library alone, because this module deliberately has no
+// third-party dependencies. cmd/privlint drives it both standalone
+// (privlint ./...) and as a go vet -vettool.
+//
+// # Suppression contract
+//
+// A finding can be acknowledged in place with
+//
+//	//privlint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: an allow directive without one is itself a diagnostic.
+// Directives naming an unknown analyzer are diagnostics too, so typos
+// cannot silently disable a check.
+package privlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //privlint:allow directives.
+	Name string
+	// Doc is the one-paragraph description shown by privlint -help and
+	// the README table.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoiseSource,
+		AccountedRelease,
+		GuardedField,
+		FloatCompare,
+		CtxPropagate,
+	}
+}
+
+// byName indexes All for directive validation.
+func byName() map[string]*Analyzer {
+	m := make(map[string]*Analyzer)
+	for _, a := range All() {
+		m[a.Name] = a
+	}
+	return m
+}
+
+// Pass carries one analyzer's view of one type-checked package,
+// mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Imported returns the loaded source package for an import path,
+	// or nil when only export data is available (vettool mode, stdlib).
+	// guardedfield uses it to read annotations on fields of imported
+	// structs.
+	Imported func(path string) *Package
+
+	diags    *[]Diagnostic
+	suppress suppressionIndex
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless it is suppressed by a
+// //privlint:allow directive or sits in a _test.go file. Test files
+// are exempt by design: the golden/bit-identity suites compare floats
+// exactly and draw seeded randomness as their contract, and the lint
+// gate protects production paths.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if strings.HasSuffix(position.Filename, "_test.go") {
+		return
+	}
+	if p.suppress.allows(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowRE matches the suppression directive. The directive must be a
+// single comment of the form "//privlint:allow <analyzer> <reason>".
+var allowRE = regexp.MustCompile(`^//privlint:allow(?:\s+(\S+))?(?:\s+(.*\S))?\s*$`)
+
+// allowDirective is one parsed //privlint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// suppressionIndex maps file name → line → directives effective on
+// that line. A directive suppresses findings on its own line and on
+// the line directly below it (comment-above style).
+type suppressionIndex map[string]map[int][]allowDirective
+
+func (s suppressionIndex) allows(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	for _, line := range [...]int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.analyzer == analyzer && d.reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildSuppressions scans a package's comments for allow directives
+// and returns the index plus the diagnostics for malformed ones: a
+// missing reason or an unknown analyzer name is an error, never a
+// silent no-op.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) (suppressionIndex, []Diagnostic) {
+	idx := suppressionIndex{}
+	var bad []Diagnostic
+	known := byName()
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//privlint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "privlint",
+						Message: "malformed privlint directive; want //privlint:allow <analyzer> <reason>"})
+					continue
+				}
+				d := allowDirective{analyzer: m[1], reason: m[2], pos: pos}
+				switch {
+				case d.analyzer == "":
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "privlint",
+						Message: "privlint:allow directive names no analyzer"})
+					continue
+				case known[d.analyzer] == nil:
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "privlint",
+						Message: fmt.Sprintf("privlint:allow names unknown analyzer %q", d.analyzer)})
+					continue
+				case d.reason == "":
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "privlint",
+						Message: fmt.Sprintf("privlint:allow %s has no reason; a suppression must justify itself", d.analyzer)})
+					continue
+				}
+				byFile := idx[pos.Filename]
+				if byFile == nil {
+					byFile = map[int][]allowDirective{}
+					idx[pos.Filename] = byFile
+				}
+				byFile[pos.Line] = append(byFile[pos.Line], d)
+			}
+		}
+	}
+	return idx, bad
+}
+
+// RunPackage runs the analyzers over one loaded package and returns
+// the surviving diagnostics sorted by position. Malformed suppression
+// directives are included (in _test.go files too: a broken directive
+// is a broken contract wherever it sits).
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	suppress, bad := buildSuppressions(pkg.Fset, pkg.Files)
+	diags := bad
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			Imported:  pkg.imported,
+			diags:     &diags,
+			suppress:  suppress,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,9 @@
+// Package noise impersonates the calibrated-sampler package for the
+// accountedrelease fixture.
+package noise
+
+// AddVec stands in for the additive-noise vector sampler.
+func AddVec(out []float64) {}
+
+// Sample stands in for a single draw.
+func Sample() float64 { return 0 }

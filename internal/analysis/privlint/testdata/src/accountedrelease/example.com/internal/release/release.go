@@ -1,0 +1,26 @@
+// Package release impersonates the staged release pipeline for the
+// accountedrelease fixture.
+package release
+
+import "example.com/internal/noise"
+
+// applyNoise is the sanctioned noise stage: it and its transitive
+// callees may sample.
+func applyNoise(out []float64) {
+	noise.AddVec(out)
+	helper(out)
+}
+
+// helper is reached from applyNoise, so it inherits the right.
+func helper(out []float64) {
+	_ = noise.Sample()
+}
+
+// Rogue samples outside the pipeline stage.
+func Rogue(out []float64) {
+	noise.AddVec(out) // want `noise sampled in Rogue, outside the applyNoise pipeline stage`
+}
+
+func acknowledged(out []float64) {
+	noise.AddVec(out) //privlint:allow accountedrelease fixture acknowledges the out-of-stage draw
+}

@@ -1,0 +1,15 @@
+// Package server impersonates the serving layer for the
+// accountedrelease fixture: handlers never sample, staged path or not.
+package server
+
+import "example.com/internal/noise"
+
+func Handle(out []float64) {
+	noise.AddVec(out) // want `noise sampled directly in Handle; the serving layer must go through the staged release pipeline`
+}
+
+// applyNoise in the serving layer earns no exemption: the stage name
+// is only sanctioned inside internal/release.
+func applyNoise(out []float64) {
+	_ = noise.Sample() // want `noise sampled directly in applyNoise`
+}

@@ -1,0 +1,29 @@
+// Package c is the ctxpropagate fixture.
+package c
+
+import "context"
+
+func Dropped(ctx context.Context, n int) int { // want `Dropped never uses its context\.Context parameter ctx`
+	return n
+}
+
+func Unnamed(context.Context) {} // want `Unnamed discards its context\.Context parameter \(unnamed\)`
+
+func Blank(_ context.Context) {} // want `Blank discards its context\.Context parameter`
+
+func Fresh(ctx context.Context) error {
+	_ = ctx
+	return work(context.Background()) // want `Fresh has a context parameter but derives a fresh context\.Background`
+}
+
+func Good(ctx context.Context) error {
+	return work(ctx)
+}
+
+// work is unexported: internal helpers are the callee side of the
+// chain and are not checked.
+func work(ctx context.Context) error { return ctx.Err() }
+
+func Suppressed(ctx context.Context, n int) int { //privlint:allow ctxpropagate fixture documents the deliberate drop
+	return n
+}

@@ -1,0 +1,25 @@
+// Package f is the floatcompare fixture.
+package f
+
+func Eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func Ne(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func MixedConst(a float64) bool {
+	return a == 0 // want `floating-point == comparison`
+}
+
+// Ints compare exactly; not flagged.
+func Ints(a, b int) bool { return a == b }
+
+// Ordered comparisons are fine; only ==/!= are bit-identity traps.
+func Less(a, b float64) bool { return a < b }
+
+func Acknowledged(a, b float64) bool {
+	//privlint:allow floatcompare fixture justifies the exact compare
+	return a == b
+}

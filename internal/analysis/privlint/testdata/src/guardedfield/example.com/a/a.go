@@ -1,0 +1,66 @@
+// Package a defines annotated structs for the guardedfield fixture.
+package a
+
+import "sync"
+
+// Counter has an unexported mutex: in-package discipline.
+type Counter struct {
+	mu sync.Mutex
+	// N is the running total.
+	// guarded by mu
+	N int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.N++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.N
+}
+
+func (c *Counter) Torn() int {
+	return c.N // want `c\.N is accessed without holding c\.mu`
+}
+
+// UnlockedThenRead closes the lock window before the access.
+func (c *Counter) UnlockedThenRead() int {
+	c.mu.Lock()
+	c.N = 1
+	c.mu.Unlock()
+	return c.N // want `c\.N is accessed without holding c\.mu`
+}
+
+// addLocked asserts its caller holds the lock (naming convention).
+func (c *Counter) addLocked(d int) {
+	c.N += d
+}
+
+// NewCounter initializes a not-yet-published value lock-free.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.N = 1
+	return c
+}
+
+func (c *Counter) acknowledged() int {
+	return c.N //privlint:allow guardedfield fixture acknowledges the unlocked read
+}
+
+// Shared exports both the mutex and the field so other packages can
+// participate in the contract.
+type Shared struct {
+	Mu sync.RWMutex
+	// guarded by Mu
+	Val int
+}
+
+// Bad carries an annotation naming a mutex the struct does not have.
+type Bad struct {
+	// guarded by missing
+	X int // want `field is guarded by "missing", but the struct has no sync\.Mutex/RWMutex field of that name`
+}

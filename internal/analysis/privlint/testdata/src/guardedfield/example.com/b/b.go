@@ -1,0 +1,27 @@
+// Package b exercises the cross-package half of the guardedfield
+// contract: annotations on example.com/a's exported fields bind here
+// too, because the loader carries a's syntax alongside its types.
+package b
+
+import "example.com/a"
+
+func Read(s *a.Shared) int {
+	s.Mu.RLock()
+	defer s.Mu.RUnlock()
+	return s.Val
+}
+
+func Write(s *a.Shared, v int) {
+	s.Mu.Lock()
+	s.Val = v
+	s.Mu.Unlock()
+}
+
+func TornRead(s *a.Shared) int {
+	return s.Val // want `s\.Val is accessed without holding s\.Mu`
+}
+
+// readLocked relies on the caller's lock (naming convention).
+func readLocked(s *a.Shared) int {
+	return s.Val
+}

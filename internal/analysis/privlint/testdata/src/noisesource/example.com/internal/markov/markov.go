@@ -1,0 +1,13 @@
+// Package markov is off the privacy path: draws here are model
+// machinery, not released noise, and must not be flagged.
+package markov
+
+import randv2 "math/rand/v2"
+
+func Walk(rng *randv2.Rand, steps int) float64 {
+	var x float64
+	for i := 0; i < steps; i++ {
+		x += rng.Float64()
+	}
+	return x
+}

@@ -1,0 +1,31 @@
+// Package release impersonates a privacy-path package for the
+// noisesource fixture.
+package release
+
+import (
+	"math/rand" // want `import of math/rand \(v1\) on a privacy path`
+	randv2 "math/rand/v2"
+)
+
+// Plumb constructs a seeded generator — allowed: construction is
+// plumbing, not sampling.
+func Plumb(seed uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(seed, 1))
+}
+
+func drawPackageLevel() float64 {
+	return randv2.Float64() // want `noise drawn from math/rand/v2\.Float64 on a privacy path`
+}
+
+func drawMethod(rng *randv2.Rand) float64 {
+	return rng.ExpFloat64() // want `noise drawn via \(\*math/rand/v2\.Rand\)\.ExpFloat64 on a privacy path`
+}
+
+func drawV1() float64 {
+	return rand.Float64() // want `noise drawn from math/rand\.Float64 on a privacy path`
+}
+
+func acknowledged(rng *randv2.Rand) float64 {
+	//privlint:allow noisesource fixture demonstrates an acknowledged draw
+	return rng.Float64()
+}

@@ -1,0 +1,30 @@
+// Package s exercises the malformed-directive half of the suppression
+// contract: a broken //privlint:allow is a diagnostic and suppresses
+// nothing. The directive-line findings are asserted by wants on the
+// code line below (a comment line cannot carry a second comment).
+package s
+
+func NoReason(a, b float64) bool {
+	//privlint:allow floatcompare
+	return a == b // want `floating-point == comparison` `privlint:allow floatcompare has no reason`
+}
+
+func UnknownAnalyzer(a, b float64) bool {
+	//privlint:allow nosuchcheck because reasons
+	return a == b // want `floating-point == comparison` `privlint:allow names unknown analyzer "nosuchcheck"`
+}
+
+func NoAnalyzer(a, b float64) bool {
+	//privlint:allow
+	return a == b // want `floating-point == comparison` `privlint:allow directive names no analyzer`
+}
+
+func BadVerb(a, b float64) bool {
+	//privlint:deny floatcompare wrong verb
+	return a == b // want `floating-point == comparison` `malformed privlint directive`
+}
+
+func Working(a, b float64) bool {
+	//privlint:allow floatcompare a valid directive with a reason suppresses
+	return a == b
+}

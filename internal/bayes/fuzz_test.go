@@ -1,0 +1,46 @@
+package bayes
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseJSON throws arbitrary bytes at the network wire codec: it
+// must never panic, and any network it accepts must survive a
+// marshal/parse round trip with its structure intact — the property
+// the pufferd -network flag and the server's network request field
+// both rest on.
+func FuzzParseJSON(f *testing.F) {
+	f.Add([]byte(`[{"name":"root","card":2,"cpt":[0.3,0.7]},{"name":"leaf","card":2,"parents":[0],"cpt":[0.9,0.1,0.2,0.8]}]`))
+	f.Add([]byte(`[{"name": "A", "card": 2, "cpt": [0.5, 0.6]}]`))
+	f.Add([]byte(`[{"name":"x","card":1,"cpt":[1]}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"name":"loop","card":2,"parents":[0],"cpt":[0.5,0.5,0.5,0.5]}]`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nw, err := ParseJSON(data)
+		if err != nil {
+			if nw != nil {
+				t.Fatal("ParseJSON returned both a network and an error")
+			}
+			return
+		}
+		out, err := json.Marshal(nw)
+		if err != nil {
+			t.Fatalf("accepted network does not marshal: %v", err)
+		}
+		back, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.N() != nw.N() {
+			t.Fatalf("round trip changed node count: %d then %d", nw.N(), back.N())
+		}
+		for i := 0; i < nw.N(); i++ {
+			if back.Card(i) != nw.Card(i) {
+				t.Fatalf("round trip changed node %d cardinality", i)
+			}
+		}
+	})
+}

@@ -177,6 +177,7 @@ func mulConv(a, b mpMsg, card int) mpMsg {
 		br := b.vals[x*b.width : (x+1)*b.width]
 		or := out.vals[x*out.width : (x+1)*out.width]
 		for i, av := range ar {
+			//privlint:allow floatcompare structural-zero sparsity skip; only exact zeros carry no mass
 			if av == 0 {
 				continue
 			}
@@ -221,6 +222,7 @@ func (e *mpEngine) factorMsg(f, to int) mpMsg {
 			row := m.vals[assign[u]*m.width : (assign[u]+1)*m.width]
 			next := make([]float64, len(conv)+m.width-1)
 			for i2, cv := range conv {
+				//privlint:allow floatcompare structural-zero sparsity skip
 				if cv == 0 {
 					continue
 				}
@@ -233,6 +235,7 @@ func (e *mpEngine) factorMsg(f, to int) mpMsg {
 		for xt := 0; xt < cardTo; xt++ {
 			assign[to] = xt
 			p := e.nw.CondProb(f, assign[f], assign)
+			//privlint:allow floatcompare exact-zero conditional probability contributes nothing
 			if p == 0 {
 				continue
 			}
@@ -352,6 +355,7 @@ func (nw *Network) CountDistGiven(w []int, cond, condState int) (dist.Discrete, 
 		}
 		next := make([]float64, len(total)+len(vec)-1)
 		for i, tv := range total {
+			//privlint:allow floatcompare structural-zero sparsity skip
 			if tv == 0 {
 				continue
 			}

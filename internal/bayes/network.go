@@ -174,6 +174,7 @@ func (nw *Network) JointProb(assign []int) float64 {
 	p := 1.0
 	for i := range nw.nodes {
 		p *= nw.CondProb(i, assign[i], assign)
+		//privlint:allow floatcompare exact zero short-circuits the product; no rounding involved
 		if p == 0 {
 			return 0
 		}
@@ -296,8 +297,10 @@ func (nw *Network) MaxInfluence(A []int, i int) (float64, error) {
 				pa := joint[r*ci+a] / pi[a]
 				pb := joint[r*ci+b] / pi[b]
 				switch {
+				//privlint:allow floatcompare exact-zero mass decides between -Inf and +Inf ratios
 				case pa == 0:
 					// log 0/x = −Inf; the (b, a) direction covers it.
+				//privlint:allow floatcompare exact-zero mass decides between -Inf and +Inf ratios
 				case pb == 0:
 					return math.Inf(1), nil
 				default:

@@ -119,6 +119,7 @@ func (c *Composition) Release(data []int, q query.Query, eps float64, rng *rand.
 		c.scoreEps = eps
 	}
 	score := *c.score
+	//privlint:allow floatcompare compares against the exact eps the score was computed at
 	if eps != c.scoreEps {
 		// Re-score the pinned active quilt at the new ε (Theorem 4.4's
 		// K·max ε_k accounting permits varying ε with fixed quilts).

@@ -138,6 +138,7 @@ func halfMaxLogRatio(kernel *matrix.Dense) (float64, error) {
 				hi = v
 			}
 		}
+		//privlint:allow floatcompare exact zero means the column was never touched
 		if hi == 0 {
 			continue // column never used
 		}
@@ -169,6 +170,7 @@ func gk16SpectralNorm(gammaF, gammaB float64, T int) float64 {
 	if T < 2 {
 		return 0
 	}
+	//privlint:allow floatcompare exact symmetric case tightens the bound; inexact falls back conservatively
 	if gammaF == gammaB {
 		return limit * math.Cos(math.Pi/float64(T+1))
 	}

@@ -73,8 +73,8 @@ type cellKey struct {
 // branching.
 type ScoreCache struct {
 	mu           sync.RWMutex
-	m            map[scoreKey]ChainScore
-	cells        map[cellKey]CellScore
+	m            map[scoreKey]ChainScore // guarded by mu
+	cells        map[cellKey]CellScore   // guarded by mu
 	hits, misses atomic.Int64
 	// tables holds the per-transition-matrix derived tables (powers,
 	// log-domain influence rows, marginal prefixes) that survive across
@@ -417,6 +417,7 @@ func equalExactly(a, b []float64) bool {
 		return false
 	}
 	for i, v := range a {
+		//privlint:allow floatcompare cache keys must match bit-exactly; tolerance would alias entries
 		if v != b[i] {
 			return false
 		}

@@ -58,6 +58,7 @@ func VerifyChainPufferfish(class markov.Class, w []int, scale, eps, slack float6
 					for _, out := range grid {
 						pa := releaseDensity(conds[a], noise, out)
 						pb := releaseDensity(conds[b], noise, out)
+						//privlint:allow floatcompare exact-zero densities on both sides make the ratio vacuous
 						if pa == 0 && pb == 0 {
 							continue
 						}

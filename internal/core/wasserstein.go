@@ -102,6 +102,7 @@ func Wasserstein(value float64, inst WassersteinInstance, eps float64, rng *rand
 	if err != nil {
 		return Release{}, err
 	}
+	//privlint:allow floatcompare exact-zero Wasserstein radius licenses the exact release
 	if w == 0 {
 		// F(X) carries no information about any secret; release exactly.
 		return Release{

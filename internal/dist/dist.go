@@ -58,10 +58,12 @@ func New(xs, ps []float64) (Discrete, error) {
 		if p < 0 || math.IsNaN(p) {
 			return Discrete{}, fmt.Errorf("dist: invalid mass %v at %v", p, x)
 		}
+		//privlint:allow floatcompare exact-zero mass is dropped from the support
 		if p == 0 {
 			continue
 		}
 		total += p
+		//privlint:allow floatcompare atoms merge only on bit-identical support points
 		if n := len(outX); n > 0 && outX[n-1] == x {
 			outP[n-1] += p
 		} else {
@@ -155,6 +157,7 @@ func (d Discrete) Atom(i int) (x, p float64) { return d.xs[i], d.ps[i] }
 // Prob returns the mass at x (zero when x is not an atom).
 func (d Discrete) Prob(x float64) float64 {
 	i := sort.SearchFloat64s(d.xs, x)
+	//privlint:allow floatcompare atom lookup is bit-exact by construction
 	if i < len(d.xs) && d.xs[i] == x {
 		return d.ps[i]
 	}
@@ -221,6 +224,7 @@ func Convolve(d, e Discrete) Discrete {
 	sort.Stable(sortPairs{xs: sx, ps: sp})
 	distinct := 1
 	for i := 1; i < n; i++ {
+		//privlint:allow floatcompare dedup of sorted support points is bit-exact by design
 		if sx[i] != sx[i-1] {
 			distinct++
 		}
@@ -230,6 +234,7 @@ func Convolve(d, e Discrete) Discrete {
 	oi := 0
 	xs[0], ps[0] = sx[0], sp[0]
 	for i := 1; i < n; i++ {
+		//privlint:allow floatcompare dedup of sorted support points is bit-exact by design
 		if sx[i] != xs[oi] {
 			oi++
 			xs[oi] = sx[i]
@@ -316,10 +321,12 @@ func Wasserstein1(mu, nu Discrete) float64 {
 		if started {
 			w += math.Abs(cmu-cnu) * (x - prev)
 		}
+		//privlint:allow floatcompare merged-sweep atom match is bit-exact by construction
 		for i < mu.Len() && mu.xs[i] == x {
 			cmu += mu.ps[i]
 			i++
 		}
+		//privlint:allow floatcompare merged-sweep atom match is bit-exact by construction
 		for j < nu.Len() && nu.xs[j] == x {
 			cnu += nu.ps[j]
 			j++
@@ -400,6 +407,7 @@ func MaxDivergence(p, q Discrete) float64 {
 		for j < q.Len() && q.xs[j] < x {
 			j++
 		}
+		//privlint:allow floatcompare support mismatch is bit-exact; any q-gap makes the divergence infinite
 		if j >= q.Len() || q.xs[j] != x {
 			return math.Inf(1)
 		}

@@ -128,6 +128,7 @@ func SpectralNorm(a *matrix.Dense) (float64, error) {
 		y := at.MulVec(a.MulVec(x))
 		lambda := math.Sqrt(math.Abs(dot(x, y)))
 		n := normalizeVec(y)
+		//privlint:allow floatcompare exact-zero norm only for the all-zero vector
 		if n == 0 {
 			return 0, nil // a x = 0 for all iterates: zero matrix
 		}
@@ -154,6 +155,7 @@ func normalizeVec(x []float64) float64 {
 		s += v * v
 	}
 	n := math.Sqrt(s)
+	//privlint:allow floatcompare exact-zero norm only for the all-zero vector
 	if n == 0 {
 		return 0
 	}

@@ -123,6 +123,7 @@ func RenderWorkedExamples(examples []WorkedExample) *Table {
 }
 
 func relDiff(a, b float64) float64 {
+	//privlint:allow floatcompare exact-zero denominator switches to absolute difference
 	if b == 0 {
 		return math.Abs(a)
 	}

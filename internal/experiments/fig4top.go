@@ -188,6 +188,7 @@ func releaseError(exact, scale float64, rng *rand.Rand) float64 {
 	if math.IsNaN(scale) {
 		return math.NaN()
 	}
+	//privlint:allow floatcompare zero scale is the exact degenerate-noise sentinel
 	if scale == 0 {
 		return 0
 	}

@@ -21,6 +21,7 @@ func Eq(a, b, tol float64) bool {
 	if math.IsNaN(a) || math.IsNaN(b) {
 		return false
 	}
+	//privlint:allow floatcompare bit-equality fast path of the tolerance comparator itself
 	if a == b {
 		return true
 	}

@@ -89,6 +89,7 @@ func (m *ExpMech) PMF(value float64) []float64 {
 // Sample draws one output by inverse-CDF over the grid.
 func (m *ExpMech) Sample(value float64, rng *rand.Rand) float64 {
 	pmf := m.PMF(value)
+	//privlint:allow noisesource ExpMech is itself a calibrated mechanism; the caller injects the seeded rng
 	u := rng.Float64()
 	var cum float64
 	for i, p := range pmf {

@@ -53,8 +53,11 @@ func (d Dist) Variance() float64 { return 2 * d.Scale * d.Scale }
 // (−1/2, 1/2), X = −σ·sign(U)·ln(1−2|U|).
 func (d Dist) Sample(rng *rand.Rand) float64 {
 	u := rng.Float64() - 0.5
-	// Guard the measure-zero boundary where log would blow up.
-	for u == 0.5 || u == -0.5 {
+	// Guard the boundary where log would blow up. Float64 is in [0, 1),
+	// so u is in [-0.5, 0.5): only the lower endpoint is reachable, and
+	// it is hit exactly when Float64 returns bit-exact 0.
+	//privlint:allow floatcompare guarding the exact u = -0.5 boundary before log(1+2u)
+	for u == -0.5 {
 		u = rng.Float64() - 0.5
 	}
 	if u < 0 {

@@ -199,6 +199,7 @@ func (c Chain) TimeReversal() (*matrix.Dense, error) {
 	k := c.K()
 	rev := matrix.NewDense(k, k)
 	for x := 0; x < k; x++ {
+		//privlint:allow floatcompare exact-zero stationary mass makes the reversal undefined
 		if pi[x] == 0 {
 			return nil, fmt.Errorf("markov: state %d has zero stationary mass; time reversal undefined", x)
 		}

@@ -237,6 +237,7 @@ func (b *BinaryInterval) Chains() []Chain {
 		n = 16
 	}
 	var ps []float64
+	//privlint:allow floatcompare Alpha and Beta are user-set config constants, not computed values
 	if b.Alpha == b.Beta || n == 1 {
 		ps = []float64{b.Alpha}
 	} else {

@@ -71,10 +71,12 @@ func (c Chain) CountDistGiven(T int, w []int, cond, condState int) (dist.Discret
 		for x := 0; x < k; x++ {
 			row := c.P.RawRow(x)
 			for n, mass := range cur[x*size : (x+1)*size] {
+				//privlint:allow floatcompare structural-zero sparsity skip
 				if mass == 0 {
 					continue
 				}
 				for y := 0; y < k; y++ {
+					//privlint:allow floatcompare structural-zero sparsity skip
 					if row[y] == 0 {
 						continue
 					}

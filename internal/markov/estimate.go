@@ -60,6 +60,7 @@ func Estimate(seqs [][]int, k int, smoothing float64) (Chain, error) {
 		for j := range counts[i] {
 			tot += counts[i][j]
 		}
+		//privlint:allow floatcompare a sum of integer counts is exactly zero iff all are zero
 		if tot == 0 {
 			// State never observed as a source: uniform row keeps the
 			// matrix stochastic (and irreducible when smoothing > 0).

@@ -39,6 +39,7 @@ func MulInto(dst, a, b *Dense) *Dense {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		drow := dst.data[i*b.cols : (i+1)*b.cols]
 		for k, aik := range arow {
+			//privlint:allow floatcompare structural-zero sparsity skip
 			if aik == 0 {
 				continue
 			}
@@ -85,6 +86,7 @@ func (m *Dense) VecMulInto(dst, x []float64) []float64 {
 		dst[j] = 0
 	}
 	for i, xi := range x {
+		//privlint:allow floatcompare structural-zero sparsity skip
 		if xi == 0 {
 			continue
 		}

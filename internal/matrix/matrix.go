@@ -92,6 +92,7 @@ func (m *Dense) Equal(b *Dense) bool {
 		return false
 	}
 	for i, v := range m.data {
+		//privlint:allow floatcompare Equal is the bit-identity comparator golden tests rely on
 		if v != b.data[i] {
 			return false
 		}
@@ -127,6 +128,7 @@ func (m *Dense) Mul(b *Dense) *Dense {
 		mrow := m.data[i*m.cols : (i+1)*m.cols]
 		orow := out.data[i*b.cols : (i+1)*b.cols]
 		for k, mik := range mrow {
+			//privlint:allow floatcompare structural-zero sparsity skip
 			if mik == 0 {
 				continue
 			}
@@ -165,6 +167,7 @@ func (m *Dense) VecMul(x []float64) []float64 {
 	}
 	out := make([]float64, m.cols)
 	for i, xi := range x {
+		//privlint:allow floatcompare structural-zero sparsity skip
 		if xi == 0 {
 			continue
 		}

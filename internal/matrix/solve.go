@@ -53,6 +53,7 @@ func Solve(a *Dense, b []float64) ([]float64, error) {
 				continue
 			}
 			f := w.At(r, col)
+			//privlint:allow floatcompare exact-zero pivot column entry needs no elimination
 			if f == 0 {
 				continue
 			}
@@ -98,6 +99,7 @@ func Inverse(a *Dense) (*Dense, error) {
 				continue
 			}
 			f := w.At(r, col)
+			//privlint:allow floatcompare exact-zero pivot column entry needs no elimination
 			if f == 0 {
 				continue
 			}

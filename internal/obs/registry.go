@@ -28,7 +28,7 @@ import (
 // values, so the output is golden-testable byte for byte.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -42,7 +42,7 @@ type family struct {
 	buckets          []float64 // histogram families only
 
 	mu     sync.Mutex
-	series map[string]*series
+	series map[string]*series // guarded by mu
 
 	// collect, when set, produces the family's samples at scrape time
 	// and the series map stays empty.

@@ -27,9 +27,9 @@ type Trace struct {
 	Start time.Time
 
 	mu    sync.Mutex
-	attrs []Attr
-	spans []SpanRecord
-	dur   time.Duration
+	attrs []Attr        // guarded by mu
+	spans []SpanRecord  // guarded by mu
+	dur   time.Duration // guarded by mu
 }
 
 // Attr is one key-value annotation on a trace, in attachment order.
@@ -232,9 +232,9 @@ func (t *Trace) Snapshot() TraceSnapshot {
 // and never blocks request handling on a scraper.
 type TraceRing struct {
 	mu  sync.Mutex
-	buf []*Trace
-	pos int // next write index
-	n   int // filled entries
+	buf []*Trace // guarded by mu
+	pos int      // guarded by mu; next write index
+	n   int      // guarded by mu; filled entries
 }
 
 // NewTraceRing returns a ring holding up to capacity traces.

@@ -312,6 +312,7 @@ func Prepare(sessions [][]int, cfg Config) (*Prepared, error) {
 	}
 	switch cfg.Noise {
 	case "", NoiseLaplace:
+		//privlint:allow floatcompare zero is the exact unset sentinel for δ
 		if cfg.Delta != 0 {
 			return nil, fmt.Errorf("release: δ = %v set, but the Laplace backend is pure-ε (δ must be 0)", cfg.Delta)
 		}

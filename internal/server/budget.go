@@ -21,16 +21,17 @@ var errShed = errors.New("server: scoring queue is full; retry later")
 // concurrency at or below the host budget no matter how many requests
 // are in flight — the released values are identical at every grant.
 type budget struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	// total and maxQueue are fixed at construction and read lock-free.
 	total int
-	avail int
+	avail int // guarded by mu
 	// maxQueue bounds the number of goroutines blocked in acquire
 	// (0 = unbounded); waiting is the current count. When the queue is
 	// full a saturated acquire returns errShed immediately instead of
 	// joining the pile — bounded load shedding beats unbounded latency.
 	maxQueue int
-	waiting  int
+	waiting  int // guarded by mu
 }
 
 func newBudget(total, maxQueue int) *budget {

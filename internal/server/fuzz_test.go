@@ -1,0 +1,48 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"pufferfish/internal/release"
+)
+
+// FuzzReleaseRequestDecode drives arbitrary bytes through the exact
+// request-parsing path the POST /v1/release handler runs before any
+// scoring: the strict JSON decode, session extraction, and config
+// mapping (including the embedded Bayesian-network parse). None of it
+// may panic, whatever the body.
+func FuzzReleaseRequestDecode(f *testing.F) {
+	for _, body := range []string{
+		`{"epsilon": 1, "mechanism": "dp", "sessions": [[0, 1, 0]]}`,
+		`{"epsilon": 1, "mechanism": "mqm-exact", "smoothing": 0.5, "series": "0 1\n1 0"}`,
+		`{"epsilon": 1, "mechanism": "dp", "series": "0 1", "sessions": [[0,1]]}`,
+		`{"epsilon": 5e-324, "mechanism": "mqm-exact", "smoothing": 0.5, "sessions": [[0,1,0,1]]}`,
+		`{"epsilon": 1, "mechanism": "kantorovich", "substrate": "network", "accountant": "s",
+		  "network": [{"name":"root","card":2,"cpt":[0.3,0.7]},{"name":"leaf","card":2,"parents":[0],"cpt":[0.9,0.1,0.2,0.8]}],
+		  "sessions": [[0, 1]]}`,
+		`{"epsilon": 1, "mechanism": "dp", "sessions": [[0,1]]}{"epsilon": 2}`,
+		`{"unknown_field": true}`,
+		`not json`,
+	} {
+		f.Add([]byte(body))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := httptest.NewRequest("POST", "/v1/release", bytes.NewReader(data))
+		w := httptest.NewRecorder()
+		var body ReleaseRequest
+		if err := decodeJSON(w, req, &body); err != nil {
+			return
+		}
+		sessions, serr := body.sessions()
+		if serr == nil && sessions == nil {
+			t.Fatal("sessions() returned nil sessions without an error")
+		}
+		cfg, cerr := body.config(release.NewScoreCache())
+		if cerr == nil && len(body.Network) > 0 && cfg.Network == nil {
+			t.Fatal("config() accepted a network body but attached no network")
+		}
+	})
+}

@@ -131,7 +131,7 @@ type Server struct {
 	// snapshot, across restarts). amu guards the map only — each
 	// Ledger is internally synchronized.
 	amu         sync.Mutex
-	accountants map[string]*accounting.Ledger
+	accountants map[string]*accounting.Ledger // guarded by amu
 
 	// Robustness knobs, fixed at construction (see Config).
 	maxAccountants int
@@ -208,9 +208,11 @@ func New(cfg Config) *Server {
 			s.accountants[name] = led
 		}
 	}
+	//privlint:allow floatcompare zero is the exact unset sentinel for the ceiling flags
 	if s.ceilEps == 0 && s.ceilDelta != 0 {
 		panic("server: budget ceiling δ set without an ε ceiling")
 	}
+	//privlint:allow floatcompare zero is the exact unset sentinel for the ceiling flags
 	if s.ceilEps != 0 {
 		// Validate the ceiling parameters even when no session was
 		// restored, so a misconfigured server fails at boot, not at the
@@ -241,6 +243,7 @@ func (s *Server) bindLedger(led *accounting.Ledger, name string) error {
 	if s.wal != nil {
 		led.SetJournal(s.wal, name)
 	}
+	//privlint:allow floatcompare zero is the exact unset sentinel for the ceiling flags
 	if s.ceilEps != 0 {
 		return led.SetCeiling(s.ceilEps, s.ceilDelta)
 	}
